@@ -1,0 +1,186 @@
+// Ablations and size measurements for the compact-representation building
+// blocks called out in DESIGN.md:
+//
+//   * EXA(k, X, Y, W): measured size vs (n, k) — the paper sketches an
+//     O(n log n) sorting-network circuit; we use an O(n*k) sequential
+//     counter.  Both are polynomial; this prints the actual constants.
+//   * bounded formulas (5)-(9): size vs k = |V(P)| at fixed |T| — the
+//     constant factor is exponential in k (why "bounded" matters).
+//   * candidate path vs full enumeration for ReviseModels (the
+//     Proposition 2.1 fast path).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "compact/bounded_revision.h"
+#include "compact/circuits.h"
+#include "hardness/random_instances.h"
+#include "revision/candidates.h"
+#include "revision/model_based.h"
+#include "revision/operator.h"
+#include "solve/services.h"
+#include "util/random.h"
+
+namespace revise {
+namespace {
+
+void MeasureExaSizes() {
+  bench::Headline("EXA(k, X, Y, W) sizes (variable occurrences)");
+  std::printf("%-6s", "n\\k");
+  for (int k : {1, 2, 4, 8, 16}) std::printf(" %10d", k);
+  std::printf("\n");
+  for (int n : {8, 16, 32, 64}) {
+    std::printf("%-6d", n);
+    for (int k : {1, 2, 4, 8, 16}) {
+      Vocabulary vocabulary;
+      std::vector<Var> x;
+      std::vector<Var> y;
+      for (int i = 0; i < n; ++i) {
+        x.push_back(vocabulary.Fresh("x"));
+        y.push_back(vocabulary.Fresh("y"));
+      }
+      const Formula exa =
+          ExaFormula(static_cast<size_t>(k), x, y, &vocabulary);
+      std::printf(" %10llu",
+                  static_cast<unsigned long long>(exa.VarOccurrences()));
+    }
+    std::printf("\n");
+  }
+  std::printf("(O(n*k) as built; polynomial, as Theorem 3.4 requires)\n");
+}
+
+void MeasureBoundedConstantFactor() {
+  bench::Headline(
+      "bounded formulas (5)-(9): size vs k = |V(P)| at |T| fixed (n = 24 "
+      "letters) — the 2^k constant factor");
+  Vocabulary vocabulary;
+  std::vector<Formula> letters;
+  std::vector<Var> vars;
+  for (int i = 0; i < 24; ++i) {
+    vars.push_back(vocabulary.Intern("x" + std::to_string(i)));
+    letters.push_back(Formula::Variable(vars.back()));
+  }
+  const Formula t = ConjoinAll(letters);
+  std::printf("%-4s %14s %14s %14s %14s %14s\n", "k", "Winslett(5)",
+              "Forbus(6)", "Satoh(7)", "Dalal(8)", "Weber(9)");
+  for (int k = 1; k <= 5; ++k) {
+    std::vector<Formula> negated;
+    for (int i = 0; i < k; ++i) {
+      negated.push_back(Formula::Not(letters[i]));
+    }
+    const Formula p = DisjoinAll(negated);
+    std::printf("%-4d %14llu %14llu %14llu %14llu %14llu\n", k,
+                static_cast<unsigned long long>(
+                    WinslettBounded(t, p).VarOccurrences()),
+                static_cast<unsigned long long>(
+                    ForbusBounded(t, p).VarOccurrences()),
+                static_cast<unsigned long long>(
+                    SatohBounded(t, p).VarOccurrences()),
+                static_cast<unsigned long long>(
+                    DalalBounded(t, p).VarOccurrences()),
+                static_cast<unsigned long long>(
+                    WeberBounded(t, p).VarOccurrences()));
+  }
+}
+
+void MeasureCandidateAblation() {
+  bench::Headline(
+      "ablation: candidate path (Prop 2.1) vs full M(P) enumeration for "
+      "Winslett, |V(P)| = 2, growing full alphabet");
+  std::printf("%-4s %16s %16s\n", "n", "candidates (ms)",
+              "enumeration (ms)");
+  for (int n : {8, 12, 16, 20}) {
+    Vocabulary vocabulary;
+    std::vector<Var> vars;
+    std::vector<Formula> letters;
+    for (int i = 0; i < n; ++i) {
+      vars.push_back(vocabulary.Intern("x" + std::to_string(i)));
+      letters.push_back(Formula::Variable(vars.back()));
+    }
+    const Alphabet alphabet(vars);
+    const Formula t = ConjoinAll(letters);
+    const Formula p = Formula::Or(Formula::Not(letters[0]),
+                                  Formula::Not(letters[1]));
+    const ModelSet mt = EnumerateModels(t, alphabet);
+    auto time_ms = [](auto&& fn) {
+      const auto start = std::chrono::steady_clock::now();
+      fn();
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - start)
+          .count();
+    };
+    const double candidate_ms = time_ms([&] {
+      benchmark::DoNotOptimize(
+          ReviseSetByFormula(OperatorId::kWinslett, mt, p));
+    });
+    double enumeration_ms = -1;
+    if (n <= 16) {
+      enumeration_ms = time_ms([&] {
+        const ModelSet mp = EnumerateModels(p, alphabet);
+        benchmark::DoNotOptimize(WinslettModels(mt, mp));
+      });
+    }
+    if (enumeration_ms < 0) {
+      std::printf("%-4d %16.3f %16s\n", n, candidate_ms, "(skipped)");
+    } else {
+      std::printf("%-4d %16.3f %16.3f\n", n, candidate_ms,
+                  enumeration_ms);
+    }
+  }
+  std::printf("(enumeration is exponential in n; candidates in |V(P)|)\n");
+}
+
+void BM_ExaConstruction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Vocabulary vocabulary;
+    std::vector<Var> x;
+    std::vector<Var> y;
+    for (int i = 0; i < n; ++i) {
+      x.push_back(vocabulary.Fresh("x"));
+      y.push_back(vocabulary.Fresh("y"));
+    }
+    benchmark::DoNotOptimize(
+        ExaFormula(static_cast<size_t>(n / 2), x, y, &vocabulary));
+  }
+}
+BENCHMARK(BM_ExaConstruction)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CandidateRevision(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Vocabulary vocabulary;
+  std::vector<Var> vars;
+  std::vector<Formula> letters;
+  for (int i = 0; i < n; ++i) {
+    vars.push_back(vocabulary.Intern("x" + std::to_string(i)));
+    letters.push_back(Formula::Variable(vars.back()));
+  }
+  const Alphabet alphabet(vars);
+  const ModelSet mt = EnumerateModels(ConjoinAll(letters), alphabet);
+  const Formula p = Formula::Or(Formula::Not(letters[0]),
+                                Formula::Not(letters[1]));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ReviseSetByFormula(OperatorId::kDalal, mt, p));
+  }
+}
+BENCHMARK(BM_CandidateRevision)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace revise
+
+int main(int argc, char** argv) {
+  revise::MeasureExaSizes();
+  revise::MeasureBoundedConstantFactor();
+  revise::MeasureCandidateAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Section 3.1's explicit-representation explosions:
+//
+//   * Nebel's family T1/P1: |W(T1,P1)| = 2^m possible worlds, so the naive
+//     GFUV representation explodes — yet the revision is logically
+//     equivalent to P1 itself (exact two-level minimization confirms it),
+//     illustrating why the paper needs the advice argument rather than a
+//     single family.
+//   * Winslett's chain family T2/P2: the same explosion with |P2| = 1.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "hardness/families.h"
+#include "minimize/quine_mccluskey.h"
+#include "revision/formula_based.h"
+#include "revision/operator.h"
+#include "solve/services.h"
+
+namespace revise {
+namespace {
+
+void MeasureNebel() {
+  bench::Headline("Nebel's family: T = {x_i, y_i}, P = AND(x_i ^ y_i)");
+  std::printf("%-4s %10s %12s %16s %16s\n", "m", "|T|+|P|", "|W(T,P)|",
+              "naive GFUV size", "QM-minimal size");
+  std::vector<uint64_t> naive_sizes;
+  for (int m = 1; m <= 10; ++m) {
+    Vocabulary vocabulary;
+    const NebelExplosionFamily family(m, &vocabulary);
+    const auto worlds = MaximalConsistentSubsets(family.t, family.p);
+    const Formula naive = GfuvFormula(family.t, family.p);
+    naive_sizes.push_back(naive.VarOccurrences());
+    std::string minimal = "-";
+    if (2 * m <= 12) {
+      const Alphabet alphabet(
+          UnionOfVars(std::vector<Formula>{family.t.AsFormula(), family.p}));
+      const ModelSet models = EnumerateModels(naive, alphabet);
+      minimal = std::to_string(MinimalTwoLevelSize(models));
+    }
+    std::printf("%-4d %10llu %12zu %16llu %16s\n", m,
+                static_cast<unsigned long long>(
+                    family.t.VarOccurrences() + family.p.VarOccurrences()),
+                worlds.size(),
+                static_cast<unsigned long long>(naive.VarOccurrences()),
+                minimal.c_str());
+  }
+  std::printf("naive growth: %s (paper: 2^m worlds).  The QM-minimal size\n"
+              "stays small because T *_GFUV P1 == P1 for THIS family —\n"
+              "worst-case non-compactability needs the Thm 3.1 advice "
+              "argument.\n",
+              bench::GrowthVerdict(naive_sizes).c_str());
+}
+
+void MeasureWinslettChain() {
+  bench::Headline(
+      "Winslett's chain family: constant |P| = 1, worlds still explode");
+  std::printf("%-4s %10s %6s %12s %16s\n", "m", "|T|", "|P|", "|W(T,P)|",
+              "naive GFUV size");
+  std::vector<uint64_t> world_counts;
+  for (int m = 1; m <= 8; ++m) {
+    Vocabulary vocabulary;
+    const WinslettChainFamily family(m, &vocabulary);
+    const auto worlds = MaximalConsistentSubsets(family.t, family.p);
+    const Formula naive = GfuvFormula(family.t, family.p);
+    world_counts.push_back(worlds.size());
+    std::printf("%-4d %10llu %6llu %12zu %16llu\n", m,
+                static_cast<unsigned long long>(family.t.VarOccurrences()),
+                static_cast<unsigned long long>(family.p.VarOccurrences()),
+                worlds.size(),
+                static_cast<unsigned long long>(naive.VarOccurrences()));
+  }
+  std::printf("world-count growth: %s\n",
+              bench::GrowthVerdict(world_counts).c_str());
+}
+
+void BM_MaximalConsistentSubsetsNebel(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Vocabulary vocabulary;
+  const NebelExplosionFamily family(m, &vocabulary);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MaximalConsistentSubsets(family.t, family.p));
+  }
+}
+BENCHMARK(BM_MaximalConsistentSubsetsNebel)->Arg(4)->Arg(8)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WidtioOnNebel(benchmark::State& state) {
+  // WIDTIO stays cheap and compact on the same family.
+  const int m = static_cast<int>(state.range(0));
+  Vocabulary vocabulary;
+  const NebelExplosionFamily family(m, &vocabulary);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WidtioTheory(family.t, family.p));
+  }
+}
+BENCHMARK(BM_WidtioOnNebel)->Arg(4)->Arg(8)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace revise
+
+int main(int argc, char** argv) {
+  revise::MeasureNebel();
+  revise::MeasureWinslettChain();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Substrate benchmark: the from-scratch CDCL solver on random 3-SAT
+// around the phase transition and on pigeonhole instances.  Everything in
+// librevise (operator semantics, compact-representation parameters,
+// equivalence checks) bottoms out in this solver.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sat/literal.h"
+#include "sat/solver.h"
+#include "util/random.h"
+
+namespace revise::sat {
+namespace {
+
+std::vector<std::vector<Lit>> Random3SatClauses(int num_vars,
+                                                double ratio, Rng* rng) {
+  std::vector<std::vector<Lit>> clauses;
+  const int num_clauses = static_cast<int>(num_vars * ratio);
+  for (int c = 0; c < num_clauses; ++c) {
+    int a = static_cast<int>(rng->Below(num_vars));
+    int b = static_cast<int>(rng->Below(num_vars));
+    int d = static_cast<int>(rng->Below(num_vars));
+    while (b == a) b = static_cast<int>(rng->Below(num_vars));
+    while (d == a || d == b) d = static_cast<int>(rng->Below(num_vars));
+    clauses.push_back({MakeLit(a, rng->Chance(0.5)),
+                       MakeLit(b, rng->Chance(0.5)),
+                       MakeLit(d, rng->Chance(0.5))});
+  }
+  return clauses;
+}
+
+void PrintPhaseTransitionSweep() {
+  revise::bench::Headline(
+      "CDCL solver on random 3-SAT (fraction satisfiable across the "
+      "clause/variable ratio; n = 100, 40 instances per point)");
+  std::printf("%-8s %12s %12s %14s\n", "ratio", "sat frac", "avg confl",
+              "avg time (ms)");
+  for (double ratio : {3.0, 3.8, 4.0, 4.2, 4.4, 4.6, 5.0, 5.5}) {
+    Rng rng(static_cast<uint64_t>(ratio * 1000));
+    int sat_count = 0;
+    uint64_t conflicts = 0;
+    double total_ms = 0;
+    const int kInstances = 40;
+    for (int i = 0; i < kInstances; ++i) {
+      Solver solver;
+      solver.EnsureVarCount(100);
+      for (auto& clause : Random3SatClauses(100, ratio, &rng)) {
+        solver.AddClause(std::move(clause));
+      }
+      const auto start = std::chrono::steady_clock::now();
+      if (solver.Solve() == Solver::Result::kSat) ++sat_count;
+      total_ms += std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      conflicts += solver.stats().conflicts;
+    }
+    std::printf("%-8.1f %12.2f %12llu %14.3f\n", ratio,
+                static_cast<double>(sat_count) / kInstances,
+                static_cast<unsigned long long>(conflicts / kInstances),
+                total_ms / kInstances);
+  }
+  std::printf("(the satisfiable fraction should cross 0.5 near the "
+              "classic ratio ~4.27)\n");
+}
+
+void BM_Random3Sat(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const double ratio = static_cast<double>(state.range(1)) / 100.0;
+  Rng rng(99);
+  const auto clauses = Random3SatClauses(n, ratio, &rng);
+  for (auto _ : state) {
+    Solver solver;
+    solver.EnsureVarCount(n);
+    for (const auto& clause : clauses) solver.AddClause(clause);
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+  state.SetLabel("n=" + std::to_string(n) +
+                 " ratio=" + std::to_string(ratio));
+}
+BENCHMARK(BM_Random3Sat)
+    ->Args({100, 380})
+    ->Args({100, 427})
+    ->Args({150, 427})
+    ->Args({200, 427})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Pigeonhole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  const int pigeons = holes + 1;
+  for (auto _ : state) {
+    Solver solver;
+    solver.EnsureVarCount(pigeons * holes);
+    auto var = [&](int p, int h) { return p * holes + h; };
+    for (int p = 0; p < pigeons; ++p) {
+      std::vector<Lit> clause;
+      for (int h = 0; h < holes; ++h) clause.push_back(PosLit(var(p, h)));
+      solver.AddClause(std::move(clause));
+    }
+    for (int h = 0; h < holes; ++h) {
+      for (int p1 = 0; p1 < pigeons; ++p1) {
+        for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+          solver.AddClause({NegLit(var(p1, h)), NegLit(var(p2, h))});
+        }
+      }
+    }
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+}
+BENCHMARK(BM_Pigeonhole)->Arg(5)->Arg(6)->Arg(7)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IncrementalAssumptions(benchmark::State& state) {
+  // Assumption-based solving, the pattern behind k_{T,P} tightening.
+  const int n = 60;
+  Rng rng(123);
+  Solver solver;
+  solver.EnsureVarCount(n);
+  for (auto& clause : Random3SatClauses(n, 3.5, &rng)) {
+    solver.AddClause(std::move(clause));
+  }
+  for (auto _ : state) {
+    const Lit assumption =
+        MakeLit(static_cast<int>(rng.Below(n)), rng.Chance(0.5));
+    benchmark::DoNotOptimize(solver.SolveAssuming({assumption}));
+  }
+}
+BENCHMARK(BM_IncrementalAssumptions)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace revise::sat
+
+int main(int argc, char** argv) {
+  revise::sat::PrintPhaseTransitionSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Shared helpers for the reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper: it first
+// prints the reproduced rows (computed from scratch at startup), then runs
+// google-benchmark timings for the machinery involved.
+
+#ifndef REVISE_BENCH_BENCH_UTIL_H_
+#define REVISE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/theory.h"
+#include "logic/vocabulary.h"
+#include "util/random.h"
+
+namespace revise::bench {
+
+inline void Headline(const std::string& text) {
+  std::printf("\n==== %s ====\n", text.c_str());
+}
+
+// Crude growth classification from a size series f(i): compares the last
+// ratio f(end)/f(end-1) — "poly" growth has ratios tending to 1 for linear
+// steps, "exp" stays bounded away.  We report the ratios and let the
+// reader (and EXPERIMENTS.md) interpret; the verdict threshold of 1.8 for
+// doubling-style explosion is generous.
+inline std::string GrowthVerdict(const std::vector<uint64_t>& sizes) {
+  if (sizes.size() < 3) return "n/a";
+  const double r1 = static_cast<double>(sizes[sizes.size() - 1]) /
+                    static_cast<double>(sizes[sizes.size() - 2]);
+  const double r2 = static_cast<double>(sizes[sizes.size() - 2]) /
+                    static_cast<double>(sizes[sizes.size() - 3]);
+  return (r1 > 1.8 && r2 > 1.8) ? "EXPONENTIAL" : "polynomial";
+}
+
+// A scaling knowledge base: n letters all true (the paper's hard cases
+// and worked examples all start from complete theories).
+inline Theory CompleteTheory(int n, const std::string& prefix,
+                             Vocabulary* vocabulary,
+                             std::vector<Var>* vars_out = nullptr) {
+  Theory t;
+  for (int i = 0; i < n; ++i) {
+    const Var v = vocabulary->Intern(prefix + std::to_string(i));
+    if (vars_out != nullptr) vars_out->push_back(v);
+    t.Add(Formula::Variable(v));
+  }
+  return t;
+}
+
+}  // namespace revise::bench
+
+#endif  // REVISE_BENCH_BENCH_UTIL_H_

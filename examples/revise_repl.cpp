@@ -1,0 +1,189 @@
+// An interactive belief-revision shell on top of the public API.
+//
+// Commands (one per line; also accepted from a pipe or here-doc):
+//   operator <name>      select GFUV|Nebel|WIDTIO|Winslett|Borgida|
+//                        Forbus|Satoh|Dalal|Weber    (default Dalal)
+//   strategy <s>         delayed | explicit | compact (resets the KB)
+//   assert <formula>     add a formula to the initial theory (resets)
+//   revise <formula>     incorporate new information
+//   ask <formula>        is it entailed by the revised base?
+//   models               print the current model set
+//   size                 stored representation size
+//   reset                clear everything
+//   help, quit
+//
+// Example session:
+//   assert g | b
+//   revise !g
+//   ask b            -> yes
+//
+// Run scripted:  printf 'assert g|b\nrevise !g\nask b\n' | revise_repl
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/librevise.h"
+
+namespace {
+
+using namespace revise;
+
+const RevisionOperator* FindOperator(const std::string& name) {
+  for (const RevisionOperator* op : AllOperators()) {
+    std::string lower(op->name());
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    std::string query = name;
+    for (char& c : query) c = static_cast<char>(std::tolower(c));
+    if (lower == query) return op;
+  }
+  return nullptr;
+}
+
+class Repl {
+ public:
+  void Run() {
+    std::printf("librevise shell — 'help' for commands\n");
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!Dispatch(line)) break;
+    }
+  }
+
+ private:
+  bool Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string command;
+    if (!(in >> command)) return true;  // blank line
+    std::string rest;
+    std::getline(in, rest);
+    while (!rest.empty() && std::isspace(rest.front())) rest.erase(0, 1);
+
+    if (command == "quit" || command == "exit") return false;
+    if (command == "help") {
+      std::printf(
+          "operator <name> | strategy <delayed|explicit|compact> |\n"
+          "assert <f> | revise <f> | ask <f> | models | size | reset | "
+          "quit\n");
+      return true;
+    }
+    if (command == "operator") {
+      const RevisionOperator* found = FindOperator(rest);
+      if (found == nullptr) {
+        std::printf("unknown operator '%s'\n", rest.c_str());
+        return true;
+      }
+      op_ = found;
+      Rebuild();
+      std::printf("operator = %s\n", std::string(op_->name()).c_str());
+      return true;
+    }
+    if (command == "strategy") {
+      if (rest == "delayed") {
+        strategy_ = RevisionStrategy::kDelayed;
+      } else if (rest == "explicit") {
+        strategy_ = RevisionStrategy::kExplicit;
+      } else if (rest == "compact") {
+        strategy_ = RevisionStrategy::kCompact;
+      } else {
+        std::printf("unknown strategy '%s'\n", rest.c_str());
+        return true;
+      }
+      Rebuild();
+      std::printf("strategy = %s (knowledge base rebuilt)\n",
+                  rest.c_str());
+      return true;
+    }
+    if (command == "reset") {
+      theory_ = Theory();
+      Rebuild();
+      std::printf("cleared\n");
+      return true;
+    }
+    if (command == "assert") {
+      StatusOr<Formula> f = Parse(rest, &vocabulary_);
+      if (!f.ok()) {
+        std::printf("parse error: %s\n", f.status().ToString().c_str());
+        return true;
+      }
+      theory_.Add(*f);
+      Rebuild();
+      std::printf("theory now has %zu formula(s)\n", theory_.size());
+      return true;
+    }
+    if (command == "revise") {
+      StatusOr<Formula> f = Parse(rest, &vocabulary_);
+      if (!f.ok()) {
+        std::printf("parse error: %s\n", f.status().ToString().c_str());
+        return true;
+      }
+      EnsureKb();
+      kb_->Revise(*f);
+      std::printf("revised (%zu revision(s) so far)\n",
+                  kb_->num_revisions());
+      return true;
+    }
+    if (command == "ask") {
+      StatusOr<Formula> f = Parse(rest, &vocabulary_);
+      if (!f.ok()) {
+        std::printf("parse error: %s\n", f.status().ToString().c_str());
+        return true;
+      }
+      EnsureKb();
+      const bool yes = kb_->Ask(*f);
+      const bool no = kb_->Ask(Formula::Not(*f));
+      std::printf("%s\n", yes ? "yes" : (no ? "no" : "unknown"));
+      return true;
+    }
+    if (command == "models") {
+      EnsureKb();
+      const Alphabet alphabet = kb_->CurrentAlphabet();
+      const ModelSet models = kb_->Models();
+      std::printf("%zu model(s):", models.size());
+      for (const Interpretation& m : models) {
+        std::printf(" %s", m.ToString(alphabet, vocabulary_).c_str());
+      }
+      std::printf("\n");
+      return true;
+    }
+    if (command == "size") {
+      EnsureKb();
+      std::printf("stored size: %llu variable occurrences\n",
+                  static_cast<unsigned long long>(kb_->StoredSize()));
+      return true;
+    }
+    std::printf("unknown command '%s' — try 'help'\n", command.c_str());
+    return true;
+  }
+
+  void EnsureKb() {
+    if (kb_ == nullptr) Rebuild();
+  }
+
+  void Rebuild() {
+    auto kb = KnowledgeBase::Create(theory_, op_, strategy_, &vocabulary_);
+    if (!kb.ok()) {
+      std::printf("%s — falling back to the delayed strategy\n",
+                  kb.status().ToString().c_str());
+      strategy_ = RevisionStrategy::kDelayed;
+      kb = KnowledgeBase::Create(theory_, op_, strategy_, &vocabulary_);
+    }
+    kb_ = std::make_unique<KnowledgeBase>(std::move(kb).value());
+  }
+
+  Vocabulary vocabulary_;
+  Theory theory_;
+  const RevisionOperator* op_ = OperatorById(OperatorId::kDalal);
+  RevisionStrategy strategy_ = RevisionStrategy::kDelayed;
+  std::unique_ptr<KnowledgeBase> kb_;
+};
+
+}  // namespace
+
+int main() {
+  Repl repl;
+  repl.Run();
+  return 0;
+}

@@ -1,0 +1,196 @@
+#include "bdd/bdd.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace revise {
+
+BddManager::BddManager(const std::vector<Var>& order) {
+  for (const Var v : order) {
+    LevelForVar(v);
+  }
+}
+
+uint32_t BddManager::LevelForVar(Var var) {
+  auto it = level_of_var_.find(var);
+  if (it != level_of_var_.end()) return it->second;
+  const uint32_t level = static_cast<uint32_t>(order_.size());
+  order_.push_back(var);
+  level_of_var_.emplace(var, level);
+  return level;
+}
+
+BddManager::NodeRef BddManager::MakeNode(uint32_t level, NodeRef low,
+                                         NodeRef high) {
+  if (low == high) return low;
+  const NodeKey key{level, low, high};
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  const NodeRef ref = static_cast<NodeRef>(nodes_.size());
+  nodes_.push_back(Node{level, low, high});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+BddManager::NodeRef BddManager::VarNode(Var var) {
+  return MakeNode(LevelForVar(var), kFalse, kTrue);
+}
+
+BddManager::NodeRef BddManager::Ite(NodeRef f, NodeRef g, NodeRef h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+  const IteKey key{f, g, h};
+  auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+  const uint32_t level =
+      std::min({LevelOf(f), LevelOf(g), LevelOf(h)});
+  const NodeRef low = Ite(CofactorLow(f, level), CofactorLow(g, level),
+                          CofactorLow(h, level));
+  const NodeRef high = Ite(CofactorHigh(f, level), CofactorHigh(g, level),
+                           CofactorHigh(h, level));
+  const NodeRef result = MakeNode(level, low, high);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+BddManager::NodeRef BddManager::Restrict(NodeRef f, Var var, bool value) {
+  auto it = level_of_var_.find(var);
+  if (it == level_of_var_.end()) return f;
+  const uint32_t target = it->second;
+  std::unordered_map<NodeRef, NodeRef> memo;
+  // Iterative-friendly recursion via lambda.
+  std::function<NodeRef(NodeRef)> rec = [&](NodeRef node) -> NodeRef {
+    if (node <= kTrue || LevelOf(node) > target) return node;
+    auto found = memo.find(node);
+    if (found != memo.end()) return found->second;
+    NodeRef result;
+    if (LevelOf(node) == target) {
+      result = value ? nodes_[node].high : nodes_[node].low;
+    } else {
+      result = MakeNode(nodes_[node].level, rec(nodes_[node].low),
+                        rec(nodes_[node].high));
+    }
+    memo.emplace(node, result);
+    return result;
+  };
+  return rec(f);
+}
+
+BddManager::NodeRef BddManager::Exists(NodeRef f,
+                                       const std::vector<Var>& vars) {
+  NodeRef result = f;
+  for (const Var v : vars) {
+    result = Or(Restrict(result, v, false), Restrict(result, v, true));
+  }
+  return result;
+}
+
+BddManager::NodeRef BddManager::FromFormula(const Formula& formula) {
+  std::unordered_map<const void*, NodeRef> memo;
+  std::function<NodeRef(const Formula&)> rec =
+      [&](const Formula& f) -> NodeRef {
+    auto it = memo.find(f.id());
+    if (it != memo.end()) return it->second;
+    NodeRef result = kFalse;
+    switch (f.kind()) {
+      case Connective::kConst:
+        result = f.const_value() ? kTrue : kFalse;
+        break;
+      case Connective::kVar:
+        result = VarNode(f.var());
+        break;
+      case Connective::kNot:
+        result = Not(rec(f.child(0)));
+        break;
+      case Connective::kAnd: {
+        result = kTrue;
+        for (size_t i = 0; i < f.arity(); ++i) {
+          result = And(result, rec(f.child(i)));
+          if (result == kFalse) break;
+        }
+        break;
+      }
+      case Connective::kOr: {
+        result = kFalse;
+        for (size_t i = 0; i < f.arity(); ++i) {
+          result = Or(result, rec(f.child(i)));
+          if (result == kTrue) break;
+        }
+        break;
+      }
+      case Connective::kImplies:
+        result = Implies(rec(f.child(0)), rec(f.child(1)));
+        break;
+      case Connective::kIff:
+        result = Iff(rec(f.child(0)), rec(f.child(1)));
+        break;
+      case Connective::kXor:
+        result = Xor(rec(f.child(0)), rec(f.child(1)));
+        break;
+    }
+    memo.emplace(f.id(), result);
+    return result;
+  };
+  return rec(formula);
+}
+
+bool BddManager::Evaluate(NodeRef f, const Interpretation& m,
+                          const Alphabet& alphabet) const {
+  NodeRef node = f;
+  while (node > kTrue) {
+    const Var var = order_[nodes_[node].level];
+    const auto index = alphabet.IndexOf(var);
+    const bool value = index.has_value() && m.Get(*index);
+    node = value ? nodes_[node].high : nodes_[node].low;
+  }
+  return node == kTrue;
+}
+
+size_t BddManager::NodeCount(NodeRef f) const {
+  if (f <= kTrue) return 0;
+  std::unordered_set<NodeRef> seen;
+  std::vector<NodeRef> stack = {f};
+  while (!stack.empty()) {
+    const NodeRef node = stack.back();
+    stack.pop_back();
+    if (node <= kTrue || !seen.insert(node).second) continue;
+    stack.push_back(nodes_[node].low);
+    stack.push_back(nodes_[node].high);
+  }
+  return seen.size();
+}
+
+uint64_t BddManager::CountModels(NodeRef f) const {
+  const uint64_t n = order_.size();
+  REVISE_CHECK_LE(n, 63u);
+  std::unordered_map<NodeRef, uint64_t> memo;  // models below node level
+  std::function<uint64_t(NodeRef)> rec = [&](NodeRef node) -> uint64_t {
+    // Returns the number of models over the variables strictly below
+    // (deeper than or at) the node's level.
+    if (node == kFalse) return 0;
+    if (node == kTrue) return 1;  // scaled by caller
+    auto it = memo.find(node);
+    if (it != memo.end()) return it->second;
+    const uint64_t level = nodes_[node].level;
+    auto child_count = [&](NodeRef child) -> uint64_t {
+      const uint64_t child_level =
+          child <= kTrue ? n : nodes_[child].level;
+      return rec(child) << (child_level - level - 1);
+    };
+    const uint64_t result =
+        child_count(nodes_[node].low) + child_count(nodes_[node].high);
+    memo.emplace(node, result);
+    return result;
+  };
+  if (f == kFalse) return 0;
+  if (f == kTrue) return uint64_t{1} << n;
+  return rec(f) << nodes_[f].level;
+}
+
+}  // namespace revise

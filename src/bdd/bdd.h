@@ -1,0 +1,144 @@
+// Reduced Ordered Binary Decision Diagrams.
+//
+// Section 7 of the paper generalizes the (non-)compactability results
+// from propositional formulas to ANY data structure D with a polynomial
+// ASK(D, M) model-checking algorithm (Definition 7.1 / Theorem 7.1).
+// ROBDDs are the canonical such structure: Evaluate() walks one path in
+// O(#variables).  This package is used to measure the size of the revised
+// knowledge base under a genuinely different representation — canonicity
+// means the measured node counts are representation-minimal for the
+// chosen variable order — and it doubles as an independent cross-check of
+// the SAT-based equivalence machinery (equivalent formulas build the
+// identical node).
+//
+// Implementation: hash-consed unique table, ITE with memoization,
+// restrict / existential quantification, exact model counting.  No
+// garbage collection (managers are short-lived analysis objects).
+
+#ifndef REVISE_BDD_BDD_H_
+#define REVISE_BDD_BDD_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/interpretation.h"
+
+namespace revise {
+
+class BddManager {
+ public:
+  // A node reference; 0 is the false terminal, 1 the true terminal.
+  using NodeRef = uint32_t;
+  static constexpr NodeRef kFalse = 0;
+  static constexpr NodeRef kTrue = 1;
+
+  // Variables are ordered by first appearance unless an explicit order is
+  // given up front.
+  BddManager() = default;
+  explicit BddManager(const std::vector<Var>& order);
+
+  BddManager(const BddManager&) = delete;
+  BddManager& operator=(const BddManager&) = delete;
+
+  NodeRef VarNode(Var var);
+
+  NodeRef Not(NodeRef f) { return Ite(f, kFalse, kTrue); }
+  NodeRef And(NodeRef f, NodeRef g) { return Ite(f, g, kFalse); }
+  NodeRef Or(NodeRef f, NodeRef g) { return Ite(f, kTrue, g); }
+  NodeRef Xor(NodeRef f, NodeRef g) { return Ite(f, Not(g), g); }
+  NodeRef Iff(NodeRef f, NodeRef g) { return Ite(f, g, Not(g)); }
+  NodeRef Implies(NodeRef f, NodeRef g) { return Ite(f, g, kTrue); }
+  NodeRef Ite(NodeRef f, NodeRef g, NodeRef h);
+
+  // f with `var` fixed to `value`.
+  NodeRef Restrict(NodeRef f, Var var, bool value);
+  // Existential quantification over a set of variables.
+  NodeRef Exists(NodeRef f, const std::vector<Var>& vars);
+
+  // Compiles a Formula (introducing any new variables in first-appearance
+  // order).
+  NodeRef FromFormula(const Formula& formula);
+
+  // The ASK algorithm of Definition 7.1: one root-to-terminal walk.
+  // Letters absent from the manager are irrelevant; letters of the
+  // manager absent from `alphabet` read as false.
+  bool Evaluate(NodeRef f, const Interpretation& m,
+                const Alphabet& alphabet) const;
+
+  // Number of reachable internal nodes (the |D| size measure).
+  size_t NodeCount(NodeRef f) const;
+
+  // Exact number of models over the manager's full variable set.
+  uint64_t CountModels(NodeRef f) const;
+
+  // The manager's variables in order.
+  const std::vector<Var>& order() const { return order_; }
+  size_t num_vars() const { return order_.size(); }
+
+ private:
+  struct Node {
+    uint32_t level;
+    NodeRef low;
+    NodeRef high;
+  };
+  struct NodeKey {
+    uint32_t level;
+    NodeRef low;
+    NodeRef high;
+    bool operator==(const NodeKey& other) const {
+      return level == other.level && low == other.low &&
+             high == other.high;
+    }
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey& key) const {
+      uint64_t h = key.level;
+      h = h * 0x9e3779b97f4a7c15ULL + key.low;
+      h = h * 0x9e3779b97f4a7c15ULL + key.high;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+  struct IteKey {
+    NodeRef f;
+    NodeRef g;
+    NodeRef h;
+    bool operator==(const IteKey& other) const {
+      return f == other.f && g == other.g && h == other.h;
+    }
+  };
+  struct IteKeyHash {
+    size_t operator()(const IteKey& key) const {
+      uint64_t v = key.f;
+      v = v * 0x9e3779b97f4a7c15ULL + key.g;
+      v = v * 0x9e3779b97f4a7c15ULL + key.h;
+      return static_cast<size_t>(v ^ (v >> 32));
+    }
+  };
+
+  static constexpr uint32_t kTerminalLevel = 0xffffffff;
+
+  uint32_t LevelOf(NodeRef f) const {
+    return f <= kTrue ? kTerminalLevel : nodes_[f].level;
+  }
+  NodeRef MakeNode(uint32_t level, NodeRef low, NodeRef high);
+  NodeRef CofactorLow(NodeRef f, uint32_t level) const {
+    return LevelOf(f) == level ? nodes_[f].low : f;
+  }
+  NodeRef CofactorHigh(NodeRef f, uint32_t level) const {
+    return LevelOf(f) == level ? nodes_[f].high : f;
+  }
+  uint32_t LevelForVar(Var var);
+
+  std::vector<Var> order_;
+  std::unordered_map<Var, uint32_t> level_of_var_;
+  std::vector<Node> nodes_{{kTerminalLevel, 0, 0},
+                           {kTerminalLevel, 1, 1}};
+  std::unordered_map<NodeKey, NodeRef, NodeKeyHash> unique_;
+  std::unordered_map<IteKey, NodeRef, IteKeyHash> ite_cache_;
+};
+
+}  // namespace revise
+
+#endif  // REVISE_BDD_BDD_H_

@@ -1,0 +1,34 @@
+// Compact representations for a single revision with bounded-size P
+// (Section 4): formulas (5)-(9) and Corollary 4.4.
+//
+// All of these are LOGICALLY equivalent to T * P (criterion (2)) and use
+// exactly the alphabet of T and P — no fresh letters.  Their size is
+// linear in |T| for each fixed |V(P)| = key; the constant factor is
+// exponential in k, which is the whole point of the bounded-P assumption.
+//
+//   (5) Winslett:  P ∧ ∨_{S ⊆ V(P)} (T[S/¬S] ∧ ¬∨_{∅≠C⊆S} P[C/¬C])
+//   (6) Forbus:    P ∧ ∨_{S ⊆ V(P)} (T[S/¬S] ∧ ¬∨_{|CΔS|<|S|} P[C/¬C])
+//   (7) Satoh:     P ∧ ∨_{S ∈ δ(T,P)} T[S/¬S]
+//   (8) Dalal:     P ∧ ∨_{|S| = k_{T,P}} T[S/¬S]
+//   (9) Weber:     P ∧ ∨_{S ⊆ Ω} T[S/¬S]
+//   Borgida (Cor 4.4): T ∧ P when consistent, else (5).
+//
+// The parameters δ(T,P), k_{T,P} and Ω are computed with the CDCL solver.
+
+#ifndef REVISE_COMPACT_BOUNDED_REVISION_H_
+#define REVISE_COMPACT_BOUNDED_REVISION_H_
+
+#include "logic/formula.h"
+
+namespace revise {
+
+Formula WinslettBounded(const Formula& t, const Formula& p);
+Formula ForbusBounded(const Formula& t, const Formula& p);
+Formula SatohBounded(const Formula& t, const Formula& p);
+Formula DalalBounded(const Formula& t, const Formula& p);
+Formula WeberBounded(const Formula& t, const Formula& p);
+Formula BorgidaBounded(const Formula& t, const Formula& p);
+
+}  // namespace revise
+
+#endif  // REVISE_COMPACT_BOUNDED_REVISION_H_

@@ -1,0 +1,90 @@
+#include "compact/circuits.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace revise {
+
+Formula CounterCircuit::AtLeast(size_t k) const {
+  if (k == 0) return Formula::True();
+  if (k >= geq.size()) return Formula::False();
+  return geq[k];
+}
+
+Formula CounterCircuit::Exactly(size_t k) const {
+  return Formula::And(AtLeast(k), Formula::Not(AtLeast(k + 1)));
+}
+
+CounterCircuit BuildCounter(const std::vector<Formula>& inputs, size_t cap,
+                            Vocabulary* vocabulary) {
+  const size_t n = inputs.size();
+  cap = std::min(cap, n);
+  CounterCircuit circuit;
+  std::vector<Formula> defs;
+  // row[j] = "at least j of the first i inputs" after processing input i.
+  std::vector<Formula> row(cap + 1);
+  row[0] = Formula::True();
+  for (size_t j = 1; j <= cap; ++j) row[j] = Formula::False();
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Formula> next(cap + 1);
+    next[0] = Formula::True();
+    for (size_t j = 1; j <= cap && j <= i + 1; ++j) {
+      // at-least-j after i+1 inputs == at-least-j after i, or input i
+      // pushes the count from j-1 to j.
+      const Formula value = Formula::Or(
+          row[j], Formula::And(row[j - 1], inputs[i]));
+      if (value.IsConst()) {
+        next[j] = value;
+        continue;
+      }
+      const Var gate = vocabulary->Fresh("w");
+      circuit.aux.push_back(gate);
+      defs.push_back(Formula::Iff(Formula::Variable(gate), value));
+      next[j] = Formula::Variable(gate);
+    }
+    for (size_t j = i + 2; j <= cap; ++j) next[j] = Formula::False();
+    row = std::move(next);
+  }
+  circuit.definitions = ConjoinAll(defs);
+  circuit.geq.assign(row.begin(), row.end());
+  return circuit;
+}
+
+std::vector<Formula> DiffInputs(const std::vector<Var>& x,
+                                const std::vector<Var>& y) {
+  REVISE_CHECK_EQ(x.size(), y.size());
+  std::vector<Formula> diffs;
+  diffs.reserve(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    diffs.push_back(
+        Formula::Xor(Formula::Variable(x[i]), Formula::Variable(y[i])));
+  }
+  return diffs;
+}
+
+Formula ExaFormula(size_t k, const std::vector<Var>& x,
+                   const std::vector<Var>& y, Vocabulary* vocabulary) {
+  const std::vector<Formula> diffs = DiffInputs(x, y);
+  if (k > diffs.size()) return Formula::False();
+  const CounterCircuit counter = BuildCounter(diffs, k + 1, vocabulary);
+  return Formula::And(counter.definitions, counter.Exactly(k));
+}
+
+Formula CountLessThan(const std::vector<Formula>& lhs,
+                      const std::vector<Formula>& rhs,
+                      Vocabulary* vocabulary) {
+  const CounterCircuit left = BuildCounter(lhs, lhs.size(), vocabulary);
+  const CounterCircuit right = BuildCounter(rhs, rhs.size(), vocabulary);
+  // popcount(lhs) < popcount(rhs) iff some threshold j is reached by rhs
+  // but not by lhs.
+  std::vector<Formula> witnesses;
+  for (size_t j = 1; j <= rhs.size(); ++j) {
+    witnesses.push_back(Formula::And(right.AtLeast(j),
+                                     Formula::Not(left.AtLeast(j))));
+  }
+  return Formula::And(Formula::And(left.definitions, right.definitions),
+                      DisjoinAll(witnesses));
+}
+
+}  // namespace revise

@@ -1,0 +1,63 @@
+// Formula-level counting circuits.
+//
+// Section 3.1 of the paper represents a Hamming-distance-equals-k check as
+// a polynomial-size circuit rendered as a propositional formula with
+// auxiliary letters W for the internal gates.  We realize the circuit as a
+// unary sequential counter: auxiliary letter ge[i][j] is defined (by a
+// biconditional, so it is functionally determined) to mean "at least j of
+// the first i inputs are true".  Sizes are O(n * cap) letters, polynomial
+// as the paper requires.
+
+#ifndef REVISE_COMPACT_CIRCUITS_H_
+#define REVISE_COMPACT_CIRCUITS_H_
+
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+
+namespace revise {
+
+// A unary counter over `inputs`, counting up to `cap`.
+struct CounterCircuit {
+  // Conjunction of the biconditional gate definitions.  Functionally
+  // determined: every assignment of the inputs extends uniquely to the
+  // auxiliary letters.
+  Formula definitions;
+  // geq[j] is a formula (over the auxiliary letters) true iff at least j
+  // inputs are true, for j in 0..cap (geq[0] == true).
+  std::vector<Formula> geq;
+  // The auxiliary letters introduced.
+  std::vector<Var> aux;
+
+  // sum >= k (true for k == 0; false beyond cap).
+  Formula AtLeast(size_t k) const;
+  // sum == k; requires k < cap or k == cap == inputs-size... callers use
+  // cap >= min(k+1, n).
+  Formula Exactly(size_t k) const;
+};
+
+// Builds the counter.  `cap` is clamped to inputs.size().
+CounterCircuit BuildCounter(const std::vector<Formula>& inputs, size_t cap,
+                            Vocabulary* vocabulary);
+
+// The difference indicators (x_i xor y_i) of two parallel letter blocks.
+std::vector<Formula> DiffInputs(const std::vector<Var>& x,
+                                const std::vector<Var>& y);
+
+// The paper's EXA(k, X, Y, W): true iff the Hamming distance between the
+// assignments to X and Y is exactly k.  Auxiliary letters are minted from
+// `vocabulary`; the formula's size is O(|X| * k).
+Formula ExaFormula(size_t k, const std::vector<Var>& x,
+                   const std::vector<Var>& y, Vocabulary* vocabulary);
+
+// A formula (with functionally-determined auxiliary letters) true iff
+// popcount(lhs) < popcount(rhs).  Used by Forbus' DIST comparison in
+// formula (14).
+Formula CountLessThan(const std::vector<Formula>& lhs,
+                      const std::vector<Formula>& rhs,
+                      Vocabulary* vocabulary);
+
+}  // namespace revise
+
+#endif  // REVISE_COMPACT_CIRCUITS_H_

@@ -1,0 +1,78 @@
+// Compact representations for iterated revision (Sections 5 and 6).
+//
+// General case (Section 5), query equivalence:
+//   * Dalal, Theorem 5.1:  Phi_m, built step by step as
+//       Phi_i = Phi_{i-1}[X/Y_i] ∧ P^i ∧ EXA(k_i, Y_i, X, W_i)
+//     where k_i is the minimum distance between the models of P^i and the
+//     previous revision (computed through Phi_{i-1} itself, on the CDCL
+//     solver).  Size is polynomial in |T| + Σ|P^i|.
+//   * Weber, Corollary 5.2 (formula (10)):
+//       Psi_i = Psi_{i-1}[Omega_i/Z_i] ∧ P^i.
+//
+// Bounded case (Section 6), query equivalence (Theorems 6.1-6.3,
+// Corollary 6.4): the quantified schemes (12)-(16) for Winslett, Borgida,
+// Satoh and Forbus.  Each step conjoins a universally quantified guard
+// over a fresh copy Z of V(P^i); we expand ∀Z into a conjunction over the
+// (constantly many, since |P^i| is bounded) assignments of Z, as
+// Theorem 6.3 prescribes.  Assignments falsifying F_P(Z) simplify away
+// during construction, so the per-step growth is linear in the number of
+// models of P^i over V(P^i).
+
+#ifndef REVISE_COMPACT_ITERATED_REVISION_H_
+#define REVISE_COMPACT_ITERATED_REVISION_H_
+
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+
+namespace revise {
+
+// One step of Theorem 5.1: the compact representation of (prior *_D p),
+// where `prior` is a (possibly already compacted, query-equivalent)
+// representation of the current knowledge and `x` is the query alphabet.
+Formula DalalCompactStep(const Formula& prior, const Formula& p,
+                         const std::vector<Var>& x, Vocabulary* vocabulary);
+
+// Phi_m for the whole sequence.  Returns the per-step formulas
+// (result[i] represents T *_D P^1 ... *_D P^{i+1}).
+std::vector<Formula> DalalCompactIterated(const Formula& t,
+                                          const std::vector<Formula>& updates,
+                                          const std::vector<Var>& x,
+                                          Vocabulary* vocabulary);
+
+// One step of Corollary 5.2 (formula (10)) and the whole sequence.
+Formula WeberCompactStep(const Formula& prior, const Formula& p,
+                         const std::vector<Var>& x, Vocabulary* vocabulary);
+std::vector<Formula> WeberCompactIterated(const Formula& t,
+                                          const std::vector<Formula>& updates,
+                                          const std::vector<Var>& x,
+                                          Vocabulary* vocabulary);
+
+// One step of the bounded-iterated schemes.  `prior` is the current
+// (query-equivalent) representation; `p` the bounded-size new formula.
+// Winslett: formula (12)/(15)/(16).
+Formula WinslettCompactStep(const Formula& prior, const Formula& p,
+                            Vocabulary* vocabulary);
+// Borgida: prior ∧ p when consistent, else the Winslett step.
+Formula BorgidaCompactStep(const Formula& prior, const Formula& p,
+                           Vocabulary* vocabulary);
+// Satoh: formula (13).
+Formula SatohCompactStep(const Formula& prior, const Formula& p,
+                         Vocabulary* vocabulary);
+// Forbus: formula (14), with the DIST comparison realized by unary
+// counter circuits.
+Formula ForbusCompactStep(const Formula& prior, const Formula& p,
+                          Vocabulary* vocabulary);
+
+// Iterates any of the step functions over a sequence of updates,
+// returning the per-step formulas.
+using CompactStepFn = Formula (*)(const Formula&, const Formula&,
+                                  Vocabulary*);
+std::vector<Formula> CompactIterated(CompactStepFn step, const Formula& t,
+                                     const std::vector<Formula>& updates,
+                                     Vocabulary* vocabulary);
+
+}  // namespace revise
+
+#endif  // REVISE_COMPACT_ITERATED_REVISION_H_

@@ -1,0 +1,29 @@
+#include "compact/query.h"
+
+#include "compact/circuits.h"
+#include "compact/single_revision.h"
+#include "logic/substitute.h"
+#include "solve/distance.h"
+#include "solve/services.h"
+
+namespace revise {
+
+bool DalalEntailsCompact(const Formula& t, const Formula& p,
+                         const Formula& q, Vocabulary* vocabulary) {
+  if (!IsSatisfiable(p)) return true;  // empty result entails everything
+  if (!IsSatisfiable(t)) return Entails(p, q);
+  const Alphabet alphabet(UnionOfVars(std::vector<Formula>{t, p}));
+  const auto k = MinHammingDistanceBinarySearch(t, p, alphabet);
+  const std::vector<Var>& x = alphabet.vars();
+  const std::vector<Var> y = vocabulary->FreshBlock("y", x.size());
+  const Formula compact = Formula::And(
+      {RenameVars(t, x, y), p, ExaFormula(*k, x, y, vocabulary)});
+  return Entails(compact, q);
+}
+
+bool WeberEntailsCompact(const Formula& t, const Formula& p,
+                         const Formula& q, Vocabulary* vocabulary) {
+  return Entails(WeberCompact(t, p, vocabulary), q);
+}
+
+}  // namespace revise

@@ -1,0 +1,32 @@
+// Query answering through compact representations.
+//
+// The introduction of the paper proposes splitting T * P |= Q into
+//   1. compute (off-line) a query-equivalent T',
+//   2. decide T' |= Q with ordinary theorem proving,
+// and its complexity discussion (Section 2.2.4) places Dalal's operator in
+// Delta_2^p[log n]: a logarithmic number of NP-oracle calls to find
+// k_{T,P}, then one more for the entailment.  These wrappers realize that
+// pipeline for the two query-compactable operators.
+
+#ifndef REVISE_COMPACT_QUERY_H_
+#define REVISE_COMPACT_QUERY_H_
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+
+namespace revise {
+
+// T *_D P |= q via: binary-search k_{T,P} (O(log n) SAT calls), build the
+// Theorem 3.4 representation, one entailment check.  q may use any
+// letters; letters outside V(T) ∪ V(P) are unconstrained.
+bool DalalEntailsCompact(const Formula& t, const Formula& p,
+                         const Formula& q, Vocabulary* vocabulary);
+
+// T *_Web P |= q via the Theorem 3.5 representation.  The off-line part
+// computes Omega (minimal-diff enumeration).
+bool WeberEntailsCompact(const Formula& t, const Formula& p,
+                         const Formula& q, Vocabulary* vocabulary);
+
+}  // namespace revise
+
+#endif  // REVISE_COMPACT_QUERY_H_

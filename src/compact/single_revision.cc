@@ -1,0 +1,42 @@
+#include "compact/single_revision.h"
+
+#include "compact/circuits.h"
+#include "logic/substitute.h"
+#include "revision/formula_based.h"
+#include "solve/distance.h"
+#include "solve/services.h"
+
+namespace revise {
+
+Formula DalalCompact(const Formula& t, const Formula& p,
+                     Vocabulary* vocabulary) {
+  if (!IsSatisfiable(p)) return Formula::False();
+  if (!IsSatisfiable(t)) return p;
+  const Alphabet alphabet(UnionOfVars(std::vector<Formula>{t, p}));
+  const auto k = MinHammingDistance(t, p, alphabet);
+  const std::vector<Var>& x = alphabet.vars();
+  const std::vector<Var> y = vocabulary->FreshBlock("y", x.size());
+  const Formula renamed_t = RenameVars(t, x, y);
+  const Formula exa = ExaFormula(*k, x, y, vocabulary);
+  return Formula::And({renamed_t, p, exa});
+}
+
+Formula WeberCompact(const Formula& t, const Formula& p,
+                     Vocabulary* vocabulary) {
+  if (!IsSatisfiable(p)) return Formula::False();
+  if (!IsSatisfiable(t)) return p;
+  const Alphabet alphabet(UnionOfVars(std::vector<Formula>{t, p}));
+  const Interpretation omega = WeberOmega(t, p, alphabet);
+  std::vector<Var> omega_vars;
+  for (size_t i = 0; i < alphabet.size(); ++i) {
+    if (omega.Get(i)) omega_vars.push_back(alphabet.var(i));
+  }
+  const std::vector<Var> z = vocabulary->FreshBlock("z", omega_vars.size());
+  return Formula::And(RenameVars(t, omega_vars, z), p);
+}
+
+Formula WidtioCompact(const Theory& t, const Formula& p) {
+  return WidtioTheory(t, p).AsFormula();
+}
+
+}  // namespace revise

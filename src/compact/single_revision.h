@@ -1,0 +1,42 @@
+// Compact representations for a single unbounded revision (Section 3).
+//
+//   * Dalal (Theorem 3.4):  T[X/Y] ∧ P ∧ EXA(k_{T,P}, X, Y, W)
+//     — query-equivalent to T *_D P; size O(|T| + |P| + |X|^2).
+//   * Weber (Theorem 3.5):  T[Omega/Z] ∧ P
+//     — query-equivalent to T *_Web P; size |T| + |P|.
+//   * WIDTIO: logically compactable outright, |T'| <= |T| + |P|.
+//
+// Both constructions introduce fresh letters, so they satisfy the paper's
+// query-equivalence criterion (1) but not logical equivalence (2) — which
+// is exactly the paper's point (Theorem 3.6 shows (2) is unattainable for
+// these operators unless NP ⊆ P/poly).
+//
+// The parameters k_{T,P} and Omega are computed with the CDCL solver
+// (src/solve/distance.h); this is the "off-line" step of the two-phase
+// query answering scheme described in the introduction.
+
+#ifndef REVISE_COMPACT_SINGLE_REVISION_H_
+#define REVISE_COMPACT_SINGLE_REVISION_H_
+
+#include "logic/formula.h"
+#include "logic/theory.h"
+#include "logic/vocabulary.h"
+
+namespace revise {
+
+// Theorem 3.4.  Query-equivalent to T *_D P over X = V(T) ∪ V(P).
+// Degenerate cases: returns False when P is unsatisfiable and P when T is
+// unsatisfiable (matching the operator conventions).
+Formula DalalCompact(const Formula& t, const Formula& p,
+                     Vocabulary* vocabulary);
+
+// Theorem 3.5.  Query-equivalent to T *_Web P over X = V(T) ∪ V(P).
+Formula WeberCompact(const Formula& t, const Formula& p,
+                     Vocabulary* vocabulary);
+
+// WIDTIO's trivially compact representation ((∩W) ∪ {P} as a formula).
+Formula WidtioCompact(const Theory& t, const Formula& p);
+
+}  // namespace revise
+
+#endif  // REVISE_COMPACT_SINGLE_REVISION_H_

@@ -1,0 +1,16 @@
+#include "core/advice_oracle.h"
+
+#include "revision/formula_based.h"
+#include "solve/services.h"
+
+namespace revise {
+
+AdviceOracle::AdviceOracle(int n, Vocabulary* vocabulary)
+    : family_(n, vocabulary),
+      advice_(GfuvFormula(family_.t, family_.p)) {}
+
+bool AdviceOracle::IsSatisfiable(const std::vector<size_t>& pi) const {
+  return Entails(advice_, family_.Query(pi));
+}
+
+}  // namespace revise

@@ -1,0 +1,44 @@
+// The advice-taking machine of Theorems 2.2/2.3, packaged.
+//
+// For a fixed size n, an AdviceOracle materializes the advice string —
+// the revised knowledge base T_n * P_n of the Theorem 3.1 family — once,
+// and then decides the satisfiability of ANY 3-SAT_n instance with a
+// single entailment query against it.  This is the object whose
+// polynomial-size inexistence the paper proves; building it makes the
+// exponential cost tangible (see AdviceSize()).
+
+#ifndef REVISE_CORE_ADVICE_ORACLE_H_
+#define REVISE_CORE_ADVICE_ORACLE_H_
+
+#include <vector>
+
+#include "hardness/families.h"
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+
+namespace revise {
+
+class AdviceOracle {
+ public:
+  // Builds the family and computes the advice (T_n *_GFUV P_n).  The
+  // construction cost grows exponentially with n — n = 3 is instant,
+  // n = 4 is already heavy.
+  AdviceOracle(int n, Vocabulary* vocabulary);
+
+  // Decides satisfiability of the instance (clause indices into
+  // tau_n^max) through the revision query T_n * P_n |= Q_pi.
+  bool IsSatisfiable(const std::vector<size_t>& pi) const;
+
+  // Size of the materialized advice, in variable occurrences.
+  uint64_t AdviceSize() const { return advice_.VarOccurrences(); }
+
+  const TauMax& tau() const { return family_.tau; }
+
+ private:
+  Theorem31Family family_;
+  Formula advice_;
+};
+
+}  // namespace revise
+
+#endif  // REVISE_CORE_ADVICE_ORACLE_H_

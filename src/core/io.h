@@ -1,0 +1,34 @@
+// Plain-text persistence for theories and update logs.
+//
+// Format: one formula per line in the parser's concrete syntax; blank
+// lines and lines starting with '#' are ignored.  The delayed-strategy
+// workflow the paper recommends (keep T and the whole update sequence
+// P^1..P^m around, Section 8) needs exactly this: durable storage of the
+// base and the log.
+
+#ifndef REVISE_CORE_IO_H_
+#define REVISE_CORE_IO_H_
+
+#include <string>
+
+#include "logic/theory.h"
+#include "logic/vocabulary.h"
+#include "util/status.h"
+
+namespace revise {
+
+// Parses a theory from the line-oriented text format.
+StatusOr<Theory> TheoryFromText(const std::string& text,
+                                Vocabulary* vocabulary);
+// Renders a theory to the same format (one formula per line).
+std::string TheoryToText(const Theory& theory,
+                         const Vocabulary& vocabulary);
+
+StatusOr<Theory> LoadTheoryFromFile(const std::string& path,
+                                    Vocabulary* vocabulary);
+Status SaveTheoryToFile(const Theory& theory, const Vocabulary& vocabulary,
+                        const std::string& path);
+
+}  // namespace revise
+
+#endif  // REVISE_CORE_IO_H_

@@ -1,0 +1,136 @@
+#include "core/knowledge_base.h"
+
+#include "compact/iterated_revision.h"
+#include "logic/evaluate.h"
+#include "model/canonical.h"
+#include "revision/formula_based.h"
+#include "revision/iterated.h"
+#include "solve/services.h"
+#include "util/check.h"
+
+namespace revise {
+
+KnowledgeBase::KnowledgeBase(Theory initial, const RevisionOperator* op,
+                             RevisionStrategy strategy,
+                             Vocabulary* vocabulary)
+    : op_(op),
+      strategy_(strategy),
+      vocabulary_(vocabulary),
+      initial_(std::move(initial)),
+      folded_(initial_.AsFormula()),
+      folded_theory_(initial_) {
+  REVISE_CHECK(op != nullptr);
+  REVISE_CHECK(vocabulary != nullptr);
+}
+
+StatusOr<KnowledgeBase> KnowledgeBase::Create(Theory initial,
+                                              const RevisionOperator* op,
+                                              RevisionStrategy strategy,
+                                              Vocabulary* vocabulary) {
+  if (op == nullptr) return InvalidArgumentError("null operator");
+  if (strategy == RevisionStrategy::kCompact &&
+      (op->id() == OperatorId::kGfuv || op->id() == OperatorId::kNebel)) {
+    return InvalidArgumentError(
+        std::string(op->name()) +
+        " admits no compact representation (Theorems 3.1 / 4.1); use the "
+        "delayed strategy");
+  }
+  return KnowledgeBase(std::move(initial), op, strategy, vocabulary);
+}
+
+void KnowledgeBase::Revise(const Formula& p) {
+  updates_.push_back(p);
+  switch (strategy_) {
+    case RevisionStrategy::kDelayed:
+      return;  // nothing to fold
+    case RevisionStrategy::kExplicit: {
+      if (op_->id() == OperatorId::kWidtio) {
+        folded_theory_ = WidtioTheory(folded_theory_, p);
+        folded_ = folded_theory_.AsFormula();
+        return;
+      }
+      // Fold through the single-step operator API.  The first revision
+      // sees the original theory structure (formula-based operators are
+      // sensitive to it); later ones the folded singleton.
+      folded_ = op_->ReviseFormula(folded_theory_, p);
+      folded_theory_ = Theory({folded_});
+      return;
+    }
+    case RevisionStrategy::kCompact: {
+      switch (op_->id()) {
+        case OperatorId::kDalal:
+          folded_ = DalalCompactStep(folded_, p, CurrentAlphabet().vars(),
+                                     vocabulary_);
+          return;
+        case OperatorId::kWeber:
+          folded_ = WeberCompactStep(folded_, p, CurrentAlphabet().vars(),
+                                     vocabulary_);
+          return;
+        case OperatorId::kWinslett:
+          folded_ = WinslettCompactStep(folded_, p, vocabulary_);
+          return;
+        case OperatorId::kBorgida:
+          folded_ = BorgidaCompactStep(folded_, p, vocabulary_);
+          return;
+        case OperatorId::kSatoh:
+          folded_ = SatohCompactStep(folded_, p, vocabulary_);
+          return;
+        case OperatorId::kForbus:
+          folded_ = ForbusCompactStep(folded_, p, vocabulary_);
+          return;
+        case OperatorId::kWidtio:
+          folded_theory_ = WidtioTheory(folded_theory_, p);
+          folded_ = folded_theory_.AsFormula();
+          return;
+        case OperatorId::kGfuv:
+        case OperatorId::kNebel:
+          REVISE_CHECK(false);  // rejected by Create
+          return;
+      }
+      return;
+    }
+  }
+}
+
+Alphabet KnowledgeBase::CurrentAlphabet() const {
+  return IteratedAlphabet(initial_, updates_);
+}
+
+ModelSet KnowledgeBase::Models() const {
+  const Alphabet alphabet = CurrentAlphabet();
+  if (strategy_ == RevisionStrategy::kDelayed) {
+    return IteratedReviseModels(*op_, initial_, updates_, alphabet);
+  }
+  return EnumerateModels(folded_, alphabet);
+}
+
+bool KnowledgeBase::Ask(const Formula& query) const {
+  if (strategy_ == RevisionStrategy::kDelayed) {
+    // Compute the revision on demand (the paper's recommended strategy):
+    // materialize the iterated model set, then test entailment.  Letters
+    // of the query outside the knowledge base are unconstrained, which
+    // Entails handles through the canonical representation.
+    return Entails(CanonicalDnf(Models()), query);
+  }
+  // Explicit / compact: plain entailment on the stored formula.  Under
+  // kCompact this is sound for queries over the original letters by
+  // query equivalence (criterion (1)).
+  return Entails(folded_, query);
+}
+
+bool KnowledgeBase::IsModel(const Interpretation& m,
+                            const Alphabet& alphabet) const {
+  const Alphabet own = CurrentAlphabet();
+  return Models().Contains(Reinterpret(m, alphabet, own));
+}
+
+uint64_t KnowledgeBase::StoredSize() const {
+  if (strategy_ == RevisionStrategy::kDelayed) {
+    uint64_t size = initial_.VarOccurrences();
+    for (const Formula& p : updates_) size += p.VarOccurrences();
+    return size;
+  }
+  return folded_.VarOccurrences();
+}
+
+}  // namespace revise

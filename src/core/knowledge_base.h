@@ -1,0 +1,96 @@
+// KnowledgeBase: the top-level API a downstream user programs against.
+//
+// A knowledge base holds a theory, receives a stream of revisions under a
+// chosen operator, and answers queries.  Three storage strategies realize
+// the computational alternatives the paper discusses:
+//
+//  * kDelayed  — store T and the sequence P^1..P^m; compute the revision
+//                on demand at query time.  Always available; this is the
+//                strategy Section 8 recommends, and polynomial space is
+//                guaranteed (Table 2's caveat: keep the P^i around).
+//  * kExplicit — eagerly fold every revision into an explicit equivalent
+//                formula.  Sizes can explode exactly where Tables 1-2 say
+//                NO; ExplicitSize() exposes the growth.
+//  * kCompact  — eagerly fold using the paper's query-equivalent compact
+//                constructions (Theorem 5.1 for Dalal, Corollary 5.2 for
+//                Weber, the Section 6 schemes for Winslett / Borgida /
+//                Satoh / Forbus — these require each P to have a small
+//                alphabet — and the trivial construction for WIDTIO).
+//                Queries over the original letters are answered on the
+//                compact formula by ordinary entailment.
+
+#ifndef REVISE_CORE_KNOWLEDGE_BASE_H_
+#define REVISE_CORE_KNOWLEDGE_BASE_H_
+
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/theory.h"
+#include "logic/vocabulary.h"
+#include "revision/operator.h"
+#include "util/status.h"
+
+namespace revise {
+
+enum class RevisionStrategy { kDelayed, kExplicit, kCompact };
+
+class KnowledgeBase {
+ public:
+  // `vocabulary` must outlive the knowledge base (fresh letters are minted
+  // by the compact strategy).
+  KnowledgeBase(Theory initial, const RevisionOperator* op,
+                RevisionStrategy strategy, Vocabulary* vocabulary);
+
+  // Unsupported combinations (kCompact with GFUV or Nebel, whose very
+  // point in the paper is that no compact representation exists) yield an
+  // error.
+  static StatusOr<KnowledgeBase> Create(Theory initial,
+                                        const RevisionOperator* op,
+                                        RevisionStrategy strategy,
+                                        Vocabulary* vocabulary);
+
+  const RevisionOperator& op() const { return *op_; }
+  RevisionStrategy strategy() const { return strategy_; }
+
+  // Incorporates the new information P.
+  void Revise(const Formula& p);
+
+  // Does the (iterated-)revised knowledge base entail `query`?
+  bool Ask(const Formula& query) const;
+
+  // Is `m` (over `alphabet` ⊇ the KB's letters) a model of the revised
+  // knowledge base?  Note: under kCompact this requires recomputing the
+  // projection — the compact representation is only QUERY-equivalent, the
+  // paper's criterion (1); cheap model checking is exactly what it gives
+  // up (Section 1).
+  bool IsModel(const Interpretation& m, const Alphabet& alphabet) const;
+
+  // The models of the current knowledge base over its letters.
+  ModelSet Models() const;
+
+  // The letters of the original theory and all revisions so far.
+  Alphabet CurrentAlphabet() const;
+
+  // Size (paper's |.| measure) of the stored representation: the explicit
+  // or compact formula, or |T| + sum |P^i| for the delayed strategy.
+  uint64_t StoredSize() const;
+
+  size_t num_revisions() const { return updates_.size(); }
+
+ private:
+  const RevisionOperator* op_;
+  RevisionStrategy strategy_;
+  Vocabulary* vocabulary_;
+
+  Theory initial_;
+  std::vector<Formula> updates_;  // kept for kDelayed and for IsModel
+
+  // kExplicit / kCompact: the folded representation (initially /\ T).
+  Formula folded_;
+  // WIDTIO folds theories, not formulas.
+  Theory folded_theory_;
+};
+
+}  // namespace revise
+
+#endif  // REVISE_CORE_KNOWLEDGE_BASE_H_

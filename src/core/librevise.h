@@ -1,0 +1,37 @@
+// Umbrella header: the public API of librevise.
+//
+// Most programs only need this header.  See README.md for a quickstart and
+// DESIGN.md for the module map.
+
+#ifndef REVISE_CORE_LIBREVISE_H_
+#define REVISE_CORE_LIBREVISE_H_
+
+#include "bdd/bdd.h"                      // Section 7: ROBDDs with ASK
+#include "compact/bounded_revision.h"     // formulas (5)-(9), Section 4
+#include "compact/circuits.h"             // EXA and counting circuits
+#include "compact/iterated_revision.h"    // Phi_m, formula (10), (12)-(16)
+#include "compact/query.h"                // Delta_2^p[log n] query pipeline
+#include "compact/single_revision.h"      // Theorems 3.4 / 3.5
+#include "core/advice_oracle.h"           // Theorems 2.2/2.3, runnable
+#include "core/io.h"                      // theory file I/O
+#include "core/knowledge_base.h"          // KnowledgeBase facade
+#include "logic/cnf_transform.h"
+#include "logic/evaluate.h"
+#include "logic/formula.h"
+#include "logic/interpretation.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "logic/substitute.h"
+#include "logic/theory.h"
+#include "logic/vocabulary.h"
+#include "model/canonical.h"
+#include "model/model_set.h"
+#include "revision/formula_based.h"       // W(T,P), GFUV, WIDTIO, Nebel
+#include "revision/iterated.h"
+#include "revision/model_based.h"
+#include "revision/operator.h"            // the nine operators
+#include "revision/postulates.h"          // KM postulate checker
+#include "solve/distance.h"               // k_{T,P}, delta(T,P), Omega
+#include "solve/services.h"               // SAT-backed semantic services
+
+#endif  // REVISE_CORE_LIBREVISE_H_

@@ -1,0 +1,155 @@
+// The hard-instance families from the paper's non-compactability proofs.
+//
+// Each family materializes, for a given n, the pair (T_n, P_n) — the
+// would-be "advice" of Theorems 2.2/2.3 — together with the per-instance
+// artifacts (query Q_pi or interpretation M_pi) that decide satisfiability
+// of any pi in 3-SAT_n through the revised knowledge base.  The test suite
+// and the Table 1/2 benches validate the reductions exhaustively on small
+// n: pi is satisfiable iff the stated revision query/model-check holds.
+//
+//   * Theorem 3.1  — GFUV, query equivalence (and via Theorem 3.2 also
+//                    Satoh, Borgida, Winslett).
+//   * Theorem 3.3  — Forbus, query equivalence.
+//   * Theorem 3.6  — Dalal and Weber, LOGICAL equivalence (model check).
+//   * Theorem 4.1  — GFUV with |P| bounded by a constant.
+//   * Theorem 6.5  — all model-based operators, iterated bounded
+//                    revisions, logical equivalence (model check).
+//
+// Also the two explicit-representation explosion examples of Section 3.1:
+// Nebel's family (2^m possible worlds) and Winslett's chain family
+// (exponentially many worlds with a constant-size P).
+
+#ifndef REVISE_HARDNESS_FAMILIES_H_
+#define REVISE_HARDNESS_FAMILIES_H_
+
+#include <vector>
+
+#include "hardness/tau.h"
+#include "logic/formula.h"
+#include "logic/interpretation.h"
+#include "logic/theory.h"
+#include "logic/vocabulary.h"
+
+namespace revise {
+
+// ---- Theorem 3.1 -----------------------------------------------------
+
+struct Theorem31Family {
+  TauMax tau;
+  std::vector<Var> c;  // one guard per clause of tau_n^max
+  std::vector<Var> d;  // anti-guards, one per clause
+  Var r;
+  Theory t;   // T_n: the atoms C ∪ D ∪ B_n ∪ {r}
+  Formula p;  // P_n
+
+  Theorem31Family(int n, Vocabulary* vocabulary);
+
+  // W_pi: the guard literals describing pi (c_j for clauses in pi, d_j
+  // for the others), as a conjunction.
+  Formula WFormula(const std::vector<size_t>& pi) const;
+  // Q_pi = (/\ W_pi) -> r.  pi satisfiable iff T_n *_GFUV P_n |= Q_pi.
+  Formula Query(const std::vector<size_t>& pi) const;
+};
+
+// ---- Theorem 3.3 -----------------------------------------------------
+
+struct Theorem33Family {
+  TauMax tau;
+  // Guard matrix: c[i][j] for row i in 0..n+1, clause j.
+  std::vector<std::vector<Var>> c;
+  Var r;
+  Formula u;  // U: all rows of the matrix equal
+  Theory t;   // T_n = {U} ∪ B_n ∪ {r}
+  Formula p;  // P_n
+
+  Theorem33Family(int n, Vocabulary* vocabulary);
+
+  // M_pi: all guard columns of pi's clauses true (every row), everything
+  // else false — over `alphabet` (which must be the family's alphabet).
+  Interpretation MPi(const std::vector<size_t>& pi,
+                     const Alphabet& alphabet) const;
+  // Q_pi: satisfied by every interpretation except M_pi.
+  // pi satisfiable iff T_n *_F P_n |= Q_pi iff M_pi not a model.
+  Formula Query(const std::vector<size_t>& pi) const;
+
+  // The full alphabet L = B_n ∪ C ∪ {r}.
+  Alphabet FullAlphabet() const;
+};
+
+// ---- Theorem 3.6 (single) and Theorem 6.5 (iterated) ------------------
+
+struct Theorem36Family {
+  TauMax tau;
+  std::vector<Var> y;  // copies of the b atoms
+  std::vector<Var> c;  // one guard per clause
+  Formula phi;    // /\ (b_i ^ y_i)
+  Formula gamma;  // /\ (c_j -> gamma_j)
+  Theory t;       // T_n = {phi & gamma}
+  Formula p;      // Theorem 3.6's single P_n = /\ (!b_i & !y_i)
+  // Theorem 6.5's sequence P^i = !b_i & !y_i, i = 1..n.
+  std::vector<Formula> updates;
+
+  Theorem36Family(int n, Vocabulary* vocabulary);
+
+  // C_pi: guards of pi's clauses true, all else false.
+  // pi satisfiable iff C_pi |= T_n *_D P_n iff C_pi |= T_n *_Web P_n
+  // (Thm 3.6), and iff C_pi |= T_n * P^1 * ... * P^n for every model-based
+  // operator (Thm 6.5).
+  Interpretation CPi(const std::vector<size_t>& pi,
+                     const Alphabet& alphabet) const;
+
+  Alphabet FullAlphabet() const;
+};
+
+// Theorem 6.5 reuses the Theorem 3.6 gadget with the update sequence
+// P^i = !b_i & !y_i in place of the single conjunction.
+using Theorem65Family = Theorem36Family;
+
+// ---- Theorem 4.1 -----------------------------------------------------
+
+// The bounded-P reduction for GFUV: T'_n = {f & (!s | P_n) : f in T_n}
+// ∪ {!s} and P' = s, built on top of a Theorem 3.1 family.
+struct Theorem41Family {
+  Theorem31Family base;
+  Var s;
+  Theory t_prime;
+  Formula p_prime;  // the single letter s: |P'| = 1
+
+  Theorem41Family(int n, Vocabulary* vocabulary);
+
+  // Same queries as the base family: pi satisfiable iff
+  // T'_n *_GFUV s |= Q_pi.
+  Formula Query(const std::vector<size_t>& pi) const {
+    return base.Query(pi);
+  }
+};
+
+// ---- Explosion examples (Section 3.1) ---------------------------------
+
+// Nebel's family: T = {x_1..x_m, y_1..y_m}, P = /\ (x_i ^ y_i).
+// |W(T,P)| = 2^m while T *_GFUV P is logically equivalent to P.
+struct NebelExplosionFamily {
+  std::vector<Var> x;
+  std::vector<Var> y;
+  Theory t;
+  Formula p;
+
+  NebelExplosionFamily(int m, Vocabulary* vocabulary);
+};
+
+// Winslett's chain family: T = {x_i, y_i, z_i <-> (z_{i-1} & (!x_i|!y_i))}
+// with z_1 <-> (!x_1 | !y_1), P = z_m.  |P| is constant yet |W(T,P)| is
+// exponential in m.
+struct WinslettChainFamily {
+  std::vector<Var> x;
+  std::vector<Var> y;
+  std::vector<Var> z;
+  Theory t;
+  Formula p;
+
+  WinslettChainFamily(int m, Vocabulary* vocabulary);
+};
+
+}  // namespace revise
+
+#endif  // REVISE_HARDNESS_FAMILIES_H_

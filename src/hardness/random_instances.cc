@@ -1,0 +1,75 @@
+#include "hardness/random_instances.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace revise {
+
+namespace {
+
+Formula RandomClause(const std::vector<Var>& vars, size_t clause_len,
+                     Rng* rng) {
+  REVISE_CHECK_GE(vars.size(), clause_len);
+  // Sample `clause_len` distinct variables.
+  std::vector<Var> pool = vars;
+  std::vector<Formula> lits;
+  lits.reserve(clause_len);
+  for (size_t i = 0; i < clause_len; ++i) {
+    const size_t j = i + rng->Below(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+    lits.push_back(Formula::Literal(pool[i], rng->Chance(0.5)));
+  }
+  return DisjoinAll(lits);
+}
+
+}  // namespace
+
+Theory Random3Cnf(const std::vector<Var>& vars, size_t num_clauses,
+                  Rng* rng) {
+  Theory theory;
+  for (size_t i = 0; i < num_clauses; ++i) {
+    theory.Add(RandomClause(vars, 3, rng));
+  }
+  return theory;
+}
+
+Formula RandomClauses(const std::vector<Var>& vars, size_t num_clauses,
+                      size_t clause_len, Rng* rng) {
+  std::vector<Formula> clauses;
+  clauses.reserve(num_clauses);
+  for (size_t i = 0; i < num_clauses; ++i) {
+    clauses.push_back(RandomClause(vars, clause_len, rng));
+  }
+  return ConjoinAll(clauses);
+}
+
+Formula RandomFormula(const std::vector<Var>& vars, int max_depth,
+                      Rng* rng) {
+  REVISE_CHECK(!vars.empty());
+  if (max_depth <= 0 || rng->Chance(0.2)) {
+    return Formula::Literal(vars[rng->Below(vars.size())],
+                            rng->Chance(0.5));
+  }
+  switch (rng->Below(6)) {
+    case 0:
+      return Formula::Not(RandomFormula(vars, max_depth - 1, rng));
+    case 1:
+      return Formula::And(RandomFormula(vars, max_depth - 1, rng),
+                          RandomFormula(vars, max_depth - 1, rng));
+    case 2:
+      return Formula::Or(RandomFormula(vars, max_depth - 1, rng),
+                         RandomFormula(vars, max_depth - 1, rng));
+    case 3:
+      return Formula::Implies(RandomFormula(vars, max_depth - 1, rng),
+                              RandomFormula(vars, max_depth - 1, rng));
+    case 4:
+      return Formula::Iff(RandomFormula(vars, max_depth - 1, rng),
+                          RandomFormula(vars, max_depth - 1, rng));
+    default:
+      return Formula::Xor(RandomFormula(vars, max_depth - 1, rng),
+                          RandomFormula(vars, max_depth - 1, rng));
+  }
+}
+
+}  // namespace revise

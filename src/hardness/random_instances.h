@@ -1,0 +1,36 @@
+// Random workload generators: random k-CNF instances and random formula
+// trees.  Used by the test suites (cross-validation against brute force)
+// and by the benchmark harnesses.
+
+#ifndef REVISE_HARDNESS_RANDOM_INSTANCES_H_
+#define REVISE_HARDNESS_RANDOM_INSTANCES_H_
+
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/theory.h"
+#include "logic/vocabulary.h"
+#include "util/random.h"
+
+namespace revise {
+
+// A random 3-CNF over `vars` with `num_clauses` clauses; clauses have three
+// distinct variables with random signs (the classic fixed-clause-length
+// model used for phase-transition workloads).
+Theory Random3Cnf(const std::vector<Var>& vars, size_t num_clauses,
+                  Rng* rng);
+
+// A random formula tree of depth <= max_depth over `vars`, drawing all
+// connectives (including ->, <->, ^).
+Formula RandomFormula(const std::vector<Var>& vars, int max_depth, Rng* rng);
+
+// A random satisfiable formula obtained by conjoining `num_clauses` random
+// clauses of length `clause_len` and, if unsatisfiable, dropping clauses
+// until satisfiable is NOT done here; callers requiring satisfiability
+// should test and retry with the next seed.
+Formula RandomClauses(const std::vector<Var>& vars, size_t num_clauses,
+                      size_t clause_len, Rng* rng);
+
+}  // namespace revise
+
+#endif  // REVISE_HARDNESS_RANDOM_INSTANCES_H_

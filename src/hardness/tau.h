@@ -1,0 +1,63 @@
+// The 3-SAT_n partition machinery of Definition 2.5.
+//
+// For each n, tau_n^max is the set of ALL three-literal clauses over the
+// atoms B_n = {b_1, ..., b_n} (distinct variables, any signs): Theta(n^3)
+// clauses.  Every instance pi of 3-SAT_n is a subset of tau_n^max,
+// identified here by the sorted list of clause indices it contains.  The
+// non-compactability theorems build, for each n, a single (T_n, P_n) pair
+// from tau_n^max such that EVERY pi of size n can be decided through the
+// revised knowledge base — the "advice" of Theorems 2.2/2.3, materialized.
+
+#ifndef REVISE_HARDNESS_TAU_H_
+#define REVISE_HARDNESS_TAU_H_
+
+#include <array>
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/theory.h"
+#include "logic/vocabulary.h"
+#include "util/random.h"
+
+namespace revise {
+
+// One three-literal clause: variable positions within B_n plus signs.
+struct TauClause {
+  std::array<int, 3> var_index;  // strictly increasing positions in B_n
+  std::array<bool, 3> negated;
+};
+
+class TauMax {
+ public:
+  // Builds tau_n^max over fresh atoms b1..bn (interned as "b1".."bn").
+  TauMax(int n, Vocabulary* vocabulary);
+
+  int n() const { return n_; }
+  size_t num_clauses() const { return clauses_.size(); }
+  const std::vector<Var>& atoms() const { return atoms_; }
+  const TauClause& clause(size_t j) const { return clauses_[j]; }
+
+  // The clause gamma_j as a formula (disjunction of three literals).
+  Formula ClauseFormula(size_t j) const;
+
+  // The instance pi (clause indices) as a conjunction of clauses.
+  Formula InstanceFormula(const std::vector<size_t>& pi) const;
+  // ... and as a theory with one clause per element.
+  Theory InstanceTheory(const std::vector<size_t>& pi) const;
+
+  // Index of the clause with the given shape, for building instances by
+  // hand.  Aborts if the shape is malformed.
+  size_t IndexOf(const TauClause& clause) const;
+
+  // A random instance with `num_clauses` distinct clauses.
+  std::vector<size_t> RandomInstance(size_t num_clauses, Rng* rng) const;
+
+ private:
+  int n_;
+  std::vector<Var> atoms_;
+  std::vector<TauClause> clauses_;
+};
+
+}  // namespace revise
+
+#endif  // REVISE_HARDNESS_TAU_H_

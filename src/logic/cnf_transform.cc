@@ -1,0 +1,217 @@
+#include "logic/cnf_transform.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/transform.h"
+#include "util/check.h"
+
+namespace revise {
+
+namespace {
+
+bool IsLiteral(const Formula& f) {
+  return f.kind() == Connective::kVar ||
+         (f.kind() == Connective::kNot &&
+          f.child(0).kind() == Connective::kVar);
+}
+
+bool IsClause(const Formula& f) {
+  if (f.IsConst() || IsLiteral(f)) return true;
+  if (f.kind() != Connective::kOr) return false;
+  for (size_t i = 0; i < f.arity(); ++i) {
+    if (!IsLiteral(f.child(i))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsCnf(const Formula& f) {
+  if (IsClause(f)) return true;
+  if (f.kind() != Connective::kAnd) return false;
+  for (size_t i = 0; i < f.arity(); ++i) {
+    if (!IsClause(f.child(i))) return false;
+  }
+  return true;
+}
+
+size_t CnfClauseCount(const Formula& f) {
+  REVISE_CHECK(IsCnf(f));
+  if (f.IsTrue()) return 0;
+  if (f.kind() != Connective::kAnd) return 1;
+  return f.arity();
+}
+
+namespace {
+
+// Clause set representation during distribution: each clause is a vector
+// of literal formulas.
+using ClauseSet = std::vector<std::vector<Formula>>;
+
+uint64_t ClauseSetSize(const ClauseSet& clauses) {
+  uint64_t size = 0;
+  for (const auto& clause : clauses) size += clause.size();
+  return size;
+}
+
+// Distributes in NNF.  Returns false on budget exhaustion.
+bool ToClauses(const Formula& f, uint64_t max_size, ClauseSet* out) {
+  switch (f.kind()) {
+    case Connective::kConst:
+      if (!f.const_value()) out->push_back({});  // empty clause == false
+      return true;
+    case Connective::kVar:
+    case Connective::kNot:
+      out->push_back({f});
+      return true;
+    case Connective::kAnd: {
+      for (size_t i = 0; i < f.arity(); ++i) {
+        if (!ToClauses(f.child(i), max_size, out)) return false;
+        if (ClauseSetSize(*out) > max_size) return false;
+      }
+      return true;
+    }
+    case Connective::kOr: {
+      // Cross product of the children's clause sets.
+      ClauseSet product = {{}};
+      for (size_t i = 0; i < f.arity(); ++i) {
+        ClauseSet child;
+        if (!ToClauses(f.child(i), max_size, &child)) return false;
+        ClauseSet next;
+        for (const auto& left : product) {
+          for (const auto& right : child) {
+            std::vector<Formula> merged = left;
+            merged.insert(merged.end(), right.begin(), right.end());
+            next.push_back(std::move(merged));
+          }
+          if (ClauseSetSize(next) > max_size) return false;
+        }
+        product = std::move(next);
+      }
+      out->insert(out->end(), product.begin(), product.end());
+      return ClauseSetSize(*out) <= max_size;
+    }
+    default:
+      REVISE_CHECK(false);  // NNF has no other connectives
+      return false;
+  }
+}
+
+}  // namespace
+
+StatusOr<Formula> NaiveCnf(const Formula& f, uint64_t max_size) {
+  ClauseSet clauses;
+  if (!ToClauses(ToNnf(f), max_size, &clauses)) {
+    return ResourceExhaustedError(
+        "naive CNF exceeds " + std::to_string(max_size) +
+        " variable occurrences");
+  }
+  std::vector<Formula> rendered;
+  rendered.reserve(clauses.size());
+  for (const auto& clause : clauses) {
+    rendered.push_back(
+        DisjoinAll(std::vector<Formula>(clause.begin(), clause.end())));
+  }
+  return ConjoinAll(rendered);
+}
+
+namespace {
+
+// Tseitin encoding over the ORIGINAL connectives (not NNF, which would
+// duplicate both polarities of nested <-> / ^ and explode).  Returns the
+// literal standing for `f`, appends the defining clauses, and memoizes on
+// DAG nodes so shared subformulas get one gate.
+class TseitinEncoder {
+ public:
+  TseitinEncoder(Vocabulary* vocabulary, std::vector<Formula>* clauses)
+      : vocabulary_(vocabulary), clauses_(clauses) {}
+
+  Formula Encode(const Formula& f) {
+    auto it = memo_.find(f.id());
+    if (it != memo_.end()) return it->second;
+    const Formula result = EncodeImpl(f);
+    memo_.emplace(f.id(), result);
+    return result;
+  }
+
+ private:
+  Formula Gate() { return Formula::Variable(vocabulary_->Fresh("t")); }
+
+  Formula EncodeImpl(const Formula& f) {
+    if (f.IsConst() || IsLiteral(f)) return f;
+    if (f.kind() == Connective::kNot) {
+      return Formula::Not(Encode(f.child(0)));
+    }
+    std::vector<Formula> children;
+    children.reserve(f.arity());
+    for (size_t i = 0; i < f.arity(); ++i) {
+      children.push_back(Encode(f.child(i)));
+    }
+    const Formula g = Gate();
+    const Formula ng = Formula::Not(g);
+    switch (f.kind()) {
+      case Connective::kAnd: {
+        std::vector<Formula> big = {g};
+        for (const Formula& c : children) {
+          clauses_->push_back(Formula::Or(ng, c));
+          big.push_back(Formula::Not(c));
+        }
+        clauses_->push_back(DisjoinAll(big));
+        break;
+      }
+      case Connective::kOr: {
+        std::vector<Formula> big = {ng};
+        for (const Formula& c : children) {
+          clauses_->push_back(Formula::Or(g, Formula::Not(c)));
+          big.push_back(c);
+        }
+        clauses_->push_back(DisjoinAll(big));
+        break;
+      }
+      case Connective::kImplies: {
+        const Formula a = children[0];
+        const Formula b = children[1];
+        clauses_->push_back(
+            Formula::Or({ng, Formula::Not(a), b}));
+        clauses_->push_back(Formula::Or(g, a));
+        clauses_->push_back(Formula::Or(g, Formula::Not(b)));
+        break;
+      }
+      case Connective::kIff:
+      case Connective::kXor: {
+        const Formula a = children[0];
+        // For xor, g <-> (a <-> !b).
+        const Formula b = f.kind() == Connective::kIff
+                              ? children[1]
+                              : Formula::Not(children[1]);
+        clauses_->push_back(Formula::Or({ng, Formula::Not(a), b}));
+        clauses_->push_back(Formula::Or({ng, a, Formula::Not(b)}));
+        clauses_->push_back(Formula::Or({g, a, b}));
+        clauses_->push_back(
+            Formula::Or({g, Formula::Not(a), Formula::Not(b)}));
+        break;
+      }
+      default:
+        REVISE_CHECK(false);
+    }
+    return g;
+  }
+
+  Vocabulary* vocabulary_;
+  std::vector<Formula>* clauses_;
+  std::unordered_map<const void*, Formula> memo_;
+};
+
+}  // namespace
+
+Formula TseitinCnf(const Formula& f, Vocabulary* vocabulary) {
+  std::vector<Formula> clauses;
+  TseitinEncoder encoder(vocabulary, &clauses);
+  const Formula root = encoder.Encode(f);
+  clauses.push_back(root);
+  return ConjoinAll(clauses);
+}
+
+}  // namespace revise

@@ -1,0 +1,45 @@
+// Formula-level CNF conversions.
+//
+// The introduction of the paper observes that an agent unable to store a
+// revised base compactly "would either need an unreasonable amount of
+// storing space, or change the format it uses to represent knowledge".
+// These helpers make the format changes concrete:
+//
+//   * NaiveCnf  — distribution-based CNF: logically equivalent (criterion
+//     (2)) but possibly exponentially larger;
+//   * TseitinCnf — definitional CNF with fresh letters: linear size and
+//     QUERY-equivalent (criterion (1)) to the input — structurally the
+//     same trade-off the compactability results are about.
+
+#ifndef REVISE_LOGIC_CNF_TRANSFORM_H_
+#define REVISE_LOGIC_CNF_TRANSFORM_H_
+
+#include <cstdint>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+#include "util/status.h"
+
+namespace revise {
+
+// True iff f is a conjunction of clauses (clause = disjunction of
+// literals; single literals and constants count).
+bool IsCnf(const Formula& f);
+
+// Number of clauses of a CNF formula (0 for true; 1 for a single clause).
+size_t CnfClauseCount(const Formula& f);
+
+// Distribution-based CNF, logically equivalent to f.  Aborts with an
+// error if the result would exceed `max_size` variable occurrences
+// (the explosion the paper warns about, surfaced as a Status).
+StatusOr<Formula> NaiveCnf(const Formula& f, uint64_t max_size);
+
+// Definitional (Tseitin) CNF: one fresh letter per internal connective,
+// size linear in |f|.  The result is query-equivalent to f with respect
+// to V(f) (every model of f extends uniquely to the fresh letters), but
+// NOT logically equivalent.
+Formula TseitinCnf(const Formula& f, Vocabulary* vocabulary);
+
+}  // namespace revise
+
+#endif  // REVISE_LOGIC_CNF_TRANSFORM_H_

@@ -1,0 +1,75 @@
+#include "logic/evaluate.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace revise {
+
+namespace {
+
+bool EvaluateRec(const Formula& f, const Alphabet& alphabet,
+                 const Interpretation& m,
+                 std::unordered_map<const void*, bool>* memo) {
+  auto it = memo->find(f.id());
+  if (it != memo->end()) return it->second;
+  bool result = false;
+  switch (f.kind()) {
+    case Connective::kConst:
+      result = f.const_value();
+      break;
+    case Connective::kVar: {
+      std::optional<size_t> index = alphabet.IndexOf(f.var());
+      result = index.has_value() && m.Get(*index);
+      break;
+    }
+    case Connective::kNot:
+      result = !EvaluateRec(f.child(0), alphabet, m, memo);
+      break;
+    case Connective::kAnd: {
+      result = true;
+      for (size_t i = 0; i < f.arity(); ++i) {
+        if (!EvaluateRec(f.child(i), alphabet, m, memo)) {
+          result = false;
+          break;
+        }
+      }
+      break;
+    }
+    case Connective::kOr: {
+      result = false;
+      for (size_t i = 0; i < f.arity(); ++i) {
+        if (EvaluateRec(f.child(i), alphabet, m, memo)) {
+          result = true;
+          break;
+        }
+      }
+      break;
+    }
+    case Connective::kImplies:
+      result = !EvaluateRec(f.child(0), alphabet, m, memo) ||
+               EvaluateRec(f.child(1), alphabet, m, memo);
+      break;
+    case Connective::kIff:
+      result = EvaluateRec(f.child(0), alphabet, m, memo) ==
+               EvaluateRec(f.child(1), alphabet, m, memo);
+      break;
+    case Connective::kXor:
+      result = EvaluateRec(f.child(0), alphabet, m, memo) !=
+               EvaluateRec(f.child(1), alphabet, m, memo);
+      break;
+  }
+  memo->emplace(f.id(), result);
+  return result;
+}
+
+}  // namespace
+
+bool Evaluate(const Formula& f, const Alphabet& alphabet,
+              const Interpretation& m) {
+  REVISE_CHECK_EQ(alphabet.size(), m.size());
+  std::unordered_map<const void*, bool> memo;
+  return EvaluateRec(f, alphabet, m, &memo);
+}
+
+}  // namespace revise

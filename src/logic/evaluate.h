@@ -1,0 +1,21 @@
+// Formula evaluation under an interpretation.
+
+#ifndef REVISE_LOGIC_EVALUATE_H_
+#define REVISE_LOGIC_EVALUATE_H_
+
+#include "logic/formula.h"
+#include "logic/interpretation.h"
+
+namespace revise {
+
+// Evaluates `f` under interpretation `m` over `alphabet`.  Variables of `f`
+// absent from the alphabet evaluate to false (interpretations are identified
+// with the set of letters mapped to true, so unmentioned letters are false,
+// matching the paper's convention for L-interpretations extended to larger
+// alphabets).
+bool Evaluate(const Formula& f, const Alphabet& alphabet,
+              const Interpretation& m);
+
+}  // namespace revise
+
+#endif  // REVISE_LOGIC_EVALUATE_H_

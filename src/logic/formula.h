@@ -1,0 +1,113 @@
+// Propositional formulas.
+//
+// A Formula is an immutable handle to a node in a shared formula DAG.  The
+// connectives are those used by the paper: constants, variables, negation,
+// (n-ary) conjunction and disjunction, implication, equivalence (the paper's
+// x = y) and non-equivalence / xor (the paper's x != y).
+//
+// Factory functions perform light constant folding and flattening of nested
+// conjunctions/disjunctions; they never change the logical meaning.  The
+// size measure VarOccurrences() matches the paper's |W|: "the number of
+// distinct occurrences of propositional variables in W" counted over the
+// formula written out as a tree (shared subformulas count each time they
+// occur, exactly as if written on paper).
+
+#ifndef REVISE_LOGIC_FORMULA_H_
+#define REVISE_LOGIC_FORMULA_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "logic/vocabulary.h"
+
+namespace revise {
+
+enum class Connective : uint8_t {
+  kConst,
+  kVar,
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kIff,
+  kXor,
+};
+
+class Formula {
+ public:
+  // Default-constructed formula is the constant true (the neutral element
+  // of conjunction), so value-initialized containers are well-formed.
+  Formula();
+
+  static Formula True();
+  static Formula False();
+  static Formula Constant(bool value);
+  static Formula Variable(Var var);
+  // A positive or negative literal.
+  static Formula Literal(Var var, bool positive);
+
+  static Formula Not(const Formula& f);
+  static Formula And(const Formula& a, const Formula& b);
+  static Formula And(std::span<const Formula> fs);
+  static Formula And(std::initializer_list<Formula> fs);
+  static Formula Or(const Formula& a, const Formula& b);
+  static Formula Or(std::span<const Formula> fs);
+  static Formula Or(std::initializer_list<Formula> fs);
+  static Formula Implies(const Formula& a, const Formula& b);
+  static Formula Iff(const Formula& a, const Formula& b);
+  static Formula Xor(const Formula& a, const Formula& b);
+
+  Connective kind() const;
+  bool IsConst() const { return kind() == Connective::kConst; }
+  bool IsTrue() const;
+  bool IsFalse() const;
+  // Requires kind() == kConst.
+  bool const_value() const;
+  // Requires kind() == kVar.
+  Var var() const;
+
+  size_t arity() const;
+  const Formula& child(size_t i) const;
+  std::span<const Formula> children() const;
+
+  // The paper's |W|: variable occurrences in the formula as written.
+  uint64_t VarOccurrences() const;
+  // Connective + leaf count of the formula as written (tree size).
+  uint64_t TreeSize() const;
+  // Number of distinct DAG nodes actually allocated.
+  size_t DagSize() const;
+
+  // The alphabet V(f): sorted, distinct variables occurring in f.
+  std::vector<Var> Vars() const;
+
+  // Structural equality (not logical equivalence).
+  bool StructurallyEqual(const Formula& other) const;
+
+  // Stable pointer identity, usable as a hash/map key for DAG traversals.
+  const void* id() const { return node_.get(); }
+
+  // Implementation detail, public only so the factory helpers in
+  // formula.cc can allocate nodes; not part of the API.
+  struct Node;
+
+ private:
+  explicit Formula(std::shared_ptr<const Node> node);
+
+  const Node& node() const { return *node_; }
+
+  std::shared_ptr<const Node> node_;
+};
+
+// Convenience: conjunction/disjunction over a vector, mirroring the paper's
+// use of a theory T as the formula "/\ T".
+Formula ConjoinAll(const std::vector<Formula>& fs);
+Formula DisjoinAll(const std::vector<Formula>& fs);
+
+// V(f1) union V(f2) ... as a sorted distinct list.
+std::vector<Var> UnionOfVars(std::span<const Formula> fs);
+
+}  // namespace revise
+
+#endif  // REVISE_LOGIC_FORMULA_H_

@@ -1,0 +1,234 @@
+#include "logic/parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "util/check.h"
+
+namespace revise {
+
+namespace {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,
+  kTrue,
+  kFalse,
+  kNot,
+  kAnd,
+  kOr,
+  kXor,
+  kImplies,
+  kIff,
+  kLParen,
+  kRParen,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string_view text;
+  size_t position;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  StatusOr<Token> Next() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    const size_t start = pos_;
+    if (pos_ >= text_.size()) return Token{TokenKind::kEnd, {}, start};
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+      std::string_view word = text_.substr(start, pos_ - start);
+      if (word == "true") return Token{TokenKind::kTrue, word, start};
+      if (word == "false") return Token{TokenKind::kFalse, word, start};
+      return Token{TokenKind::kIdent, word, start};
+    }
+    ++pos_;
+    switch (c) {
+      case '!':
+      case '~':
+        return Token{TokenKind::kNot, text_.substr(start, 1), start};
+      case '&':
+        return Token{TokenKind::kAnd, text_.substr(start, 1), start};
+      case '|':
+        return Token{TokenKind::kOr, text_.substr(start, 1), start};
+      case '^':
+        return Token{TokenKind::kXor, text_.substr(start, 1), start};
+      case '(':
+        return Token{TokenKind::kLParen, text_.substr(start, 1), start};
+      case ')':
+        return Token{TokenKind::kRParen, text_.substr(start, 1), start};
+      case '-':
+        if (pos_ < text_.size() && text_[pos_] == '>') {
+          ++pos_;
+          return Token{TokenKind::kImplies, text_.substr(start, 2), start};
+        }
+        return SyntaxError(start, "expected '>' after '-'");
+      case '<':
+        if (pos_ + 1 < text_.size() && text_[pos_] == '-' &&
+            text_[pos_ + 1] == '>') {
+          pos_ += 2;
+          return Token{TokenKind::kIff, text_.substr(start, 3), start};
+        }
+        return SyntaxError(start, "expected '->' after '<'");
+      default:
+        return SyntaxError(start, std::string("unexpected character '") +
+                                      c + "'");
+    }
+  }
+
+ private:
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '\'' || c == '#';
+  }
+
+  Status SyntaxError(size_t position, std::string message) {
+    return InvalidArgumentError("syntax error at offset " +
+                                std::to_string(position) + ": " +
+                                std::move(message));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, Vocabulary* vocabulary)
+      : lexer_(text), vocabulary_(vocabulary) {}
+
+  StatusOr<Formula> Run() {
+    REVISE_RETURN_IF_ERROR(Advance());
+    REVISE_ASSIGN_OR_RETURN(Formula result, ParseIff());
+    if (current_.kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return result;
+  }
+
+ private:
+  Status Advance() {
+    REVISE_ASSIGN_OR_RETURN(current_, lexer_.Next());
+    return Status::Ok();
+  }
+
+  Status Error(std::string message) const {
+    return InvalidArgumentError("syntax error at offset " +
+                                std::to_string(current_.position) + ": " +
+                                std::move(message));
+  }
+
+  StatusOr<Formula> ParseIff() {
+    REVISE_ASSIGN_OR_RETURN(Formula left, ParseImplies());
+    while (current_.kind == TokenKind::kIff) {
+      REVISE_RETURN_IF_ERROR(Advance());
+      REVISE_ASSIGN_OR_RETURN(Formula right, ParseImplies());
+      left = Formula::Iff(left, right);
+    }
+    return left;
+  }
+
+  StatusOr<Formula> ParseImplies() {
+    REVISE_ASSIGN_OR_RETURN(Formula left, ParseXor());
+    if (current_.kind == TokenKind::kImplies) {
+      REVISE_RETURN_IF_ERROR(Advance());
+      REVISE_ASSIGN_OR_RETURN(Formula right, ParseImplies());
+      return Formula::Implies(left, right);
+    }
+    return left;
+  }
+
+  StatusOr<Formula> ParseXor() {
+    REVISE_ASSIGN_OR_RETURN(Formula left, ParseOr());
+    while (current_.kind == TokenKind::kXor) {
+      REVISE_RETURN_IF_ERROR(Advance());
+      REVISE_ASSIGN_OR_RETURN(Formula right, ParseOr());
+      left = Formula::Xor(left, right);
+    }
+    return left;
+  }
+
+  StatusOr<Formula> ParseOr() {
+    REVISE_ASSIGN_OR_RETURN(Formula left, ParseAnd());
+    while (current_.kind == TokenKind::kOr) {
+      REVISE_RETURN_IF_ERROR(Advance());
+      REVISE_ASSIGN_OR_RETURN(Formula right, ParseAnd());
+      left = Formula::Or(left, right);
+    }
+    return left;
+  }
+
+  StatusOr<Formula> ParseAnd() {
+    REVISE_ASSIGN_OR_RETURN(Formula left, ParseUnary());
+    while (current_.kind == TokenKind::kAnd) {
+      REVISE_RETURN_IF_ERROR(Advance());
+      REVISE_ASSIGN_OR_RETURN(Formula right, ParseUnary());
+      left = Formula::And(left, right);
+    }
+    return left;
+  }
+
+  StatusOr<Formula> ParseUnary() {
+    if (current_.kind == TokenKind::kNot) {
+      REVISE_RETURN_IF_ERROR(Advance());
+      REVISE_ASSIGN_OR_RETURN(Formula inner, ParseUnary());
+      return Formula::Not(inner);
+    }
+    return ParseAtom();
+  }
+
+  StatusOr<Formula> ParseAtom() {
+    switch (current_.kind) {
+      case TokenKind::kTrue: {
+        REVISE_RETURN_IF_ERROR(Advance());
+        return Formula::True();
+      }
+      case TokenKind::kFalse: {
+        REVISE_RETURN_IF_ERROR(Advance());
+        return Formula::False();
+      }
+      case TokenKind::kIdent: {
+        Var var = vocabulary_->Intern(current_.text);
+        REVISE_RETURN_IF_ERROR(Advance());
+        return Formula::Variable(var);
+      }
+      case TokenKind::kLParen: {
+        REVISE_RETURN_IF_ERROR(Advance());
+        REVISE_ASSIGN_OR_RETURN(Formula inner, ParseIff());
+        if (current_.kind != TokenKind::kRParen) {
+          return Error("expected ')'");
+        }
+        REVISE_RETURN_IF_ERROR(Advance());
+        return inner;
+      }
+      default:
+        return Error("expected a formula");
+    }
+  }
+
+  Lexer lexer_;
+  Vocabulary* vocabulary_;
+  Token current_{TokenKind::kEnd, {}, 0};
+};
+
+}  // namespace
+
+StatusOr<Formula> Parse(std::string_view text, Vocabulary* vocabulary) {
+  Parser parser(text, vocabulary);
+  return parser.Run();
+}
+
+Formula ParseOrDie(std::string_view text, Vocabulary* vocabulary) {
+  StatusOr<Formula> result = Parse(text, vocabulary);
+  REVISE_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace revise

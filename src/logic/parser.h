@@ -1,0 +1,34 @@
+// Formula parsing.
+//
+// Concrete syntax (precedence from loosest to tightest):
+//   f <-> g      equivalence        (left-associative)
+//   f -> g       implication        (right-associative)
+//   f ^ g        xor / non-equivalence
+//   f | g        disjunction
+//   f & g        conjunction
+//   !f           negation
+//   true, false, identifiers, parentheses
+//
+// Identifiers match [A-Za-z_][A-Za-z0-9_']* and are interned into the given
+// vocabulary.  "true" and "false" are reserved.
+
+#ifndef REVISE_LOGIC_PARSER_H_
+#define REVISE_LOGIC_PARSER_H_
+
+#include <string_view>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+#include "util/status.h"
+
+namespace revise {
+
+// Parses `text`, interning variables into `*vocabulary`.
+StatusOr<Formula> Parse(std::string_view text, Vocabulary* vocabulary);
+
+// Parse helper for tests and examples: aborts on syntax errors.
+Formula ParseOrDie(std::string_view text, Vocabulary* vocabulary);
+
+}  // namespace revise
+
+#endif  // REVISE_LOGIC_PARSER_H_

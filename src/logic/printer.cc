@@ -1,0 +1,88 @@
+#include "logic/printer.h"
+
+namespace revise {
+
+namespace {
+
+// Binding strength; higher binds tighter.  kImplies is right-associative,
+// the associative connectives chain without parentheses at equal level.
+int Precedence(Connective kind) {
+  switch (kind) {
+    case Connective::kConst:
+    case Connective::kVar:
+      return 6;
+    case Connective::kNot:
+      return 5;
+    case Connective::kAnd:
+      return 4;
+    case Connective::kOr:
+      return 3;
+    case Connective::kXor:
+      return 2;
+    case Connective::kImplies:
+      return 1;
+    case Connective::kIff:
+      return 0;
+  }
+  return 0;
+}
+
+void Print(const Formula& f, const Vocabulary& vocabulary, int parent_level,
+           std::string* out) {
+  const int level = Precedence(f.kind());
+  const bool parens = level < parent_level;
+  if (parens) out->push_back('(');
+  switch (f.kind()) {
+    case Connective::kConst:
+      *out += f.const_value() ? "true" : "false";
+      break;
+    case Connective::kVar:
+      *out += vocabulary.Name(f.var());
+      break;
+    case Connective::kNot:
+      out->push_back('!');
+      Print(f.child(0), vocabulary, level + 1, out);
+      break;
+    case Connective::kAnd:
+    case Connective::kOr: {
+      // n-ary and flattened by the factories, so printing children at the
+      // same level round-trips structurally.
+      const char* op = f.kind() == Connective::kAnd ? " & " : " | ";
+      for (size_t i = 0; i < f.arity(); ++i) {
+        if (i > 0) *out += op;
+        Print(f.child(i), vocabulary, level, out);
+      }
+      break;
+    }
+    case Connective::kXor:
+      // Binary; the parser is left-associative, so a nested xor on the
+      // right needs parentheses to round-trip structurally.
+      Print(f.child(0), vocabulary, level, out);
+      *out += " ^ ";
+      Print(f.child(1), vocabulary, level + 1, out);
+      break;
+    case Connective::kImplies:
+      // Right-associative: parenthesize a nested implication on the left.
+      Print(f.child(0), vocabulary, level + 1, out);
+      *out += " -> ";
+      Print(f.child(1), vocabulary, level, out);
+      break;
+    case Connective::kIff:
+      // Left-associative in the parser.
+      Print(f.child(0), vocabulary, level, out);
+      *out += " <-> ";
+      Print(f.child(1), vocabulary, level + 1, out);
+      break;
+  }
+  if (parens) out->push_back(')');
+}
+
+}  // namespace
+
+std::string ToString(const Formula& f, const Vocabulary& vocabulary) {
+  std::string out;
+  Print(f, vocabulary, 0, &out);
+  return out;
+}
+
+}  // namespace revise

@@ -1,0 +1,20 @@
+// Formula pretty-printing.
+
+#ifndef REVISE_LOGIC_PRINTER_H_
+#define REVISE_LOGIC_PRINTER_H_
+
+#include <string>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+
+namespace revise {
+
+// Renders a formula in the concrete syntax accepted by logic/parser.h:
+//   true false  x  !f  f & g  f | g  f -> g  f <-> g  f ^ g
+// Parentheses are inserted only where precedence requires them.
+std::string ToString(const Formula& f, const Vocabulary& vocabulary);
+
+}  // namespace revise
+
+#endif  // REVISE_LOGIC_PRINTER_H_

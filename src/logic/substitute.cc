@@ -1,0 +1,90 @@
+#include "logic/substitute.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace revise {
+
+namespace {
+
+Formula SubstituteRec(const Formula& f,
+                      const std::unordered_map<Var, Formula>& map,
+                      std::unordered_map<const void*, Formula>* memo) {
+  auto it = memo->find(f.id());
+  if (it != memo->end()) return it->second;
+  Formula result;
+  switch (f.kind()) {
+    case Connective::kConst:
+      result = f;
+      break;
+    case Connective::kVar: {
+      auto entry = map.find(f.var());
+      result = entry == map.end() ? f : entry->second;
+      break;
+    }
+    case Connective::kNot:
+      result = Formula::Not(SubstituteRec(f.child(0), map, memo));
+      break;
+    case Connective::kAnd:
+    case Connective::kOr: {
+      std::vector<Formula> children;
+      children.reserve(f.arity());
+      for (size_t i = 0; i < f.arity(); ++i) {
+        children.push_back(SubstituteRec(f.child(i), map, memo));
+      }
+      result = f.kind() == Connective::kAnd
+                   ? Formula::And(std::span<const Formula>(children))
+                   : Formula::Or(std::span<const Formula>(children));
+      break;
+    }
+    case Connective::kImplies:
+      result = Formula::Implies(SubstituteRec(f.child(0), map, memo),
+                                SubstituteRec(f.child(1), map, memo));
+      break;
+    case Connective::kIff:
+      result = Formula::Iff(SubstituteRec(f.child(0), map, memo),
+                            SubstituteRec(f.child(1), map, memo));
+      break;
+    case Connective::kXor:
+      result = Formula::Xor(SubstituteRec(f.child(0), map, memo),
+                            SubstituteRec(f.child(1), map, memo));
+      break;
+  }
+  memo->emplace(f.id(), result);
+  return result;
+}
+
+}  // namespace
+
+Formula Substitute(const Formula& f,
+                   const std::unordered_map<Var, Formula>& map) {
+  std::unordered_map<const void*, Formula> memo;
+  return SubstituteRec(f, map, &memo);
+}
+
+Formula Substitute(const Formula& f, Var x, const Formula& g) {
+  std::unordered_map<Var, Formula> map;
+  map.emplace(x, g);
+  return Substitute(f, map);
+}
+
+Formula RenameVars(const Formula& f, const std::vector<Var>& from,
+                   const std::vector<Var>& to) {
+  REVISE_CHECK_EQ(from.size(), to.size());
+  std::unordered_map<Var, Formula> map;
+  for (size_t i = 0; i < from.size(); ++i) {
+    map.emplace(from[i], Formula::Variable(to[i]));
+  }
+  return Substitute(f, map);
+}
+
+Formula FlipVars(const Formula& f, const std::vector<Var>& s) {
+  std::unordered_map<Var, Formula> map;
+  for (Var v : s) {
+    map.emplace(v, Formula::Not(Formula::Variable(v)));
+  }
+  return Substitute(f, map);
+}
+
+}  // namespace revise

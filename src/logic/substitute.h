@@ -1,0 +1,38 @@
+// Substitution of letters in formulas.
+//
+// The paper's notation P[x/F] (replace every occurrence of letter x by
+// formula F) and its simultaneous generalization P[X/Y], plus the two
+// special cases used throughout Sections 3-6: renaming a block of letters
+// to a fresh copy (T[X/Y] with Y letters), and flipping a subset of letters
+// to their negations (T[S/neg S], Proposition 4.2).
+
+#ifndef REVISE_LOGIC_SUBSTITUTE_H_
+#define REVISE_LOGIC_SUBSTITUTE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "logic/formula.h"
+
+namespace revise {
+
+// Simultaneous substitution: each occurrence of a key variable is replaced
+// by the mapped formula.  All replacements happen at once (the paper's
+// "simultaneously replaced").
+Formula Substitute(const Formula& f,
+                   const std::unordered_map<Var, Formula>& map);
+
+// P[x/g].
+Formula Substitute(const Formula& f, Var x, const Formula& g);
+
+// P[X/Y] where X and Y are parallel ordered sets of letters (renaming).
+Formula RenameVars(const Formula& f, const std::vector<Var>& from,
+                   const std::vector<Var>& to);
+
+// T[S/neg S]: every occurrence of a letter in `s` is replaced by its
+// negation (Proposition 4.2's F[H/bar H]).
+Formula FlipVars(const Formula& f, const std::vector<Var>& s);
+
+}  // namespace revise
+
+#endif  // REVISE_LOGIC_SUBSTITUTE_H_

@@ -1,0 +1,60 @@
+#include "logic/theory.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace revise {
+
+StatusOr<Theory> Theory::Parse(std::string_view text,
+                               Vocabulary* vocabulary) {
+  Theory theory;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(';', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view piece = text.substr(start, end - start);
+    // Skip pieces that are entirely whitespace (allows trailing ';').
+    bool blank = true;
+    for (char c : piece) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        blank = false;
+        break;
+      }
+    }
+    if (!blank) {
+      REVISE_ASSIGN_OR_RETURN(Formula f, ::revise::Parse(piece, vocabulary));
+      theory.Add(std::move(f));
+    }
+    start = end + 1;
+  }
+  return theory;
+}
+
+Theory Theory::ParseOrDie(std::string_view text, Vocabulary* vocabulary) {
+  StatusOr<Theory> result = Parse(text, vocabulary);
+  REVISE_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+std::vector<Var> Theory::Vars() const {
+  return UnionOfVars(std::span<const Formula>(formulas_));
+}
+
+uint64_t Theory::VarOccurrences() const {
+  uint64_t total = 0;
+  for (const Formula& f : formulas_) total += f.VarOccurrences();
+  return total;
+}
+
+Theory Theory::Subset(uint64_t mask) const {
+  REVISE_CHECK_LE(formulas_.size(), 63u);
+  Theory result;
+  for (size_t i = 0; i < formulas_.size(); ++i) {
+    if ((mask >> i) & 1) result.Add(formulas_[i]);
+  }
+  return result;
+}
+
+}  // namespace revise

@@ -1,0 +1,62 @@
+// Theories: finite sets of propositional formulas.
+//
+// Formula-based revision operators (GFUV, Nebel, WIDTIO) are sensitive to
+// the syntactic presentation of the knowledge base: revising logically
+// equivalent theories {a, b} and {a, a -> b} can give different results.
+// Theory preserves that structure; AsFormula() is the paper's "/\ T".
+
+#ifndef REVISE_LOGIC_THEORY_H_
+#define REVISE_LOGIC_THEORY_H_
+
+#include <initializer_list>
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/parser.h"
+#include "util/status.h"
+
+namespace revise {
+
+class Theory {
+ public:
+  Theory() = default;
+  explicit Theory(std::vector<Formula> formulas)
+      : formulas_(std::move(formulas)) {}
+  Theory(std::initializer_list<Formula> formulas) : formulas_(formulas) {}
+
+  // Parses each ';'-separated element of `text` as one formula of the
+  // theory, e.g. "a; b; z1 <-> (!x1 | !y1)".
+  static StatusOr<Theory> Parse(std::string_view text,
+                                Vocabulary* vocabulary);
+  static Theory ParseOrDie(std::string_view text, Vocabulary* vocabulary);
+
+  size_t size() const { return formulas_.size(); }
+  bool empty() const { return formulas_.empty(); }
+  const Formula& operator[](size_t i) const { return formulas_[i]; }
+  const std::vector<Formula>& formulas() const { return formulas_; }
+
+  void Add(Formula f) { formulas_.push_back(std::move(f)); }
+
+  // The conjunction /\ T (true for the empty theory).
+  Formula AsFormula() const { return ConjoinAll(formulas_); }
+
+  // V(T): sorted distinct variables over all elements.
+  std::vector<Var> Vars() const;
+
+  // Sum of the paper's |.| sizes of the elements.
+  uint64_t VarOccurrences() const;
+
+  // The sub-theory containing the elements selected by `mask` (bit i set
+  // selects formulas_[i]).  Requires size() <= 63.
+  Theory Subset(uint64_t mask) const;
+
+  auto begin() const { return formulas_.begin(); }
+  auto end() const { return formulas_.end(); }
+
+ private:
+  std::vector<Formula> formulas_;
+};
+
+}  // namespace revise
+
+#endif  // REVISE_LOGIC_THEORY_H_

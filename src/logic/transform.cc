@@ -1,0 +1,148 @@
+#include "logic/transform.h"
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "logic/substitute.h"
+
+namespace revise {
+
+namespace {
+
+// Memoized NNF over (node, polarity) pairs.
+class NnfConverter {
+ public:
+  Formula Convert(const Formula& f, bool negated) {
+    const auto key = std::make_pair(f.id(), negated);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    Formula result = ConvertImpl(f, negated);
+    memo_.emplace(key, result);
+    return result;
+  }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::pair<const void*, bool>& key) const {
+      return std::hash<const void*>()(key.first) * 2 +
+             (key.second ? 1 : 0);
+    }
+  };
+
+  Formula ConvertImpl(const Formula& f, bool negated) {
+    switch (f.kind()) {
+      case Connective::kConst:
+        return Formula::Constant(f.const_value() != negated);
+      case Connective::kVar:
+        return Formula::Literal(f.var(), !negated);
+      case Connective::kNot:
+        return Convert(f.child(0), !negated);
+      case Connective::kAnd:
+      case Connective::kOr: {
+        std::vector<Formula> children;
+        children.reserve(f.arity());
+        for (size_t i = 0; i < f.arity(); ++i) {
+          children.push_back(Convert(f.child(i), negated));
+        }
+        const bool and_like = (f.kind() == Connective::kAnd) != negated;
+        return and_like ? Formula::And(std::span<const Formula>(children))
+                        : Formula::Or(std::span<const Formula>(children));
+      }
+      case Connective::kImplies: {
+        // a -> b  ==  !a | b;  !(a -> b)  ==  a & !b.
+        if (!negated) {
+          return Formula::Or(Convert(f.child(0), true),
+                             Convert(f.child(1), false));
+        }
+        return Formula::And(Convert(f.child(0), false),
+                            Convert(f.child(1), true));
+      }
+      case Connective::kIff:
+      case Connective::kXor: {
+        // a <-> b == (a&b) | (!a&!b);  a ^ b == (a&!b) | (!a&b).
+        const bool as_iff = (f.kind() == Connective::kIff) != negated;
+        Formula pp = Formula::And(Convert(f.child(0), false),
+                                  Convert(f.child(1), false));
+        Formula nn = Formula::And(Convert(f.child(0), true),
+                                  Convert(f.child(1), true));
+        Formula pn = Formula::And(Convert(f.child(0), false),
+                                  Convert(f.child(1), true));
+        Formula np = Formula::And(Convert(f.child(0), true),
+                                  Convert(f.child(1), false));
+        return as_iff ? Formula::Or(pp, nn) : Formula::Or(pn, np);
+      }
+    }
+    return Formula::True();
+  }
+
+  std::unordered_map<std::pair<const void*, bool>, Formula, KeyHash> memo_;
+};
+
+Formula EliminateRec(const Formula& f,
+                     std::unordered_map<const void*, Formula>* memo) {
+  auto it = memo->find(f.id());
+  if (it != memo->end()) return it->second;
+  Formula result;
+  switch (f.kind()) {
+    case Connective::kConst:
+    case Connective::kVar:
+      result = f;
+      break;
+    case Connective::kNot:
+      result = Formula::Not(EliminateRec(f.child(0), memo));
+      break;
+    case Connective::kAnd:
+    case Connective::kOr: {
+      std::vector<Formula> children;
+      children.reserve(f.arity());
+      for (size_t i = 0; i < f.arity(); ++i) {
+        children.push_back(EliminateRec(f.child(i), memo));
+      }
+      result = f.kind() == Connective::kAnd
+                   ? Formula::And(std::span<const Formula>(children))
+                   : Formula::Or(std::span<const Formula>(children));
+      break;
+    }
+    case Connective::kImplies: {
+      Formula a = EliminateRec(f.child(0), memo);
+      Formula b = EliminateRec(f.child(1), memo);
+      result = Formula::Or(Formula::Not(a), b);
+      break;
+    }
+    case Connective::kIff: {
+      Formula a = EliminateRec(f.child(0), memo);
+      Formula b = EliminateRec(f.child(1), memo);
+      result = Formula::Or(Formula::And(a, b),
+                           Formula::And(Formula::Not(a), Formula::Not(b)));
+      break;
+    }
+    case Connective::kXor: {
+      Formula a = EliminateRec(f.child(0), memo);
+      Formula b = EliminateRec(f.child(1), memo);
+      result = Formula::Or(Formula::And(a, Formula::Not(b)),
+                           Formula::And(Formula::Not(a), b));
+      break;
+    }
+  }
+  memo->emplace(f.id(), result);
+  return result;
+}
+
+}  // namespace
+
+Formula ToNnf(const Formula& f) {
+  NnfConverter converter;
+  return converter.Convert(f, /*negated=*/false);
+}
+
+Formula EliminateDerivedConnectives(const Formula& f) {
+  std::unordered_map<const void*, Formula> memo;
+  return EliminateRec(f, &memo);
+}
+
+Formula Restrict(const Formula& f, Var var, bool value) {
+  return Substitute(f, var, Formula::Constant(value));
+}
+
+}  // namespace revise

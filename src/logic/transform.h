@@ -1,0 +1,23 @@
+// Structural formula transformations.
+
+#ifndef REVISE_LOGIC_TRANSFORM_H_
+#define REVISE_LOGIC_TRANSFORM_H_
+
+#include "logic/formula.h"
+
+namespace revise {
+
+// Negation normal form: eliminates ->, <->, ^ and pushes negation to the
+// literals.  The result uses only {const, var, not-over-var, and, or}.
+Formula ToNnf(const Formula& f);
+
+// Rewrites ->, <->, ^ in terms of {not, and, or} without pushing negations.
+Formula EliminateDerivedConnectives(const Formula& f);
+
+// Condition/cofactor: the formula with `var` fixed to `value`, constants
+// propagated (Shannon restriction f|_{var=value}).
+Formula Restrict(const Formula& f, Var var, bool value);
+
+}  // namespace revise
+
+#endif  // REVISE_LOGIC_TRANSFORM_H_

@@ -1,0 +1,147 @@
+#include "minimize/horn.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace revise {
+
+namespace {
+
+// Counts positive literals; returns false if f is not a clause.
+bool ClauseShape(const Formula& f, int* positive_count) {
+  *positive_count = 0;
+  auto literal = [&](const Formula& lit) {
+    if (lit.kind() == Connective::kVar) {
+      ++*positive_count;
+      return true;
+    }
+    return lit.kind() == Connective::kNot &&
+           lit.child(0).kind() == Connective::kVar;
+  };
+  if (f.IsConst()) return true;
+  if (literal(f)) return true;
+  if (f.kind() != Connective::kOr) return false;
+  for (size_t i = 0; i < f.arity(); ++i) {
+    if (!literal(f.child(i))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsHornClause(const Formula& f) {
+  int positives = 0;
+  return ClauseShape(f, &positives) && positives <= 1;
+}
+
+bool IsHornFormula(const Formula& f) {
+  if (IsHornClause(f)) return true;
+  if (f.kind() != Connective::kAnd) return false;
+  for (size_t i = 0; i < f.arity(); ++i) {
+    if (!IsHornClause(f.child(i))) return false;
+  }
+  return true;
+}
+
+ModelSet IntersectionClosure(const ModelSet& models) {
+  std::vector<Interpretation> closed(models.begin(), models.end());
+  std::sort(closed.begin(), closed.end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const size_t size = closed.size();
+    std::vector<Interpretation> added;
+    for (size_t i = 0; i < size; ++i) {
+      for (size_t j = i + 1; j < size; ++j) {
+        Interpretation meet = closed[i].Intersection(closed[j]);
+        if (!std::binary_search(closed.begin(), closed.end(), meet)) {
+          added.push_back(std::move(meet));
+        }
+      }
+    }
+    if (!added.empty()) {
+      changed = true;
+      closed.insert(closed.end(), added.begin(), added.end());
+      std::sort(closed.begin(), closed.end());
+      closed.erase(std::unique(closed.begin(), closed.end()),
+                   closed.end());
+    }
+  }
+  return ModelSet(models.alphabet(), std::move(closed));
+}
+
+Formula HornLub(const ModelSet& models) {
+  const Alphabet& alphabet = models.alphabet();
+  const size_t n = alphabet.size();
+  REVISE_CHECK_LE(n, 20u);
+  if (models.empty()) return Formula::False();
+
+  // A Horn clause is (/\ body -> head) with body ⊆ letters and head a
+  // letter outside the body, or headless (-> false).  It is entailed iff
+  // no model contains the whole body while missing the head.
+  struct HornCandidate {
+    uint64_t body;
+    int head;  // position, or -1 for headless
+  };
+  auto entailed = [&](const HornCandidate& c) {
+    for (const Interpretation& m : models) {
+      const uint64_t bits = m.ToIndex();
+      if ((bits & c.body) != c.body) continue;
+      if (c.head >= 0 && ((bits >> c.head) & 1)) continue;
+      return false;  // model has the body but not the head
+    }
+    return true;
+  };
+
+  std::vector<HornCandidate> entailed_clauses;
+  for (uint64_t body = 0; body < (uint64_t{1} << n); ++body) {
+    HornCandidate headless{body, -1};
+    if (entailed(headless)) {
+      entailed_clauses.push_back(headless);
+      // Every clause with this body is subsumed; skip heads.
+      continue;
+    }
+    for (size_t h = 0; h < n; ++h) {
+      if ((body >> h) & 1) continue;
+      HornCandidate c{body, static_cast<int>(h)};
+      if (entailed(c)) entailed_clauses.push_back(c);
+    }
+  }
+
+  // Keep the prime (subsumption-minimal) clauses: C subsumes D if
+  // C.body ⊆ D.body and (C headless, or same head).
+  std::vector<HornCandidate> prime;
+  for (const HornCandidate& c : entailed_clauses) {
+    bool subsumed = false;
+    for (const HornCandidate& d : entailed_clauses) {
+      if (d.body == c.body && d.head == c.head) continue;
+      const bool body_subset = (d.body & ~c.body) == 0;
+      const bool head_ok = d.head == -1 || d.head == c.head;
+      if (body_subset && head_ok &&
+          (d.body != c.body || d.head != c.head)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) prime.push_back(c);
+  }
+
+  std::vector<Formula> clauses;
+  clauses.reserve(prime.size());
+  for (const HornCandidate& c : prime) {
+    std::vector<Formula> literals;
+    for (size_t i = 0; i < n; ++i) {
+      if ((c.body >> i) & 1) {
+        literals.push_back(Formula::Literal(alphabet.var(i), false));
+      }
+    }
+    if (c.head >= 0) {
+      literals.push_back(Formula::Literal(alphabet.var(c.head), true));
+    }
+    clauses.push_back(DisjoinAll(literals));
+  }
+  return ConjoinAll(clauses);
+}
+
+}  // namespace revise

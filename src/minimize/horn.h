@@ -1,0 +1,43 @@
+// Horn upper-bound compilation (Selman & Kautz).
+//
+// Section 2.3 of the paper credits Kautz and Selman with the first use of
+// non-uniform complexity for compactability lower bounds: a polynomial
+// representation of the Horn LEAST UPPER BOUND of a formula would put
+// NP ⊆ P/poly.  This module implements the object itself, as the paper's
+// reference [16] (Gogic-Papadimitriou-Sideri, "incremental recompilation
+// of knowledge") applies it to revision:
+//
+//   * a theory is Horn-expressible iff its model set is closed under
+//     intersection of models (Dechter & Pearl);
+//   * the Horn LUB of phi is the strongest Horn theory entailed by phi;
+//     its models are exactly the intersection closure of M(phi);
+//   * query answering against the LUB is SOUND for positive answers:
+//     LUB |= Q implies phi |= Q (phi |= LUB).
+//
+// Alphabets up to ~14 letters are practical (candidate Horn clauses are
+// enumerated exhaustively).
+
+#ifndef REVISE_MINIMIZE_HORN_H_
+#define REVISE_MINIMIZE_HORN_H_
+
+#include "logic/formula.h"
+#include "model/model_set.h"
+
+namespace revise {
+
+// Clause with at most one positive literal?
+bool IsHornClause(const Formula& f);
+// CNF whose clauses are all Horn?
+bool IsHornFormula(const Formula& f);
+
+// Fixpoint closure of the model set under pairwise intersection.
+ModelSet IntersectionClosure(const ModelSet& models);
+
+// The prime (subsumption-minimal) Horn implicates of the model set,
+// conjoined: the canonical representation of the Horn least upper bound.
+// Requires alphabet size <= 20 (candidate enumeration is O(n * 2^n)).
+Formula HornLub(const ModelSet& models);
+
+}  // namespace revise
+
+#endif  // REVISE_MINIMIZE_HORN_H_

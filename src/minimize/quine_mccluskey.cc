@@ -1,0 +1,245 @@
+#include "minimize/quine_mccluskey.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "util/check.h"
+
+namespace revise {
+
+int Implicant::NumLiterals() const { return std::popcount(care); }
+
+std::vector<Implicant> PrimeImplicants(const std::vector<uint32_t>& minterms,
+                                       size_t num_vars) {
+  REVISE_CHECK_LE(num_vars, 32u);
+  std::vector<Implicant> current;
+  current.reserve(minterms.size());
+  const uint32_t full_care =
+      num_vars == 32 ? ~uint32_t{0}
+                     : ((uint32_t{1} << num_vars) - 1);
+  for (const uint32_t m : minterms) {
+    current.push_back(Implicant{m & full_care, full_care});
+  }
+  std::sort(current.begin(), current.end());
+  current.erase(std::unique(current.begin(), current.end()), current.end());
+
+  std::vector<Implicant> primes;
+  while (!current.empty()) {
+    std::vector<bool> merged(current.size(), false);
+    std::vector<Implicant> next;
+    for (size_t i = 0; i < current.size(); ++i) {
+      for (size_t j = i + 1; j < current.size(); ++j) {
+        if (current[i].care != current[j].care) continue;
+        const uint32_t diff = current[i].values ^ current[j].values;
+        if (std::popcount(diff) != 1) continue;
+        merged[i] = true;
+        merged[j] = true;
+        next.push_back(Implicant{current[i].values & ~diff,
+                                 current[i].care & ~diff});
+      }
+    }
+    for (size_t i = 0; i < current.size(); ++i) {
+      if (!merged[i]) primes.push_back(current[i]);
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    current = std::move(next);
+  }
+  std::sort(primes.begin(), primes.end());
+  primes.erase(std::unique(primes.begin(), primes.end()), primes.end());
+  return primes;
+}
+
+namespace {
+
+// Exact branch-and-bound unate covering minimizing total literal count.
+class CoverSolver {
+ public:
+  CoverSolver(const std::vector<Implicant>& primes,
+              const std::vector<uint32_t>& minterms)
+      : primes_(primes), minterms_(minterms) {
+    covers_.resize(minterms.size());
+    for (size_t m = 0; m < minterms.size(); ++m) {
+      for (size_t p = 0; p < primes.size(); ++p) {
+        if (primes[p].Covers(minterms_[m])) covers_[m].push_back(p);
+      }
+      REVISE_CHECK(!covers_[m].empty());
+    }
+  }
+
+  std::vector<size_t> Solve() {
+    // Greedy upper bound: repeatedly take the prime covering the most
+    // uncovered minterms per literal.
+    best_cost_ = GreedyBound(&best_);
+    std::vector<bool> covered(minterms_.size(), false);
+    std::vector<size_t> chosen;
+    Recurse(covered, &chosen, 0);
+    return best_;
+  }
+
+ private:
+  uint64_t CostOf(const std::vector<size_t>& picks) const {
+    uint64_t cost = 0;
+    for (const size_t p : picks) cost += primes_[p].NumLiterals();
+    return cost;
+  }
+
+  uint64_t GreedyBound(std::vector<size_t>* out) const {
+    std::vector<bool> covered(minterms_.size(), false);
+    std::vector<size_t> picks;
+    size_t remaining = minterms_.size();
+    while (remaining > 0) {
+      size_t best_prime = 0;
+      double best_score = -1;
+      for (size_t p = 0; p < primes_.size(); ++p) {
+        size_t gain = 0;
+        for (size_t m = 0; m < minterms_.size(); ++m) {
+          if (!covered[m] && primes_[p].Covers(minterms_[m])) ++gain;
+        }
+        if (gain == 0) continue;
+        const double score =
+            static_cast<double>(gain) / primes_[p].NumLiterals();
+        if (score > best_score) {
+          best_score = score;
+          best_prime = p;
+        }
+      }
+      picks.push_back(best_prime);
+      for (size_t m = 0; m < minterms_.size(); ++m) {
+        if (primes_[best_prime].Covers(minterms_[m])) {
+          if (!covered[m]) --remaining;
+          covered[m] = true;
+        }
+      }
+    }
+    *out = picks;
+    return CostOf(picks);
+  }
+
+  void Recurse(std::vector<bool>& covered, std::vector<size_t>* chosen,
+               uint64_t cost) {
+    if (cost >= best_cost_) return;  // bound
+    // Pick the uncovered minterm with the fewest covering primes.
+    size_t pivot = minterms_.size();
+    size_t fewest = std::numeric_limits<size_t>::max();
+    for (size_t m = 0; m < minterms_.size(); ++m) {
+      if (covered[m]) continue;
+      if (covers_[m].size() < fewest) {
+        fewest = covers_[m].size();
+        pivot = m;
+      }
+    }
+    if (pivot == minterms_.size()) {
+      // Fully covered: record improvement.
+      best_cost_ = cost;
+      best_ = *chosen;
+      return;
+    }
+    for (const size_t p : covers_[pivot]) {
+      std::vector<size_t> newly;
+      for (size_t m = 0; m < minterms_.size(); ++m) {
+        if (!covered[m] && primes_[p].Covers(minterms_[m])) {
+          covered[m] = true;
+          newly.push_back(m);
+        }
+      }
+      chosen->push_back(p);
+      Recurse(covered, chosen, cost + primes_[p].NumLiterals());
+      chosen->pop_back();
+      for (const size_t m : newly) covered[m] = false;
+    }
+  }
+
+  const std::vector<Implicant>& primes_;
+  const std::vector<uint32_t>& minterms_;
+  std::vector<std::vector<size_t>> covers_;
+  std::vector<size_t> best_;
+  uint64_t best_cost_ = 0;
+};
+
+std::vector<uint32_t> MintermsOf(const ModelSet& models) {
+  REVISE_CHECK_LE(models.alphabet().size(), 32u);
+  std::vector<uint32_t> minterms;
+  minterms.reserve(models.size());
+  for (const Interpretation& m : models) {
+    minterms.push_back(static_cast<uint32_t>(m.ToIndex()));
+  }
+  return minterms;
+}
+
+std::vector<uint32_t> ComplementMinterms(const ModelSet& models) {
+  const size_t n = models.alphabet().size();
+  REVISE_CHECK_LE(n, 22u);  // complement enumeration must stay feasible
+  std::vector<uint32_t> out;
+  for (uint64_t v = 0; v < (uint64_t{1} << n); ++v) {
+    if (!models.Contains(Interpretation::FromIndex(n, v))) {
+      out.push_back(static_cast<uint32_t>(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TwoLevelResult MinimizeDnf(const std::vector<uint32_t>& minterms,
+                           size_t num_vars) {
+  TwoLevelResult result;
+  if (minterms.empty()) return result;  // constant false
+  const std::vector<Implicant> primes = PrimeImplicants(minterms, num_vars);
+  CoverSolver solver(primes, minterms);
+  for (const size_t p : solver.Solve()) {
+    result.terms.push_back(primes[p]);
+    result.literal_count += primes[p].NumLiterals();
+  }
+  return result;
+}
+
+TwoLevelResult MinimizeDnf(const ModelSet& models) {
+  return MinimizeDnf(MintermsOf(models), models.alphabet().size());
+}
+
+TwoLevelResult MinimizeCnf(const ModelSet& models) {
+  return MinimizeDnf(ComplementMinterms(models), models.alphabet().size());
+}
+
+uint64_t MinimalTwoLevelSize(const ModelSet& models) {
+  return std::min(MinimizeDnf(models).literal_count,
+                  MinimizeCnf(models).literal_count);
+}
+
+Formula DnfToFormula(const TwoLevelResult& result,
+                     const Alphabet& alphabet) {
+  std::vector<Formula> terms;
+  for (const Implicant& implicant : result.terms) {
+    std::vector<Formula> lits;
+    for (size_t i = 0; i < alphabet.size(); ++i) {
+      if ((implicant.care >> i) & 1) {
+        lits.push_back(Formula::Literal(alphabet.var(i),
+                                        (implicant.values >> i) & 1));
+      }
+    }
+    terms.push_back(ConjoinAll(lits));
+  }
+  return DisjoinAll(terms);
+}
+
+Formula CnfToFormula(const TwoLevelResult& result,
+                     const Alphabet& alphabet) {
+  // Negate the complement's DNF: each term becomes a clause with flipped
+  // literal polarities.
+  std::vector<Formula> clauses;
+  for (const Implicant& implicant : result.terms) {
+    std::vector<Formula> lits;
+    for (size_t i = 0; i < alphabet.size(); ++i) {
+      if ((implicant.care >> i) & 1) {
+        lits.push_back(Formula::Literal(alphabet.var(i),
+                                        !((implicant.values >> i) & 1)));
+      }
+    }
+    clauses.push_back(DisjoinAll(lits));
+  }
+  return ConjoinAll(clauses);
+}
+
+}  // namespace revise

@@ -1,0 +1,75 @@
+// Exact two-level minimization (Quine-McCluskey prime implicants + exact
+// set cover by branch and bound).
+//
+// The paper's size results concern the SMALLEST formula equivalent to the
+// revised knowledge base.  Exact minimum circuit size is infeasible, so the
+// benches use the exact minimum two-level (DNF/CNF) size as a measurable
+// proxy, alongside the naive representation size.  Alphabets up to ~16
+// letters are practical.
+
+#ifndef REVISE_MINIMIZE_QUINE_MCCLUSKEY_H_
+#define REVISE_MINIMIZE_QUINE_MCCLUSKEY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/formula.h"
+#include "model/model_set.h"
+
+namespace revise {
+
+// A product term over an alphabet of <= 32 letters: the letters in `care`
+// are fixed to the corresponding bit of `values` (bits of `values` outside
+// `care` are zero).
+struct Implicant {
+  uint32_t values = 0;
+  uint32_t care = 0;
+
+  bool Covers(uint32_t minterm) const {
+    return (minterm & care) == values;
+  }
+  // Number of literals in the term.
+  int NumLiterals() const;
+
+  bool operator==(const Implicant& other) const {
+    return values == other.values && care == other.care;
+  }
+  bool operator<(const Implicant& other) const {
+    return care != other.care ? care < other.care : values < other.values;
+  }
+};
+
+// All prime implicants of the function whose on-set is `minterms`
+// (bit i of a minterm = value of alphabet letter i), over `num_vars`
+// letters.
+std::vector<Implicant> PrimeImplicants(const std::vector<uint32_t>& minterms,
+                                       size_t num_vars);
+
+struct TwoLevelResult {
+  std::vector<Implicant> terms;
+  // Total number of literals (the paper's variable-occurrence measure for
+  // a two-level formula).
+  uint64_t literal_count = 0;
+};
+
+// Exact minimum-literal DNF cover of the on-set (empty terms for the
+// constant-false function; a single all-dont-care term for constant true).
+TwoLevelResult MinimizeDnf(const std::vector<uint32_t>& minterms,
+                           size_t num_vars);
+
+// Convenience wrappers on model sets (alphabet size <= 32).
+TwoLevelResult MinimizeDnf(const ModelSet& models);
+// Minimum CNF via the complement (De Morgan duality).
+TwoLevelResult MinimizeCnf(const ModelSet& models);
+// min(|minimal DNF|, |minimal CNF|) in literals: the two-level proxy for
+// "size of the smallest equivalent formula".
+uint64_t MinimalTwoLevelSize(const ModelSet& models);
+
+// Renders a DNF result as a Formula over `alphabet`.
+Formula DnfToFormula(const TwoLevelResult& result, const Alphabet& alphabet);
+// Renders a CNF result (terms of the complement's DNF) as a Formula.
+Formula CnfToFormula(const TwoLevelResult& result, const Alphabet& alphabet);
+
+}  // namespace revise
+
+#endif  // REVISE_MINIMIZE_QUINE_MCCLUSKEY_H_

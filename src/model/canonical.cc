@@ -1,0 +1,26 @@
+#include "model/canonical.h"
+
+#include <vector>
+
+namespace revise {
+
+Formula Minterm(const Interpretation& m, const Alphabet& alphabet) {
+  std::vector<Formula> literals;
+  literals.reserve(alphabet.size());
+  for (size_t i = 0; i < alphabet.size(); ++i) {
+    literals.push_back(Formula::Literal(alphabet.var(i), m.Get(i)));
+  }
+  return ConjoinAll(literals);
+}
+
+Formula CanonicalDnf(const ModelSet& models) {
+  if (models.empty()) return Formula::False();
+  std::vector<Formula> minterms;
+  minterms.reserve(models.size());
+  for (const Interpretation& m : models) {
+    minterms.push_back(Minterm(m, models.alphabet()));
+  }
+  return DisjoinAll(minterms);
+}
+
+}  // namespace revise

@@ -1,0 +1,22 @@
+// Canonical formula representations of model sets.
+
+#ifndef REVISE_MODEL_CANONICAL_H_
+#define REVISE_MODEL_CANONICAL_H_
+
+#include "logic/formula.h"
+#include "model/model_set.h"
+
+namespace revise {
+
+// The canonical DNF of a model set: one full minterm per model (false for
+// the empty set).  This is the "naive" explicit representation whose size
+// the paper's explosion arguments are about.
+Formula CanonicalDnf(const ModelSet& models);
+
+// The minterm (full conjunction of literals over `alphabet`) describing a
+// single interpretation.
+Formula Minterm(const Interpretation& m, const Alphabet& alphabet);
+
+}  // namespace revise
+
+#endif  // REVISE_MODEL_CANONICAL_H_

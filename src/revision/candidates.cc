@@ -1,0 +1,214 @@
+#include "revision/candidates.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "logic/evaluate.h"
+#include "revision/model_based.h"
+#include "solve/services.h"
+#include "util/check.h"
+
+namespace revise {
+
+namespace {
+
+// Positions of V(p) within the alphabet.
+std::vector<size_t> VpPositions(const Formula& p, const Alphabet& alphabet) {
+  std::vector<size_t> positions;
+  for (const Var v : p.Vars()) {
+    const auto index = alphabet.IndexOf(v);
+    REVISE_CHECK(index.has_value());
+    positions.push_back(*index);
+  }
+  return positions;
+}
+
+Interpretation MaskToDiff(uint64_t mask,
+                          const std::vector<size_t>& positions, size_t n) {
+  Interpretation diff(n);
+  for (size_t j = 0; j < positions.size(); ++j) {
+    if ((mask >> j) & 1) diff.Set(positions[j], true);
+  }
+  return diff;
+}
+
+}  // namespace
+
+ModelSet ReviseSetByFormula(OperatorId id, const ModelSet& mt,
+                            const Formula& p) {
+  const Alphabet& alphabet = mt.alphabet();
+  const std::vector<size_t> vp = VpPositions(p, alphabet);
+  REVISE_CHECK_LE(vp.size(), 20u);
+  const uint64_t subsets = uint64_t{1} << vp.size();
+
+  // cand[i] = sorted masks S such that (mt[i] delta S) |= p.  The truth
+  // of p depends only on the V(p)-letters, so results are cached by the
+  // projection of the model onto V(p).
+  std::vector<std::vector<uint64_t>> cand(mt.size());
+  std::unordered_map<uint64_t, std::vector<uint64_t>> cache;
+  for (size_t i = 0; i < mt.size(); ++i) {
+    uint64_t key = 0;
+    for (size_t j = 0; j < vp.size(); ++j) {
+      if (mt[i].Get(vp[j])) key |= uint64_t{1} << j;
+    }
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+      cand[i] = it->second;
+      continue;
+    }
+    std::vector<uint64_t> masks;
+    for (uint64_t s = 0; s < subsets; ++s) {
+      Interpretation candidate = mt[i];
+      for (size_t j = 0; j < vp.size(); ++j) {
+        if ((s >> j) & 1) candidate.Set(vp[j], !candidate.Get(vp[j]));
+      }
+      if (Evaluate(p, alphabet, candidate)) masks.push_back(s);
+    }
+    cache.emplace(key, masks);
+    cand[i] = std::move(masks);
+  }
+
+  auto make_model = [&](size_t i, uint64_t s) {
+    Interpretation candidate = mt[i];
+    for (size_t j = 0; j < vp.size(); ++j) {
+      if ((s >> j) & 1) candidate.Set(vp[j], !candidate.Get(vp[j]));
+    }
+    return candidate;
+  };
+
+  std::vector<Interpretation> selected;
+  switch (id) {
+    case OperatorId::kWinslett: {
+      for (size_t i = 0; i < mt.size(); ++i) {
+        // Inclusion-minimal masks of cand[i].
+        for (const uint64_t s : cand[i]) {
+          bool minimal = true;
+          for (const uint64_t s2 : cand[i]) {
+            if (s2 != s && (s2 & ~s) == 0) {
+              minimal = false;
+              break;
+            }
+          }
+          if (minimal) selected.push_back(make_model(i, s));
+        }
+      }
+      break;
+    }
+    case OperatorId::kBorgida: {
+      bool consistent = false;
+      for (size_t i = 0; i < mt.size() && !consistent; ++i) {
+        consistent = !cand[i].empty() && cand[i][0] == 0;
+      }
+      if (consistent) {
+        for (size_t i = 0; i < mt.size(); ++i) {
+          if (!cand[i].empty() && cand[i][0] == 0) {
+            selected.push_back(mt[i]);
+          }
+        }
+      } else {
+        return ReviseSetByFormula(OperatorId::kWinslett, mt, p);
+      }
+      break;
+    }
+    case OperatorId::kForbus: {
+      for (size_t i = 0; i < mt.size(); ++i) {
+        if (cand[i].empty()) continue;
+        size_t k_m = vp.size() + 1;
+        for (const uint64_t s : cand[i]) {
+          k_m = std::min<size_t>(k_m, std::popcount(s));
+        }
+        for (const uint64_t s : cand[i]) {
+          if (static_cast<size_t>(std::popcount(s)) == k_m) {
+            selected.push_back(make_model(i, s));
+          }
+        }
+      }
+      break;
+    }
+    case OperatorId::kDalal: {
+      size_t k = vp.size() + 1;
+      for (size_t i = 0; i < mt.size(); ++i) {
+        for (const uint64_t s : cand[i]) {
+          k = std::min<size_t>(k, std::popcount(s));
+        }
+      }
+      for (size_t i = 0; i < mt.size(); ++i) {
+        for (const uint64_t s : cand[i]) {
+          if (static_cast<size_t>(std::popcount(s)) == k) {
+            selected.push_back(make_model(i, s));
+          }
+        }
+      }
+      break;
+    }
+    case OperatorId::kSatoh:
+    case OperatorId::kWeber: {
+      // delta(T,P): inclusion-minimal masks across all models.
+      std::vector<Interpretation> all_diffs;
+      for (size_t i = 0; i < mt.size(); ++i) {
+        for (const uint64_t s : cand[i]) {
+          all_diffs.push_back(MaskToDiff(s, vp, alphabet.size()));
+        }
+      }
+      const std::vector<Interpretation> delta =
+          MinimalUnderInclusion(std::move(all_diffs));
+      if (id == OperatorId::kSatoh) {
+        for (size_t i = 0; i < mt.size(); ++i) {
+          for (const uint64_t s : cand[i]) {
+            const Interpretation d = MaskToDiff(s, vp, alphabet.size());
+            if (std::find(delta.begin(), delta.end(), d) != delta.end()) {
+              selected.push_back(make_model(i, s));
+            }
+          }
+        }
+      } else {
+        Interpretation omega(alphabet.size());
+        for (const Interpretation& d : delta) omega = omega.Union(d);
+        for (size_t i = 0; i < mt.size(); ++i) {
+          for (const uint64_t s : cand[i]) {
+            if (MaskToDiff(s, vp, alphabet.size()).IsSubsetOf(omega)) {
+              selected.push_back(make_model(i, s));
+            }
+          }
+        }
+      }
+      break;
+    }
+    default:
+      REVISE_CHECK(false);  // not a model-based operator
+  }
+  return ModelSet(alphabet, std::move(selected));
+}
+
+ModelSet ReviseModelsAuto(OperatorId id, const ModelSet& mt,
+                          const Formula& p, const Alphabet& alphabet) {
+  if (mt.empty()) {
+    // Unsatisfiable prior knowledge: the result is M(P).
+    return EnumerateModels(p, alphabet);
+  }
+  if (p.Vars().size() <= 16) {
+    return ReviseSetByFormula(id, mt, p);
+  }
+  return [&] {
+    const ModelSet mp = EnumerateModels(p, alphabet);
+    switch (id) {
+      case OperatorId::kWinslett:
+        return WinslettModels(mt, mp);
+      case OperatorId::kBorgida:
+        return BorgidaModels(mt, mp);
+      case OperatorId::kForbus:
+        return ForbusModels(mt, mp);
+      case OperatorId::kSatoh:
+        return SatohModels(mt, mp);
+      case OperatorId::kDalal:
+        return DalalModels(mt, mp);
+      case OperatorId::kWeber:
+        return WeberModels(mt, mp);
+      default:
+        REVISE_CHECK(false);
+        return ModelSet();
+    }
+  }();
+}
+
+}  // namespace revise

@@ -1,0 +1,155 @@
+#include "revision/formula_based.h"
+
+#include "solve/sat_context.h"
+#include "util/check.h"
+
+namespace revise {
+
+namespace {
+
+using sat::Lit;
+using sat::Negate;
+
+uint64_t MaskOf(const std::vector<bool>& bits) {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+}  // namespace
+
+std::vector<uint64_t> MaximalConsistentSubsets(const Theory& t,
+                                               const Formula& p,
+                                               size_t limit) {
+  REVISE_CHECK_LE(t.size(), 63u);
+  SatContext context;
+  context.Assert(p);
+  std::vector<Lit> selectors(t.size());
+  for (size_t i = 0; i < t.size(); ++i) {
+    selectors[i] = context.FreshLit();
+    // s_i -> f_i.
+    context.solver().AddBinary(Negate(selectors[i]),
+                               context.Encode(t[i]));
+  }
+  std::vector<uint64_t> worlds;
+  while (context.Solve()) {
+    std::vector<bool> current(t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+      current[i] = context.ModelValueOfLit(selectors[i]);
+    }
+    // Grow to an inclusion-maximal selector set.
+    for (;;) {
+      std::vector<Lit> assumptions;
+      std::vector<Lit> outside;
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (current[i]) {
+          assumptions.push_back(selectors[i]);
+        } else {
+          outside.push_back(selectors[i]);
+        }
+      }
+      if (outside.empty()) break;  // already the full theory
+      const Lit activation = context.FreshLit();
+      std::vector<Lit> clause = {Negate(activation)};
+      clause.insert(clause.end(), outside.begin(), outside.end());
+      context.solver().AddClause(std::move(clause));
+      assumptions.push_back(activation);
+      const bool grew = context.Solve(assumptions);
+      context.solver().AddUnit(Negate(activation));
+      if (!grew) break;
+      for (size_t i = 0; i < t.size(); ++i) {
+        current[i] = context.ModelValueOfLit(selectors[i]);
+      }
+    }
+    worlds.push_back(MaskOf(current));
+    if (limit != 0 && worlds.size() >= limit) break;
+    // Block this maximal set and all of its subsets: require a selector
+    // outside it.
+    std::vector<Lit> blocking;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (!current[i]) blocking.push_back(selectors[i]);
+    }
+    if (blocking.empty()) break;  // the full theory is consistent with p
+    if (!context.solver().AddClause(std::move(blocking))) break;
+  }
+  return worlds;
+}
+
+Formula GfuvFormula(const Theory& t, const Formula& p) {
+  const std::vector<uint64_t> worlds = MaximalConsistentSubsets(t, p);
+  std::vector<Formula> disjuncts;
+  disjuncts.reserve(worlds.size());
+  for (const uint64_t mask : worlds) {
+    disjuncts.push_back(t.Subset(mask).AsFormula());
+  }
+  return Formula::And(DisjoinAll(disjuncts), p);
+}
+
+Theory WidtioTheory(const Theory& t, const Formula& p) {
+  const std::vector<uint64_t> worlds = MaximalConsistentSubsets(t, p);
+  Theory result;
+  if (!worlds.empty()) {
+    uint64_t intersection = worlds[0];
+    for (const uint64_t mask : worlds) intersection &= mask;
+    result = t.Subset(intersection);
+  }
+  result.Add(p);
+  return result;
+}
+
+Theory ConcatenateClasses(const std::vector<Theory>& classes) {
+  Theory flat;
+  for (const Theory& cls : classes) {
+    for (const Formula& f : cls) flat.Add(f);
+  }
+  return flat;
+}
+
+namespace {
+
+void PrioritizedRecurse(const std::vector<Theory>& classes, size_t level,
+                        size_t offset, uint64_t fixed_mask,
+                        const Formula& context_formula,
+                        std::vector<uint64_t>* out) {
+  if (level == classes.size()) {
+    out->push_back(fixed_mask);
+    return;
+  }
+  const Theory& cls = classes[level];
+  const std::vector<uint64_t> locals =
+      MaximalConsistentSubsets(cls, context_formula);
+  for (const uint64_t local : locals) {
+    const Formula extended =
+        Formula::And(context_formula, cls.Subset(local).AsFormula());
+    PrioritizedRecurse(classes, level + 1, offset + cls.size(),
+                       fixed_mask | (local << offset), extended, out);
+  }
+}
+
+}  // namespace
+
+std::vector<uint64_t> PrioritizedMaximalSubsets(
+    const std::vector<Theory>& classes, const Formula& p) {
+  size_t total = 0;
+  for (const Theory& cls : classes) total += cls.size();
+  REVISE_CHECK_LE(total, 63u);
+  std::vector<uint64_t> out;
+  PrioritizedRecurse(classes, 0, 0, 0, p, &out);
+  return out;
+}
+
+Formula NebelFormula(const std::vector<Theory>& classes, const Formula& p) {
+  const Theory flat = ConcatenateClasses(classes);
+  const std::vector<uint64_t> worlds =
+      PrioritizedMaximalSubsets(classes, p);
+  std::vector<Formula> disjuncts;
+  disjuncts.reserve(worlds.size());
+  for (const uint64_t mask : worlds) {
+    disjuncts.push_back(flat.Subset(mask).AsFormula());
+  }
+  return Formula::And(DisjoinAll(disjuncts), p);
+}
+
+}  // namespace revise

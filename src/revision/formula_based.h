@@ -1,0 +1,52 @@
+// Formula-based revision semantics (Section 2.2.1): GFUV, WIDTIO, Nebel.
+//
+// The common ingredient is W(T,P), the set of maximal (under set inclusion)
+// subsets of the theory T that are consistent with P.  We enumerate W(T,P)
+// with the CDCL solver using one selector variable per theory element and a
+// grow-then-block loop, so theories far beyond brute-force subset
+// enumeration are handled.
+
+#ifndef REVISE_REVISION_FORMULA_BASED_H_
+#define REVISE_REVISION_FORMULA_BASED_H_
+
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/theory.h"
+#include "model/model_set.h"
+
+namespace revise {
+
+// W(T, P): each element is a bitmask over T's formulas (bit i set iff
+// formulas()[i] belongs to the maximal subset).  If P is unsatisfiable the
+// result is empty; if every element of T contradicts P on its own, the
+// result is the single empty subset (mask 0), matching the definition.
+// `limit` == 0 means no limit on the number of worlds returned.
+std::vector<uint64_t> MaximalConsistentSubsets(const Theory& t,
+                                               const Formula& p,
+                                               size_t limit = 0);
+
+// T *_GFUV P as a formula: (\/_{T' in W(T,P)} /\T') & P.  This is the
+// naive explicit representation whose size Theorem 3.1 is about.
+Formula GfuvFormula(const Theory& t, const Formula& p);
+
+// T *_WIDTIO P: the theory (∩ W(T,P)) ∪ {P}.
+Theory WidtioTheory(const Theory& t, const Formula& p);
+
+// Nebel's prioritized base revision: the theory is partitioned into
+// priority classes, highest priority first.  A prioritized-maximal subset
+// maximizes its intersection with class 1, then with class 2 given class
+// 1, and so on.  Returns one bitmask over the *concatenated* theory per
+// possible world.
+std::vector<uint64_t> PrioritizedMaximalSubsets(
+    const std::vector<Theory>& classes, const Formula& p);
+
+// The concatenation of the classes (the flat theory the masks refer to).
+Theory ConcatenateClasses(const std::vector<Theory>& classes);
+
+// T *_Nebel P as a formula, analogous to GfuvFormula.
+Formula NebelFormula(const std::vector<Theory>& classes, const Formula& p);
+
+}  // namespace revise
+
+#endif  // REVISE_REVISION_FORMULA_BASED_H_

@@ -1,0 +1,42 @@
+// Iterated belief revision (Section 2.2.3): T * P^1 * ... * P^m with a
+// left-associative operator.
+//
+// Two computational strategies from the paper:
+//   * incorporate-eagerly: fold each revision into an explicit
+//     representation one by one (sizes can explode; Tables 1-2);
+//   * delayed incorporation: store T and the whole sequence P^1..P^m and
+//     compute on demand (the strategy the paper recommends in Section 8).
+// Both produce the same model sets; the benches compare representation
+// sizes along the way.
+
+#ifndef REVISE_REVISION_ITERATED_H_
+#define REVISE_REVISION_ITERATED_H_
+
+#include <vector>
+
+#include "revision/operator.h"
+
+namespace revise {
+
+// Models of T * P^1 * ... * P^m over `alphabet` (must contain all letters
+// involved).  Model-based operators iterate on model sets; formula-based
+// operators re-wrap each intermediate result as a singleton theory, which
+// is the standard convention for iterating them.
+ModelSet IteratedReviseModels(const RevisionOperator& op, const Theory& t,
+                              const std::vector<Formula>& updates,
+                              const Alphabet& alphabet);
+
+// The eager strategy, additionally reporting the explicit formula after
+// every step (for size measurements).  result[i] is the formula after
+// incorporating P^1..P^{i+1}.
+std::vector<Formula> IteratedReviseFormulas(
+    const RevisionOperator& op, const Theory& t,
+    const std::vector<Formula>& updates);
+
+// The alphabet V(T) ∪ V(P^1) ∪ ... ∪ V(P^m).
+Alphabet IteratedAlphabet(const Theory& t,
+                          const std::vector<Formula>& updates);
+
+}  // namespace revise
+
+#endif  // REVISE_REVISION_ITERATED_H_

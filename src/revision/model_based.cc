@@ -1,0 +1,172 @@
+#include "revision/model_based.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace revise {
+
+namespace {
+
+// Shared degenerate-case handling.  Returns true if the result is already
+// decided and stored in *result.
+bool HandleDegenerate(const ModelSet& mt, const ModelSet& mp,
+                      ModelSet* result) {
+  if (mp.empty()) {
+    *result = ModelSet(mp.alphabet(), {});
+    return true;
+  }
+  if (mt.empty()) {
+    *result = mp;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Interpretation> PointwiseMinimalDiffs(const Interpretation& m,
+                                                  const ModelSet& mp) {
+  std::vector<Interpretation> diffs;
+  diffs.reserve(mp.size());
+  for (const Interpretation& n : mp) {
+    diffs.push_back(m.SymmetricDifference(n));
+  }
+  return MinimalUnderInclusion(std::move(diffs));
+}
+
+std::optional<size_t> PointwiseMinDistance(const Interpretation& m,
+                                           const ModelSet& mp) {
+  if (mp.empty()) return std::nullopt;
+  size_t best = m.size() + 1;
+  for (const Interpretation& n : mp) {
+    best = std::min(best, m.HammingDistance(n));
+  }
+  return best;
+}
+
+std::vector<Interpretation> GlobalMinimalDiffsOfSets(const ModelSet& mt,
+                                                     const ModelSet& mp) {
+  std::vector<Interpretation> diffs;
+  for (const Interpretation& m : mt) {
+    for (const Interpretation& n : mp) {
+      diffs.push_back(m.SymmetricDifference(n));
+    }
+  }
+  return MinimalUnderInclusion(std::move(diffs));
+}
+
+std::optional<size_t> GlobalMinDistanceOfSets(const ModelSet& mt,
+                                              const ModelSet& mp) {
+  if (mt.empty() || mp.empty()) return std::nullopt;
+  size_t best = mt.alphabet().size() + 1;
+  for (const Interpretation& m : mt) {
+    for (const Interpretation& n : mp) {
+      best = std::min(best, m.HammingDistance(n));
+    }
+  }
+  return best;
+}
+
+Interpretation WeberOmegaOfSets(const ModelSet& mt, const ModelSet& mp) {
+  Interpretation omega(mt.alphabet().size());
+  for (const Interpretation& diff : GlobalMinimalDiffsOfSets(mt, mp)) {
+    omega = omega.Union(diff);
+  }
+  return omega;
+}
+
+ModelSet WinslettModels(const ModelSet& mt, const ModelSet& mp) {
+  REVISE_CHECK(mt.alphabet() == mp.alphabet());
+  ModelSet degenerate;
+  if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
+  std::vector<Interpretation> selected;
+  for (const Interpretation& m : mt) {
+    const std::vector<Interpretation> mu = PointwiseMinimalDiffs(m, mp);
+    for (const Interpretation& n : mp) {
+      const Interpretation diff = m.SymmetricDifference(n);
+      if (std::find(mu.begin(), mu.end(), diff) != mu.end()) {
+        selected.push_back(n);
+      }
+    }
+  }
+  return ModelSet(mp.alphabet(), std::move(selected));
+}
+
+ModelSet BorgidaModels(const ModelSet& mt, const ModelSet& mp) {
+  REVISE_CHECK(mt.alphabet() == mp.alphabet());
+  ModelSet degenerate;
+  if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
+  const ModelSet both = ModelSet::Intersection(mt, mp);
+  if (!both.empty()) return both;
+  return WinslettModels(mt, mp);
+}
+
+ModelSet ForbusModels(const ModelSet& mt, const ModelSet& mp) {
+  REVISE_CHECK(mt.alphabet() == mp.alphabet());
+  ModelSet degenerate;
+  if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
+  std::vector<Interpretation> selected;
+  for (const Interpretation& m : mt) {
+    const std::optional<size_t> k = PointwiseMinDistance(m, mp);
+    for (const Interpretation& n : mp) {
+      if (m.HammingDistance(n) == *k) selected.push_back(n);
+    }
+  }
+  return ModelSet(mp.alphabet(), std::move(selected));
+}
+
+ModelSet SatohModels(const ModelSet& mt, const ModelSet& mp) {
+  REVISE_CHECK(mt.alphabet() == mp.alphabet());
+  ModelSet degenerate;
+  if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
+  const std::vector<Interpretation> delta =
+      GlobalMinimalDiffsOfSets(mt, mp);
+  std::vector<Interpretation> selected;
+  for (const Interpretation& n : mp) {
+    for (const Interpretation& m : mt) {
+      const Interpretation diff = n.SymmetricDifference(m);
+      if (std::find(delta.begin(), delta.end(), diff) != delta.end()) {
+        selected.push_back(n);
+        break;
+      }
+    }
+  }
+  return ModelSet(mp.alphabet(), std::move(selected));
+}
+
+ModelSet DalalModels(const ModelSet& mt, const ModelSet& mp) {
+  REVISE_CHECK(mt.alphabet() == mp.alphabet());
+  ModelSet degenerate;
+  if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
+  const size_t k = *GlobalMinDistanceOfSets(mt, mp);
+  std::vector<Interpretation> selected;
+  for (const Interpretation& n : mp) {
+    for (const Interpretation& m : mt) {
+      if (n.HammingDistance(m) == k) {
+        selected.push_back(n);
+        break;
+      }
+    }
+  }
+  return ModelSet(mp.alphabet(), std::move(selected));
+}
+
+ModelSet WeberModels(const ModelSet& mt, const ModelSet& mp) {
+  REVISE_CHECK(mt.alphabet() == mp.alphabet());
+  ModelSet degenerate;
+  if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
+  const Interpretation omega = WeberOmegaOfSets(mt, mp);
+  std::vector<Interpretation> selected;
+  for (const Interpretation& n : mp) {
+    for (const Interpretation& m : mt) {
+      if (n.SymmetricDifference(m).IsSubsetOf(omega)) {
+        selected.push_back(n);
+        break;
+      }
+    }
+  }
+  return ModelSet(mp.alphabet(), std::move(selected));
+}
+
+}  // namespace revise

@@ -1,0 +1,203 @@
+#include "revision/operator.h"
+
+#include "logic/evaluate.h"
+#include "model/canonical.h"
+#include "revision/candidates.h"
+#include "revision/formula_based.h"
+#include "revision/model_based.h"
+#include "solve/services.h"
+#include "util/check.h"
+
+namespace revise {
+
+Alphabet RevisionAlphabet(const Theory& t, const Formula& p) {
+  std::vector<Var> vars = t.Vars();
+  for (const Var v : p.Vars()) vars.push_back(v);
+  return Alphabet(std::move(vars));
+}
+
+Formula RevisionOperator::ReviseFormula(const Theory& t,
+                                        const Formula& p) const {
+  return CanonicalDnf(ReviseModels(t, p));
+}
+
+bool RevisionOperator::Entails(const Theory& t, const Formula& p,
+                               const Formula& q) const {
+  // Evaluate q on every model of T * P over V(T) ∪ V(P) ∪ V(q); letters
+  // of q outside the revision alphabet are unconstrained, so q must hold
+  // for all their values.
+  std::vector<Var> vars = t.Vars();
+  for (const Var v : p.Vars()) vars.push_back(v);
+  const Alphabet revision_alphabet(vars);
+  for (const Var v : q.Vars()) vars.push_back(v);
+  const Alphabet query_alphabet(vars);
+
+  const ModelSet revised = ReviseModels(t, p, revision_alphabet);
+  const size_t extra = query_alphabet.size() - revision_alphabet.size();
+  REVISE_CHECK_LE(extra, 20u);
+  for (const Interpretation& m : revised) {
+    // Extend m over the query alphabet in every possible way.
+    const Interpretation base =
+        Reinterpret(m, revision_alphabet, query_alphabet);
+    // Positions of the extra letters within query_alphabet.
+    std::vector<size_t> extra_positions;
+    for (size_t i = 0; i < query_alphabet.size(); ++i) {
+      if (!revision_alphabet.Contains(query_alphabet.var(i))) {
+        extra_positions.push_back(i);
+      }
+    }
+    for (uint64_t bits = 0; bits < (uint64_t{1} << extra_positions.size());
+         ++bits) {
+      Interpretation extended = base;
+      for (size_t j = 0; j < extra_positions.size(); ++j) {
+        extended.Set(extra_positions[j], (bits >> j) & 1);
+      }
+      if (!Evaluate(q, query_alphabet, extended)) return false;
+    }
+  }
+  return true;
+}
+
+bool RevisionOperator::IsModel(const Theory& t, const Formula& p,
+                               const Interpretation& m,
+                               const Alphabet& alphabet) const {
+  const ModelSet revised = ReviseModels(t, p, alphabet);
+  return revised.Contains(m);
+}
+
+ModelSet ModelBasedOperator::ReviseModels(const Theory& t, const Formula& p,
+                                          const Alphabet& alphabet) const {
+  const ModelSet mt = EnumerateModels(t.AsFormula(), alphabet);
+  return ReviseModelsAuto(id(), mt, p, alphabet);
+}
+
+ModelSet WinslettOperator::ReviseModelSets(const ModelSet& mt,
+                                           const ModelSet& mp) const {
+  return WinslettModels(mt, mp);
+}
+
+ModelSet BorgidaOperator::ReviseModelSets(const ModelSet& mt,
+                                          const ModelSet& mp) const {
+  return BorgidaModels(mt, mp);
+}
+
+ModelSet ForbusOperator::ReviseModelSets(const ModelSet& mt,
+                                         const ModelSet& mp) const {
+  return ForbusModels(mt, mp);
+}
+
+ModelSet SatohOperator::ReviseModelSets(const ModelSet& mt,
+                                        const ModelSet& mp) const {
+  return SatohModels(mt, mp);
+}
+
+ModelSet DalalOperator::ReviseModelSets(const ModelSet& mt,
+                                        const ModelSet& mp) const {
+  return DalalModels(mt, mp);
+}
+
+ModelSet WeberOperator::ReviseModelSets(const ModelSet& mt,
+                                        const ModelSet& mp) const {
+  return WeberModels(mt, mp);
+}
+
+ModelSet GfuvOperator::ReviseModels(const Theory& t, const Formula& p,
+                                    const Alphabet& alphabet) const {
+  return EnumerateModels(ReviseFormula(t, p), alphabet);
+}
+
+Formula GfuvOperator::ReviseFormula(const Theory& t,
+                                    const Formula& p) const {
+  return GfuvFormula(t, p);
+}
+
+ModelSet WidtioOperator::ReviseModels(const Theory& t, const Formula& p,
+                                      const Alphabet& alphabet) const {
+  return EnumerateModels(ReviseFormula(t, p), alphabet);
+}
+
+Formula WidtioOperator::ReviseFormula(const Theory& t,
+                                      const Formula& p) const {
+  return WidtioTheory(t, p).AsFormula();
+}
+
+std::vector<Theory> NebelOperator::LinearClasses(const Theory& t) {
+  std::vector<Theory> classes;
+  classes.reserve(t.size());
+  for (const Formula& f : t) {
+    classes.push_back(Theory({f}));
+  }
+  return classes;
+}
+
+ModelSet NebelOperator::ReviseModels(const Theory& t, const Formula& p,
+                                     const Alphabet& alphabet) const {
+  return ReviseModels(LinearClasses(t), p, alphabet);
+}
+
+Formula NebelOperator::ReviseFormula(const Theory& t,
+                                     const Formula& p) const {
+  return ReviseFormula(LinearClasses(t), p);
+}
+
+ModelSet NebelOperator::ReviseModels(const std::vector<Theory>& classes,
+                                     const Formula& p,
+                                     const Alphabet& alphabet) const {
+  return EnumerateModels(NebelFormula(classes, p), alphabet);
+}
+
+Formula NebelOperator::ReviseFormula(const std::vector<Theory>& classes,
+                                     const Formula& p) const {
+  return NebelFormula(classes, p);
+}
+
+namespace {
+
+struct Registry {
+  GfuvOperator gfuv;
+  NebelOperator nebel;
+  WidtioOperator widtio;
+  WinslettOperator winslett;
+  BorgidaOperator borgida;
+  ForbusOperator forbus;
+  SatohOperator satoh;
+  DalalOperator dalal;
+  WeberOperator weber;
+};
+
+const Registry& GlobalRegistry() {
+  static const Registry& registry = *new Registry;
+  return registry;
+}
+
+}  // namespace
+
+const std::vector<const RevisionOperator*>& AllOperators() {
+  static const std::vector<const RevisionOperator*>& all =
+      *new std::vector<const RevisionOperator*>{
+          &GlobalRegistry().gfuv,     &GlobalRegistry().nebel,
+          &GlobalRegistry().widtio,   &GlobalRegistry().winslett,
+          &GlobalRegistry().borgida,  &GlobalRegistry().forbus,
+          &GlobalRegistry().satoh,    &GlobalRegistry().dalal,
+          &GlobalRegistry().weber};
+  return all;
+}
+
+const std::vector<const ModelBasedOperator*>& AllModelBasedOperators() {
+  static const std::vector<const ModelBasedOperator*>& all =
+      *new std::vector<const ModelBasedOperator*>{
+          &GlobalRegistry().winslett, &GlobalRegistry().borgida,
+          &GlobalRegistry().forbus,   &GlobalRegistry().satoh,
+          &GlobalRegistry().dalal,    &GlobalRegistry().weber};
+  return all;
+}
+
+const RevisionOperator* OperatorById(OperatorId id) {
+  for (const RevisionOperator* op : AllOperators()) {
+    if (op->id() == id) return op;
+  }
+  REVISE_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace revise

@@ -1,0 +1,72 @@
+// Katsuno-Mendelzon postulate checking.
+//
+// The paper classifies its operators as belief revision (AGM/KM R1-R6)
+// versus knowledge update (KM U1-U8); this header turns that backdrop
+// into a runnable classifier: given an operator and a randomized sweep,
+// report which postulates hold and produce concrete counterexamples for
+// those that do not.  Downstream users adding their own operator get an
+// instant semantic profile.
+
+#ifndef REVISE_REVISION_POSTULATES_H_
+#define REVISE_REVISION_POSTULATES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logic/formula.h"
+#include "revision/operator.h"
+#include "util/random.h"
+
+namespace revise {
+
+enum class KmPostulate {
+  kR1Success,        // T * P |= P
+  kR2Vacuity,        // T & P consistent  =>  T * P == T & P
+  kR3Consistency,    // P consistent  =>  T * P consistent
+  kR4Syntax,         // semantic irrelevance of syntax
+  kR5Conjunction,    // (T * P) & Q |= T * (P & Q)
+  kR6Conjunction,    // (T*P) & Q consistent => T*(P&Q) |= (T*P) & Q
+  kU2UpdateVacuity,  // T |= P  =>  T * P == T
+  kU8Disjunction,    // (T1 | T2) * P == (T1 * P) | (T2 * P)
+};
+
+const char* KmPostulateName(KmPostulate postulate);
+
+// A concrete failing instance.
+struct PostulateViolation {
+  KmPostulate postulate;
+  Formula t;       // or T1 for U8
+  Formula t2;      // U8 only
+  Formula p;
+  Formula q;       // R5/R6 only
+  std::string description;
+};
+
+struct PostulateReport {
+  // Parallel arrays: postulate, instances checked, violations found, and
+  // the first violation witness (if any).
+  std::vector<KmPostulate> postulates;
+  std::vector<int> checked;
+  std::vector<int> violated;
+  std::vector<std::optional<PostulateViolation>> witnesses;
+
+  bool Satisfies(KmPostulate postulate) const;
+  std::string ToString(const Vocabulary& vocabulary) const;
+};
+
+struct PostulateSweepOptions {
+  int num_vars = 4;
+  int trials = 40;
+  uint64_t seed = 1;
+};
+
+// Randomized sweep of all checkable postulates for a model-based
+// operator.  Deterministic for a fixed seed.
+PostulateReport CheckKmPostulates(const ModelBasedOperator& op,
+                                  const PostulateSweepOptions& options,
+                                  Vocabulary* vocabulary);
+
+}  // namespace revise
+
+#endif  // REVISE_REVISION_POSTULATES_H_

@@ -1,0 +1,101 @@
+#include "sat/cardinality.h"
+
+#include "util/check.h"
+
+namespace revise::sat {
+
+namespace {
+
+// Totalizer merge of two unary counts (Bailleux & Boutonnet 2003), with
+// clauses for both directions so the outputs are full equivalences:
+// out[j] is true iff at least j+1 inputs are true.
+std::vector<Lit> Merge(const std::vector<Lit>& a, const std::vector<Lit>& b,
+                       Cnf* cnf) {
+  const size_t p = a.size();
+  const size_t q = b.size();
+  std::vector<Lit> out(p + q);
+  for (size_t i = 0; i < p + q; ++i) out[i] = PosLit(cnf->NewVar());
+  for (size_t alpha = 0; alpha <= p; ++alpha) {
+    for (size_t beta = 0; beta <= q; ++beta) {
+      const size_t sigma = alpha + beta;
+      // sum >= sigma: a_alpha & b_beta -> r_sigma.
+      if (sigma >= 1 && sigma <= p + q) {
+        std::vector<Lit> clause;
+        if (alpha >= 1) clause.push_back(Negate(a[alpha - 1]));
+        if (beta >= 1) clause.push_back(Negate(b[beta - 1]));
+        clause.push_back(out[sigma - 1]);
+        cnf->AddClause(std::move(clause));
+      }
+      // sum <= sigma: !a_{alpha+1} & !b_{beta+1} -> !r_{sigma+1}.
+      if (sigma + 1 <= p + q) {
+        std::vector<Lit> clause;
+        if (alpha + 1 <= p) clause.push_back(a[alpha]);
+        if (beta + 1 <= q) clause.push_back(b[beta]);
+        clause.push_back(Negate(out[sigma]));
+        cnf->AddClause(std::move(clause));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Lit> BuildTotalizer(const std::vector<Lit>& lits, size_t lo,
+                                size_t hi, Cnf* cnf) {
+  REVISE_CHECK_LT(lo, hi);
+  if (hi - lo == 1) return {lits[lo]};
+  const size_t mid = lo + (hi - lo) / 2;
+  std::vector<Lit> left = BuildTotalizer(lits, lo, mid, cnf);
+  std::vector<Lit> right = BuildTotalizer(lits, mid, hi, cnf);
+  return Merge(left, right, cnf);
+}
+
+}  // namespace
+
+std::vector<Lit> EncodeTotalizer(const std::vector<Lit>& lits, Cnf* cnf) {
+  if (lits.empty()) return {};
+  return BuildTotalizer(lits, 0, lits.size(), cnf);
+}
+
+void EncodeAtMost(const std::vector<Lit>& lits, size_t bound, Cnf* cnf) {
+  if (bound >= lits.size()) return;
+  if (bound == 0) {
+    for (Lit lit : lits) cnf->AddUnit(Negate(lit));
+    return;
+  }
+  std::vector<Lit> counts = EncodeTotalizer(lits, cnf);
+  cnf->AddUnit(Negate(counts[bound]));  // not (sum >= bound+1)
+}
+
+void EncodeAtLeast(const std::vector<Lit>& lits, size_t bound, Cnf* cnf) {
+  if (bound == 0) return;
+  if (bound > lits.size()) {
+    cnf->AddClause({});  // unsatisfiable
+    return;
+  }
+  if (bound == lits.size()) {
+    for (Lit lit : lits) cnf->AddUnit(lit);
+    return;
+  }
+  std::vector<Lit> counts = EncodeTotalizer(lits, cnf);
+  cnf->AddUnit(counts[bound - 1]);  // sum >= bound
+}
+
+void EncodeExactly(const std::vector<Lit>& lits, size_t bound, Cnf* cnf) {
+  if (bound > lits.size()) {
+    cnf->AddClause({});
+    return;
+  }
+  if (bound == 0) {
+    for (Lit lit : lits) cnf->AddUnit(Negate(lit));
+    return;
+  }
+  if (bound == lits.size()) {
+    for (Lit lit : lits) cnf->AddUnit(lit);
+    return;
+  }
+  std::vector<Lit> counts = EncodeTotalizer(lits, cnf);
+  cnf->AddUnit(counts[bound - 1]);
+  cnf->AddUnit(Negate(counts[bound]));
+}
+
+}  // namespace revise::sat

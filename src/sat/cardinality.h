@@ -1,0 +1,37 @@
+// Cardinality constraints over SAT literals.
+//
+// Sequential-counter encodings (Sinz 2005) of sum(lits) <= k, >= k, == k.
+// These are the SAT-level counterpart of the paper's EXA circuit (Section
+// 3.1): polynomial-size counting circuits with auxiliary variables.  They
+// power the computation of Dalal's minimum distance k_{T,P}.
+
+#ifndef REVISE_SAT_CARDINALITY_H_
+#define REVISE_SAT_CARDINALITY_H_
+
+#include <vector>
+
+#include "sat/cnf.h"
+#include "sat/literal.h"
+
+namespace revise::sat {
+
+// Appends clauses to `*cnf` enforcing sum(lits) <= bound.  Fresh auxiliary
+// variables are taken from cnf->NewVar().  bound >= lits.size() adds
+// nothing; bound == 0 forces all literals false.
+void EncodeAtMost(const std::vector<Lit>& lits, size_t bound, Cnf* cnf);
+
+// Appends clauses enforcing sum(lits) >= bound (via <= on negations).
+void EncodeAtLeast(const std::vector<Lit>& lits, size_t bound, Cnf* cnf);
+
+// Appends clauses enforcing sum(lits) == bound.
+void EncodeExactly(const std::vector<Lit>& lits, size_t bound, Cnf* cnf);
+
+// Builds a unary counter: returns literals out[j] (j in 1..lits.size())
+// such that out[j-1] is true iff sum(lits) >= j.  The returned vector is
+// 0-indexed: result[j] <=> sum >= j+1.  Appends the defining clauses
+// (full equivalence, both directions) to *cnf.
+std::vector<Lit> EncodeTotalizer(const std::vector<Lit>& lits, Cnf* cnf);
+
+}  // namespace revise::sat
+
+#endif  // REVISE_SAT_CARDINALITY_H_

@@ -1,0 +1,83 @@
+#include "sat/cnf.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace revise::sat {
+
+void Cnf::AddClause(std::vector<Lit> lits) {
+  for (Lit lit : lits) {
+    REVISE_CHECK_GE(lit, 0);
+    EnsureVarCount(LitVar(lit) + 1);
+  }
+  clauses_.push_back(std::move(lits));
+}
+
+void Cnf::Append(const Cnf& other) {
+  EnsureVarCount(other.num_vars());
+  for (const auto& clause : other.clauses()) {
+    clauses_.push_back(clause);
+  }
+}
+
+std::string Cnf::ToDimacs() const {
+  std::ostringstream out;
+  out << "p cnf " << num_vars_ << " " << clauses_.size() << "\n";
+  for (const auto& clause : clauses_) {
+    for (Lit lit : clause) {
+      const int v = LitVar(lit) + 1;
+      out << (LitSign(lit) ? -v : v) << " ";
+    }
+    out << "0\n";
+  }
+  return out.str();
+}
+
+StatusOr<Cnf> Cnf::FromDimacs(const std::string& text) {
+  std::istringstream in(text);
+  std::string token;
+  Cnf cnf;
+  bool header_seen = false;
+  std::vector<Lit> clause;
+  while (in >> token) {
+    if (token == "c") {
+      std::string line;
+      std::getline(in, line);
+      continue;
+    }
+    if (token == "p") {
+      std::string kind;
+      int vars = 0;
+      size_t clauses = 0;
+      if (!(in >> kind >> vars >> clauses) || kind != "cnf") {
+        return InvalidArgumentError("malformed DIMACS header");
+      }
+      cnf.EnsureVarCount(vars);
+      header_seen = true;
+      continue;
+    }
+    if (!header_seen) {
+      return InvalidArgumentError("literal before DIMACS header");
+    }
+    char* end = nullptr;
+    const long value = std::strtol(token.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return InvalidArgumentError("bad DIMACS token: " + token);
+    }
+    if (value == 0) {
+      cnf.AddClause(clause);
+      clause.clear();
+    } else {
+      const int var = static_cast<int>(value > 0 ? value : -value) - 1;
+      clause.push_back(MakeLit(var, value < 0));
+    }
+  }
+  if (!clause.empty()) {
+    return InvalidArgumentError("unterminated clause in DIMACS input");
+  }
+  return cnf;
+}
+
+}  // namespace revise::sat

@@ -1,0 +1,46 @@
+// CNF formula container and DIMACS I/O.
+
+#ifndef REVISE_SAT_CNF_H_
+#define REVISE_SAT_CNF_H_
+
+#include <string>
+#include <vector>
+
+#include "sat/literal.h"
+#include "util/status.h"
+
+namespace revise::sat {
+
+class Cnf {
+ public:
+  Cnf() = default;
+
+  int NewVar() { return num_vars_++; }
+  void EnsureVarCount(int n) {
+    if (n > num_vars_) num_vars_ = n;
+  }
+  int num_vars() const { return num_vars_; }
+
+  void AddClause(std::vector<Lit> lits);
+  void AddUnit(Lit lit) { AddClause({lit}); }
+  void AddBinary(Lit a, Lit b) { AddClause({a, b}); }
+  void AddTernary(Lit a, Lit b, Lit c) { AddClause({a, b, c}); }
+
+  size_t num_clauses() const { return clauses_.size(); }
+  const std::vector<std::vector<Lit>>& clauses() const { return clauses_; }
+
+  // Appends all clauses of `other` (variable spaces must already agree).
+  void Append(const Cnf& other);
+
+  // DIMACS "p cnf" rendering/parsing (1-based signed literals).
+  std::string ToDimacs() const;
+  static StatusOr<Cnf> FromDimacs(const std::string& text);
+
+ private:
+  int num_vars_ = 0;
+  std::vector<std::vector<Lit>> clauses_;
+};
+
+}  // namespace revise::sat
+
+#endif  // REVISE_SAT_CNF_H_

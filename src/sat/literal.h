@@ -1,0 +1,48 @@
+// SAT-level literals.
+//
+// The SAT layer has its own dense variable space (int), independent of the
+// logic layer's Vocabulary; the bridge in src/solve maps between the two.
+// A literal packs a variable and a sign: positive literal of v is 2v,
+// negative is 2v+1, so literals index watch lists directly.
+
+#ifndef REVISE_SAT_LITERAL_H_
+#define REVISE_SAT_LITERAL_H_
+
+#include <cstdint>
+
+namespace revise::sat {
+
+using Lit = int32_t;
+
+inline constexpr Lit kUndefLit = -1;
+
+// sign=true yields the negative literal.
+inline constexpr Lit MakeLit(int var, bool sign) {
+  return (var << 1) | (sign ? 1 : 0);
+}
+inline constexpr Lit PosLit(int var) { return MakeLit(var, false); }
+inline constexpr Lit NegLit(int var) { return MakeLit(var, true); }
+inline constexpr int LitVar(Lit lit) { return lit >> 1; }
+inline constexpr bool LitSign(Lit lit) { return lit & 1; }
+inline constexpr Lit Negate(Lit lit) { return lit ^ 1; }
+
+enum class LBool : int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+inline constexpr LBool BoolToLBool(bool b) {
+  return b ? LBool::kTrue : LBool::kFalse;
+}
+inline constexpr LBool NegateLBool(LBool b) {
+  switch (b) {
+    case LBool::kFalse:
+      return LBool::kTrue;
+    case LBool::kTrue:
+      return LBool::kFalse;
+    case LBool::kUndef:
+      return LBool::kUndef;
+  }
+  return LBool::kUndef;
+}
+
+}  // namespace revise::sat
+
+#endif  // REVISE_SAT_LITERAL_H_

@@ -1,0 +1,145 @@
+// A CDCL SAT solver built from scratch.
+//
+// Features: two-watched-literal propagation, first-UIP conflict analysis
+// with recursive clause minimization, EVSIDS branching with phase saving,
+// Luby restarts, learned-clause database reduction, incremental solving
+// under assumptions (clauses may be added between Solve() calls).
+//
+// This is the workhorse behind every semantic operation in librevise:
+// satisfiability, entailment, model enumeration, minimal-distance
+// computation, and the reference semantics of every revision operator.
+
+#ifndef REVISE_SAT_SOLVER_H_
+#define REVISE_SAT_SOLVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sat/literal.h"
+
+namespace revise::sat {
+
+struct SolverStats {
+  uint64_t conflicts = 0;
+  uint64_t decisions = 0;
+  uint64_t propagations = 0;
+  uint64_t restarts = 0;
+  uint64_t learned_clauses = 0;
+  uint64_t deleted_clauses = 0;
+};
+
+class Solver {
+ public:
+  enum class Result { kSat, kUnsat };
+
+  Solver();
+  ~Solver();
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  // Creates a new variable and returns its index.
+  int NewVar();
+  // Ensures variables 0..n-1 exist.
+  void EnsureVarCount(int n);
+  int NumVars() const { return static_cast<int>(assigns_.size()); }
+
+  // Adds a clause.  Returns false if the solver becomes trivially
+  // unsatisfiable (empty clause at level 0).  May be called between
+  // Solve() invocations.
+  bool AddClause(std::vector<Lit> lits);
+  bool AddUnit(Lit lit) { return AddClause({lit}); }
+  bool AddBinary(Lit a, Lit b) { return AddClause({a, b}); }
+
+  // False once the clause set has been proven unsatisfiable outright.
+  bool Okay() const { return ok_; }
+
+  Result Solve();
+  // Solves under the given assumptions; the assumptions are not added as
+  // clauses and do not persist.
+  Result SolveAssuming(const std::vector<Lit>& assumptions);
+
+  // Value of a variable in the model found by the last kSat Solve.
+  // Unassigned variables (eliminated by simplification) read as false.
+  bool ModelValue(int var) const;
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  struct Clause;
+
+  struct Watcher {
+    Clause* clause;
+    Lit blocker;
+  };
+
+  // --- clause management ---
+  Clause* AllocClause(const std::vector<Lit>& lits, bool learnt);
+  void AttachClause(Clause* clause);
+  void DetachClause(Clause* clause);
+  void ReduceDb();
+
+  // --- assignment / trail ---
+  LBool ValueOfLit(Lit lit) const;
+  LBool ValueOfVar(int var) const { return assigns_[var]; }
+  int DecisionLevel() const { return static_cast<int>(trail_lim_.size()); }
+  void NewDecisionLevel() { trail_lim_.push_back(trail_.size()); }
+  void UncheckedEnqueue(Lit lit, Clause* reason);
+  void CancelUntil(int level);
+
+  // --- search ---
+  Clause* Propagate();
+  void Analyze(Clause* conflict, std::vector<Lit>* learnt,
+               int* backtrack_level);
+  bool LitRedundant(Lit lit, uint32_t abstract_levels);
+  Lit PickBranchLit();
+
+  // --- VSIDS heap ---
+  void VarBumpActivity(int var);
+  void VarDecayActivity();
+  void HeapInsert(int var);
+  void HeapUpdate(int var);
+  int HeapPop();
+  bool HeapEmpty() const { return heap_.empty(); }
+  void HeapPercolateUp(int pos);
+  void HeapPercolateDown(int pos);
+
+  static int64_t Luby(int64_t x);
+
+  bool ok_ = true;
+  std::vector<LBool> assigns_;
+  std::vector<bool> polarity_;  // saved phases (true = last value was true)
+  std::vector<int> level_;
+  std::vector<Clause*> reason_;
+  std::vector<Lit> trail_;
+  std::vector<size_t> trail_lim_;
+  size_t qhead_ = 0;
+
+  std::vector<std::vector<Watcher>> watches_;  // indexed by literal
+  std::vector<Clause*> clauses_;               // problem clauses
+  std::vector<Clause*> learnts_;
+
+  // VSIDS.
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<int> heap_;      // binary max-heap of variables
+  std::vector<int> heap_pos_;  // var -> heap index, -1 if absent
+
+  // Analyze scratch space.
+  std::vector<uint8_t> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> analyze_to_clear_;
+
+  std::vector<bool> model_;
+
+  double max_learnts_factor_ = 1.0 / 3.0;
+  double learnt_growth_ = 1.1;
+  double max_learnts_ = 0;
+
+  SolverStats stats_;
+};
+
+}  // namespace revise::sat
+
+#endif  // REVISE_SAT_SOLVER_H_

@@ -1,0 +1,156 @@
+#include "solve/distance.h"
+
+#include "sat/cardinality.h"
+#include "sat/cnf.h"
+#include "solve/sat_context.h"
+#include "util/check.h"
+
+namespace revise {
+
+namespace {
+
+using sat::Lit;
+using sat::Negate;
+using sat::PosLit;
+
+// Sets up T in frame 0, P in frame 1 and difference literals over the
+// alphabet; returns the diff literals.
+std::vector<Lit> SetUpDiffProblem(const Formula& t, const Formula& p,
+                                  const Alphabet& alphabet,
+                                  SatContext* context) {
+  context->Assert(t, /*frame=*/0);
+  context->Assert(p, /*frame=*/1);
+  std::vector<Lit> diffs(alphabet.size());
+  for (size_t i = 0; i < alphabet.size(); ++i) {
+    const Lit a = PosLit(context->SatVarOf(alphabet.var(i), 0));
+    const Lit b = PosLit(context->SatVarOf(alphabet.var(i), 1));
+    const Lit d = context->FreshLit();
+    sat::Solver& solver = context->solver();
+    // d <-> a xor b.
+    solver.AddClause({Negate(d), a, b});
+    solver.AddClause({Negate(d), Negate(a), Negate(b)});
+    solver.AddClause({d, Negate(a), b});
+    solver.AddClause({d, a, Negate(b)});
+    diffs[i] = d;
+  }
+  return diffs;
+}
+
+Interpretation DiffFromModel(const SatContext& context,
+                             const std::vector<Lit>& diffs) {
+  Interpretation d(diffs.size());
+  for (size_t i = 0; i < diffs.size(); ++i) {
+    if (context.ModelValueOfLit(diffs[i])) d.Set(i, true);
+  }
+  return d;
+}
+
+}  // namespace
+
+std::optional<size_t> MinHammingDistance(const Formula& t, const Formula& p,
+                                         const Alphabet& alphabet) {
+  SatContext context;
+  std::vector<Lit> diffs = SetUpDiffProblem(t, p, alphabet, &context);
+  if (!context.Solve()) return std::nullopt;
+  size_t best = DiffFromModel(context, diffs).Cardinality();
+  if (best == 0) return 0;
+
+  // Build a unary counter over the diffs once, then tighten with
+  // assumptions: counts[j] <-> (sum >= j+1).
+  sat::Cnf counter;
+  counter.EnsureVarCount(context.solver().NumVars());
+  std::vector<Lit> counts = sat::EncodeTotalizer(diffs, &counter);
+  context.solver().EnsureVarCount(counter.num_vars());
+  for (const auto& clause : counter.clauses()) {
+    context.solver().AddClause(clause);
+  }
+  while (best > 0) {
+    // Ask for a solution with sum <= best - 1.
+    if (!context.Solve({Negate(counts[best - 1])})) break;
+    best = DiffFromModel(context, diffs).Cardinality();
+  }
+  return best;
+}
+
+std::optional<size_t> MinHammingDistanceBinarySearch(
+    const Formula& t, const Formula& p, const Alphabet& alphabet) {
+  SatContext context;
+  std::vector<Lit> diffs = SetUpDiffProblem(t, p, alphabet, &context);
+  if (!context.Solve()) return std::nullopt;
+  if (diffs.empty()) return 0;
+  sat::Cnf counter;
+  counter.EnsureVarCount(context.solver().NumVars());
+  std::vector<Lit> counts = sat::EncodeTotalizer(diffs, &counter);
+  context.solver().EnsureVarCount(counter.num_vars());
+  for (const auto& clause : counter.clauses()) {
+    context.solver().AddClause(clause);
+  }
+  // Invariant: a model with sum <= hi exists; none with sum <= lo - 1.
+  size_t lo = 0;
+  size_t hi = DiffFromModel(context, diffs).Cardinality();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    // "sum <= mid" is the assumption !counts[mid] (counts[j] <=> >= j+1).
+    if (context.Solve({Negate(counts[mid])})) {
+      hi = std::min(mid, DiffFromModel(context, diffs).Cardinality());
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+std::vector<Interpretation> GlobalMinimalDiffs(const Formula& t,
+                                               const Formula& p,
+                                               const Alphabet& alphabet) {
+  SatContext context;
+  std::vector<Lit> diffs = SetUpDiffProblem(t, p, alphabet, &context);
+  std::vector<Interpretation> minimal;
+  std::vector<Lit> retired_activations;
+  while (context.Solve()) {
+    Interpretation current = DiffFromModel(context, diffs);
+    // Shrink to a subset-minimal diff: repeatedly look for a model whose
+    // diff is a proper subset of `current`.
+    for (;;) {
+      std::vector<Lit> assumptions;
+      // Outside the current diff: force equal.
+      for (size_t i = 0; i < diffs.size(); ++i) {
+        if (!current.Get(i)) assumptions.push_back(Negate(diffs[i]));
+      }
+      // Inside: at least one position must become equal.  Activation
+      // literal makes the clause retractable.
+      const Lit activation = context.FreshLit();
+      std::vector<Lit> clause = {Negate(activation)};
+      for (size_t i = 0; i < diffs.size(); ++i) {
+        if (current.Get(i)) clause.push_back(Negate(diffs[i]));
+      }
+      context.solver().AddClause(std::move(clause));
+      assumptions.push_back(activation);
+      const bool improved = context.Solve(assumptions);
+      // Retire the activation so the clause is permanently satisfied.
+      context.solver().AddUnit(Negate(activation));
+      if (!improved) break;
+      current = DiffFromModel(context, diffs);
+    }
+    minimal.push_back(current);
+    // Block this minimal diff and every superset.
+    std::vector<Lit> blocking;
+    for (size_t i = 0; i < diffs.size(); ++i) {
+      if (current.Get(i)) blocking.push_back(Negate(diffs[i]));
+    }
+    if (blocking.empty()) break;  // empty diff: nothing else can be minimal
+    if (!context.solver().AddClause(std::move(blocking))) break;
+  }
+  return minimal;
+}
+
+Interpretation WeberOmega(const Formula& t, const Formula& p,
+                          const Alphabet& alphabet) {
+  Interpretation omega(alphabet.size());
+  for (const Interpretation& diff : GlobalMinimalDiffs(t, p, alphabet)) {
+    omega = omega.Union(diff);
+  }
+  return omega;
+}
+
+}  // namespace revise

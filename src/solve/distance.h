@@ -1,0 +1,47 @@
+// Distance machinery between the models of two formulas.
+//
+// Computes the quantities on which the global model-based operators are
+// built: Dalal's minimum Hamming distance k_{T,P}, Satoh's set of minimal
+// symmetric differences delta(T,P) = minc ∪_{M |= T} mu(M,P), and Weber's
+// letter set Omega = ∪ delta(T,P).  Everything runs on the CDCL solver with
+// T encoded in one frame, P in another, and difference indicator literals
+// d_i <-> (x_i in frame 0) xor (x_i in frame 1).
+
+#ifndef REVISE_SOLVE_DISTANCE_H_
+#define REVISE_SOLVE_DISTANCE_H_
+
+#include <optional>
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/interpretation.h"
+
+namespace revise {
+
+// k_{T,P}: minimum Hamming distance over `alphabet` between a model of `t`
+// and a model of `p`.  Returns nullopt when either formula is
+// unsatisfiable.  Variables of t/p outside `alphabet` must not exist
+// (callers pass alphabet ⊇ V(t) ∪ V(p)).
+std::optional<size_t> MinHammingDistance(const Formula& t, const Formula& p,
+                                         const Alphabet& alphabet);
+
+// Same value computed with O(log |alphabet|) SAT calls by binary search on
+// the totalizer outputs — the oracle pattern behind Dalal's
+// Delta_2^p[log n] complexity (Section 2.2.4).
+std::optional<size_t> MinHammingDistanceBinarySearch(
+    const Formula& t, const Formula& p, const Alphabet& alphabet);
+
+// delta(T,P): all subset-minimal symmetric differences (as letter sets over
+// `alphabet`) between a model of t and a model of p.  Empty result means
+// one of the formulas is unsatisfiable.
+std::vector<Interpretation> GlobalMinimalDiffs(const Formula& t,
+                                               const Formula& p,
+                                               const Alphabet& alphabet);
+
+// Weber's Omega = ∪ delta(T,P) as a letter set over `alphabet`.
+Interpretation WeberOmega(const Formula& t, const Formula& p,
+                          const Alphabet& alphabet);
+
+}  // namespace revise
+
+#endif  // REVISE_SOLVE_DISTANCE_H_

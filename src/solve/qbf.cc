@@ -1,0 +1,92 @@
+#include "solve/qbf.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "logic/substitute.h"
+#include "solve/sat_context.h"
+#include "util/check.h"
+
+namespace revise {
+
+ExistsForallResult ExistsForallSat(const std::vector<Var>& exists_vars,
+                                   const std::vector<Var>& forall_vars,
+                                   const Formula& matrix) {
+  // Any matrix variable not in either block is treated as existential.
+  std::unordered_set<Var> declared(exists_vars.begin(), exists_vars.end());
+  declared.insert(forall_vars.begin(), forall_vars.end());
+  std::vector<Var> all_exists = exists_vars;
+  for (const Var v : matrix.Vars()) {
+    if (declared.find(v) == declared.end()) all_exists.push_back(v);
+  }
+  const Alphabet exists_alphabet(all_exists);
+  const Alphabet forall_alphabet(forall_vars);
+
+  ExistsForallResult result;
+  SatContext abstraction;
+  // Force the existential variables to exist in the abstraction even
+  // before the first refinement mentions them.
+  for (const Var v : all_exists) abstraction.SatVarOf(v);
+
+  for (;;) {
+    ++result.iterations;
+    if (!abstraction.Solve()) {
+      result.satisfiable = false;
+      return result;
+    }
+    const Interpretation candidate =
+        abstraction.ExtractModel(exists_alphabet);
+
+    // Verify: does some assignment of the universals falsify the matrix
+    // under this candidate?
+    SatContext verifier;
+    verifier.Assert(Formula::Not(matrix));
+    std::vector<sat::Lit> assumptions;
+    assumptions.reserve(exists_alphabet.size());
+    for (size_t i = 0; i < exists_alphabet.size(); ++i) {
+      const int sat_var = verifier.SatVarOf(exists_alphabet.var(i));
+      assumptions.push_back(sat::MakeLit(sat_var, !candidate.Get(i)));
+    }
+    if (!verifier.Solve(assumptions)) {
+      result.satisfiable = true;
+      result.witness = candidate;
+      return result;
+    }
+    // Refine with the counterexample: the matrix must hold at y*.
+    std::unordered_map<Var, Formula> map;
+    for (const Var y : forall_vars) {
+      map.emplace(y, Formula::Constant(verifier.ModelValue(y)));
+    }
+    const Formula refinement = Substitute(matrix, map);
+    if (refinement.IsFalse()) {
+      // No candidate can satisfy the matrix at this counterexample.
+      result.satisfiable = false;
+      return result;
+    }
+    abstraction.Assert(refinement);
+  }
+}
+
+bool QueryEquivalentQbf(const Formula& a, const Formula& b,
+                        const Alphabet& alphabet) {
+  auto aux_of = [&](const Formula& f) {
+    std::vector<Var> aux;
+    for (const Var v : f.Vars()) {
+      if (!alphabet.Contains(v)) aux.push_back(v);
+    }
+    return aux;
+  };
+  auto projection_escapes = [&](const Formula& lhs, const Formula& rhs) {
+    // ∃(alphabet ∪ aux(lhs)) ∀aux(rhs). lhs ∧ ¬rhs: some projection of
+    // lhs is outside the projection of rhs.
+    std::vector<Var> exists_vars = alphabet.vars();
+    const std::vector<Var> lhs_aux = aux_of(lhs);
+    exists_vars.insert(exists_vars.end(), lhs_aux.begin(), lhs_aux.end());
+    return ExistsForallSat(exists_vars, aux_of(rhs),
+                           Formula::And(lhs, Formula::Not(rhs)))
+        .satisfiable;
+  };
+  return !projection_escapes(a, b) && !projection_escapes(b, a);
+}
+
+}  // namespace revise

@@ -1,0 +1,50 @@
+// A 2-QBF (exists-forall) solver by counterexample-guided abstraction
+// refinement, and the Pi_2^p-flavored services built on it.
+//
+// The paper's negative results live at the second level of the polynomial
+// hierarchy (Sections 2.2.4 and 7; NP ⊆ coNP/poly collapses PH to Pi_3^p).
+// This module supplies the matching decision machinery:
+//
+//   * ExistsForallSat — decides ∃X ∀Y. phi by CEGAR: a candidate solver
+//     proposes X-assignments, a verifier searches for Y-counterexamples,
+//     and each counterexample refines the abstraction with phi[Y/y*].
+//   * QueryEquivalentQbf — decides the paper's criterion (1) between two
+//     formulas with DIFFERENT auxiliary letters without enumerating
+//     models: the projections onto the shared alphabet differ iff
+//     ∃(X, aux1) ∀aux2. (T1 ∧ ¬T2) or symmetrically — two ∃∀ calls.
+//     This scales where EnumerateModels-based QueryEquivalent cannot.
+
+#ifndef REVISE_SOLVE_QBF_H_
+#define REVISE_SOLVE_QBF_H_
+
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/interpretation.h"
+
+namespace revise {
+
+struct ExistsForallResult {
+  bool satisfiable = false;
+  // A witness assignment to the existential variables when satisfiable.
+  Interpretation witness;  // over Alphabet(exists_vars)
+  // Number of refinement iterations (for diagnostics/benches).
+  int iterations = 0;
+};
+
+// Decides ∃ exists_vars ∀ forall_vars . matrix.  Variables of `matrix`
+// outside both blocks are treated as existential (inner-most ∃ under the
+// ∀ would change the meaning; callers must list every variable).
+ExistsForallResult ExistsForallSat(const std::vector<Var>& exists_vars,
+                                   const std::vector<Var>& forall_vars,
+                                   const Formula& matrix);
+
+// Criterion (1) between a and b over `alphabet`: do the projections of
+// M(a) and M(b) onto `alphabet` coincide?  Letters of a/b outside the
+// alphabet are treated as each formula's private auxiliary letters.
+bool QueryEquivalentQbf(const Formula& a, const Formula& b,
+                        const Alphabet& alphabet);
+
+}  // namespace revise
+
+#endif  // REVISE_SOLVE_QBF_H_

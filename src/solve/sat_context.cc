@@ -1,0 +1,132 @@
+#include "solve/sat_context.h"
+
+#include "util/check.h"
+
+namespace revise {
+
+using sat::Lit;
+using sat::MakeLit;
+using sat::Negate;
+using sat::PosLit;
+
+int SatContext::SatVarOf(Var var, int frame) {
+  const FrameKey key{var, frame};
+  auto it = var_map_.find(key);
+  if (it != var_map_.end()) return it->second;
+  const int sat_var = solver_.NewVar();
+  var_map_.emplace(key, sat_var);
+  return sat_var;
+}
+
+Lit SatContext::FreshLit() { return PosLit(solver_.NewVar()); }
+
+Lit SatContext::Encode(const Formula& f, int frame) {
+  return EncodeRec(f, frame);
+}
+
+Lit SatContext::EncodeRec(const Formula& f, int frame) {
+  const NodeKey key{f.id(), frame};
+  auto it = node_map_.find(key);
+  if (it != node_map_.end()) return it->second;
+
+  Lit result = sat::kUndefLit;
+  switch (f.kind()) {
+    case Connective::kConst: {
+      // A dedicated always-true/false variable per constant value.
+      const Lit lit = FreshLit();
+      solver_.AddUnit(f.const_value() ? lit : Negate(lit));
+      result = lit;
+      break;
+    }
+    case Connective::kVar:
+      result = PosLit(SatVarOf(f.var(), frame));
+      break;
+    case Connective::kNot:
+      result = Negate(EncodeRec(f.child(0), frame));
+      break;
+    case Connective::kAnd:
+    case Connective::kOr: {
+      std::vector<Lit> children;
+      children.reserve(f.arity());
+      for (size_t i = 0; i < f.arity(); ++i) {
+        children.push_back(EncodeRec(f.child(i), frame));
+      }
+      const Lit g = FreshLit();
+      const bool is_and = f.kind() == Connective::kAnd;
+      std::vector<Lit> big;
+      big.reserve(children.size() + 1);
+      for (const Lit c : children) {
+        if (is_and) {
+          solver_.AddBinary(Negate(g), c);  // g -> c
+          big.push_back(Negate(c));
+        } else {
+          solver_.AddBinary(g, Negate(c));  // c -> g
+          big.push_back(c);
+        }
+      }
+      big.push_back(is_and ? g : Negate(g));
+      solver_.AddClause(std::move(big));
+      result = g;
+      break;
+    }
+    case Connective::kImplies: {
+      const Lit a = EncodeRec(f.child(0), frame);
+      const Lit b = EncodeRec(f.child(1), frame);
+      const Lit g = FreshLit();
+      solver_.AddClause({Negate(g), Negate(a), b});  // g -> (a -> b)
+      solver_.AddBinary(g, a);                       // !a -> g
+      solver_.AddBinary(g, Negate(b));               // b -> g
+      result = g;
+      break;
+    }
+    case Connective::kIff:
+    case Connective::kXor: {
+      const Lit a = EncodeRec(f.child(0), frame);
+      Lit b = EncodeRec(f.child(1), frame);
+      if (f.kind() == Connective::kXor) b = Negate(b);
+      const Lit g = FreshLit();  // g <-> (a <-> b)
+      solver_.AddClause({Negate(g), Negate(a), b});
+      solver_.AddClause({Negate(g), a, Negate(b)});
+      solver_.AddClause({g, a, b});
+      solver_.AddClause({g, Negate(a), Negate(b)});
+      result = g;
+      break;
+    }
+  }
+  node_map_.emplace(key, result);
+  pinned_.push_back(f);
+  return result;
+}
+
+void SatContext::Assert(const Formula& f, int frame) {
+  solver_.AddUnit(Encode(f, frame));
+}
+
+bool SatContext::Solve(const std::vector<Lit>& assumptions) {
+  return solver_.SolveAssuming(assumptions) == sat::Solver::Result::kSat;
+}
+
+bool SatContext::ModelValue(Var var, int frame) const {
+  const FrameKey key{var, frame};
+  auto it = var_map_.find(key);
+  // Variables never mentioned are unconstrained; read them as false,
+  // matching the "interpretation = set of true letters" convention.
+  if (it == var_map_.end()) return false;
+  return solver_.ModelValue(it->second);
+}
+
+bool SatContext::ModelValueOfLit(Lit lit) const {
+  const bool v = solver_.ModelValue(sat::LitVar(lit));
+  return sat::LitSign(lit) ? !v : v;
+}
+
+Interpretation SatContext::ExtractModel(const Alphabet& alphabet,
+                                        int frame) const {
+  Interpretation m(alphabet.size());
+  for (size_t i = 0; i < alphabet.size(); ++i) {
+    if (ModelValue(alphabet.var(i), frame)) m.Set(i, true);
+  }
+  return m;
+}
+
+}  // namespace revise

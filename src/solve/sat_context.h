@@ -1,0 +1,94 @@
+// Bridge between the logic layer (formulas over a Vocabulary) and the SAT
+// solver: Tseitin encoding, multi-frame variable mapping, model extraction.
+//
+// A "frame" is an independent copy of the logic-variable space inside the
+// solver.  Encoding T in frame 0 and P in frame 1 lets us reason about a
+// model of T and a model of P simultaneously (the paper's pairs (M, N) with
+// their symmetric difference) without inventing renamed logic variables.
+
+#ifndef REVISE_SOLVE_SAT_CONTEXT_H_
+#define REVISE_SOLVE_SAT_CONTEXT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/interpretation.h"
+#include "sat/literal.h"
+#include "sat/solver.h"
+
+namespace revise {
+
+class SatContext {
+ public:
+  SatContext() = default;
+
+  SatContext(const SatContext&) = delete;
+  SatContext& operator=(const SatContext&) = delete;
+
+  sat::Solver& solver() { return solver_; }
+
+  // Solver variable representing logic variable `var` in `frame`.
+  int SatVarOf(Var var, int frame = 0);
+
+  // Tseitin-encodes `f` (interpreting its variables in `frame`) and
+  // returns a literal equivalent to f.  Clauses defining the encoding are
+  // added to the solver; the formula itself is not asserted.
+  sat::Lit Encode(const Formula& f, int frame = 0);
+
+  // Asserts f (unit clause on its encoding literal).
+  void Assert(const Formula& f, int frame = 0);
+
+  // Fresh solver literal (positive polarity).
+  sat::Lit FreshLit();
+
+  // Solves under assumptions; returns true iff satisfiable.
+  bool Solve(const std::vector<sat::Lit>& assumptions = {});
+
+  // Value of logic variable `var` in `frame` in the last model.
+  bool ModelValue(Var var, int frame = 0) const;
+  bool ModelValueOfLit(sat::Lit lit) const;
+
+  // Extracts the last model restricted to `alphabet` in `frame`.
+  Interpretation ExtractModel(const Alphabet& alphabet, int frame = 0) const;
+
+ private:
+  struct FrameKey {
+    Var var;
+    int frame;
+    bool operator==(const FrameKey& other) const {
+      return var == other.var && frame == other.frame;
+    }
+  };
+  struct FrameKeyHash {
+    size_t operator()(const FrameKey& key) const {
+      return std::hash<uint64_t>()(
+          (static_cast<uint64_t>(key.frame) << 32) | key.var);
+    }
+  };
+  struct NodeKey {
+    const void* node;
+    int frame;
+    bool operator==(const NodeKey& other) const {
+      return node == other.node && frame == other.frame;
+    }
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey& key) const {
+      return std::hash<const void*>()(key.node) * 31 +
+             static_cast<size_t>(key.frame);
+    }
+  };
+
+  sat::Lit EncodeRec(const Formula& f, int frame);
+
+  sat::Solver solver_;
+  std::unordered_map<FrameKey, int, FrameKeyHash> var_map_;
+  std::unordered_map<NodeKey, sat::Lit, NodeKeyHash> node_map_;
+  // Pins formula nodes referenced by node_map_ so ids stay unique.
+  std::vector<Formula> pinned_;
+};
+
+}  // namespace revise
+
+#endif  // REVISE_SOLVE_SAT_CONTEXT_H_

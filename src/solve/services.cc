@@ -1,0 +1,63 @@
+#include "solve/services.h"
+
+#include "solve/sat_context.h"
+#include "util/check.h"
+
+namespace revise {
+
+bool IsSatisfiable(const Formula& f) {
+  SatContext context;
+  context.Assert(f);
+  return context.Solve();
+}
+
+bool Entails(const Formula& a, const Formula& b) {
+  // a |= b iff a & !b is unsatisfiable.
+  SatContext context;
+  context.Assert(a);
+  context.Assert(Formula::Not(b));
+  return !context.Solve();
+}
+
+bool AreEquivalent(const Formula& a, const Formula& b) {
+  SatContext context;
+  context.Assert(Formula::Xor(a, b));
+  return !context.Solve();
+}
+
+ModelSet EnumerateModels(const Formula& f, const Alphabet& alphabet,
+                         size_t limit) {
+  SatContext context;
+  context.Assert(f);
+  // Force the mapping of every alphabet variable to exist so blocking
+  // clauses can mention letters that do not occur in f.
+  std::vector<sat::Lit> alphabet_lits(alphabet.size());
+  for (size_t i = 0; i < alphabet.size(); ++i) {
+    alphabet_lits[i] = sat::PosLit(context.SatVarOf(alphabet.var(i)));
+  }
+  std::vector<Interpretation> models;
+  while (context.Solve()) {
+    Interpretation m = context.ExtractModel(alphabet);
+    models.push_back(m);
+    if (limit != 0 && models.size() >= limit) break;
+    // Block this projection.
+    std::vector<sat::Lit> blocking(alphabet.size());
+    for (size_t i = 0; i < alphabet.size(); ++i) {
+      blocking[i] =
+          m.Get(i) ? sat::Negate(alphabet_lits[i]) : alphabet_lits[i];
+    }
+    if (!context.solver().AddClause(std::move(blocking))) break;
+  }
+  return ModelSet(alphabet, std::move(models));
+}
+
+size_t CountModels(const Formula& f, const Alphabet& alphabet) {
+  return EnumerateModels(f, alphabet).size();
+}
+
+bool QueryEquivalent(const Formula& a, const Formula& b,
+                     const Alphabet& alphabet) {
+  return EnumerateModels(a, alphabet) == EnumerateModels(b, alphabet);
+}
+
+}  // namespace revise

@@ -1,0 +1,44 @@
+// High-level semantic services over formulas: satisfiability, entailment,
+// equivalence, and model enumeration (AllSAT over a chosen alphabet).
+
+#ifndef REVISE_SOLVE_SERVICES_H_
+#define REVISE_SOLVE_SERVICES_H_
+
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/interpretation.h"
+#include "model/model_set.h"
+
+namespace revise {
+
+bool IsSatisfiable(const Formula& f);
+
+// a |= b.
+bool Entails(const Formula& a, const Formula& b);
+
+// Logical equivalence: a |= b and b |= a.
+bool AreEquivalent(const Formula& a, const Formula& b);
+
+// All models of f over `alphabet`, i.e. the projections onto `alphabet` of
+// the models of f over V(f) ∪ alphabet.  Variables of f outside `alphabet`
+// are projected out (a projection appears once no matter how many
+// extensions it has); letters of `alphabet` not occurring in f take both
+// values.  `limit` == 0 means unlimited.  The enumeration uses blocking
+// clauses on the alphabet literals.
+ModelSet EnumerateModels(const Formula& f, const Alphabet& alphabet,
+                         size_t limit = 0);
+
+// Exact model count over `alphabet` by enumeration (small alphabets only).
+size_t CountModels(const Formula& f, const Alphabet& alphabet);
+
+// Query equivalence (paper's criterion (1)) of `a` and `b` with respect to
+// queries over `alphabet`: every formula built from `alphabet` letters is
+// entailed by a iff it is entailed by b.  Over a finite alphabet this holds
+// iff the projections of the two model sets onto `alphabet` coincide.
+bool QueryEquivalent(const Formula& a, const Formula& b,
+                     const Alphabet& alphabet);
+
+}  // namespace revise
+
+#endif  // REVISE_SOLVE_SERVICES_H_

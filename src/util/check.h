@@ -1,0 +1,38 @@
+// CHECK-style invariant macros.
+//
+// These are for programmer errors (violated invariants), not for recoverable
+// conditions; recoverable conditions use Status (util/status.h).  A failed
+// check prints the condition and location to stderr and aborts.
+
+#ifndef REVISE_UTIL_CHECK_H_
+#define REVISE_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace revise::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* condition, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", condition, file, line);
+  std::abort();
+}
+
+}  // namespace revise::internal_check
+
+#define REVISE_CHECK(condition)                                            \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      ::revise::internal_check::CheckFailed(#condition, __FILE__,          \
+                                            __LINE__);                     \
+    }                                                                      \
+  } while (false)
+
+#define REVISE_CHECK_EQ(a, b) REVISE_CHECK((a) == (b))
+#define REVISE_CHECK_NE(a, b) REVISE_CHECK((a) != (b))
+#define REVISE_CHECK_LT(a, b) REVISE_CHECK((a) < (b))
+#define REVISE_CHECK_LE(a, b) REVISE_CHECK((a) <= (b))
+#define REVISE_CHECK_GT(a, b) REVISE_CHECK((a) > (b))
+#define REVISE_CHECK_GE(a, b) REVISE_CHECK((a) >= (b))
+
+#endif  // REVISE_UTIL_CHECK_H_

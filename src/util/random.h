@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized workloads in tests and benches use this generator so runs
+// are reproducible from a seed.  The implementation is xoroshiro128++ with a
+// SplitMix64 seeding stage (public-domain algorithms by Blackman & Vigna).
+
+#ifndef REVISE_UTIL_RANDOM_H_
+#define REVISE_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace revise {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 128-bit state; this avoids
+    // the all-zero state and decorrelates nearby seeds.
+    uint64_t x = seed;
+    state_[0] = SplitMix64(&x);
+    state_[1] = SplitMix64(&x);
+  }
+
+  // Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t s0 = state_[0];
+    uint64_t s1 = state_[1];
+    const uint64_t result = Rotl(s0 + s1, 17) + s0;
+    s1 ^= s0;
+    state_[0] = Rotl(s0, 49) ^ s1 ^ (s1 << 21);
+    state_[1] = Rotl(s1, 28);
+    return result;
+  }
+
+  // Uniform value in [0, bound).  bound must be positive.
+  uint64_t Below(uint64_t bound) {
+    REVISE_CHECK_GT(bound, 0u);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    REVISE_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Bernoulli draw with probability p of returning true.
+  bool Chance(double p) {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53 < p;
+  }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* x) {
+    uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[2];
+};
+
+}  // namespace revise
+
+#endif  // REVISE_UTIL_RANDOM_H_

@@ -1,0 +1,144 @@
+// Lightweight Status / StatusOr error-handling primitives.
+//
+// librevise does not use exceptions (see DESIGN.md).  Fallible operations
+// return Status or StatusOr<T>; hot-path invariants use the CHECK macros in
+// util/check.h.  The interface is a small subset of absl::Status, kept
+// intentionally tiny so the library has no third-party dependencies.
+
+#ifndef REVISE_UTIL_STATUS_H_
+#define REVISE_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace revise {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kResourceExhausted,
+  kInternal,
+};
+
+// Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error result.  Cheap to copy in the OK case.
+class Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+
+// A value-or-error result.  Accessing value() on an error aborts, so callers
+// must test ok() (or use the REVISE_ASSIGN_OR_RETURN macro) first.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr: allows
+  // `return value;` and `return SomeError();` from the same function.
+  StatusOr(const T& value) : rep_(value) {}          // NOLINT
+  StatusOr(T&& value) : rep_(std::move(value)) {}    // NOLINT
+  StatusOr(Status status) : rep_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status ok_status;
+    if (ok()) return ok_status;
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(std::get<T>(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const {
+    if (!ok()) {
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace revise
+
+// Propagates an error status from `expr` out of the current function.
+#define REVISE_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::revise::Status revise_status_tmp_ = (expr);   \
+    if (!revise_status_tmp_.ok()) {                 \
+      return revise_status_tmp_;                    \
+    }                                               \
+  } while (false)
+
+#define REVISE_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define REVISE_STATUS_MACROS_CONCAT_(x, y) \
+  REVISE_STATUS_MACROS_CONCAT_INNER_(x, y)
+
+// Evaluates `rexpr` (a StatusOr<T>); on error returns the status, otherwise
+// move-assigns the value into `lhs`.
+#define REVISE_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  REVISE_ASSIGN_OR_RETURN_IMPL_(                                             \
+      REVISE_STATUS_MACROS_CONCAT_(revise_statusor_, __LINE__), lhs, rexpr)
+
+#define REVISE_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                  \
+  if (!statusor.ok()) {                                     \
+    return statusor.status();                               \
+  }                                                         \
+  lhs = std::move(statusor).value()
+
+#endif  // REVISE_UTIL_STATUS_H_

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "hardness/families.h"
+#include "hardness/tau.h"
+#include "logic/parser.h"
+#include "revision/formula_based.h"
+#include "revision/iterated.h"
+#include "revision/operator.h"
+#include "solve/services.h"
+#include "util/random.h"
+
+namespace revise {
+namespace {
+
+// Draws a mix of special-case and random instances pi ⊆ tau_n^max.
+std::vector<std::vector<size_t>> SampleInstances(const TauMax& tau,
+                                                 int random_count,
+                                                 uint64_t seed) {
+  std::vector<std::vector<size_t>> instances;
+  instances.push_back({});  // empty (satisfiable)
+  std::vector<size_t> all(tau.num_clauses());
+  for (size_t j = 0; j < all.size(); ++j) all[j] = j;
+  instances.push_back(all);  // the full tau_n^max (unsatisfiable)
+  Rng rng(seed);
+  for (int i = 0; i < random_count; ++i) {
+    instances.push_back(
+        tau.RandomInstance(1 + rng.Below(tau.num_clauses()), &rng));
+  }
+  return instances;
+}
+
+TEST(TauMaxTest, CountsMatchTheta) {
+  Vocabulary vocabulary;
+  const TauMax tau3(3, &vocabulary);
+  EXPECT_EQ(8u, tau3.num_clauses());  // C(3,3) * 8
+  const TauMax tau5(5, &vocabulary);
+  EXPECT_EQ(80u, tau5.num_clauses());  // C(5,3) * 8
+}
+
+TEST(TauMaxTest, FullTauIsUnsatisfiable) {
+  Vocabulary vocabulary;
+  const TauMax tau(3, &vocabulary);
+  std::vector<size_t> all(tau.num_clauses());
+  for (size_t j = 0; j < all.size(); ++j) all[j] = j;
+  EXPECT_FALSE(IsSatisfiable(tau.InstanceFormula(all)));
+  EXPECT_TRUE(IsSatisfiable(tau.InstanceFormula({0, 1, 2})));
+}
+
+TEST(TauMaxTest, RandomInstanceHasDistinctSortedClauses) {
+  Vocabulary vocabulary;
+  const TauMax tau(4, &vocabulary);
+  Rng rng(9);
+  const auto pi = tau.RandomInstance(10, &rng);
+  EXPECT_EQ(10u, pi.size());
+  for (size_t i = 1; i < pi.size(); ++i) {
+    EXPECT_LT(pi[i - 1], pi[i]);
+  }
+}
+
+// ---- Theorem 3.1: pi satisfiable iff T_n *_GFUV P_n |= Q_pi -----------
+
+TEST(Theorem31Test, ReductionDecides3SatThroughGfuv) {
+  Vocabulary vocabulary;
+  const Theorem31Family family(3, &vocabulary);
+  // The GFUV revision is computed ONCE per n — it is the advice string.
+  const Formula advice = GfuvFormula(family.t, family.p);
+  for (const auto& pi : SampleInstances(family.tau, 20, 1234)) {
+    const bool satisfiable =
+        IsSatisfiable(family.tau.InstanceFormula(pi));
+    const bool entailed = Entails(advice, family.Query(pi));
+    EXPECT_EQ(satisfiable, entailed) << "pi size " << pi.size();
+  }
+}
+
+TEST(Theorem31Test, FamilySizeIsPolynomial) {
+  // |T_n| + |P_n| must be polynomial in n: both are O(n^3) literals.
+  Vocabulary vocabulary;
+  for (int n : {3, 4, 5}) {
+    const Theorem31Family family(n, &vocabulary);
+    const uint64_t size =
+        family.t.VarOccurrences() + family.p.VarOccurrences();
+    EXPECT_LT(size, static_cast<uint64_t>(n) * n * n * 16);
+  }
+}
+
+// Theorem 3.2: the same reduction works for Winslett, Borgida and Satoh
+// because T_n is a maximal consistent set of atoms (a single model) and
+// V(P) ⊆ V(T).  We validate the equivalence of the four operators on the
+// family directly.
+TEST(Theorem32Test, OperatorsCoincideOnTheFamilyQueries) {
+  Vocabulary vocabulary;
+  const Theorem31Family family(3, &vocabulary);
+  const Alphabet alphabet = RevisionAlphabet(family.t, family.p);
+  const ModelSet gfuv =
+      OperatorById(OperatorId::kGfuv)->ReviseModels(family.t, family.p,
+                                                    alphabet);
+  for (const OperatorId id : {OperatorId::kWinslett, OperatorId::kBorgida,
+                              OperatorId::kSatoh}) {
+    EXPECT_EQ(gfuv,
+              OperatorById(id)->ReviseModels(family.t, family.p, alphabet))
+        << OperatorById(id)->name();
+  }
+}
+
+// ---- Theorem 3.3: pi satisfiable iff M_pi not a model of T *_F P ------
+
+TEST(Theorem33Test, ReductionDecides3SatThroughForbusModelChecking) {
+  Vocabulary vocabulary;
+  const Theorem33Family family(3, &vocabulary);
+  const Alphabet alphabet = family.FullAlphabet();
+  // Compute the revision once (the advice) and model-check per instance.
+  const ModelSet revised = OperatorById(OperatorId::kForbus)
+                               ->ReviseModels(family.t, family.p, alphabet);
+  for (const auto& pi : SampleInstances(family.tau, 12, 555)) {
+    const bool satisfiable =
+        IsSatisfiable(family.tau.InstanceFormula(pi));
+    const Interpretation m_pi = family.MPi(pi, alphabet);
+    EXPECT_EQ(!satisfiable, revised.Contains(m_pi))
+        << "pi size " << pi.size();
+    // And therefore Q_pi (true everywhere except M_pi) is entailed iff
+    // pi is satisfiable.
+    bool entails = true;
+    for (const Interpretation& n : revised) {
+      if (n == m_pi) {
+        entails = false;
+        break;
+      }
+    }
+    EXPECT_EQ(satisfiable, entails);
+  }
+}
+
+// ---- Theorem 3.6: pi satisfiable iff C_pi |= T *_D P (and *_Web) ------
+
+TEST(Theorem36Test, ReductionDecides3SatThroughDalalAndWeber) {
+  Vocabulary vocabulary;
+  const Theorem36Family family(3, &vocabulary);
+  const Alphabet alphabet = family.FullAlphabet();
+  const ModelSet dalal = OperatorById(OperatorId::kDalal)
+                             ->ReviseModels(family.t, family.p, alphabet);
+  const ModelSet weber = OperatorById(OperatorId::kWeber)
+                             ->ReviseModels(family.t, family.p, alphabet);
+  for (const auto& pi : SampleInstances(family.tau, 12, 777)) {
+    const bool satisfiable =
+        IsSatisfiable(family.tau.InstanceFormula(pi));
+    const Interpretation c_pi = family.CPi(pi, alphabet);
+    EXPECT_EQ(satisfiable, dalal.Contains(c_pi)) << "Dalal";
+    EXPECT_EQ(satisfiable, weber.Contains(c_pi)) << "Weber";
+  }
+}
+
+TEST(Theorem36Test, KTnPnEqualsN) {
+  // The proof shows k_{T_n, P_n} = n.
+  Vocabulary vocabulary;
+  const int n = 3;
+  const Theorem36Family family(n, &vocabulary);
+  const Alphabet alphabet = family.FullAlphabet();
+  const ModelSet mt =
+      EnumerateModels(family.t.AsFormula(), alphabet);
+  const ModelSet mp = EnumerateModels(family.p, alphabet);
+  size_t k = alphabet.size();
+  for (const Interpretation& m : mt) {
+    for (const Interpretation& q : mp) {
+      k = std::min(k, m.HammingDistance(q));
+    }
+  }
+  EXPECT_EQ(static_cast<size_t>(n), k);
+}
+
+// ---- Theorem 4.1: the bounded-P reduction for GFUV --------------------
+
+TEST(Theorem41Test, BoundedPReductionPreservesQueries) {
+  Vocabulary vocabulary;
+  const Theorem41Family family(3, &vocabulary);
+  EXPECT_EQ(1u, family.p_prime.VarOccurrences());  // |P'| is constant
+  const Formula advice = GfuvFormula(family.t_prime, family.p_prime);
+  for (const auto& pi : SampleInstances(family.base.tau, 10, 999)) {
+    const bool satisfiable =
+        IsSatisfiable(family.base.tau.InstanceFormula(pi));
+    EXPECT_EQ(satisfiable, Entails(advice, family.Query(pi)))
+        << "pi size " << pi.size();
+  }
+}
+
+// ---- Theorem 6.5: iterated bounded revisions --------------------------
+
+TEST(Theorem65Test, IteratedReductionDecides3Sat) {
+  Vocabulary vocabulary;
+  const Theorem65Family family(3, &vocabulary);
+  const Alphabet alphabet = family.FullAlphabet();
+  // Each update has constant size.
+  for (const Formula& p : family.updates) {
+    EXPECT_EQ(2u, p.VarOccurrences());
+  }
+  for (const OperatorId id :
+       {OperatorId::kDalal, OperatorId::kWeber, OperatorId::kWinslett,
+        OperatorId::kForbus, OperatorId::kSatoh, OperatorId::kBorgida}) {
+    const ModelSet revised = IteratedReviseModels(
+        *OperatorById(id), family.t, family.updates, alphabet);
+    for (const auto& pi : SampleInstances(family.tau, 8, 333)) {
+      const bool satisfiable =
+          IsSatisfiable(family.tau.InstanceFormula(pi));
+      EXPECT_EQ(satisfiable, revised.Contains(family.CPi(pi, alphabet)))
+          << OperatorById(id)->name() << " pi size " << pi.size();
+    }
+  }
+}
+
+// The proof of Theorem 6.5 also shows the iterated result coincides for
+// all six model-based operators on this family.
+TEST(Theorem65Test, AllModelBasedOperatorsCoincideOnTheFamily) {
+  Vocabulary vocabulary;
+  const Theorem65Family family(3, &vocabulary);
+  const Alphabet alphabet = family.FullAlphabet();
+  const ModelSet reference = IteratedReviseModels(
+      *OperatorById(OperatorId::kDalal), family.t, family.updates,
+      alphabet);
+  for (const ModelBasedOperator* op : AllModelBasedOperators()) {
+    EXPECT_EQ(reference, IteratedReviseModels(*op, family.t,
+                                              family.updates, alphabet))
+        << op->name();
+  }
+}
+
+// ---- Explosion examples ------------------------------------------------
+
+TEST(NebelExplosionTest, WorldsDoubleWithM) {
+  Vocabulary vocabulary;
+  for (int m = 1; m <= 6; ++m) {
+    const NebelExplosionFamily family(m, &vocabulary);
+    EXPECT_EQ(uint64_t{1} << m,
+              MaximalConsistentSubsets(family.t, family.p).size());
+  }
+}
+
+TEST(NebelExplosionTest, GfuvResultIsNeverthelessEquivalentToP) {
+  // The exponential blow-up is about the naive representation; the
+  // revised KB is logically equivalent to P here.
+  Vocabulary vocabulary;
+  const NebelExplosionFamily family(4, &vocabulary);
+  EXPECT_TRUE(AreEquivalent(GfuvFormula(family.t, family.p), family.p));
+}
+
+TEST(WinslettChainTest, ConstantSizePStillExplodesWorlds) {
+  Vocabulary vocabulary;
+  for (int m = 1; m <= 5; ++m) {
+    const WinslettChainFamily family(m, &vocabulary);
+    EXPECT_EQ(1u, family.p.VarOccurrences());  // P = z_m
+    const size_t worlds =
+        MaximalConsistentSubsets(family.t, family.p).size();
+    EXPECT_GE(worlds, size_t{1} << m) << "m=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace revise

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "hardness/random_instances.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "minimize/horn.h"
+#include "revision/operator.h"
+#include "solve/services.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace revise {
+namespace {
+
+using ::revise::testing::BruteForceModels;
+using ::revise::testing::BruteForceSat;
+
+TEST(HornShapeTest, ClauseRecognition) {
+  Vocabulary vocabulary;
+  EXPECT_TRUE(IsHornClause(ParseOrDie("!a | !b | c", &vocabulary)));
+  EXPECT_TRUE(IsHornClause(ParseOrDie("!a | !b", &vocabulary)));
+  EXPECT_TRUE(IsHornClause(ParseOrDie("c", &vocabulary)));
+  EXPECT_TRUE(IsHornClause(Formula::True()));
+  EXPECT_FALSE(IsHornClause(ParseOrDie("a | b", &vocabulary)));
+  EXPECT_FALSE(IsHornClause(ParseOrDie("a & b", &vocabulary)));
+}
+
+TEST(HornShapeTest, FormulaRecognition) {
+  Vocabulary vocabulary;
+  EXPECT_TRUE(
+      IsHornFormula(ParseOrDie("(!a | b) & (!b | !c) & a", &vocabulary)));
+  EXPECT_FALSE(IsHornFormula(ParseOrDie("(a | b) & !c", &vocabulary)));
+}
+
+TEST(IntersectionClosureTest, AddsMeets) {
+  // Models {a}, {b}: closure adds {}.
+  const Alphabet alphabet({0, 1});
+  const ModelSet models(alphabet, {Interpretation::FromIndex(2, 0b01),
+                                   Interpretation::FromIndex(2, 0b10)});
+  const ModelSet closed = IntersectionClosure(models);
+  EXPECT_EQ(3u, closed.size());
+  EXPECT_TRUE(closed.Contains(Interpretation::FromIndex(2, 0)));
+}
+
+TEST(IntersectionClosureTest, HornSetIsAlreadyClosed) {
+  Vocabulary vocabulary;
+  const Formula horn =
+      ParseOrDie("(!a | b) & (!b | !c | a)", &vocabulary);
+  const Alphabet alphabet(horn.Vars());
+  const ModelSet models = BruteForceModels(horn, alphabet);
+  EXPECT_EQ(models, IntersectionClosure(models));
+}
+
+class HornLubTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 4; ++i) {
+      vars_.push_back(vocabulary_.Intern("h" + std::to_string(i)));
+    }
+    alphabet_ = Alphabet(vars_);
+  }
+
+  Vocabulary vocabulary_;
+  std::vector<Var> vars_;
+  Alphabet alphabet_;
+};
+
+TEST_P(HornLubTest, LubModelsAreTheIntersectionClosure) {
+  // Dechter-Pearl / Selman-Kautz: M(HornLub(phi)) == closure(M(phi)).
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const Formula f = RandomFormula(vars_, 4, &rng);
+    const ModelSet models = BruteForceModels(f, alphabet_);
+    if (models.empty()) continue;
+    const Formula lub = HornLub(models);
+    EXPECT_TRUE(IsHornFormula(lub)) << ToString(lub, vocabulary_);
+    EXPECT_EQ(IntersectionClosure(models),
+              BruteForceModels(lub, alphabet_))
+        << ToString(f, vocabulary_);
+    // phi |= LUB (the LUB is an UPPER bound).
+    EXPECT_TRUE(Entails(f, lub));
+  }
+}
+
+TEST_P(HornLubTest, SoundApproximateQueryAnswering) {
+  // If the Horn LUB of the revised base entails Q, so does the revised
+  // base (Section 2.3's approximate compilation, applied to revision).
+  Rng rng(GetParam() + 50);
+  const DalalOperator dalal;
+  for (int trial = 0; trial < 8; ++trial) {
+    Formula t = RandomFormula(vars_, 3, &rng);
+    Formula p = RandomFormula(vars_, 3, &rng);
+    if (!BruteForceSat(t, alphabet_) || !BruteForceSat(p, alphabet_)) {
+      continue;
+    }
+    const ModelSet revised = dalal.ReviseModels(Theory({t}), p, alphabet_);
+    const Formula lub = HornLub(revised);
+    const Formula revised_formula = dalal.ReviseFormula(Theory({t}), p);
+    for (int q = 0; q < 6; ++q) {
+      const Formula query = RandomFormula(vars_, 3, &rng);
+      if (Entails(lub, query)) {
+        EXPECT_TRUE(Entails(revised_formula, query))
+            << "unsound LUB answer on " << ToString(query, vocabulary_);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HornLubTest, ::testing::Range(950, 954));
+
+TEST(HornLubTest2, ExactForHornInput) {
+  // The LUB of a Horn theory is the theory itself (up to equivalence).
+  Vocabulary vocabulary;
+  const Formula horn =
+      ParseOrDie("(!a | b) & (!b | c) & (!c | !d)", &vocabulary);
+  const Alphabet alphabet(horn.Vars());
+  const Formula lub = HornLub(BruteForceModels(horn, alphabet));
+  EXPECT_TRUE(AreEquivalent(horn, lub));
+}
+
+TEST(HornLubTest2, StrictlyWeakerForNonHornInput) {
+  // a | b is not Horn-expressible: the LUB must be strictly weaker.
+  Vocabulary vocabulary;
+  const Formula f = ParseOrDie("a | b", &vocabulary);
+  const Alphabet alphabet(f.Vars());
+  const Formula lub = HornLub(BruteForceModels(f, alphabet));
+  EXPECT_TRUE(Entails(f, lub));
+  EXPECT_FALSE(Entails(lub, f));
+  // In fact the LUB of a|b is the empty (true) theory.
+  EXPECT_TRUE(AreEquivalent(lub, Formula::True()));
+}
+
+}  // namespace
+}  // namespace revise

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hardness/random_instances.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "model/model_set.h"
+#include "solve/distance.h"
+#include "solve/sat_context.h"
+#include "solve/services.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace revise {
+namespace {
+
+using ::revise::testing::BruteForceModels;
+using ::revise::testing::BruteForceSat;
+
+TEST(ServicesTest, BasicSatisfiability) {
+  Vocabulary vocabulary;
+  EXPECT_TRUE(IsSatisfiable(ParseOrDie("a & !b", &vocabulary)));
+  EXPECT_FALSE(IsSatisfiable(ParseOrDie("a & !a", &vocabulary)));
+  EXPECT_TRUE(IsSatisfiable(Formula::True()));
+  EXPECT_FALSE(IsSatisfiable(Formula::False()));
+}
+
+TEST(ServicesTest, BasicEntailment) {
+  Vocabulary vocabulary;
+  const Formula a_and_b = ParseOrDie("a & b", &vocabulary);
+  const Formula a = ParseOrDie("a", &vocabulary);
+  const Formula a_or_b = ParseOrDie("a | b", &vocabulary);
+  EXPECT_TRUE(Entails(a_and_b, a));
+  EXPECT_TRUE(Entails(a_and_b, a_or_b));
+  EXPECT_FALSE(Entails(a_or_b, a));
+  EXPECT_TRUE(Entails(Formula::False(), a));
+}
+
+TEST(ServicesTest, IntroExampleRevisionConclusion) {
+  // Paper Section 1: T = g | b, P = !g; T & P |= !g & b.
+  Vocabulary vocabulary;
+  const Formula t = ParseOrDie("g | b", &vocabulary);
+  const Formula p = ParseOrDie("!g", &vocabulary);
+  EXPECT_TRUE(Entails(Formula::And(t, p), ParseOrDie("!g & b", &vocabulary)));
+}
+
+TEST(ServicesTest, EquivalenceChecks) {
+  Vocabulary vocabulary;
+  EXPECT_TRUE(AreEquivalent(ParseOrDie("a -> b", &vocabulary),
+                            ParseOrDie("!a | b", &vocabulary)));
+  EXPECT_TRUE(AreEquivalent(ParseOrDie("a ^ b", &vocabulary),
+                            ParseOrDie("(a | b) & !(a & b)", &vocabulary)));
+  EXPECT_FALSE(AreEquivalent(ParseOrDie("a", &vocabulary),
+                             ParseOrDie("b", &vocabulary)));
+}
+
+class RandomFormulaSolveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomFormulaSolveTest, EnumerationAgreesWithTruthTable) {
+  Vocabulary vocabulary;
+  std::vector<Var> vars;
+  for (const char* name : {"a", "b", "c", "d", "e"}) {
+    vars.push_back(vocabulary.Intern(name));
+  }
+  const Alphabet alphabet(vars);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const Formula f = RandomFormula(vars, 5, &rng);
+    const ModelSet expected = BruteForceModels(f, alphabet);
+    const ModelSet actual = EnumerateModels(f, alphabet);
+    ASSERT_EQ(expected, actual) << ToString(f, vocabulary);
+    ASSERT_EQ(BruteForceSat(f, alphabet), IsSatisfiable(f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFormulaSolveTest,
+                         ::testing::Range(100, 108));
+
+TEST(ServicesTest, EnumerationProjectsAuxiliaryVariables) {
+  // f = (a | x) & (!x | b): models over {a, b} are the projections.
+  Vocabulary vocabulary;
+  const Formula f = ParseOrDie("(a | x) & (!x | b)", &vocabulary);
+  const Alphabet ab({vocabulary.Find("a"), vocabulary.Find("b")});
+  const ModelSet models = EnumerateModels(f, ab);
+  // Projections: a=1,b=0 (x=0); a=1,b=1; a=0,b=1 (x=1); not a=0,b=0.
+  EXPECT_EQ(3u, models.size());
+}
+
+TEST(ServicesTest, EnumerationOverSupersetAlphabet) {
+  // Letters not occurring in f take both values.
+  Vocabulary vocabulary;
+  const Formula f = ParseOrDie("a", &vocabulary);
+  const Alphabet abc({vocabulary.Find("a"), vocabulary.Intern("b2"),
+                      vocabulary.Intern("c2")});
+  EXPECT_EQ(4u, CountModels(f, abc));
+}
+
+TEST(ServicesTest, EnumerationLimit) {
+  Vocabulary vocabulary;
+  const Formula f = Formula::True();
+  const Alphabet abc({vocabulary.Intern("a"), vocabulary.Intern("b"),
+                      vocabulary.Intern("c")});
+  EXPECT_EQ(3u, EnumerateModels(f, abc, 3).size());
+  EXPECT_EQ(8u, EnumerateModels(f, abc).size());
+}
+
+TEST(ServicesTest, QueryEquivalenceWithAuxiliaryLetters) {
+  // T' = (y <-> a) & y is query equivalent to a over {a}.
+  Vocabulary vocabulary;
+  const Formula t_prime = ParseOrDie("(y <-> a) & y", &vocabulary);
+  const Formula t = ParseOrDie("a", &vocabulary);
+  const Alphabet a({vocabulary.Find("a")});
+  EXPECT_TRUE(QueryEquivalent(t_prime, t, a));
+  EXPECT_FALSE(AreEquivalent(t_prime, t));
+}
+
+TEST(SatContextTest, FramesAreIndependent) {
+  Vocabulary vocabulary;
+  const Formula a = ParseOrDie("a", &vocabulary);
+  SatContext context;
+  context.Assert(a, 0);
+  context.Assert(Formula::Not(a), 1);
+  ASSERT_TRUE(context.Solve());
+  EXPECT_TRUE(context.ModelValue(vocabulary.Find("a"), 0));
+  EXPECT_FALSE(context.ModelValue(vocabulary.Find("a"), 1));
+}
+
+TEST(SatContextTest, EncodeIsMemoized) {
+  Vocabulary vocabulary;
+  const Formula f = ParseOrDie("a & b", &vocabulary);
+  SatContext context;
+  const sat::Lit l1 = context.Encode(f);
+  const sat::Lit l2 = context.Encode(f);
+  EXPECT_EQ(l1, l2);
+}
+
+// --- distance machinery ---
+
+struct DistanceCase {
+  const char* t;
+  const char* p;
+  size_t expected;
+};
+
+class MinDistanceTest : public ::testing::TestWithParam<DistanceCase> {};
+
+TEST_P(MinDistanceTest, MatchesHandComputedValue) {
+  Vocabulary vocabulary;
+  const Formula t = ParseOrDie(GetParam().t, &vocabulary);
+  const Formula p = ParseOrDie(GetParam().p, &vocabulary);
+  const Alphabet alphabet(UnionOfVars(std::vector<Formula>{t, p}));
+  const auto distance = MinHammingDistance(t, p, alphabet);
+  ASSERT_TRUE(distance.has_value());
+  EXPECT_EQ(GetParam().expected, *distance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HandCases, MinDistanceTest,
+    ::testing::Values(
+        DistanceCase{"a & b", "a & b", 0},
+        DistanceCase{"a & b", "!a & b", 1},
+        DistanceCase{"a & b & c", "!a & !b & !c", 3},
+        // Paper Section 2.2.2 example: k_{T,P} = 1.
+        DistanceCase{"a & b & c",
+                     "(!a & !b & !d) | (!c & b & (a ^ d))", 1},
+        // Section 4 example: T = a&b&c&d&e, P = !a | !b, k = 1.
+        DistanceCase{"a & b & c & d & e", "!a | !b", 1}));
+
+TEST(MinDistanceTest, UnsatisfiableOperandGivesNullopt) {
+  Vocabulary vocabulary;
+  const Formula t = ParseOrDie("a & !a", &vocabulary);
+  const Formula p = ParseOrDie("b", &vocabulary);
+  const Alphabet alphabet(UnionOfVars(std::vector<Formula>{t, p}));
+  EXPECT_FALSE(MinHammingDistance(t, p, alphabet).has_value());
+  EXPECT_FALSE(MinHammingDistance(p, t, alphabet).has_value());
+}
+
+// Brute-force delta(T,P): minimal symmetric differences between models.
+std::vector<Interpretation> BruteForceDelta(const Formula& t,
+                                            const Formula& p,
+                                            const Alphabet& alphabet) {
+  const ModelSet mt = BruteForceModels(t, alphabet);
+  const ModelSet mp = BruteForceModels(p, alphabet);
+  std::vector<Interpretation> diffs;
+  for (const Interpretation& m : mt) {
+    for (const Interpretation& n : mp) {
+      diffs.push_back(m.SymmetricDifference(n));
+    }
+  }
+  return MinimalUnderInclusion(std::move(diffs));
+}
+
+class RandomDistanceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDistanceTest, MinimalDiffsMatchBruteForce) {
+  Vocabulary vocabulary;
+  std::vector<Var> vars;
+  for (const char* name : {"a", "b", "c", "d", "e"}) {
+    vars.push_back(vocabulary.Intern(name));
+  }
+  const Alphabet alphabet(vars);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const Formula t = RandomFormula(vars, 4, &rng);
+    const Formula p = RandomFormula(vars, 4, &rng);
+    if (!BruteForceSat(t, alphabet) || !BruteForceSat(p, alphabet)) {
+      continue;
+    }
+    std::vector<Interpretation> expected =
+        BruteForceDelta(t, p, alphabet);
+    std::vector<Interpretation> actual =
+        GlobalMinimalDiffs(t, p, alphabet);
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    ASSERT_EQ(expected, actual)
+        << "T=" << ToString(t, vocabulary) << " P=" << ToString(p, vocabulary);
+
+    // Min distance must equal the smallest minimal-diff cardinality.
+    size_t min_card = alphabet.size() + 1;
+    for (const Interpretation& d : expected) {
+      min_card = std::min(min_card, d.Cardinality());
+    }
+    const auto distance = MinHammingDistance(t, p, alphabet);
+    ASSERT_TRUE(distance.has_value());
+    ASSERT_EQ(min_card, *distance);
+
+    // Weber's Omega is the union of the minimal diffs.
+    Interpretation omega(alphabet.size());
+    for (const Interpretation& d : expected) omega = omega.Union(d);
+    ASSERT_EQ(omega, WeberOmega(t, p, alphabet));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDistanceTest,
+                         ::testing::Range(200, 206));
+
+TEST(WeberOmegaTest, PaperExampleOmega) {
+  // Section 2.2.2: delta(T,P) = {{c},{a,b}}, Omega = {a,b,c}.
+  Vocabulary vocabulary;
+  const Formula t = ParseOrDie("a & b & c", &vocabulary);
+  const Formula p =
+      ParseOrDie("(!a & !b & !d) | (!c & b & (a ^ d))", &vocabulary);
+  const Alphabet alphabet(UnionOfVars(std::vector<Formula>{t, p}));
+  const Interpretation omega = WeberOmega(t, p, alphabet);
+  EXPECT_TRUE(omega.Get(*alphabet.IndexOf(vocabulary.Find("a"))));
+  EXPECT_TRUE(omega.Get(*alphabet.IndexOf(vocabulary.Find("b"))));
+  EXPECT_TRUE(omega.Get(*alphabet.IndexOf(vocabulary.Find("c"))));
+  EXPECT_FALSE(omega.Get(*alphabet.IndexOf(vocabulary.Find("d"))));
+}
+
+TEST(ModelSetTest, SetAlgebra) {
+  const Alphabet alphabet({0, 1});
+  const ModelSet a(alphabet, {Interpretation::FromIndex(2, 0),
+                              Interpretation::FromIndex(2, 1)});
+  const ModelSet b(alphabet, {Interpretation::FromIndex(2, 1),
+                              Interpretation::FromIndex(2, 2)});
+  EXPECT_EQ(3u, ModelSet::Union(a, b).size());
+  EXPECT_EQ(1u, ModelSet::Intersection(a, b).size());
+  EXPECT_TRUE(ModelSet::Intersection(a, b).IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.Contains(Interpretation::FromIndex(2, 1)));
+  EXPECT_FALSE(a.Contains(Interpretation::FromIndex(2, 3)));
+}
+
+TEST(ModelSetTest, MincMaxc) {
+  // Sets {a}, {a,b}, {c} -> minc {{a},{c}}, maxc {{a,b},{c}}.
+  const Interpretation sa = Interpretation::FromIndex(3, 0b001);
+  const Interpretation sab = Interpretation::FromIndex(3, 0b011);
+  const Interpretation sc = Interpretation::FromIndex(3, 0b100);
+  std::vector<Interpretation> family = {sa, sab, sc};
+  auto minimal = MinimalUnderInclusion(family);
+  auto maximal = MaximalUnderInclusion(family);
+  EXPECT_EQ(2u, minimal.size());
+  EXPECT_EQ(2u, maximal.size());
+  EXPECT_TRUE(std::find(minimal.begin(), minimal.end(), sa) !=
+              minimal.end());
+  EXPECT_TRUE(std::find(maximal.begin(), maximal.end(), sab) !=
+              maximal.end());
+}
+
+TEST(ModelSetTest, ProjectionDeduplicates) {
+  const Alphabet big({0, 1});
+  const Alphabet small({0});
+  const ModelSet models(big, {Interpretation::FromIndex(2, 0b00),
+                              Interpretation::FromIndex(2, 0b10),
+                              Interpretation::FromIndex(2, 0b01)});
+  EXPECT_EQ(2u, models.ProjectTo(small).size());
+}
+
+}  // namespace
+}  // namespace revise

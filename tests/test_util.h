@@ -1,0 +1,43 @@
+// Shared helpers for the librevise test suites: brute-force reference
+// implementations used to cross-validate the SAT-based machinery.
+
+#ifndef REVISE_TESTS_TEST_UTIL_H_
+#define REVISE_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "logic/evaluate.h"
+#include "logic/formula.h"
+#include "logic/interpretation.h"
+#include "model/model_set.h"
+#include "util/check.h"
+
+namespace revise::testing {
+
+// All models of `f` over `alphabet` by exhaustive evaluation
+// (alphabet.size() <= 20 expected).
+inline ModelSet BruteForceModels(const Formula& f, const Alphabet& alphabet) {
+  REVISE_CHECK_LE(alphabet.size(), 24u);
+  std::vector<Interpretation> models;
+  const uint64_t total = uint64_t{1} << alphabet.size();
+  for (uint64_t index = 0; index < total; ++index) {
+    Interpretation m = Interpretation::FromIndex(alphabet.size(), index);
+    if (Evaluate(f, alphabet, m)) models.push_back(m);
+  }
+  return ModelSet(alphabet, std::move(models));
+}
+
+inline bool BruteForceSat(const Formula& f, const Alphabet& alphabet) {
+  const uint64_t total = uint64_t{1} << alphabet.size();
+  for (uint64_t index = 0; index < total; ++index) {
+    if (Evaluate(f, alphabet,
+                 Interpretation::FromIndex(alphabet.size(), index))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace revise::testing
+
+#endif  // REVISE_TESTS_TEST_UTIL_H_
