@@ -28,8 +28,9 @@
 namespace revise {
 namespace {
 
-void MeasureExaSizes() {
+void MeasureExaSizes(obs::Report* report) {
   bench::Headline("EXA(k, X, Y, W) sizes (variable occurrences)");
+  report->AddTable("exa_sizes", {"n", "k", "size"});
   std::printf("%-6s", "n\\k");
   for (int k : {1, 2, 4, 8, 16}) std::printf(" %10d", k);
   std::printf("\n");
@@ -47,13 +48,14 @@ void MeasureExaSizes() {
           ExaFormula(static_cast<size_t>(k), x, y, &vocabulary);
       std::printf(" %10llu",
                   static_cast<unsigned long long>(exa.VarOccurrences()));
+      report->AddRow("exa_sizes", {n, k, exa.VarOccurrences()});
     }
     std::printf("\n");
   }
   std::printf("(O(n*k) as built; polynomial, as Theorem 3.4 requires)\n");
 }
 
-void MeasureBoundedConstantFactor() {
+void MeasureBoundedConstantFactor(obs::Report* report) {
   bench::Headline(
       "bounded formulas (5)-(9): size vs k = |V(P)| at |T| fixed (n = 24 "
       "letters) — the 2^k constant factor");
@@ -67,32 +69,44 @@ void MeasureBoundedConstantFactor() {
   const Formula t = ConjoinAll(letters);
   std::printf("%-4s %14s %14s %14s %14s %14s\n", "k", "Winslett(5)",
               "Forbus(6)", "Satoh(7)", "Dalal(8)", "Weber(9)");
+  report->AddTable("bounded_constant_factor",
+                   {"k", "winslett", "forbus", "satoh", "dalal", "weber"});
+  std::vector<uint64_t> winslett_sizes;
   for (int k = 1; k <= 5; ++k) {
     std::vector<Formula> negated;
     for (int i = 0; i < k; ++i) {
       negated.push_back(Formula::Not(letters[i]));
     }
     const Formula p = DisjoinAll(negated);
+    const uint64_t winslett = WinslettBounded(t, p).VarOccurrences();
+    const uint64_t forbus = ForbusBounded(t, p).VarOccurrences();
+    const uint64_t satoh = SatohBounded(t, p).VarOccurrences();
+    const uint64_t dalal = DalalBounded(t, p).VarOccurrences();
+    const uint64_t weber = WeberBounded(t, p).VarOccurrences();
+    winslett_sizes.push_back(winslett);
     std::printf("%-4d %14llu %14llu %14llu %14llu %14llu\n", k,
-                static_cast<unsigned long long>(
-                    WinslettBounded(t, p).VarOccurrences()),
-                static_cast<unsigned long long>(
-                    ForbusBounded(t, p).VarOccurrences()),
-                static_cast<unsigned long long>(
-                    SatohBounded(t, p).VarOccurrences()),
-                static_cast<unsigned long long>(
-                    DalalBounded(t, p).VarOccurrences()),
-                static_cast<unsigned long long>(
-                    WeberBounded(t, p).VarOccurrences()));
+                static_cast<unsigned long long>(winslett),
+                static_cast<unsigned long long>(forbus),
+                static_cast<unsigned long long>(satoh),
+                static_cast<unsigned long long>(dalal),
+                static_cast<unsigned long long>(weber));
+    report->AddRow("bounded_constant_factor",
+                   {k, winslett, forbus, satoh, dalal, weber});
   }
+  report->AddSeries(
+      "winslett_bounded_size",
+      std::vector<double>(winslett_sizes.begin(), winslett_sizes.end()),
+      bench::GrowthVerdict(winslett_sizes));
 }
 
-void MeasureCandidateAblation() {
+void MeasureCandidateAblation(obs::Report* report) {
   bench::Headline(
       "ablation: candidate path (Prop 2.1) vs full M(P) enumeration for "
       "Winslett, |V(P)| = 2, growing full alphabet");
   std::printf("%-4s %16s %16s\n", "n", "candidates (ms)",
               "enumeration (ms)");
+  report->AddTable("candidate_ablation",
+                   {"n", "candidates_ms", "enumeration_ms"});
   for (int n : {8, 12, 16, 20}) {
     Vocabulary vocabulary;
     std::vector<Var> vars;
@@ -126,9 +140,12 @@ void MeasureCandidateAblation() {
     }
     if (enumeration_ms < 0) {
       std::printf("%-4d %16.3f %16s\n", n, candidate_ms, "(skipped)");
+      report->AddRow("candidate_ablation", {n, candidate_ms, nullptr});
     } else {
       std::printf("%-4d %16.3f %16.3f\n", n, candidate_ms,
                   enumeration_ms);
+      report->AddRow("candidate_ablation",
+                     {n, candidate_ms, enumeration_ms});
     }
   }
   std::printf("(enumeration is exponential in n; candidates in |V(P)|)\n");
@@ -176,11 +193,14 @@ BENCHMARK(BM_CandidateRevision)->Arg(10)->Arg(20)
 }  // namespace revise
 
 int main(int argc, char** argv) {
-  revise::MeasureExaSizes();
-  revise::MeasureBoundedConstantFactor();
-  revise::MeasureCandidateAblation();
+  revise::bench::JsonReporter reporter("bench_compact_constructions",
+                                       "BENCH_compact_constructions.json",
+                                       &argc, argv);
+  revise::MeasureExaSizes(&reporter.report());
+  revise::MeasureBoundedConstantFactor(&reporter.report());
+  revise::MeasureCandidateAblation(&reporter.report());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return reporter.WriteIfRequested() ? 0 : 1;
 }

@@ -22,8 +22,11 @@
 namespace revise {
 namespace {
 
-void MeasureNebel() {
+void MeasureNebel(obs::Report* report) {
   bench::Headline("Nebel's family: T = {x_i, y_i}, P = AND(x_i ^ y_i)");
+  report->AddTable("nebel_family",
+                   {"m", "input_size", "worlds", "naive_gfuv_size",
+                    "qm_minimal_size"});
   std::printf("%-4s %10s %12s %16s %16s\n", "m", "|T|+|P|", "|W(T,P)|",
               "naive GFUV size", "QM-minimal size");
   std::vector<uint64_t> naive_sizes;
@@ -46,17 +49,26 @@ void MeasureNebel() {
                 worlds.size(),
                 static_cast<unsigned long long>(naive.VarOccurrences()),
                 minimal.c_str());
+    report->AddRow("nebel_family",
+                   {m, family.t.VarOccurrences() + family.p.VarOccurrences(),
+                    worlds.size(), naive.VarOccurrences(), minimal});
   }
+  const std::string verdict = bench::GrowthVerdict(naive_sizes);
   std::printf("naive growth: %s (paper: 2^m worlds).  The QM-minimal size\n"
               "stays small because T *_GFUV P1 == P1 for THIS family —\n"
               "worst-case non-compactability needs the Thm 3.1 advice "
               "argument.\n",
-              bench::GrowthVerdict(naive_sizes).c_str());
+              verdict.c_str());
+  report->AddSeries("nebel_naive_gfuv_size",
+                    std::vector<double>(naive_sizes.begin(), naive_sizes.end()),
+                    verdict);
 }
 
-void MeasureWinslettChain() {
+void MeasureWinslettChain(obs::Report* report) {
   bench::Headline(
       "Winslett's chain family: constant |P| = 1, worlds still explode");
+  report->AddTable("winslett_chain",
+                   {"m", "t_size", "p_size", "worlds", "naive_gfuv_size"});
   std::printf("%-4s %10s %6s %12s %16s\n", "m", "|T|", "|P|", "|W(T,P)|",
               "naive GFUV size");
   std::vector<uint64_t> world_counts;
@@ -71,9 +83,15 @@ void MeasureWinslettChain() {
                 static_cast<unsigned long long>(family.p.VarOccurrences()),
                 worlds.size(),
                 static_cast<unsigned long long>(naive.VarOccurrences()));
+    report->AddRow("winslett_chain",
+                   {m, family.t.VarOccurrences(), family.p.VarOccurrences(),
+                    worlds.size(), naive.VarOccurrences()});
   }
-  std::printf("world-count growth: %s\n",
-              bench::GrowthVerdict(world_counts).c_str());
+  const std::string verdict = bench::GrowthVerdict(world_counts);
+  std::printf("world-count growth: %s\n", verdict.c_str());
+  report->AddSeries(
+      "winslett_world_counts",
+      std::vector<double>(world_counts.begin(), world_counts.end()), verdict);
 }
 
 void BM_MaximalConsistentSubsetsNebel(benchmark::State& state) {
@@ -104,10 +122,12 @@ BENCHMARK(BM_WidtioOnNebel)->Arg(4)->Arg(8)->Arg(12)
 }  // namespace revise
 
 int main(int argc, char** argv) {
-  revise::MeasureNebel();
-  revise::MeasureWinslettChain();
+  revise::bench::JsonReporter reporter("bench_explosion",
+                                       "BENCH_explosion.json", &argc, argv);
+  revise::MeasureNebel(&reporter.report());
+  revise::MeasureWinslettChain(&reporter.report());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return reporter.WriteIfRequested() ? 0 : 1;
 }

@@ -40,7 +40,7 @@ const Edge kEdges[] = {
     {OperatorId::kBorgida, OperatorId::kWinslett},
 };
 
-void ReproduceFigure1() {
+void ReproduceFigure1(obs::Report* report) {
   bench::Headline("Figure 1: containment between operator model sets");
   Vocabulary vocabulary;
   std::vector<Var> vars;
@@ -106,17 +106,29 @@ void ReproduceFigure1() {
   std::printf("random pairs tested: %d (5 letters)\n", tested);
   std::printf("%-22s %-12s %s\n", "arrow (subset)", "violations",
               "proper on");
+  report->AddTable("figure1_arrows",
+                   {"from", "to", "violations", "proper_on"});
   for (size_t e = 0; e < std::size(kEdges); ++e) {
     std::printf("%-8s -> %-10s %-12d %d pairs\n",
                 std::string(OperatorById(kEdges[e].from)->name()).c_str(),
                 std::string(OperatorById(kEdges[e].to)->name()).c_str(),
                 violations == 0 ? 0 : violations, strict[e]);
+    report->AddRow("figure1_arrows",
+                   {std::string(OperatorById(kEdges[e].from)->name()),
+                    std::string(OperatorById(kEdges[e].to)->name()),
+                    violations, strict[e]});
   }
   std::printf("non-arrows confirmed: Winslett !⊆ Weber on %d pairs, "
               "Weber !⊆ Winslett on %d, Forbus !⊆ Borgida on %d\n",
               win_not_in_web, web_not_in_win, forbus_not_in_borgida);
   std::printf("total containment violations: %d (paper predicts 0)\n",
               violations);
+  report->AddTable("figure1_summary",
+                   {"pairs_tested", "violations", "winslett_not_in_weber",
+                    "weber_not_in_winslett", "forbus_not_in_borgida"});
+  report->AddRow("figure1_summary",
+                 {tested, violations, win_not_in_web, web_not_in_win,
+                  forbus_not_in_borgida});
 
   // Section 2.2.2 worked example.
   bench::Headline("Section 2.2.2 worked example (exact model sets)");
@@ -125,13 +137,18 @@ void ReproduceFigure1() {
   const Formula p =
       ParseOrDie("(!a & !b & !d) | (!c & b & (a ^ d))", &v2);
   const Alphabet ex_alphabet = RevisionAlphabet(t, p);
+  report->AddTable("worked_example", {"operator", "models"});
   for (const ModelBasedOperator* op : AllModelBasedOperators()) {
     const ModelSet result = op->ReviseModels(t, p, ex_alphabet);
     std::printf("  %-9s:", std::string(op->name()).c_str());
+    std::string models;
     for (const Interpretation& m : result) {
       std::printf(" %s", m.ToString(ex_alphabet, v2).c_str());
+      if (!models.empty()) models += ' ';
+      models += m.ToString(ex_alphabet, v2);
     }
     std::printf("\n");
+    report->AddRow("worked_example", {std::string(op->name()), models});
   }
   std::printf("expected (paper): Winslett/Borgida {a,b},{c},{b,d}; "
               "Forbus {a,b},{b,d}; Satoh {a,b},{c}; Dalal {a,b}; "
@@ -174,10 +191,13 @@ void RegisterBenchmarks() {
 }  // namespace revise
 
 int main(int argc, char** argv) {
-  revise::ReproduceFigure1();
+  revise::bench::JsonReporter reporter("bench_figure1_containment",
+                                       "BENCH_figure1_containment.json",
+                                       &argc, argv);
+  revise::ReproduceFigure1(&reporter.report());
   revise::RegisterBenchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return reporter.WriteIfRequested() ? 0 : 1;
 }

@@ -63,7 +63,7 @@ bool AskCompact(OperatorId id, Instance* instance) {
   return Entails(compact, instance->q);
 }
 
-void MeasureCrossover() {
+void MeasureCrossover(obs::Report* report) {
   bench::Headline(
       "Section 2.2.4 shape: wall time of T * P |= Q per operator "
       "(compact route for Dalal/Weber, model-set route otherwise)");
@@ -72,6 +72,7 @@ void MeasureCrossover() {
     std::printf(" %10s", std::string(op->name()).c_str());
   }
   std::printf("   (milliseconds; '-' = skipped, too slow)\n");
+  report->AddTable("query_crossover", {"n", "operator", "milliseconds"});
   for (int n : {6, 8, 10, 12, 16, 24}) {
     std::printf("%-4d", n);
     for (const RevisionOperator* op : AllOperators()) {
@@ -80,6 +81,8 @@ void MeasureCrossover() {
                                      op->id() != OperatorId::kWeber;
       if (enumeration_route && n > 12) {
         std::printf(" %10s", "-");
+        report->AddRow("query_crossover",
+                       {n, std::string(op->name()), nullptr});
         continue;
       }
       Instance instance;
@@ -96,6 +99,8 @@ void MeasureCrossover() {
                                std::chrono::steady_clock::now() - start)
                                .count();
       std::printf(" %10.2f", elapsed);
+      report->AddRow("query_crossover",
+                     {n, std::string(op->name()), elapsed});
     }
     std::printf("\n");
   }
@@ -134,9 +139,12 @@ BENCHMARK(BM_EntailsViaEnumerationWinslett)->Arg(6)->Arg(8)->Arg(10)
 }  // namespace revise
 
 int main(int argc, char** argv) {
-  revise::MeasureCrossover();
+  revise::bench::JsonReporter reporter("bench_operator_complexity",
+                                       "BENCH_operator_complexity.json",
+                                       &argc, argv);
+  revise::MeasureCrossover(&reporter.report());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return reporter.WriteIfRequested() ? 0 : 1;
 }

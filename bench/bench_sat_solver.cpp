@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "obs/report.h"
 #include "sat/literal.h"
 #include "sat/solver.h"
 #include "util/random.h"
@@ -34,12 +35,14 @@ std::vector<std::vector<Lit>> Random3SatClauses(int num_vars,
   return clauses;
 }
 
-void PrintPhaseTransitionSweep() {
+void PrintPhaseTransitionSweep(revise::obs::Report* report) {
   revise::bench::Headline(
       "CDCL solver on random 3-SAT (fraction satisfiable across the "
       "clause/variable ratio; n = 100, 40 instances per point)");
   std::printf("%-8s %12s %12s %14s\n", "ratio", "sat frac", "avg confl",
               "avg time (ms)");
+  report->AddTable("phase_transition",
+                   {"ratio", "sat_fraction", "avg_conflicts", "avg_ms"});
   for (double ratio : {3.0, 3.8, 4.0, 4.2, 4.4, 4.6, 5.0, 5.5}) {
     Rng rng(static_cast<uint64_t>(ratio * 1000));
     int sat_count = 0;
@@ -63,6 +66,9 @@ void PrintPhaseTransitionSweep() {
                 static_cast<double>(sat_count) / kInstances,
                 static_cast<unsigned long long>(conflicts / kInstances),
                 total_ms / kInstances);
+    report->AddRow("phase_transition",
+                   {ratio, static_cast<double>(sat_count) / kInstances,
+                    conflicts / kInstances, total_ms / kInstances});
   }
   std::printf("(the satisfiable fraction should cross 0.5 near the "
               "classic ratio ~4.27)\n");
@@ -135,9 +141,11 @@ BENCHMARK(BM_IncrementalAssumptions)->Unit(benchmark::kMicrosecond);
 }  // namespace revise::sat
 
 int main(int argc, char** argv) {
-  revise::sat::PrintPhaseTransitionSweep();
+  revise::bench::JsonReporter reporter("bench_sat_solver",
+                                       "BENCH_sat_solver.json", &argc, argv);
+  revise::sat::PrintPhaseTransitionSweep(&reporter.report());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return reporter.WriteIfRequested() ? 0 : 1;
 }

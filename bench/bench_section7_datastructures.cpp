@@ -31,7 +31,7 @@
 namespace revise {
 namespace {
 
-void MeasureHardFamilyBddSizes() {
+void MeasureHardFamilyBddSizes(obs::Report* report) {
   bench::Headline(
       "Theorem 3.6 gadget as an OBDD (n = 3): |D| for T, P and T *_D P");
   Vocabulary vocabulary;
@@ -49,12 +49,18 @@ void MeasureHardFamilyBddSizes() {
               manager.NodeCount(p_node), manager.NodeCount(revised_node),
               static_cast<unsigned long long>(
                   manager.CountModels(revised_node)));
+  report->AddTable("bdd_sizes", {"letters", "nodes_t", "nodes_p",
+                                 "nodes_revised", "models_revised"});
+  report->AddRow("bdd_sizes",
+                 {alphabet.size(), manager.NodeCount(t_node),
+                  manager.NodeCount(p_node), manager.NodeCount(revised_node),
+                  manager.CountModels(revised_node)});
   std::printf("(Theorem 7.1: if |D(T * P)| were polynomially bounded for "
               "all n, NP ⊆ P/poly — the n = 3 data point is the runnable "
               "instance of the advice argument)\n");
 }
 
-void CrossCheckCompactProjection() {
+void CrossCheckCompactProjection(obs::Report* report) {
   bench::Headline(
       "independent-engine check: BDD(projection of Thm 3.4 formula) == "
       "BDD(reference revision), random instances");
@@ -87,9 +93,11 @@ void CrossCheckCompactProjection() {
     if (projected == reference_node) ++agree;
   }
   std::printf("identical canonical nodes: %d/%d\n", agree, total);
+  report->AddTable("projection_crosscheck", {"agree", "total"});
+  report->AddRow("projection_crosscheck", {agree, total});
 }
 
-void MeasureAskLatency() {
+void MeasureAskLatency(obs::Report* report) {
   bench::Headline(
       "ASK(D, M) latency: one BDD walk vs recomputing the revision");
   Vocabulary vocabulary;
@@ -119,6 +127,11 @@ void MeasureAskLatency() {
               "random interpretations were models\n",
               us, alphabet.size(), manager.NodeCount(d), positive,
               kQueries);
+  report->AddTable("ask_latency",
+                   {"us_per_ask", "letters", "nodes", "positive", "queries"});
+  report->AddRow("ask_latency",
+                 {us, alphabet.size(), manager.NodeCount(d), positive,
+                  kQueries});
 }
 
 void BM_BddFromFormula(benchmark::State& state) {
@@ -161,11 +174,14 @@ BENCHMARK(BM_BddAsk)->Unit(benchmark::kNanosecond);
 }  // namespace revise
 
 int main(int argc, char** argv) {
-  revise::MeasureHardFamilyBddSizes();
-  revise::CrossCheckCompactProjection();
-  revise::MeasureAskLatency();
+  revise::bench::JsonReporter reporter("bench_section7_datastructures",
+                                       "BENCH_section7_datastructures.json",
+                                       &argc, argv);
+  revise::MeasureHardFamilyBddSizes(&reporter.report());
+  revise::CrossCheckCompactProjection(&reporter.report());
+  revise::MeasureAskLatency(&reporter.report());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return reporter.WriteIfRequested() ? 0 : 1;
 }

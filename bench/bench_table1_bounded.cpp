@@ -58,9 +58,12 @@ void BuildInstance(int n, int k, Vocabulary* vocabulary, Formula* t,
   *p = DisjoinAll(negated);  // !x0 | ... | !x_{k-1}
 }
 
-void MeasureBoundedSizes() {
+void MeasureBoundedSizes(obs::Report* report) {
   bench::Headline(
       "Table 1 bounded YES entries: sizes of formulas (5)-(9), k = |V(P)|");
+  report->AddTable("bounded_sizes",
+                   {"k", "n", "input_size", "operator", "size"});
+  std::vector<std::vector<double>> series(std::size(kCases));
   for (int k : {1, 2, 3}) {
     std::printf("\nk = %d\n%-6s %8s", k, "n", "|T|+|P|");
     for (const BoundedCase& c : kCases) std::printf(" %12s", c.name);
@@ -73,19 +76,32 @@ void MeasureBoundedSizes() {
       std::printf("%-6d %8llu", n,
                   static_cast<unsigned long long>(t.VarOccurrences() +
                                                   p.VarOccurrences()));
-      for (const BoundedCase& c : kCases) {
+      for (size_t which = 0; which < std::size(kCases); ++which) {
+        const BoundedCase& c = kCases[which];
         const Formula compact = c.build(t, p);
         std::printf(" %12llu", static_cast<unsigned long long>(
                                    compact.VarOccurrences()));
+        report->AddRow("bounded_sizes",
+                       {k, n, t.VarOccurrences() + p.VarOccurrences(), c.name,
+                        compact.VarOccurrences()});
+        if (k == 2) {
+          series[which].push_back(
+              static_cast<double>(compact.VarOccurrences()));
+        }
       }
       std::printf("\n");
     }
   }
   std::printf("\n(sizes are linear in n for each fixed k; the constant "
               "factor is exponential in k, which is Section 4's point)\n");
+  for (size_t which = 0; which < std::size(kCases); ++which) {
+    std::vector<uint64_t> sizes(series[which].begin(), series[which].end());
+    report->AddSeries(std::string("bounded_k2_") + kCases[which].name,
+                      series[which], bench::GrowthVerdict(sizes));
+  }
 }
 
-void ValidateEquivalence() {
+void ValidateEquivalence(obs::Report* report) {
   bench::Headline(
       "logical-equivalence validation of (5)-(9) against reference "
       "semantics (random instances, n = 6, k = 2)");
@@ -113,9 +129,11 @@ void ValidateEquivalence() {
     }
   }
   std::printf("equivalence checks: %d, failures: %d\n", checks, failures);
+  report->AddTable("equivalence_validation", {"checks", "failures"});
+  report->AddRow("equivalence_validation", {checks, failures});
 }
 
-void ValidateTheorem41() {
+void ValidateTheorem41(obs::Report* report) {
   bench::Headline(
       "Table 1 bounded NO entry: Theorem 4.1 (GFUV with |P| = 1), "
       "exhaustive over 3-SAT_3");
@@ -136,9 +154,11 @@ void ValidateTheorem41() {
   }
   std::printf("|P'| = 1; instances decided correctly: %d/%d\n", agree,
               total);
+  report->AddTable("reductions", {"reduction", "agree", "total"});
+  report->AddRow("reductions", {"thm4.1_gfuv", agree, total});
 }
 
-void PrintVerdictTable() {
+void PrintVerdictTable(obs::Report* report) {
   bench::Headline("Reproduced Table 1 (bounded case)");
   std::printf("%-12s %-26s %-26s\n", "formalism", "logical equiv. (2)",
               "query equiv. (1)");
@@ -156,8 +176,11 @@ void PrintVerdictTable() {
       {"Weber", "YES (formula (9) meas.)", "YES"},
       {"WIDTIO", "YES (by construction)", "YES"},
   };
+  report->AddTable("table1_bounded",
+                   {"formalism", "logical_equivalence", "query_equivalence"});
   for (const Row& row : rows) {
     std::printf("%-12s %-26s %-26s\n", row.name, row.logical, row.query);
+    report->AddRow("table1_bounded", {row.name, row.logical, row.query});
   }
 }
 
@@ -190,13 +213,15 @@ void RegisterBenchmarks() {
 }  // namespace revise
 
 int main(int argc, char** argv) {
-  revise::MeasureBoundedSizes();
-  revise::ValidateEquivalence();
-  revise::ValidateTheorem41();
-  revise::PrintVerdictTable();
+  revise::bench::JsonReporter reporter(
+      "bench_table1_bounded", "BENCH_table1_bounded.json", &argc, argv);
+  revise::MeasureBoundedSizes(&reporter.report());
+  revise::ValidateEquivalence(&reporter.report());
+  revise::ValidateTheorem41(&reporter.report());
+  revise::PrintVerdictTable(&reporter.report());
   benchmark::Initialize(&argc, argv);
   revise::RegisterBenchmarks();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return reporter.WriteIfRequested() ? 0 : 1;
 }

@@ -38,9 +38,11 @@ namespace {
 // Measures the Theorem 3.4 / 3.5 construction sizes on growing random
 // instances (T a random 3-CNF over n letters, P a random 3-CNF over the
 // same letters — |P| unbounded, it grows with n).
-void MeasureCompactSizes() {
+void MeasureCompactSizes(obs::Report* report) {
   bench::Headline(
       "Table 1 general/query YES entries: construction sizes (Thm 3.4/3.5)");
+  report->AddTable("compact_sizes",
+                   {"n", "t_size", "p_size", "dalal_size", "weber_size"});
   std::printf("%-6s %10s %10s %14s %14s\n", "n", "|T|", "|P|",
               "|Dalal T'|", "|Weber T'|");
   std::vector<uint64_t> dalal_sizes;
@@ -69,16 +71,28 @@ void MeasureCompactSizes() {
                 static_cast<unsigned long long>(p.VarOccurrences()),
                 static_cast<unsigned long long>(dalal.VarOccurrences()),
                 static_cast<unsigned long long>(weber.VarOccurrences()));
+    report->AddRow("compact_sizes",
+                   {n, t.VarOccurrences(), p.VarOccurrences(),
+                    dalal.VarOccurrences(), weber.VarOccurrences()});
   }
+  const std::string dalal_verdict = bench::GrowthVerdict(dalal_sizes);
+  const std::string weber_verdict = bench::GrowthVerdict(weber_sizes);
   std::printf("growth: Dalal %s, Weber %s (paper: both polynomial)\n",
-              bench::GrowthVerdict(dalal_sizes).c_str(),
-              bench::GrowthVerdict(weber_sizes).c_str());
+              dalal_verdict.c_str(), weber_verdict.c_str());
+  report->AddSeries("dalal_compact_size",
+                    std::vector<double>(dalal_sizes.begin(), dalal_sizes.end()),
+                    dalal_verdict);
+  report->AddSeries("weber_compact_size",
+                    std::vector<double>(weber_sizes.begin(), weber_sizes.end()),
+                    weber_verdict);
 
   // A structured family where k_{T,P} = n/2 grows with n, exercising the
   // EXA circuit's O(n*k) term: T = x1 & ... & xn, P = !x1 & ... & !x_{n/2}.
   std::printf("\nstructured family with k = n/2 (EXA dominates):\n");
   std::printf("%-6s %6s %14s %14s\n", "n", "k", "|Dalal T'|",
               "|Weber T'|");
+  report->AddTable("structured_k_half",
+                   {"n", "k", "dalal_size", "weber_size"});
   for (int n : {8, 12, 16, 24, 32}) {
     Vocabulary vocabulary;
     std::vector<Formula> pos;
@@ -96,12 +110,14 @@ void MeasureCompactSizes() {
     std::printf("%-6d %6d %14llu %14llu\n", n, n / 2,
                 static_cast<unsigned long long>(dalal.VarOccurrences()),
                 static_cast<unsigned long long>(weber.VarOccurrences()));
+    report->AddRow("structured_k_half",
+                   {n, n / 2, dalal.VarOccurrences(), weber.VarOccurrences()});
   }
 }
 
 // Exhaustively runs the Theorem 3.1 reduction over ALL 2^8 instances of
 // 3-SAT_3 and reports agreement with direct SAT solving.
-void ValidateTheorem31() {
+void ValidateTheorem31(obs::Report* report) {
   bench::Headline(
       "Table 1 general NO entries: Theorem 3.1 reduction (GFUV), exhaustive "
       "over 3-SAT_3");
@@ -125,9 +141,10 @@ void ValidateTheorem31() {
   }
   std::printf("instances decided correctly through the revision: %d/%d\n",
               agree, total);
+  report->AddRow("reductions", {"thm3.1_gfuv", agree, total});
 }
 
-void ValidateTheorem33() {
+void ValidateTheorem33(obs::Report* report) {
   bench::Headline(
       "Theorem 3.3 reduction (Forbus, model checking), exhaustive over "
       "3-SAT_3");
@@ -150,9 +167,10 @@ void ValidateTheorem33() {
     if (satisfiable == !is_model) ++agree;
   }
   std::printf("instances decided correctly: %d/%d\n", agree, total);
+  report->AddRow("reductions", {"thm3.3_forbus", agree, total});
 }
 
-void ValidateTheorem36() {
+void ValidateTheorem36(obs::Report* report) {
   bench::Headline(
       "Theorem 3.6 reduction (Dalal & Weber, LOGICAL equivalence), "
       "exhaustive over 3-SAT_3");
@@ -180,9 +198,11 @@ void ValidateTheorem36() {
   }
   std::printf("Dalal: %d/%d correct;  Weber: %d/%d correct\n", agree_d,
               total, agree_w, total);
+  report->AddRow("reductions", {"thm3.6_dalal", agree_d, total});
+  report->AddRow("reductions", {"thm3.6_weber", agree_w, total});
 }
 
-void PrintVerdictTable() {
+void PrintVerdictTable(obs::Report* report) {
   bench::Headline("Reproduced Table 1 (general case)");
   std::printf("%-12s %-22s %-22s\n", "formalism", "logical equiv. (2)",
               "query equiv. (1)");
@@ -200,8 +220,11 @@ void PrintVerdictTable() {
       {"Weber", "NO  (Thm 3.6 reduc.)", "YES (Thm 3.5 measured)"},
       {"WIDTIO", "YES (by construction)", "YES (by construction)"},
   };
+  report->AddTable("table1_general",
+                   {"formalism", "logical_equivalence", "query_equivalence"});
   for (const Row& row : rows) {
     std::printf("%-12s %-22s %-22s\n", row.name, row.logical, row.query);
+    report->AddRow("table1_general", {row.name, row.logical, row.query});
   }
 }
 
@@ -252,13 +275,16 @@ BENCHMARK(BM_GfuvNaive)->Unit(benchmark::kMillisecond);
 }  // namespace revise
 
 int main(int argc, char** argv) {
-  revise::MeasureCompactSizes();
-  revise::ValidateTheorem31();
-  revise::ValidateTheorem33();
-  revise::ValidateTheorem36();
-  revise::PrintVerdictTable();
+  revise::bench::JsonReporter reporter(
+      "bench_table1_general", "BENCH_table1_general.json", &argc, argv);
+  reporter.report().AddTable("reductions", {"reduction", "agree", "total"});
+  revise::MeasureCompactSizes(&reporter.report());
+  revise::ValidateTheorem31(&reporter.report());
+  revise::ValidateTheorem33(&reporter.report());
+  revise::ValidateTheorem36(&reporter.report());
+  revise::PrintVerdictTable(&reporter.report());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return reporter.WriteIfRequested() ? 0 : 1;
 }

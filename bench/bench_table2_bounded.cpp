@@ -49,7 +49,7 @@ std::vector<Formula> BoundedChain(const std::vector<Var>& vars, int m,
   return updates;
 }
 
-void MeasureBoundedIteratedSizes() {
+void MeasureBoundedIteratedSizes(obs::Report* report) {
   bench::Headline(
       "Table 2 bounded YES entries: per-step sizes of the schemes "
       "(12)-(16), n = 10 letters, |P^i| = 1");
@@ -74,22 +74,30 @@ void MeasureBoundedIteratedSizes() {
       sizes[which].push_back(f.VarOccurrences());
     }
   }
+  report->AddTable("bounded_iterated_sizes",
+                   {"m", "operator", "size"});
   for (size_t m = 0; m < updates.size(); ++m) {
     std::printf("%-6zu", m + 1);
     for (size_t which = 0; which < std::size(kSteps); ++which) {
       std::printf(" %14llu",
                   static_cast<unsigned long long>(sizes[which][m]));
+      report->AddRow("bounded_iterated_sizes",
+                     {m + 1, kSteps[which].name, sizes[which][m]});
     }
     std::printf("\n");
   }
   for (size_t which = 0; which < std::size(kSteps); ++which) {
-    std::printf("%s growth: %s;  ", kSteps[which].name,
-                bench::GrowthVerdict(sizes[which]).c_str());
+    const std::string verdict = bench::GrowthVerdict(sizes[which]);
+    std::printf("%s growth: %s;  ", kSteps[which].name, verdict.c_str());
+    report->AddSeries(
+        std::string("bounded_iterated_") + kSteps[which].name,
+        std::vector<double>(sizes[which].begin(), sizes[which].end()),
+        verdict);
   }
   std::printf("(paper: all polynomial in |T| + m)\n");
 }
 
-void ValidateQueryEquivalence() {
+void ValidateQueryEquivalence(obs::Report* report) {
   bench::Headline(
       "query-equivalence validation of the schemes against reference "
       "iterated semantics (n = 5, m = 4, random bounded chains)");
@@ -127,9 +135,11 @@ void ValidateQueryEquivalence() {
     }
   }
   std::printf("checks: %d, failures: %d\n", checks, failures);
+  report->AddTable("equivalence_validation", {"checks", "failures"});
+  report->AddRow("equivalence_validation", {checks, failures});
 }
 
-void ValidateTheorem65() {
+void ValidateTheorem65(obs::Report* report) {
   bench::Headline(
       "Table 2 bounded NO entries: Theorem 6.5 iterated reduction (all six "
       "model-based operators), sampled 3-SAT_3 instances");
@@ -146,6 +156,7 @@ void ValidateTheorem65() {
     instances.push_back(family.tau.RandomInstance(
         1 + rng.Below(family.tau.num_clauses()), &rng));
   }
+  report->AddTable("reductions", {"operator", "agree", "total"});
   for (const ModelBasedOperator* op : AllModelBasedOperators()) {
     const ModelSet revised = IteratedReviseModels(
         *op, family.t, family.updates, alphabet);
@@ -159,10 +170,12 @@ void ValidateTheorem65() {
     }
     std::printf("  %-9s: %d/%zu instances decided correctly\n",
                 std::string(op->name()).c_str(), agree, instances.size());
+    report->AddRow("reductions",
+                   {std::string(op->name()), agree, instances.size()});
   }
 }
 
-void PrintVerdictTable() {
+void PrintVerdictTable(obs::Report* report) {
   bench::Headline("Reproduced Table 2 (iterated, bounded case)");
   std::printf("%-12s %-26s %-26s\n", "formalism", "logical equiv. (2)",
               "query equiv. (1)");
@@ -180,8 +193,11 @@ void PrintVerdictTable() {
       {"Weber", "NO  (Thm 6.5 reduc.)", "YES (Cor 5.2 measured)"},
       {"WIDTIO", "YES (by construction)", "YES (by construction)"},
   };
+  report->AddTable("table2_bounded",
+                   {"formalism", "logical_equivalence", "query_equivalence"});
   for (const Row& row : rows) {
     std::printf("%-12s %-26s %-26s\n", row.name, row.logical, row.query);
+    report->AddRow("table2_bounded", {row.name, row.logical, row.query});
   }
 }
 
@@ -221,13 +237,15 @@ void RegisterBenchmarks() {
 }  // namespace revise
 
 int main(int argc, char** argv) {
-  revise::MeasureBoundedIteratedSizes();
-  revise::ValidateQueryEquivalence();
-  revise::ValidateTheorem65();
-  revise::PrintVerdictTable();
+  revise::bench::JsonReporter reporter(
+      "bench_table2_bounded", "BENCH_table2_bounded.json", &argc, argv);
+  revise::MeasureBoundedIteratedSizes(&reporter.report());
+  revise::ValidateQueryEquivalence(&reporter.report());
+  revise::ValidateTheorem65(&reporter.report());
+  revise::PrintVerdictTable(&reporter.report());
   benchmark::Initialize(&argc, argv);
   revise::RegisterBenchmarks();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return reporter.WriteIfRequested() ? 0 : 1;
 }

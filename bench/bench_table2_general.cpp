@@ -37,7 +37,7 @@ std::vector<Formula> MakeChain(const std::vector<Var>& vars, int m,
   return updates;
 }
 
-void MeasureIteratedSizes() {
+void MeasureIteratedSizes(obs::Report* report) {
   bench::Headline(
       "Table 2 general YES entries: per-step sizes of Dalal's Phi_m "
       "(Thm 5.1) and Weber's formula (10) (Cor 5.2), n = 12 letters");
@@ -56,6 +56,8 @@ void MeasureIteratedSizes() {
   const auto psis = WeberCompactIterated(t, updates, vars, &vocabulary);
   std::printf("%-6s %10s %14s %14s\n", "m", "|T|+sum|P|", "|Phi_m| Dalal",
               "|(10)| Weber");
+  report->AddTable("iterated_sizes",
+                   {"m", "input_size", "dalal_size", "weber_size"});
   uint64_t input = t.VarOccurrences();
   for (size_t m = 0; m < updates.size(); ++m) {
     input += updates[m].VarOccurrences();
@@ -63,17 +65,27 @@ void MeasureIteratedSizes() {
                 static_cast<unsigned long long>(input),
                 static_cast<unsigned long long>(phis[m].VarOccurrences()),
                 static_cast<unsigned long long>(psis[m].VarOccurrences()));
+    report->AddRow("iterated_sizes",
+                   {m + 1, input, phis[m].VarOccurrences(),
+                    psis[m].VarOccurrences()});
   }
   std::vector<uint64_t> dalal_sizes;
   std::vector<uint64_t> weber_sizes;
   for (const Formula& f : phis) dalal_sizes.push_back(f.VarOccurrences());
   for (const Formula& f : psis) weber_sizes.push_back(f.VarOccurrences());
+  const std::string dalal_verdict = bench::GrowthVerdict(dalal_sizes);
+  const std::string weber_verdict = bench::GrowthVerdict(weber_sizes);
   std::printf("growth in m: Dalal %s, Weber %s (paper: both polynomial)\n",
-              bench::GrowthVerdict(dalal_sizes).c_str(),
-              bench::GrowthVerdict(weber_sizes).c_str());
+              dalal_verdict.c_str(), weber_verdict.c_str());
+  report->AddSeries("dalal_iterated_size",
+                    std::vector<double>(dalal_sizes.begin(), dalal_sizes.end()),
+                    dalal_verdict);
+  report->AddSeries("weber_iterated_size",
+                    std::vector<double>(weber_sizes.begin(), weber_sizes.end()),
+                    weber_verdict);
 }
 
-void ValidateQueryEquivalence() {
+void ValidateQueryEquivalence(obs::Report* report) {
   bench::Headline(
       "query-equivalence validation of Phi_m / formula (10) against "
       "reference iterated semantics (n = 5, m = 3, random chains)");
@@ -114,9 +126,11 @@ void ValidateQueryEquivalence() {
     }
   }
   std::printf("checks: %d, failures: %d\n", checks, failures);
+  report->AddTable("equivalence_validation", {"checks", "failures"});
+  report->AddRow("equivalence_validation", {checks, failures});
 }
 
-void PrintVerdictTable() {
+void PrintVerdictTable(obs::Report* report) {
   bench::Headline("Reproduced Table 2 (iterated, general case)");
   std::printf("%-12s %-26s %-26s\n", "formalism", "logical equiv. (2)",
               "query equiv. (1)");
@@ -134,8 +148,11 @@ void PrintVerdictTable() {
       {"Weber", "NO  (Thm 3.6)", "YES (Cor 5.2 measured)"},
       {"WIDTIO", "YES (by construction)", "YES (by construction)"},
   };
+  report->AddTable("table2_general",
+                   {"formalism", "logical_equivalence", "query_equivalence"});
   for (const Row& row : rows) {
     std::printf("%-12s %-26s %-26s\n", row.name, row.logical, row.query);
+    report->AddRow("table2_general", {row.name, row.logical, row.query});
   }
 }
 
@@ -185,11 +202,13 @@ BENCHMARK(BM_WeberIteratedChain)->Arg(2)->Arg(4)
 }  // namespace revise
 
 int main(int argc, char** argv) {
-  revise::MeasureIteratedSizes();
-  revise::ValidateQueryEquivalence();
-  revise::PrintVerdictTable();
+  revise::bench::JsonReporter reporter(
+      "bench_table2_general", "BENCH_table2_general.json", &argc, argv);
+  revise::MeasureIteratedSizes(&reporter.report());
+  revise::ValidateQueryEquivalence(&reporter.report());
+  revise::PrintVerdictTable(&reporter.report());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return reporter.WriteIfRequested() ? 0 : 1;
 }

@@ -2,18 +2,22 @@
 //
 // Each bench binary regenerates one table or figure of the paper: it first
 // prints the reproduced rows (computed from scratch at startup), then runs
-// google-benchmark timings for the machinery involved.
+// google-benchmark timings for the machinery involved.  With --json[=path]
+// the reproduced rows, growth series, and an instrumentation snapshot are
+// also written as a machine-readable report (see obs/report.h).
 
 #ifndef REVISE_BENCH_BENCH_UTIL_H_
 #define REVISE_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "logic/formula.h"
 #include "logic/theory.h"
 #include "logic/vocabulary.h"
+#include "obs/report.h"
 #include "util/random.h"
 
 namespace revise::bench {
@@ -23,18 +27,73 @@ inline void Headline(const std::string& text) {
 }
 
 // Crude growth classification from a size series f(i): compares the last
-// ratio f(end)/f(end-1) — "poly" growth has ratios tending to 1 for linear
-// steps, "exp" stays bounded away.  We report the ratios and let the
-// reader (and EXPERIMENTS.md) interpret; the verdict threshold of 1.8 for
-// doubling-style explosion is generous.
+// two ratios f(i)/f(i-1) — "poly" growth has ratios tending to 1 for
+// linear steps, "exp" stays bounded away.  The verdict threshold of 1.8
+// for doubling-style explosion is generous.  Series that are too short,
+// contain zero entries (the ratios would be inf/NaN), or are not monotone
+// non-decreasing get "n/a" — a noisy series is not evidence of explosion.
 inline std::string GrowthVerdict(const std::vector<uint64_t>& sizes) {
   if (sizes.size() < 3) return "n/a";
+  for (const uint64_t size : sizes) {
+    if (size == 0) return "n/a";
+  }
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    if (sizes[i] < sizes[i - 1]) return "n/a";
+  }
   const double r1 = static_cast<double>(sizes[sizes.size() - 1]) /
                     static_cast<double>(sizes[sizes.size() - 2]);
   const double r2 = static_cast<double>(sizes[sizes.size() - 2]) /
                     static_cast<double>(sizes[sizes.size() - 3]);
   return (r1 > 1.8 && r2 > 1.8) ? "EXPONENTIAL" : "polynomial";
 }
+
+// Handles the --json[=path] flag for a bench binary and owns its report.
+//
+// Construct before benchmark::Initialize (which rejects flags it does not
+// know): the constructor strips --json from argv.  The Measure*/Validate*
+// functions fill report() alongside their printf output; WriteIfRequested
+// serializes at exit.  Without --json the report is still assembled but
+// never written.
+class JsonReporter {
+ public:
+  JsonReporter(std::string_view bench_name, std::string default_path,
+               int* argc, char** argv)
+      : report_(bench_name), path_(std::move(default_path)) {
+    int kept = 1;
+    for (int i = 1; i < *argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        requested_ = true;
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        requested_ = true;
+        path_ = argv[i] + 7;
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    *argc = kept;
+  }
+
+  obs::Report& report() { return report_; }
+  bool requested() const { return requested_; }
+  const std::string& path() const { return path_; }
+
+  // Returns false if writing was requested and failed.
+  bool WriteIfRequested() {
+    if (!requested_) return true;
+    const Status status = report_.WriteToFile(path_);
+    if (!status.ok()) {
+      std::fprintf(stderr, "json report: %s\n", status.ToString().c_str());
+      return false;
+    }
+    std::printf("\nJSON report written to %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  obs::Report report_;
+  std::string path_;
+  bool requested_ = false;
+};
 
 // A scaling knowledge base: n letters all true (the paper's hard cases
 // and worked examples all start from complete theories).

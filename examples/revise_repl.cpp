@@ -9,6 +9,7 @@
 //   ask <formula>        is it entailed by the revised base?
 //   models               print the current model set
 //   size                 stored representation size
+//   :stats               instrumentation counters/gauges snapshot
 //   reset                clear everything
 //   help, quit
 //
@@ -26,6 +27,7 @@
 #include <string>
 
 #include "core/librevise.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -65,8 +67,8 @@ class Repl {
     if (command == "help") {
       std::printf(
           "operator <name> | strategy <delayed|explicit|compact> |\n"
-          "assert <f> | revise <f> | ask <f> | models | size | reset | "
-          "quit\n");
+          "assert <f> | revise <f> | ask <f> | models | size | :stats | "
+          "reset | quit\n");
       return true;
     }
     if (command == "operator") {
@@ -146,6 +148,23 @@ class Repl {
         std::printf(" %s", m.ToString(alphabet, vocabulary_).c_str());
       }
       std::printf("\n");
+      return true;
+    }
+    if (command == ":stats" || command == "stats") {
+      const auto counters = obs::Registry::Global().SnapshotCounters();
+      const auto gauges = obs::Registry::Global().SnapshotGauges();
+      if (counters.empty() && gauges.empty()) {
+        std::printf("no instrumentation recorded yet\n");
+        return true;
+      }
+      for (const auto& [name, value] : counters) {
+        std::printf("%-28s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      }
+      for (const auto& [name, value] : gauges) {
+        std::printf("%-28s %lld  (gauge)\n", name.c_str(),
+                    static_cast<long long>(value));
+      }
       return true;
     }
     if (command == "size") {

@@ -4,6 +4,7 @@
 #include <functional>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace revise {
@@ -28,10 +29,17 @@ BddManager::NodeRef BddManager::MakeNode(uint32_t level, NodeRef low,
   if (low == high) return low;
   const NodeKey key{level, low, high};
   auto it = unique_.find(key);
-  if (it != unique_.end()) return it->second;
+  if (it != unique_.end()) {
+    REVISE_OBS_COUNTER("bdd.unique_hits").Increment();
+    return it->second;
+  }
   const NodeRef ref = static_cast<NodeRef>(nodes_.size());
   nodes_.push_back(Node{level, low, high});
   unique_.emplace(key, ref);
+  REVISE_OBS_COUNTER("bdd.nodes_created").Increment();
+  obs::Registry::Global()
+      .GetGauge("bdd.nodes")
+      ->UpdateMax(static_cast<int64_t>(nodes_.size()));
   return ref;
 }
 
@@ -45,9 +53,13 @@ BddManager::NodeRef BddManager::Ite(NodeRef f, NodeRef g, NodeRef h) {
   if (f == kFalse) return h;
   if (g == h) return g;
   if (g == kTrue && h == kFalse) return f;
+  REVISE_OBS_COUNTER("bdd.ite_calls").Increment();
   const IteKey key{f, g, h};
   auto it = ite_cache_.find(key);
-  if (it != ite_cache_.end()) return it->second;
+  if (it != ite_cache_.end()) {
+    REVISE_OBS_COUNTER("bdd.cache_hits").Increment();
+    return it->second;
+  }
   const uint32_t level =
       std::min({LevelOf(f), LevelOf(g), LevelOf(h)});
   const NodeRef low = Ite(CofactorLow(f, level), CofactorLow(g, level),

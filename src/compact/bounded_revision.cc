@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "logic/substitute.h"
+#include "obs/trace.h"
 #include "solve/distance.h"
 #include "solve/services.h"
 #include "util/check.h"
@@ -60,6 +61,7 @@ Formula PointwiseBounded(const Formula& t, const Formula& p,
 }  // namespace
 
 Formula WinslettBounded(const Formula& t, const Formula& p) {
+  obs::Span span("compact.WinslettBounded");
   // C delta S ⊊ S  <=>  C != 0 and C ⊆ S.
   return PointwiseBounded(t, p, [](uint64_t c, uint64_t s) {
     return c != 0 && (c & ~s) == 0;
@@ -67,6 +69,7 @@ Formula WinslettBounded(const Formula& t, const Formula& p) {
 }
 
 Formula ForbusBounded(const Formula& t, const Formula& p) {
+  obs::Span span("compact.ForbusBounded");
   // |C delta S| < |S|.
   return PointwiseBounded(t, p, [](uint64_t c, uint64_t s) {
     return std::popcount(c ^ s) < std::popcount(s);
@@ -74,6 +77,7 @@ Formula ForbusBounded(const Formula& t, const Formula& p) {
 }
 
 Formula SatohBounded(const Formula& t, const Formula& p) {
+  obs::Span span("compact.SatohBounded");
   Formula degenerate;
   if (HandleDegenerate(t, p, &degenerate)) return degenerate;
   const Alphabet alphabet(UnionOfVars(std::vector<Formula>{t, p}));
@@ -89,6 +93,7 @@ Formula SatohBounded(const Formula& t, const Formula& p) {
 }
 
 Formula DalalBounded(const Formula& t, const Formula& p) {
+  obs::Span span("compact.DalalBounded");
   Formula degenerate;
   if (HandleDegenerate(t, p, &degenerate)) return degenerate;
   const Alphabet alphabet(UnionOfVars(std::vector<Formula>{t, p}));
@@ -104,6 +109,7 @@ Formula DalalBounded(const Formula& t, const Formula& p) {
 }
 
 Formula WeberBounded(const Formula& t, const Formula& p) {
+  obs::Span span("compact.WeberBounded");
   Formula degenerate;
   if (HandleDegenerate(t, p, &degenerate)) return degenerate;
   const Alphabet alphabet(UnionOfVars(std::vector<Formula>{t, p}));
@@ -121,6 +127,7 @@ Formula WeberBounded(const Formula& t, const Formula& p) {
 }
 
 Formula BorgidaBounded(const Formula& t, const Formula& p) {
+  obs::Span span("compact.BorgidaBounded");
   Formula degenerate;
   if (HandleDegenerate(t, p, &degenerate)) return degenerate;
   const Formula both = Formula::And(t, p);

@@ -4,6 +4,7 @@
 
 #include "compact/circuits.h"
 #include "logic/substitute.h"
+#include "obs/trace.h"
 #include "solve/distance.h"
 #include "solve/services.h"
 #include "util/check.h"
@@ -76,6 +77,7 @@ Formula RestrictToMask(const Formula& p, const std::vector<Var>& vp,
 
 Formula DalalCompactStep(const Formula& prior, const Formula& p,
                          const std::vector<Var>& x, Vocabulary* vocabulary) {
+  obs::Span span("compact.DalalStep");
   Formula degenerate;
   if (HandleDegenerate(prior, p, &degenerate)) return degenerate;
   const Alphabet alphabet(x);
@@ -101,6 +103,7 @@ std::vector<Formula> DalalCompactIterated(const Formula& t,
 
 Formula WeberCompactStep(const Formula& prior, const Formula& p,
                          const std::vector<Var>& x, Vocabulary* vocabulary) {
+  obs::Span span("compact.WeberStep");
   Formula degenerate;
   if (HandleDegenerate(prior, p, &degenerate)) return degenerate;
   const Alphabet alphabet(x);
@@ -129,6 +132,7 @@ std::vector<Formula> WeberCompactIterated(const Formula& t,
 
 Formula WinslettCompactStep(const Formula& prior, const Formula& p,
                             Vocabulary* vocabulary) {
+  obs::Span span("compact.WinslettStep");
   Formula degenerate;
   if (HandleDegenerate(prior, p, &degenerate)) return degenerate;
   const std::vector<Var> vp = p.Vars();
@@ -154,6 +158,7 @@ Formula WinslettCompactStep(const Formula& prior, const Formula& p,
 
 Formula BorgidaCompactStep(const Formula& prior, const Formula& p,
                            Vocabulary* vocabulary) {
+  obs::Span span("compact.BorgidaStep");
   Formula degenerate;
   if (HandleDegenerate(prior, p, &degenerate)) return degenerate;
   const Formula both = Formula::And(prior, p);
@@ -163,6 +168,7 @@ Formula BorgidaCompactStep(const Formula& prior, const Formula& p,
 
 Formula SatohCompactStep(const Formula& prior, const Formula& p,
                          Vocabulary* vocabulary) {
+  obs::Span span("compact.SatohStep");
   // The measure-based realization of formula (13): the measure of minimal
   // distance for Satoh is delta(T,P) itself (Section 4.3's summary).  We
   // compute delta off-line with the solver and require diff(V(P), Y) to be
@@ -210,6 +216,7 @@ Formula SatohCompactStep(const Formula& prior, const Formula& p,
 
 Formula ForbusCompactStep(const Formula& prior, const Formula& p,
                           Vocabulary* vocabulary) {
+  obs::Span span("compact.ForbusStep");
   // Formula (14): prior[V(P)/Y] ∧ P ∧ ∀Z.(F_P(Z) ->
   //   !(DIST(Z,Y) < DIST(V(P),Y))), with the DIST comparison realized by
   // unary counter circuits whose gate letters are functionally determined.

@@ -1,6 +1,7 @@
 #include "compact/single_revision.h"
 
 #include "compact/circuits.h"
+#include "obs/trace.h"
 #include "logic/substitute.h"
 #include "revision/formula_based.h"
 #include "solve/distance.h"
@@ -10,6 +11,7 @@ namespace revise {
 
 Formula DalalCompact(const Formula& t, const Formula& p,
                      Vocabulary* vocabulary) {
+  obs::Span span("compact.Dalal");
   if (!IsSatisfiable(p)) return Formula::False();
   if (!IsSatisfiable(t)) return p;
   const Alphabet alphabet(UnionOfVars(std::vector<Formula>{t, p}));
@@ -23,6 +25,7 @@ Formula DalalCompact(const Formula& t, const Formula& p,
 
 Formula WeberCompact(const Formula& t, const Formula& p,
                      Vocabulary* vocabulary) {
+  obs::Span span("compact.Weber");
   if (!IsSatisfiable(p)) return Formula::False();
   if (!IsSatisfiable(t)) return p;
   const Alphabet alphabet(UnionOfVars(std::vector<Formula>{t, p}));
@@ -36,6 +39,7 @@ Formula WeberCompact(const Formula& t, const Formula& p,
 }
 
 Formula WidtioCompact(const Theory& t, const Formula& p) {
+  obs::Span span("compact.WIDTIO");
   return WidtioTheory(t, p).AsFormula();
 }
 

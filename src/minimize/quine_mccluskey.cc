@@ -4,6 +4,8 @@
 #include <bit>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace revise {
@@ -26,6 +28,7 @@ std::vector<Implicant> PrimeImplicants(const std::vector<uint32_t>& minterms,
 
   std::vector<Implicant> primes;
   while (!current.empty()) {
+    REVISE_OBS_COUNTER("qm.merge_rounds").Increment();
     std::vector<bool> merged(current.size(), false);
     std::vector<Implicant> next;
     for (size_t i = 0; i < current.size(); ++i) {
@@ -48,6 +51,7 @@ std::vector<Implicant> PrimeImplicants(const std::vector<uint32_t>& minterms,
   }
   std::sort(primes.begin(), primes.end());
   primes.erase(std::unique(primes.begin(), primes.end()), primes.end());
+  REVISE_OBS_COUNTER("qm.prime_implicants").Increment(primes.size());
   return primes;
 }
 
@@ -119,6 +123,7 @@ class CoverSolver {
 
   void Recurse(std::vector<bool>& covered, std::vector<size_t>* chosen,
                uint64_t cost) {
+    REVISE_OBS_COUNTER("qm.cover_branches").Increment();
     if (cost >= best_cost_) return;  // bound
     // Pick the uncovered minterm with the fewest covering primes.
     size_t pivot = minterms_.size();
@@ -184,6 +189,7 @@ std::vector<uint32_t> ComplementMinterms(const ModelSet& models) {
 
 TwoLevelResult MinimizeDnf(const std::vector<uint32_t>& minterms,
                            size_t num_vars) {
+  obs::Span span("qm.minimize");
   TwoLevelResult result;
   if (minterms.empty()) return result;  // constant false
   const std::vector<Implicant> primes = PrimeImplicants(minterms, num_vars);

@@ -1,0 +1,445 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace revise::obs {
+
+int64_t Json::AsInt() const {
+  if (const auto* i = std::get_if<int64_t>(&rep_)) return *i;
+  if (const auto* u = std::get_if<uint64_t>(&rep_)) {
+    return static_cast<int64_t>(*u);
+  }
+  return static_cast<int64_t>(std::get<double>(rep_));
+}
+
+uint64_t Json::AsUint() const {
+  if (const auto* u = std::get_if<uint64_t>(&rep_)) return *u;
+  if (const auto* i = std::get_if<int64_t>(&rep_)) {
+    return static_cast<uint64_t>(*i);
+  }
+  return static_cast<uint64_t>(std::get<double>(rep_));
+}
+
+double Json::AsDouble() const {
+  if (const auto* d = std::get_if<double>(&rep_)) return *d;
+  if (const auto* i = std::get_if<int64_t>(&rep_)) {
+    return static_cast<double>(*i);
+  }
+  return static_cast<double>(std::get<uint64_t>(rep_));
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.is_number() && b.is_number()) {
+    const bool a_double = std::holds_alternative<double>(a.rep_);
+    const bool b_double = std::holds_alternative<double>(b.rep_);
+    if (a_double || b_double) return a.AsDouble() == b.AsDouble();
+    // Integer flavours: equal iff the mathematical values agree.
+    const bool a_neg =
+        std::holds_alternative<int64_t>(a.rep_) && a.AsInt() < 0;
+    const bool b_neg =
+        std::holds_alternative<int64_t>(b.rep_) && b.AsInt() < 0;
+    if (a_neg != b_neg) return false;
+    return a_neg ? a.AsInt() == b.AsInt() : a.AsUint() == b.AsUint();
+  }
+  if (a.is_array() && b.is_array()) {
+    const Json::Array& x = a.array();
+    const Json::Array& y = b.array();
+    if (x.size() != y.size()) return false;
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (!(x[i] == y[i])) return false;
+    }
+    return true;
+  }
+  if (a.is_object() && b.is_object()) {
+    const Json::Object& x = a.object();
+    const Json::Object& y = b.object();
+    if (x.size() != y.size()) return false;
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (x[i].first != y[i].first || !(x[i].second == y[i].second)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  return a.rep_ == b.rep_;
+}
+
+size_t Json::size() const {
+  if (const auto* a = std::get_if<Array>(&rep_)) return a->size();
+  if (const auto* o = std::get_if<Object>(&rep_)) return o->size();
+  return 0;
+}
+
+void Json::Append(Json value) {
+  if (is_null()) rep_ = Array{};
+  std::get<Array>(rep_).push_back(std::move(value));
+}
+
+Json& Json::operator[](std::string_view key) {
+  if (is_null()) rep_ = Object{};
+  Object& members = std::get<Object>(rep_);
+  for (Member& member : members) {
+    if (member.first == key) return member.second;
+  }
+  members.emplace_back(std::string(key), Json());
+  return members.back().second;
+}
+
+const Json* Json::Find(std::string_view key) const {
+  const auto* members = std::get_if<Object>(&rep_);
+  if (members == nullptr) return nullptr;
+  for (const Member& member : *members) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+std::string JsonQuote(std::string_view text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  const auto newline_pad = [&](int d) {
+    if (indent <= 0) return;
+    *out += '\n';
+    out->append(static_cast<size_t>(indent) * d, ' ');
+  };
+  if (is_null()) {
+    *out += "null";
+  } else if (const auto* b = std::get_if<bool>(&rep_)) {
+    *out += *b ? "true" : "false";
+  } else if (const auto* i = std::get_if<int64_t>(&rep_)) {
+    *out += std::to_string(*i);
+  } else if (const auto* u = std::get_if<uint64_t>(&rep_)) {
+    *out += std::to_string(*u);
+  } else if (const auto* d = std::get_if<double>(&rep_)) {
+    if (std::isfinite(*d)) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", *d);
+      *out += buffer;
+      // Keep the double-ness visible so a parse round-trip restores the
+      // same numeric flavour (10.0 must not come back as the integer 10).
+      if (std::string_view(buffer).find_first_of(".eE") ==
+          std::string_view::npos) {
+        *out += ".0";
+      }
+    } else {
+      *out += "null";  // JSON has no Inf/NaN
+    }
+  } else if (const auto* s = std::get_if<std::string>(&rep_)) {
+    *out += JsonQuote(*s);
+  } else if (const auto* array = std::get_if<Array>(&rep_)) {
+    if (array->empty()) {
+      *out += "[]";
+      return;
+    }
+    *out += '[';
+    for (size_t i = 0; i < array->size(); ++i) {
+      if (i > 0) *out += indent > 0 ? "," : ", ";
+      newline_pad(depth + 1);
+      (*array)[i].DumpTo(out, indent, depth + 1);
+    }
+    newline_pad(depth);
+    *out += ']';
+  } else {
+    const Object& members = std::get<Object>(rep_);
+    if (members.empty()) {
+      *out += "{}";
+      return;
+    }
+    *out += '{';
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (i > 0) *out += indent > 0 ? "," : ", ";
+      newline_pad(depth + 1);
+      *out += JsonQuote(members[i].first);
+      *out += ": ";
+      members[i].second.DumpTo(out, indent, depth + 1);
+    }
+    newline_pad(depth);
+    *out += '}';
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<Json> Run() {
+    StatusOr<Json> value = ParseValue();
+    if (!value.ok()) return value;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return InvalidArgumentError("JSON parse error at offset " +
+                                std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<Json> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      StatusOr<std::string> s = ParseString();
+      if (!s.ok()) return s.status();
+      return Json(*std::move(s));
+    }
+    if (ConsumeWord("true")) return Json(true);
+    if (ConsumeWord("false")) return Json(false);
+    if (ConsumeWord("null")) return Json(nullptr);
+    return ParseNumber();
+  }
+
+  StatusOr<Json> ParseObject() {
+    ++pos_;  // '{'
+    Json object = Json::MakeObject();
+    SkipSpace();
+    if (Consume('}')) return object;
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      StatusOr<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':'");
+      StatusOr<Json> value = ParseValue();
+      if (!value.ok()) return value;
+      object[*key] = *std::move(value);
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return object;
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  StatusOr<Json> ParseArray() {
+    ++pos_;  // '['
+    Json array = Json::MakeArray();
+    SkipSpace();
+    if (Consume(']')) return array;
+    for (;;) {
+      StatusOr<Json> value = ParseValue();
+      if (!value.ok()) return value;
+      array.Append(*std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return array;
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+        case '\\':
+        case '/':
+          out += escape;
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status(StatusCode::kInvalidArgument,
+                          "truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Status(StatusCode::kInvalidArgument,
+                            "bad hex digit in \\u escape");
+            }
+          }
+          // Encode as UTF-8 (surrogate pairs are not recombined; the
+          // reports only ever emit ASCII).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Status(StatusCode::kInvalidArgument,
+                        "unknown escape sequence");
+      }
+    }
+    return Status(StatusCode::kInvalidArgument, "unterminated string");
+  }
+
+  StatusOr<Json> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool is_integer = true;
+    if (Consume('.')) {
+      is_integer = false;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_integer = false;
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return Error("expected a value");
+    if (is_integer) {
+      if (token[0] != '-') {
+        uint64_t u = 0;
+        const auto [ptr, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), u);
+        if (ec == std::errc() && ptr == token.data() + token.size()) {
+          return Json(u);
+        }
+      } else {
+        int64_t i = 0;
+        const auto [ptr, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), i);
+        if (ec == std::errc() && ptr == token.data() + token.size()) {
+          return Json(i);
+        }
+      }
+      // Fall through to double on overflow.
+    }
+    double d = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), d);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      return Error("malformed number");
+    }
+    return Json(d);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Json> Json::Parse(std::string_view text) {
+  return Parser(text).Run();
+}
+
+}  // namespace revise::obs

@@ -1,0 +1,104 @@
+// A minimal JSON document model: build, serialize, parse.
+//
+// Used by the observability layer to emit machine-readable bench reports
+// (report.h) and by tests to round-trip them.  Numbers are kept in three
+// flavours (uint64/int64/double) so solver counters survive the trip
+// without precision loss.  Objects preserve insertion order, giving the
+// emitted reports a stable field layout that diffs cleanly across runs.
+
+#ifndef REVISE_OBS_JSON_H_
+#define REVISE_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace revise::obs {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Member = std::pair<std::string, Json>;
+  using Object = std::vector<Member>;
+
+  Json() : rep_(nullptr) {}
+  Json(std::nullptr_t) : rep_(nullptr) {}            // NOLINT
+  Json(bool value) : rep_(value) {}                  // NOLINT
+  Json(int value) : rep_(int64_t{value}) {}          // NOLINT
+  Json(int64_t value) : rep_(value) {}               // NOLINT
+  Json(uint64_t value) : rep_(value) {}              // NOLINT
+  Json(unsigned value) : rep_(uint64_t{value}) {}    // NOLINT
+  Json(double value) : rep_(value) {}                // NOLINT
+  Json(std::string value) : rep_(std::move(value)) {}  // NOLINT
+  Json(std::string_view value) : rep_(std::string(value)) {}  // NOLINT
+  Json(const char* value) : rep_(std::string(value)) {}       // NOLINT
+
+  static Json MakeArray() { return Json(Array{}); }
+  static Json MakeObject() { return Json(Object{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(rep_); }
+  bool is_bool() const { return std::holds_alternative<bool>(rep_); }
+  bool is_number() const {
+    return std::holds_alternative<int64_t>(rep_) ||
+           std::holds_alternative<uint64_t>(rep_) ||
+           std::holds_alternative<double>(rep_);
+  }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_array() const { return std::holds_alternative<Array>(rep_); }
+  bool is_object() const { return std::holds_alternative<Object>(rep_); }
+
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int64_t AsInt() const;
+  uint64_t AsUint() const;
+  double AsDouble() const;
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  // Array/object size; 0 for scalars.
+  size_t size() const;
+
+  // --- array operations ---
+  void Append(Json value);
+  const Json& at(size_t index) const { return std::get<Array>(rep_)[index]; }
+  const Array& array() const { return std::get<Array>(rep_); }
+
+  // --- object operations ---
+  // Inserts (or overwrites) a member.  Converts a null value to an object
+  // first, so `Json j; j["k"] = ...;` works.
+  Json& operator[](std::string_view key);
+  // Null if absent.
+  const Json* Find(std::string_view key) const;
+  bool Has(std::string_view key) const { return Find(key) != nullptr; }
+  const Object& object() const { return std::get<Object>(rep_); }
+
+  // Serializes.  indent == 0 emits a single line; indent > 0 pretty-prints
+  // with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+  static StatusOr<Json> Parse(std::string_view text);
+
+  // Numbers compare numerically (the parser may restore 7 as uint64
+  // where the builder stored int64); containers compare element-wise.
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  explicit Json(Array array) : rep_(std::move(array)) {}
+  explicit Json(Object object) : rep_(std::move(object)) {}
+
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, int64_t, uint64_t, double, std::string,
+               Array, Object>
+      rep_;
+};
+
+// Escapes a string for embedding in JSON output (adds the quotes).
+std::string JsonQuote(std::string_view text);
+
+}  // namespace revise::obs
+
+#endif  // REVISE_OBS_JSON_H_

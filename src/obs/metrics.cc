@@ -1,0 +1,59 @@
+#include "obs/metrics.h"
+
+namespace revise::obs {
+
+Registry& Registry::Global() {
+  static Registry* const registry = new Registry();  // leaked, never destroyed
+  return *registry;
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    std::string key(name);
+    auto counter = std::unique_ptr<Counter>(new Counter(key));
+    it = counters_.emplace(std::move(key), std::move(counter)).first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    std::string key(name);
+    auto gauge = std::unique_ptr<Gauge>(new Gauge(key));
+    it = gauges_.emplace(std::move(key), std::move(gauge)).first;
+  }
+  return it->second.get();
+}
+
+std::vector<std::pair<std::string, uint64_t>> Registry::SnapshotCounters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> snapshot;
+  snapshot.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.emplace_back(name, counter->Value());
+  }
+  return snapshot;
+}
+
+std::vector<std::pair<std::string, int64_t>> Registry::SnapshotGauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> snapshot;
+  snapshot.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.emplace_back(name, gauge->Value());
+  }
+  return snapshot;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+}
+
+}  // namespace revise::obs

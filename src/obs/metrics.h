@@ -1,0 +1,104 @@
+// Process-wide registry of named monotonic counters and gauges.
+//
+// Design constraints (see DESIGN.md "Observability"):
+//   * hot-path cheap: an increment is one relaxed atomic add — no locks,
+//     no allocation, no branching on configuration;
+//   * registration is interned: looking up the same name twice returns
+//     the same Counter*, and instrumented call sites cache the pointer in
+//     a function-local static so the registry mutex is paid once;
+//   * snapshots are consistent enough for reporting (each value is read
+//     atomically; the set of counters only grows).
+//
+// Naming convention: `subsystem.metric`, all lower case — e.g.
+// `sat.conflicts`, `bdd.unique_hits`, `qm.prime_implicants`.
+
+#ifndef REVISE_OBS_METRICS_H_
+#define REVISE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace revise::obs {
+
+// A monotonic event counter.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::atomic<uint64_t> value_{0};
+  std::string name_;
+};
+
+// A last-value-wins gauge (e.g. current BDD node count, peak sizes are
+// maintained with UpdateMax).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void UpdateMax(int64_t candidate) {
+    int64_t current = value_.load(std::memory_order_relaxed);
+    while (candidate > current &&
+           !value_.compare_exchange_weak(current, candidate,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  std::atomic<int64_t> value_{0};
+  std::string name_;
+};
+
+class Registry {
+ public:
+  // The process-wide registry used by all instrumented subsystems.
+  static Registry& Global();
+
+  // Returns the counter/gauge registered under `name`, creating it on
+  // first use.  The returned pointer is stable for the registry lifetime.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+
+  // Name-sorted snapshots of every registered instrument.
+  std::vector<std::pair<std::string, uint64_t>> SnapshotCounters() const;
+  std::vector<std::pair<std::string, int64_t>> SnapshotGauges() const;
+
+  // Zeroes every instrument (instruments stay registered).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+};
+
+}  // namespace revise::obs
+
+// Returns a reference to the named global counter, resolving the registry
+// lookup once per call site.
+#define REVISE_OBS_COUNTER(name)                                          \
+  ([]() -> ::revise::obs::Counter& {                                      \
+    static ::revise::obs::Counter* const revise_obs_counter_ =            \
+        ::revise::obs::Registry::Global().GetCounter(name);               \
+    return *revise_obs_counter_;                                          \
+  }())
+
+#endif  // REVISE_OBS_METRICS_H_

@@ -1,0 +1,123 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace revise::obs {
+
+void Report::SetMeta(std::string_view key, Json value) {
+  meta_[key] = std::move(value);
+}
+
+Report::Table* Report::FindTable(std::string_view table) {
+  for (Table& t : tables_) {
+    if (t.name == table) return &t;
+  }
+  return nullptr;
+}
+
+void Report::AddTable(std::string_view table,
+                      std::vector<std::string> columns) {
+  if (Table* existing = FindTable(table)) {
+    existing->columns = std::move(columns);
+    return;
+  }
+  tables_.push_back(Table{std::string(table), std::move(columns), {}});
+}
+
+void Report::AddRow(std::string_view table, std::vector<Json> row) {
+  Table* t = FindTable(table);
+  if (t == nullptr) {
+    tables_.push_back(Table{std::string(table), {}, {}});
+    t = &tables_.back();
+  }
+  t->rows.push_back(std::move(row));
+}
+
+void Report::AddSeries(std::string_view series, std::vector<double> values,
+                       std::string_view verdict) {
+  series_.push_back(
+      Series{std::string(series), std::move(values), std::string(verdict)});
+}
+
+Json Report::ToJson() const {
+  Json doc = Json::MakeObject();
+  doc["schema_version"] = kSchemaVersion;
+  doc["name"] = name_;
+  doc["meta"] = meta_;
+
+  Json tables = Json::MakeArray();
+  for (const Table& table : tables_) {
+    Json entry = Json::MakeObject();
+    entry["name"] = table.name;
+    Json columns = Json::MakeArray();
+    for (const std::string& column : table.columns) columns.Append(column);
+    entry["columns"] = std::move(columns);
+    Json rows = Json::MakeArray();
+    for (const std::vector<Json>& row : table.rows) {
+      Json cells = Json::MakeArray();
+      for (const Json& cell : row) cells.Append(cell);
+      rows.Append(std::move(cells));
+    }
+    entry["rows"] = std::move(rows);
+    tables.Append(std::move(entry));
+  }
+  doc["tables"] = std::move(tables);
+
+  Json series = Json::MakeArray();
+  for (const Series& s : series_) {
+    Json entry = Json::MakeObject();
+    entry["name"] = s.name;
+    Json values = Json::MakeArray();
+    for (const double value : s.values) values.Append(value);
+    entry["values"] = std::move(values);
+    entry["verdict"] = s.verdict;
+    series.Append(std::move(entry));
+  }
+  doc["series"] = std::move(series);
+
+  Json counters = Json::MakeObject();
+  for (const auto& [name, value] : Registry::Global().SnapshotCounters()) {
+    counters[name] = value;
+  }
+  doc["counters"] = std::move(counters);
+
+  Json gauges = Json::MakeObject();
+  for (const auto& [name, value] : Registry::Global().SnapshotGauges()) {
+    gauges[name] = value;
+  }
+  doc["gauges"] = std::move(gauges);
+
+  Json spans = Json::MakeArray();
+  for (const SpanRecord& span : SnapshotSpans()) {
+    Json entry = Json::MakeObject();
+    entry["name"] = span.name;
+    entry["depth"] = span.depth;
+    entry["start_ns"] = span.start_ns;
+    entry["duration_ns"] = span.duration_ns;
+    spans.Append(std::move(entry));
+  }
+  doc["spans"] = std::move(spans);
+
+  return doc;
+}
+
+Status Report::WriteToFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return InternalError("cannot open report file: " + path);
+  }
+  const std::string text = ToJson().Dump(/*indent=*/2);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool newline_ok = std::fputc('\n', file) != EOF;
+  const bool close_ok = std::fclose(file) == 0;
+  if (written != text.size() || !newline_ok || !close_ok) {
+    return InternalError("short write to report file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace revise::obs

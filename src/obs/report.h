@@ -1,0 +1,86 @@
+// Machine-readable run reports.
+//
+// A Report accumulates the artefacts of one bench (or test) run —
+// reproduced table rows, per-family size series, free-form metadata —
+// and serializes them together with a snapshot of the global counter
+// registry and span buffer to a stable JSON schema:
+//
+//   {
+//     "schema_version": 1,
+//     "name": "<bench name>",
+//     "meta": { ... },
+//     "tables": [ {"name": ..., "columns": [...], "rows": [[...], ...]} ],
+//     "series": [ {"name": ..., "values": [...], "verdict": "..."} ],
+//     "counters": { "sat.conflicts": 123, ... },
+//     "gauges": { "bdd.nodes": 42, ... },
+//     "spans": [ {"name": ..., "depth": 0, "start_ns": ...,
+//                 "duration_ns": ...} ]
+//   }
+//
+// Field order is fixed (Json objects preserve insertion order), so the
+// emitted artefacts diff cleanly between runs.  Bump `kSchemaVersion`
+// when the layout changes; tests/obs_test.cc validates the schema.
+
+#ifndef REVISE_OBS_REPORT_H_
+#define REVISE_OBS_REPORT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace revise::obs {
+
+inline constexpr int kSchemaVersion = 1;
+
+class Report {
+ public:
+  explicit Report(std::string_view name) : name_(name) {}
+
+  const std::string& name() const { return name_; }
+
+  // Free-form metadata (e.g. generator parameters, git describe).
+  void SetMeta(std::string_view key, Json value);
+
+  // Declares a table; rows are appended with AddRow.  Re-declaring an
+  // existing table name resets its columns and keeps the rows.
+  void AddTable(std::string_view table, std::vector<std::string> columns);
+  void AddRow(std::string_view table, std::vector<Json> row);
+
+  // A numeric series (e.g. result size per revision step for one hard
+  // family), with an optional growth verdict label.
+  void AddSeries(std::string_view series, std::vector<double> values,
+                 std::string_view verdict = "");
+
+  // Assembles the document, snapshotting the global registry and span
+  // buffer at call time.
+  Json ToJson() const;
+
+  // Serializes ToJson() pretty-printed to `path`.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  struct Table {
+    std::string name;
+    std::vector<std::string> columns;
+    std::vector<std::vector<Json>> rows;
+  };
+  struct Series {
+    std::string name;
+    std::vector<double> values;
+    std::string verdict;
+  };
+
+  Table* FindTable(std::string_view table);
+
+  std::string name_;
+  Json meta_ = Json::MakeObject();
+  std::vector<Table> tables_;
+  std::vector<Series> series_;
+};
+
+}  // namespace revise::obs
+
+#endif  // REVISE_OBS_REPORT_H_

@@ -1,0 +1,107 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "obs/json.h"
+
+namespace revise::obs {
+
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<TraceSink> g_sink{TraceSink::kNone};
+std::atomic<bool> g_enabled{false};
+
+std::mutex g_spans_mu;
+std::vector<SpanRecord>& SpanBuffer() {
+  static std::vector<SpanRecord>* const buffer =
+      new std::vector<SpanRecord>();
+  return *buffer;
+}
+
+thread_local int t_depth = 0;
+
+// Reads REVISE_TRACE once, before the first sink query.
+TraceSink SinkFromEnvironment() {
+  const char* value = std::getenv("REVISE_TRACE");
+  if (value == nullptr || *value == '\0') return TraceSink::kNone;
+  if (std::strcmp(value, "text") == 0) return TraceSink::kText;
+  if (std::strcmp(value, "json") == 0) return TraceSink::kJson;
+  if (std::strcmp(value, "off") == 0) return TraceSink::kSilent;
+  std::fprintf(stderr,
+               "revise: ignoring unknown REVISE_TRACE value '%s' "
+               "(expected text, json, or off)\n",
+               value);
+  return TraceSink::kNone;
+}
+
+struct EnvironmentInit {
+  EnvironmentInit() { SetTraceSink(SinkFromEnvironment()); }
+};
+EnvironmentInit g_environment_init;
+
+}  // namespace
+
+void Stopwatch::Restart() { start_ns_ = NowNanos(); }
+
+int64_t Stopwatch::ElapsedNanos() const { return NowNanos() - start_ns_; }
+
+void SetTraceSink(TraceSink sink) {
+  g_sink.store(sink, std::memory_order_relaxed);
+  g_enabled.store(sink != TraceSink::kNone, std::memory_order_relaxed);
+}
+
+TraceSink GetTraceSink() { return g_sink.load(std::memory_order_relaxed); }
+
+bool TracingEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+std::vector<SpanRecord> SnapshotSpans() {
+  std::lock_guard<std::mutex> lock(g_spans_mu);
+  return SpanBuffer();
+}
+
+void ClearSpans() {
+  std::lock_guard<std::mutex> lock(g_spans_mu);
+  SpanBuffer().clear();
+}
+
+void Span::Begin(std::string_view name) {
+  if (name_.empty()) name_.assign(name);
+  active_ = true;
+  depth_ = t_depth++;
+  start_ns_ = NowNanos();
+}
+
+void Span::End() {
+  const int64_t duration_ns = NowNanos() - start_ns_;
+  --t_depth;
+  active_ = false;
+  const TraceSink sink = GetTraceSink();
+  if (sink == TraceSink::kNone) return;  // sink removed mid-span
+  {
+    std::lock_guard<std::mutex> lock(g_spans_mu);
+    SpanBuffer().push_back(SpanRecord{name_, depth_, start_ns_, duration_ns});
+  }
+  if (sink == TraceSink::kText) {
+    std::fprintf(stderr, "%*s%s  %.3f ms\n", depth_ * 2, "", name_.c_str(),
+                 static_cast<double>(duration_ns) * 1e-6);
+  } else if (sink == TraceSink::kJson) {
+    Json line = Json::MakeObject();
+    line["span"] = name_;
+    line["depth"] = depth_;
+    line["start_ns"] = start_ns_;
+    line["duration_ns"] = duration_ns;
+    std::fprintf(stderr, "%s\n", line.Dump().c_str());
+  }
+}
+
+}  // namespace revise::obs

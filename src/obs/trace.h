@@ -1,0 +1,106 @@
+// Scoped RAII timing spans and a monotonic Stopwatch.
+//
+// A `Span` marks a timed region.  When tracing is off (the default) a
+// Span costs one relaxed atomic load at construction and nothing at
+// destruction — no string is built, no clock is read.  When a sink is
+// installed (SetTraceSink or the REVISE_TRACE environment variable),
+// spans record {name, depth, start, duration} into a process-wide buffer
+// and optionally stream to stderr:
+//
+//   REVISE_TRACE=text   indented human-readable lines on stderr
+//   REVISE_TRACE=json   one JSON object per line on stderr
+//   REVISE_TRACE=off    collect spans silently (available to report.h)
+//
+// Nesting is tracked with a thread-local depth counter, so the recorded
+// spans reconstruct the call tree per thread.
+
+#ifndef REVISE_OBS_TRACE_H_
+#define REVISE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace revise::obs {
+
+// A steady-clock timer, also used by deadline checks in the solve layer.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+  void Restart();
+  // Nanoseconds since construction or the last Restart().
+  int64_t ElapsedNanos() const;
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  int64_t start_ns_ = 0;
+};
+
+enum class TraceSink {
+  kNone,    // tracing disabled entirely (spans are no-ops)
+  kSilent,  // collect spans in the buffer only
+  kText,    // buffer + indented text on stderr
+  kJson,    // buffer + JSON lines on stderr
+};
+
+// Installs a sink.  kNone disables tracing (and is the default unless the
+// REVISE_TRACE environment variable says otherwise).
+void SetTraceSink(TraceSink sink);
+TraceSink GetTraceSink();
+
+// Fast check used by Span construction.
+bool TracingEnabled();
+
+// One finished span as recorded in the buffer.
+struct SpanRecord {
+  std::string name;
+  int depth = 0;           // nesting level within its thread, 0 = root
+  int64_t start_ns = 0;    // steady-clock time at span entry
+  int64_t duration_ns = 0;
+};
+
+// Copies the buffered spans (in completion order).
+std::vector<SpanRecord> SnapshotSpans();
+void ClearSpans();
+
+// RAII timed region.  `name` should follow the `subsystem.action`
+// convention, e.g. Span span("revise.Dalal");
+class Span {
+ public:
+  explicit Span(std::string_view name) {
+    if (TracingEnabled()) Begin(name);
+  }
+  // Concatenates `prefix` + `suffix` only when tracing is active, so call
+  // sites can label spans with runtime names (operator names) for free
+  // when tracing is off.
+  Span(std::string_view prefix, std::string_view suffix) {
+    if (TracingEnabled()) {
+      std::string name(prefix);
+      name += suffix;
+      Begin(name);
+    }
+  }
+  ~Span() {
+    if (active_) End();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void Begin(std::string_view name);
+  void End();
+
+  bool active_ = false;
+  std::string name_;
+  int depth_ = 0;
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace revise::obs
+
+#endif  // REVISE_OBS_TRACE_H_

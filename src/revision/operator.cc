@@ -2,6 +2,8 @@
 
 #include "logic/evaluate.h"
 #include "model/canonical.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "revision/candidates.h"
 #include "revision/formula_based.h"
 #include "revision/model_based.h"
@@ -67,6 +69,8 @@ bool RevisionOperator::IsModel(const Theory& t, const Formula& p,
 
 ModelSet ModelBasedOperator::ReviseModels(const Theory& t, const Formula& p,
                                           const Alphabet& alphabet) const {
+  obs::Span span("revise.", name());
+  REVISE_OBS_COUNTER("revise.operations").Increment();
   const ModelSet mt = EnumerateModels(t.AsFormula(), alphabet);
   return ReviseModelsAuto(id(), mt, p, alphabet);
 }
@@ -103,6 +107,8 @@ ModelSet WeberOperator::ReviseModelSets(const ModelSet& mt,
 
 ModelSet GfuvOperator::ReviseModels(const Theory& t, const Formula& p,
                                     const Alphabet& alphabet) const {
+  obs::Span span("revise.", name());
+  REVISE_OBS_COUNTER("revise.operations").Increment();
   return EnumerateModels(ReviseFormula(t, p), alphabet);
 }
 
@@ -113,6 +119,8 @@ Formula GfuvOperator::ReviseFormula(const Theory& t,
 
 ModelSet WidtioOperator::ReviseModels(const Theory& t, const Formula& p,
                                       const Alphabet& alphabet) const {
+  obs::Span span("revise.", name());
+  REVISE_OBS_COUNTER("revise.operations").Increment();
   return EnumerateModels(ReviseFormula(t, p), alphabet);
 }
 
@@ -143,6 +151,8 @@ Formula NebelOperator::ReviseFormula(const Theory& t,
 ModelSet NebelOperator::ReviseModels(const std::vector<Theory>& classes,
                                      const Formula& p,
                                      const Alphabet& alphabet) const {
+  obs::Span span("revise.", name());
+  REVISE_OBS_COUNTER("revise.operations").Increment();
   return EnumerateModels(NebelFormula(classes, p), alphabet);
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace revise::sat {
@@ -430,20 +432,27 @@ Solver::Result Solver::Solve() { return SolveAssuming({}); }
 
 Solver::Result Solver::SolveAssuming(const std::vector<Lit>& assumptions) {
   if (!ok_) return Result::kUnsat;
+  obs::Span span("sat.solve");
+  const SolverStats before = stats_;
   CancelUntil(0);
   max_learnts_ = std::max<double>(
       static_cast<double>(clauses_.size()) * max_learnts_factor_, 2000.0);
   int64_t restart_count = 0;
+  Result result = Result::kUnknown;
   for (;;) {
     const int64_t budget = kRestartBase * Luby(restart_count + 1);
     const int outcome = [&] {
-      // Search returns +1 SAT, 0 UNSAT, -1 restart.
+      // Search returns +1 SAT, 0 UNSAT (refutation at level 0), -1
+      // restart, -2 interrupted, -3 UNSAT under the assumptions only.
       int64_t conflicts_left = budget;
       for (;;) {
         Clause* conflict = Propagate();
         if (conflict != nullptr) {
           ++stats_.conflicts;
           --conflicts_left;
+          if (interrupt_ && stats_.conflicts % 64 == 0 && interrupt_()) {
+            return -2;
+          }
           if (DecisionLevel() == 0) return 0;
           std::vector<Lit> learnt;
           int backtrack_level = 0;
@@ -474,7 +483,7 @@ Solver::Result Solver::SolveAssuming(const std::vector<Lit>& assumptions) {
           if (value == LBool::kTrue) {
             NewDecisionLevel();  // dummy level keeps indices aligned
           } else if (value == LBool::kFalse) {
-            return 0;  // assumptions conflict with the formula
+            return -3;  // assumptions conflict with the formula
           } else {
             next = assumption;
             break;
@@ -495,17 +504,44 @@ Solver::Result Solver::SolveAssuming(const std::vector<Lit>& assumptions) {
         model_[v] = assigns_[v] == LBool::kTrue;
       }
       CancelUntil(0);
-      return Result::kSat;
+      result = Result::kSat;
+      break;
     }
-    if (outcome == 0) {
+    if (outcome == 0 || outcome == -3) {
       CancelUntil(0);
-      return Result::kUnsat;
+      // A refutation at level 0 holds regardless of assumptions: the
+      // trail now contains a falsified clause that propagation has
+      // already passed, so the solver must never search again.
+      if (outcome == 0) ok_ = false;
+      result = Result::kUnsat;
+      break;
+    }
+    if (outcome == -2) {
+      CancelUntil(0);
+      REVISE_OBS_COUNTER("sat.interrupts").Increment();
+      result = Result::kUnknown;
+      break;
     }
     ++restart_count;
     ++stats_.restarts;
     max_learnts_ *= learnt_growth_;
     CancelUntil(0);
   }
+  // Publish this call's deltas to the global registry in one batch so the
+  // search loop itself never touches atomics.
+  REVISE_OBS_COUNTER("sat.solves").Increment();
+  REVISE_OBS_COUNTER("sat.conflicts")
+      .Increment(stats_.conflicts - before.conflicts);
+  REVISE_OBS_COUNTER("sat.decisions")
+      .Increment(stats_.decisions - before.decisions);
+  REVISE_OBS_COUNTER("sat.propagations")
+      .Increment(stats_.propagations - before.propagations);
+  REVISE_OBS_COUNTER("sat.restarts").Increment(stats_.restarts - before.restarts);
+  REVISE_OBS_COUNTER("sat.learned_clauses")
+      .Increment(stats_.learned_clauses - before.learned_clauses);
+  REVISE_OBS_COUNTER("sat.deleted_clauses")
+      .Increment(stats_.deleted_clauses - before.deleted_clauses);
+  return result;
 }
 
 bool Solver::ModelValue(int var) const {

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sat/literal.h"
@@ -31,7 +32,9 @@ struct SolverStats {
 
 class Solver {
  public:
-  enum class Result { kSat, kUnsat };
+  // kUnknown is only returned when an interrupt callback (SetInterrupt)
+  // asked the search to stop — e.g. a soft deadline expired.
+  enum class Result { kSat, kUnsat, kUnknown };
 
   Solver();
   ~Solver();
@@ -65,6 +68,13 @@ class Solver {
   bool ModelValue(int var) const;
 
   const SolverStats& stats() const { return stats_; }
+
+  // Installs a callback polled roughly every 64 conflicts during search.
+  // When it returns true the current Solve call stops and returns
+  // kUnknown.  Pass nullptr to clear.
+  void SetInterrupt(std::function<bool()> should_stop) {
+    interrupt_ = std::move(should_stop);
+  }
 
  private:
   struct Clause;
@@ -138,6 +148,7 @@ class Solver {
   double max_learnts_ = 0;
 
   SolverStats stats_;
+  std::function<bool()> interrupt_;
 };
 
 }  // namespace revise::sat

@@ -1,5 +1,7 @@
 #include "solve/sat_context.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace revise {
@@ -15,6 +17,10 @@ int SatContext::SatVarOf(Var var, int frame) {
   if (it != var_map_.end()) return it->second;
   const int sat_var = solver_.NewVar();
   var_map_.emplace(key, sat_var);
+  REVISE_OBS_COUNTER("encode.frame_vars").Increment();
+  obs::Registry::Global()
+      .GetGauge("encode.max_frame")
+      ->UpdateMax(frame);
   return sat_var;
 }
 
@@ -95,6 +101,31 @@ Lit SatContext::EncodeRec(const Formula& f, int frame) {
   }
   node_map_.emplace(key, result);
   pinned_.push_back(f);
+  // Tseitin bookkeeping: every connective above introduced one fresh
+  // definition literal plus a fixed clause pattern.
+  switch (f.kind()) {
+    case Connective::kVar:
+    case Connective::kNot:
+      break;  // no aux var, no clauses
+    case Connective::kConst:
+      REVISE_OBS_COUNTER("encode.aux_vars").Increment();
+      REVISE_OBS_COUNTER("encode.aux_clauses").Increment();
+      break;
+    case Connective::kAnd:
+    case Connective::kOr:
+      REVISE_OBS_COUNTER("encode.aux_vars").Increment();
+      REVISE_OBS_COUNTER("encode.aux_clauses").Increment(f.arity() + 1);
+      break;
+    case Connective::kImplies:
+      REVISE_OBS_COUNTER("encode.aux_vars").Increment();
+      REVISE_OBS_COUNTER("encode.aux_clauses").Increment(3);
+      break;
+    case Connective::kIff:
+    case Connective::kXor:
+      REVISE_OBS_COUNTER("encode.aux_vars").Increment();
+      REVISE_OBS_COUNTER("encode.aux_clauses").Increment(4);
+      break;
+  }
   return result;
 }
 
@@ -103,7 +134,30 @@ void SatContext::Assert(const Formula& f, int frame) {
 }
 
 bool SatContext::Solve(const std::vector<Lit>& assumptions) {
+  timed_out_ = false;
+  if (soft_deadline_seconds_ > 0.0) {
+    obs::Stopwatch stopwatch;
+    const double deadline = soft_deadline_seconds_;
+    solver_.SetInterrupt(
+        [&stopwatch, deadline] { return stopwatch.ElapsedSeconds() >= deadline; });
+    const sat::Solver::Result result = solver_.SolveAssuming(assumptions);
+    solver_.SetInterrupt(nullptr);
+    if (result == sat::Solver::Result::kUnknown) {
+      timed_out_ = true;
+      REVISE_OBS_COUNTER("solve.timed_out").Increment();
+    }
+    return result == sat::Solver::Result::kSat;
+  }
   return solver_.SolveAssuming(assumptions) == sat::Solver::Result::kSat;
+}
+
+StatusOr<bool> SatContext::SolveOrDeadline(
+    const std::vector<Lit>& assumptions) {
+  const bool satisfiable = Solve(assumptions);
+  if (timed_out_) {
+    return DeadlineExceededError("SAT search exceeded soft deadline");
+  }
+  return satisfiable;
 }
 
 bool SatContext::ModelValue(Var var, int frame) const {

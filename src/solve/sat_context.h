@@ -16,6 +16,7 @@
 #include "logic/interpretation.h"
 #include "sat/literal.h"
 #include "sat/solver.h"
+#include "util/status.h"
 
 namespace revise {
 
@@ -42,8 +43,24 @@ class SatContext {
   // Fresh solver literal (positive polarity).
   sat::Lit FreshLit();
 
-  // Solves under assumptions; returns true iff satisfiable.
+  // Solves under assumptions; returns true iff satisfiable.  When a soft
+  // deadline is set and expires mid-search, returns false and timed_out()
+  // reports true until the next Solve call.
   bool Solve(const std::vector<sat::Lit>& assumptions = {});
+
+  // Like Solve, but a deadline expiry is reported as an explicit
+  // kDeadlineExceeded status instead of being folded into `false`.
+  StatusOr<bool> SolveOrDeadline(const std::vector<sat::Lit>& assumptions = {});
+
+  // Bounds each subsequent Solve call to roughly `seconds` of wall time
+  // (polled every ~64 conflicts, so very easy instances never pay for a
+  // clock read).  Values <= 0 clear the deadline.
+  void set_soft_deadline_seconds(double seconds) {
+    soft_deadline_seconds_ = seconds;
+  }
+  double soft_deadline_seconds() const { return soft_deadline_seconds_; }
+  // True iff the most recent Solve call hit the soft deadline.
+  bool timed_out() const { return timed_out_; }
 
   // Value of logic variable `var` in `frame` in the last model.
   bool ModelValue(Var var, int frame = 0) const;
@@ -83,6 +100,8 @@ class SatContext {
   sat::Lit EncodeRec(const Formula& f, int frame);
 
   sat::Solver solver_;
+  double soft_deadline_seconds_ = 0.0;
+  bool timed_out_ = false;
   std::unordered_map<FrameKey, int, FrameKeyHash> var_map_;
   std::unordered_map<NodeKey, sat::Lit, NodeKeyHash> node_map_;
   // Pins formula nodes referenced by node_map_ so ids stay unique.

@@ -1,11 +1,14 @@
 #include "solve/services.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "solve/sat_context.h"
 #include "util/check.h"
 
 namespace revise {
 
 bool IsSatisfiable(const Formula& f) {
+  obs::Span span("solve.sat");
   SatContext context;
   context.Assert(f);
   return context.Solve();
@@ -13,6 +16,7 @@ bool IsSatisfiable(const Formula& f) {
 
 bool Entails(const Formula& a, const Formula& b) {
   // a |= b iff a & !b is unsatisfiable.
+  obs::Span span("solve.entails");
   SatContext context;
   context.Assert(a);
   context.Assert(Formula::Not(b));
@@ -27,6 +31,7 @@ bool AreEquivalent(const Formula& a, const Formula& b) {
 
 ModelSet EnumerateModels(const Formula& f, const Alphabet& alphabet,
                          size_t limit) {
+  obs::Span span("solve.enumerate");
   SatContext context;
   context.Assert(f);
   // Force the mapping of every alphabet variable to exist so blocking
@@ -48,6 +53,7 @@ ModelSet EnumerateModels(const Formula& f, const Alphabet& alphabet,
     }
     if (!context.solver().AddClause(std::move(blocking))) break;
   }
+  REVISE_OBS_COUNTER("solve.models_enumerated").Increment(models.size());
   return ModelSet(alphabet, std::move(models));
 }
 

@@ -25,6 +25,7 @@ enum class StatusCode {
   kUnimplemented,
   kResourceExhausted,
   kInternal,
+  kDeadlineExceeded,
 };
 
 // Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
@@ -65,6 +66,7 @@ Status OutOfRangeError(std::string message);
 Status UnimplementedError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status InternalError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 // A value-or-error result.  Accessing value() on an error aborts, so callers
 // must test ok() (or use the REVISE_ASSIGN_OR_RETURN macro) first.

@@ -1,0 +1,305 @@
+// Tests for the observability layer: counter/gauge registry, scoped
+// tracing spans, the JSON document model, the report schema, and the
+// soft-deadline path through SatContext.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "sat/literal.h"
+#include "solve/sat_context.h"
+#include "util/status.h"
+
+namespace revise {
+namespace {
+
+using obs::Json;
+using obs::Registry;
+using obs::Span;
+using obs::SpanRecord;
+using obs::TraceSink;
+
+// ---------------------------------------------------------------------
+// Counter / gauge registry.
+
+TEST(MetricsTest, CounterIncrementAndValue) {
+  obs::Counter* c = Registry::Global().GetCounter("test.counter_basic");
+  c->Reset();
+  EXPECT_EQ(c->Value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+  c->Reset();
+  EXPECT_EQ(c->Value(), 0u);
+}
+
+TEST(MetricsTest, GetCounterInternsByName) {
+  obs::Counter* a = Registry::Global().GetCounter("test.interned");
+  obs::Counter* b = Registry::Global().GetCounter("test.interned");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->name(), "test.interned");
+  // The macro resolves to the same instrument.
+  REVISE_OBS_COUNTER("test.interned").Increment();
+  EXPECT_GE(a->Value(), 1u);
+}
+
+TEST(MetricsTest, SnapshotContainsRegisteredCounter) {
+  obs::Counter* c = Registry::Global().GetCounter("test.snapshot_me");
+  c->Reset();
+  c->Increment(7);
+  bool found = false;
+  const auto snapshot = Registry::Global().SnapshotCounters();
+  for (const auto& [name, value] : snapshot) {
+    if (name == "test.snapshot_me") {
+      found = true;
+      EXPECT_EQ(value, 7u);
+    }
+  }
+  EXPECT_TRUE(found);
+  // Snapshots are name-sorted.
+  for (size_t i = 1; i < snapshot.size(); ++i) {
+    EXPECT_LT(snapshot[i - 1].first, snapshot[i].first);
+  }
+}
+
+TEST(MetricsTest, GaugeSetAndUpdateMax) {
+  obs::Gauge* g = Registry::Global().GetGauge("test.gauge");
+  g->Reset();
+  g->Set(10);
+  EXPECT_EQ(g->Value(), 10);
+  g->UpdateMax(5);  // no effect: 5 < 10
+  EXPECT_EQ(g->Value(), 10);
+  g->UpdateMax(20);
+  EXPECT_EQ(g->Value(), 20);
+}
+
+TEST(MetricsTest, ConcurrentIncrementsAreNotLost) {
+  obs::Counter* c = Registry::Global().GetCounter("test.threads");
+  c->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// ---------------------------------------------------------------------
+// Spans.
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  obs::SetTraceSink(TraceSink::kNone);
+  obs::ClearSpans();
+  {
+    Span span("test.should_not_appear");
+  }
+  EXPECT_TRUE(obs::SnapshotSpans().empty());
+}
+
+TEST(TraceTest, NestedSpansRecordDepthAndCompletionOrder) {
+  obs::SetTraceSink(TraceSink::kSilent);
+  obs::ClearSpans();
+  {
+    Span outer("test.outer");
+    {
+      Span inner("test.", "inner");
+    }
+  }
+  obs::SetTraceSink(TraceSink::kNone);
+  const std::vector<SpanRecord> spans = obs::SnapshotSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Completion order: inner finishes first.
+  EXPECT_EQ(spans[0].name, "test.inner");
+  EXPECT_EQ(spans[0].depth, 1);
+  EXPECT_EQ(spans[1].name, "test.outer");
+  EXPECT_EQ(spans[1].depth, 0);
+  // The outer span contains the inner one in time.
+  EXPECT_LE(spans[1].start_ns, spans[0].start_ns);
+  EXPECT_GE(spans[1].duration_ns, spans[0].duration_ns);
+  obs::ClearSpans();
+  EXPECT_TRUE(obs::SnapshotSpans().empty());
+}
+
+// ---------------------------------------------------------------------
+// Json.
+
+TEST(JsonTest, DumpScalars) {
+  EXPECT_EQ(Json(nullptr).Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(-3).Dump(), "-3");
+  EXPECT_EQ(Json(uint64_t{18446744073709551615u}).Dump(),
+            "18446744073709551615");
+  EXPECT_EQ(Json("hi \"there\"\n").Dump(), "\"hi \\\"there\\\"\\n\"");
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder) {
+  Json j = Json::MakeObject();
+  j["zebra"] = 1;
+  j["apple"] = 2;
+  ASSERT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.object()[0].first, "zebra");
+  EXPECT_EQ(j.object()[1].first, "apple");
+  EXPECT_EQ(j.Dump(), "{\"zebra\": 1, \"apple\": 2}");
+}
+
+TEST(JsonTest, ParseDumpRoundTrip) {
+  const std::string text =
+      "{\"name\": \"bench\", \"values\": [1, 2.5, -7, true, null], "
+      "\"nested\": {\"k\": \"v\"}, \"big\": 18446744073709551615}";
+  StatusOr<Json> parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Dump(), text);
+  // Round-trip again through the pretty printer.
+  StatusOr<Json> reparsed = Json::Parse(parsed->Dump(2));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(*reparsed == *parsed);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(Json::Parse("nul").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+}
+
+// ---------------------------------------------------------------------
+// Report schema.
+
+TEST(ReportTest, ToJsonMatchesSchema) {
+  obs::Report report("schema_check");
+  report.SetMeta("n", 12);
+  report.AddTable("sizes", {"m", "size"});
+  report.AddRow("sizes", {1, uint64_t{10}});
+  report.AddRow("sizes", {2, uint64_t{20}});
+  report.AddSeries("growth", {10.0, 20.0}, "polynomial");
+  // Ensure at least one counter and one span exist in the snapshot.
+  REVISE_OBS_COUNTER("test.report_counter").Increment();
+  obs::SetTraceSink(TraceSink::kSilent);
+  { Span span("test.report_span"); }
+  obs::SetTraceSink(TraceSink::kNone);
+
+  const Json j = report.ToJson();
+  // Fixed top-level field order.
+  const std::vector<std::string> expected_keys = {
+      "schema_version", "name",     "meta", "tables",
+      "series",         "counters", "gauges", "spans"};
+  ASSERT_EQ(j.object().size(), expected_keys.size());
+  for (size_t i = 0; i < expected_keys.size(); ++i) {
+    EXPECT_EQ(j.object()[i].first, expected_keys[i]);
+  }
+  EXPECT_EQ(j.Find("schema_version")->AsInt(), obs::kSchemaVersion);
+  EXPECT_EQ(j.Find("name")->AsString(), "schema_check");
+  EXPECT_EQ(j.Find("meta")->Find("n")->AsInt(), 12);
+
+  const Json& tables = *j.Find("tables");
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables.at(0).Find("name")->AsString(), "sizes");
+  ASSERT_EQ(tables.at(0).Find("columns")->size(), 2u);
+  ASSERT_EQ(tables.at(0).Find("rows")->size(), 2u);
+  EXPECT_EQ(tables.at(0).Find("rows")->at(1).at(1).AsUint(), 20u);
+
+  const Json& series = *j.Find("series");
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series.at(0).Find("name")->AsString(), "growth");
+  EXPECT_EQ(series.at(0).Find("verdict")->AsString(), "polynomial");
+  ASSERT_EQ(series.at(0).Find("values")->size(), 2u);
+
+  EXPECT_TRUE(j.Find("counters")->Has("test.report_counter"));
+  bool span_found = false;
+  for (const Json& span : j.Find("spans")->array()) {
+    if (span.Find("name")->AsString() == "test.report_span") {
+      span_found = true;
+      EXPECT_TRUE(span.Has("depth"));
+      EXPECT_TRUE(span.Has("start_ns"));
+      EXPECT_TRUE(span.Has("duration_ns"));
+    }
+  }
+  EXPECT_TRUE(span_found);
+
+  // The document survives a serialize/parse round trip.
+  StatusOr<Json> reparsed = Json::Parse(j.Dump(2));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_TRUE(*reparsed == j);
+  obs::ClearSpans();
+}
+
+// ---------------------------------------------------------------------
+// Soft deadline through SatContext.
+
+// Pigeonhole clauses (holes + 1 pigeons into `holes` holes): UNSAT with an
+// exponential-resolution proof, so the search reliably outlives a
+// microscopic deadline.
+void AddPigeonhole(SatContext* context, int holes) {
+  const int pigeons = holes + 1;
+  sat::Solver& solver = context->solver();
+  solver.EnsureVarCount(pigeons * holes);
+  auto var = [&](int p, int h) { return p * holes + h; };
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<sat::Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(sat::PosLit(var(p, h)));
+    solver.AddClause(std::move(clause));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        solver.AddClause(
+            {sat::NegLit(var(p1, h)), sat::NegLit(var(p2, h))});
+      }
+    }
+  }
+}
+
+TEST(DeadlineTest, TinyDeadlineTimesOutAndReportsCounter) {
+  obs::Counter* timeouts =
+      Registry::Global().GetCounter("solve.timed_out");
+  const uint64_t before = timeouts->Value();
+  SatContext context;
+  AddPigeonhole(&context, 10);
+  context.set_soft_deadline_seconds(1e-6);
+  EXPECT_FALSE(context.Solve());
+  EXPECT_TRUE(context.timed_out());
+  EXPECT_EQ(timeouts->Value(), before + 1);
+}
+
+TEST(DeadlineTest, SolveOrDeadlineReturnsExplicitStatus) {
+  SatContext context;
+  AddPigeonhole(&context, 10);
+  context.set_soft_deadline_seconds(1e-6);
+  StatusOr<bool> result = context.SolveOrDeadline();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(DeadlineTest, NoDeadlineSolvesNormally) {
+  SatContext context;
+  AddPigeonhole(&context, 5);
+  EXPECT_FALSE(context.Solve());  // pigeonhole is UNSAT
+  EXPECT_FALSE(context.timed_out());
+  StatusOr<bool> result = context.SolveOrDeadline();
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(*result);
+}
+
+TEST(DeadlineTest, GenerousDeadlineDoesNotTrigger) {
+  SatContext context;
+  AddPigeonhole(&context, 4);
+  context.set_soft_deadline_seconds(3600.0);
+  EXPECT_FALSE(context.Solve());
+  EXPECT_FALSE(context.timed_out());
+}
+
+}  // namespace
+}  // namespace revise

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sat/cardinality.h"
 #include "sat/cnf.h"
 #include "sat/literal.h"
@@ -377,6 +378,55 @@ TEST(SolverTest, StatsAccumulate) {
   }
   solver.Solve();
   EXPECT_GT(solver.stats().propagations, 0u);
+}
+
+TEST(SolverTest, CountersConsistentAfterUnsatSolve) {
+  // Pigeonhole 5→4 forces real search: conflicts, decisions, learning.
+  // The per-solver stats must be internally consistent, and solving must
+  // publish matching deltas to the global counter registry.
+  obs::Counter* global_conflicts =
+      obs::Registry::Global().GetCounter("sat.conflicts");
+  obs::Counter* global_decisions =
+      obs::Registry::Global().GetCounter("sat.decisions");
+  obs::Counter* global_solves =
+      obs::Registry::Global().GetCounter("sat.solves");
+  const uint64_t conflicts_before = global_conflicts->Value();
+  const uint64_t decisions_before = global_decisions->Value();
+  const uint64_t solves_before = global_solves->Value();
+
+  const int holes = 4;
+  const int pigeons = 5;
+  Solver solver;
+  solver.EnsureVarCount(pigeons * holes);
+  auto var = [&](int p, int h) { return p * holes + h; };
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(PosLit(var(p, h)));
+    solver.AddClause(std::move(clause));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        solver.AddClause({NegLit(var(p1, h)), NegLit(var(p2, h))});
+      }
+    }
+  }
+  EXPECT_EQ(solver.Solve(), Solver::Result::kUnsat);
+
+  const SolverStats& stats = solver.stats();
+  EXPECT_GE(stats.conflicts, 1u);
+  EXPECT_GE(stats.decisions, 1u);
+  // Every decision is followed by at least one propagation (its own
+  // enqueue), so propagations dominate decisions.
+  EXPECT_GE(stats.propagations, stats.decisions);
+  // Each learned clause comes from a conflict.
+  EXPECT_LE(stats.learned_clauses, stats.conflicts);
+  EXPECT_LE(stats.deleted_clauses, stats.learned_clauses);
+
+  // The solve published its deltas to the global registry.
+  EXPECT_EQ(global_conflicts->Value() - conflicts_before, stats.conflicts);
+  EXPECT_EQ(global_decisions->Value() - decisions_before, stats.decisions);
+  EXPECT_EQ(global_solves->Value() - solves_before, 1u);
 }
 
 }  // namespace
