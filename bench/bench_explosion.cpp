@@ -18,9 +18,40 @@
 #include "revision/formula_based.h"
 #include "revision/operator.h"
 #include "solve/services.h"
+#include "util/parallel.h"
 
 namespace revise {
 namespace {
+
+// One reproduced row of the Nebel-family table, computed independently of
+// the others so the per-m sweep can run on the process thread pool.
+struct NebelRow {
+  int m = 0;
+  uint64_t input_size = 0;
+  size_t worlds = 0;
+  uint64_t naive_size = 0;
+  std::string minimal;
+};
+
+NebelRow ComputeNebelRow(int m) {
+  NebelRow row;
+  row.m = m;
+  Vocabulary vocabulary;
+  const NebelExplosionFamily family(m, &vocabulary);
+  const auto worlds = MaximalConsistentSubsets(family.t, family.p);
+  const Formula naive = GfuvFormula(family.t, family.p);
+  row.input_size = family.t.VarOccurrences() + family.p.VarOccurrences();
+  row.worlds = worlds.size();
+  row.naive_size = naive.VarOccurrences();
+  row.minimal = "-";
+  if (2 * m <= 12) {
+    const Alphabet alphabet(
+        UnionOfVars(std::vector<Formula>{family.t.AsFormula(), family.p}));
+    const ModelSet models = EnumerateModels(naive, alphabet);
+    row.minimal = std::to_string(MinimalTwoLevelSize(models));
+  }
+  return row;
+}
 
 void MeasureNebel(obs::Report* report) {
   bench::Headline("Nebel's family: T = {x_i, y_i}, P = AND(x_i ^ y_i)");
@@ -29,29 +60,29 @@ void MeasureNebel(obs::Report* report) {
                     "qm_minimal_size"});
   std::printf("%-4s %10s %12s %16s %16s\n", "m", "|T|+|P|", "|W(T,P)|",
               "naive GFUV size", "QM-minimal size");
+  // Rows are independent, so compute them on the pool (REVISE_THREADS)
+  // and emit sequentially in m-order afterwards.
+  constexpr int kMaxM = 10;
+  const std::vector<std::vector<NebelRow>> row_shards =
+      ParallelMapRanges<std::vector<NebelRow>>(
+          kMaxM, 1, [](size_t begin, size_t end) {
+            std::vector<NebelRow> shard;
+            for (size_t i = begin; i < end; ++i) {
+              shard.push_back(ComputeNebelRow(static_cast<int>(i) + 1));
+            }
+            return shard;
+          });
   std::vector<uint64_t> naive_sizes;
-  for (int m = 1; m <= 10; ++m) {
-    Vocabulary vocabulary;
-    const NebelExplosionFamily family(m, &vocabulary);
-    const auto worlds = MaximalConsistentSubsets(family.t, family.p);
-    const Formula naive = GfuvFormula(family.t, family.p);
-    naive_sizes.push_back(naive.VarOccurrences());
-    std::string minimal = "-";
-    if (2 * m <= 12) {
-      const Alphabet alphabet(
-          UnionOfVars(std::vector<Formula>{family.t.AsFormula(), family.p}));
-      const ModelSet models = EnumerateModels(naive, alphabet);
-      minimal = std::to_string(MinimalTwoLevelSize(models));
+  for (const std::vector<NebelRow>& shard : row_shards) {
+    for (const NebelRow& row : shard) {
+      naive_sizes.push_back(row.naive_size);
+      std::printf("%-4d %10llu %12zu %16llu %16s\n", row.m,
+                  static_cast<unsigned long long>(row.input_size), row.worlds,
+                  static_cast<unsigned long long>(row.naive_size),
+                  row.minimal.c_str());
+      report->AddRow("nebel_family", {row.m, row.input_size, row.worlds,
+                                      row.naive_size, row.minimal});
     }
-    std::printf("%-4d %10llu %12zu %16llu %16s\n", m,
-                static_cast<unsigned long long>(
-                    family.t.VarOccurrences() + family.p.VarOccurrences()),
-                worlds.size(),
-                static_cast<unsigned long long>(naive.VarOccurrences()),
-                minimal.c_str());
-    report->AddRow("nebel_family",
-                   {m, family.t.VarOccurrences() + family.p.VarOccurrences(),
-                    worlds.size(), naive.VarOccurrences(), minimal});
   }
   const std::string verdict = bench::GrowthVerdict(naive_sizes);
   std::printf("naive growth: %s (paper: 2^m worlds).  The QM-minimal size\n"
@@ -71,21 +102,42 @@ void MeasureWinslettChain(obs::Report* report) {
                    {"m", "t_size", "p_size", "worlds", "naive_gfuv_size"});
   std::printf("%-4s %10s %6s %12s %16s\n", "m", "|T|", "|P|", "|W(T,P)|",
               "naive GFUV size");
+  struct ChainRow {
+    int m;
+    uint64_t t_size;
+    uint64_t p_size;
+    size_t worlds;
+    uint64_t naive_size;
+  };
+  constexpr int kMaxM = 8;
+  const std::vector<std::vector<ChainRow>> row_shards =
+      ParallelMapRanges<std::vector<ChainRow>>(
+          kMaxM, 1, [](size_t begin, size_t end) {
+            std::vector<ChainRow> shard;
+            for (size_t i = begin; i < end; ++i) {
+              const int m = static_cast<int>(i) + 1;
+              Vocabulary vocabulary;
+              const WinslettChainFamily family(m, &vocabulary);
+              const auto worlds =
+                  MaximalConsistentSubsets(family.t, family.p);
+              const Formula naive = GfuvFormula(family.t, family.p);
+              shard.push_back({m, family.t.VarOccurrences(),
+                               family.p.VarOccurrences(), worlds.size(),
+                               naive.VarOccurrences()});
+            }
+            return shard;
+          });
   std::vector<uint64_t> world_counts;
-  for (int m = 1; m <= 8; ++m) {
-    Vocabulary vocabulary;
-    const WinslettChainFamily family(m, &vocabulary);
-    const auto worlds = MaximalConsistentSubsets(family.t, family.p);
-    const Formula naive = GfuvFormula(family.t, family.p);
-    world_counts.push_back(worlds.size());
-    std::printf("%-4d %10llu %6llu %12zu %16llu\n", m,
-                static_cast<unsigned long long>(family.t.VarOccurrences()),
-                static_cast<unsigned long long>(family.p.VarOccurrences()),
-                worlds.size(),
-                static_cast<unsigned long long>(naive.VarOccurrences()));
-    report->AddRow("winslett_chain",
-                   {m, family.t.VarOccurrences(), family.p.VarOccurrences(),
-                    worlds.size(), naive.VarOccurrences()});
+  for (const std::vector<ChainRow>& shard : row_shards) {
+    for (const ChainRow& row : shard) {
+      world_counts.push_back(row.worlds);
+      std::printf("%-4d %10llu %6llu %12zu %16llu\n", row.m,
+                  static_cast<unsigned long long>(row.t_size),
+                  static_cast<unsigned long long>(row.p_size), row.worlds,
+                  static_cast<unsigned long long>(row.naive_size));
+      report->AddRow("winslett_chain", {row.m, row.t_size, row.p_size,
+                                        row.worlds, row.naive_size});
+    }
   }
   const std::string verdict = bench::GrowthVerdict(world_counts);
   std::printf("world-count growth: %s\n", verdict.c_str());

@@ -1,0 +1,288 @@
+// Microbenchmarks for the revision kernels and the model-enumeration
+// cache (no paper table — this is the performance regression harness).
+//
+//   * Parallel kernel scaling: every model-based operator kernel timed at
+//     1 thread vs REVISE_THREADS (default: hardware) on a Nebel-style
+//     worlds instance (mt = one letter of each pair {x_i, y_i}, mp =
+//     pair-equal models), with a bit-identity check between the two runs.
+//     Speedup scales with physical cores; on a 1-core container the two
+//     columns coincide and the "threads"/"hardware_threads" metadata
+//     records why.
+//   * Enumeration cache: cold vs warm EnumerateModels on the Nebel GFUV
+//     formula.  The warm path is a structural-hash lookup and is orders
+//     of magnitude faster than re-running the AllSAT loop.
+//
+// --json writes BENCH_kernels.json with both tables.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "hardness/families.h"
+#include "model/model_set.h"
+#include "obs/metrics.h"
+#include "revision/formula_based.h"
+#include "revision/model_based.h"
+#include "solve/model_cache.h"
+#include "solve/services.h"
+#include "util/parallel.h"
+
+namespace revise {
+namespace {
+
+// Nebel-style worlds over 2m letters (x_0, y_0, ..., x_{m-1}, y_{m-1}),
+// built directly as bit patterns so the kernel benches need no SAT calls:
+//   mt: for every mask, x_i = bit i, y_i = !bit i  (one of each pair);
+//   mp: for every mask, x_i = y_i = bit i          (pair-equal).
+// Every mt/mp symmetric difference selects exactly one letter per pair,
+// so delta(T,P) has 2^m incomparable elements — the worst case for the
+// inclusion-minimal sweep.
+struct KernelInput {
+  Alphabet alphabet;
+  ModelSet mt;
+  ModelSet mp;
+};
+
+KernelInput MakeNebelWorlds(int m) {
+  std::vector<Var> vars;
+  for (int i = 0; i < 2 * m; ++i) vars.push_back(static_cast<Var>(i));
+  const Alphabet alphabet(vars);
+  std::vector<Interpretation> mt;
+  std::vector<Interpretation> mp;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << m); ++mask) {
+    Interpretation one_of_each(alphabet.size());
+    Interpretation pair_equal(alphabet.size());
+    for (int i = 0; i < m; ++i) {
+      const bool bit = (mask >> i) & 1;
+      one_of_each.Set(2 * i, bit);
+      one_of_each.Set(2 * i + 1, !bit);
+      pair_equal.Set(2 * i, bit);
+      pair_equal.Set(2 * i + 1, bit);
+    }
+    mt.push_back(one_of_each);
+    mp.push_back(pair_equal);
+  }
+  return {alphabet, ModelSet(alphabet, std::move(mt)),
+          ModelSet(alphabet, std::move(mp))};
+}
+
+// Minimum wall time of `reps` runs, in milliseconds.
+template <typename Fn>
+double TimeMs(int reps, const Fn& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (r == 0 || elapsed.count() < best) best = elapsed.count();
+  }
+  return best;
+}
+
+void MeasureKernelScaling(obs::Report* report) {
+  bench::Headline("Revision kernels: 1 thread vs REVISE_THREADS");
+  const size_t parallel_threads = ParallelThreads();
+  std::printf("hardware threads: %u, parallel run uses %zu thread(s)\n",
+              std::thread::hardware_concurrency(), parallel_threads);
+  report->AddTable("kernel_scaling", {"kernel", "m", "pairs", "seq_ms",
+                                      "par_ms", "speedup", "identical"});
+  std::printf("%-22s %-4s %10s %10s %10s %8s %10s\n", "kernel", "m",
+              "pairs", "seq ms", "par ms", "speedup", "identical");
+
+  struct Kernel {
+    const char* name;
+    int m;
+    ModelSet (*run)(const ModelSet&, const ModelSet&);
+  };
+  const Kernel kernels[] = {
+      {"Winslett", 8, WinslettModels},   {"Forbus", 8, ForbusModels},
+      {"Satoh", 9, SatohModels},         {"Dalal", 10, DalalModels},
+      {"Weber", 9, WeberModels},
+  };
+  for (const Kernel& kernel : kernels) {
+    const KernelInput input = MakeNebelWorlds(kernel.m);
+    const size_t pairs = input.mt.size() * input.mp.size();
+    ModelSet seq_result;
+    ModelSet par_result;
+    SetParallelThreadsOverride(1);
+    const double seq_ms =
+        TimeMs(3, [&] { seq_result = kernel.run(input.mt, input.mp); });
+    SetParallelThreadsOverride(0);  // default: REVISE_THREADS or hardware
+    const double par_ms =
+        TimeMs(3, [&] { par_result = kernel.run(input.mt, input.mp); });
+    const bool identical = seq_result == par_result;
+    const double speedup = par_ms > 0 ? seq_ms / par_ms : 0.0;
+    std::printf("%-22s %-4d %10zu %10.2f %10.2f %7.2fx %10s\n", kernel.name,
+                kernel.m, pairs, seq_ms, par_ms, speedup,
+                identical ? "yes" : "NO");
+    report->AddRow("kernel_scaling", {kernel.name, kernel.m, pairs, seq_ms,
+                                      par_ms, speedup, identical});
+  }
+
+  // The two global sweeps underneath Satoh/Dalal/Weber, timed directly.
+  const KernelInput input = MakeNebelWorlds(10);
+  const size_t pairs = input.mt.size() * input.mp.size();
+  {
+    std::vector<Interpretation> seq_diffs;
+    std::vector<Interpretation> par_diffs;
+    SetParallelThreadsOverride(1);
+    const double seq_ms = TimeMs(
+        3, [&] { seq_diffs = GlobalMinimalDiffsOfSets(input.mt, input.mp); });
+    SetParallelThreadsOverride(0);
+    const double par_ms = TimeMs(
+        3, [&] { par_diffs = GlobalMinimalDiffsOfSets(input.mt, input.mp); });
+    const bool identical = seq_diffs == par_diffs;
+    const double speedup = par_ms > 0 ? seq_ms / par_ms : 0.0;
+    std::printf("%-22s %-4d %10zu %10.2f %10.2f %7.2fx %10s\n",
+                "GlobalMinimalDiffs", 10, pairs, seq_ms, par_ms, speedup,
+                identical ? "yes" : "NO");
+    report->AddRow("kernel_scaling", {"GlobalMinimalDiffs", 10, pairs,
+                                      seq_ms, par_ms, speedup, identical});
+  }
+  {
+    std::optional<size_t> seq_k;
+    std::optional<size_t> par_k;
+    SetParallelThreadsOverride(1);
+    const double seq_ms = TimeMs(
+        3, [&] { seq_k = GlobalMinDistanceOfSets(input.mt, input.mp); });
+    SetParallelThreadsOverride(0);
+    const double par_ms = TimeMs(
+        3, [&] { par_k = GlobalMinDistanceOfSets(input.mt, input.mp); });
+    const bool identical = seq_k == par_k;
+    const double speedup = par_ms > 0 ? seq_ms / par_ms : 0.0;
+    std::printf("%-22s %-4d %10zu %10.2f %10.2f %7.2fx %10s\n",
+                "GlobalMinDistance", 10, pairs, seq_ms, par_ms, speedup,
+                identical ? "yes" : "NO");
+    report->AddRow("kernel_scaling", {"GlobalMinDistance", 10, pairs,
+                                      seq_ms, par_ms, speedup, identical});
+  }
+}
+
+void MeasureEnumerationCache(obs::Report* report) {
+  bench::Headline("EnumerateModels: cold AllSAT vs warm cache hit");
+  report->AddTable("model_cache", {"m", "models", "cold_ms", "warm_ms",
+                                   "speedup", "identical"});
+  std::printf("%-4s %8s %12s %12s %10s %10s\n", "m", "models", "cold ms",
+              "warm ms", "speedup", "identical");
+  for (const int m : {5, 6, 7}) {
+    Vocabulary vocabulary;
+    const NebelExplosionFamily family(m, &vocabulary);
+    const Formula naive = GfuvFormula(family.t, family.p);
+    const Alphabet alphabet(
+        UnionOfVars(std::vector<Formula>{family.t.AsFormula(), family.p}));
+    ModelSet cold_models;
+    ModelSet warm_models;
+    const double cold_ms = TimeMs(3, [&] {
+      ModelCache::Global().Clear();
+      cold_models = EnumerateModels(naive, alphabet);
+    });
+    // The entry survives from the last cold run; every warm run hits.
+    const double warm_ms =
+        TimeMs(20, [&] { warm_models = EnumerateModels(naive, alphabet); });
+    const bool identical = cold_models == warm_models;
+    const double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0.0;
+    std::printf("%-4d %8zu %12.3f %12.4f %9.1fx %10s\n", m,
+                cold_models.size(), cold_ms, warm_ms, speedup,
+                identical ? "yes" : "NO");
+    report->AddRow("model_cache", {m, cold_models.size(), cold_ms, warm_ms,
+                                   speedup, identical});
+  }
+  const uint64_t hits =
+      obs::Registry::Global().GetCounter("solve.model_cache.hits")->Value();
+  const uint64_t misses =
+      obs::Registry::Global()
+          .GetCounter("solve.model_cache.misses")
+          ->Value();
+  std::printf("cache counters: %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses));
+}
+
+void BM_GlobalMinimalDiffs(benchmark::State& state) {
+  const KernelInput input =
+      MakeNebelWorlds(static_cast<int>(state.range(0)));
+  SetParallelThreadsOverride(static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GlobalMinimalDiffsOfSets(input.mt, input.mp));
+  }
+  SetParallelThreadsOverride(0);
+}
+BENCHMARK(BM_GlobalMinimalDiffs)
+    ->ArgsProduct({{8, 10}, {1, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DalalKernel(benchmark::State& state) {
+  const KernelInput input =
+      MakeNebelWorlds(static_cast<int>(state.range(0)));
+  SetParallelThreadsOverride(static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DalalModels(input.mt, input.mp));
+  }
+  SetParallelThreadsOverride(0);
+}
+BENCHMARK(BM_DalalKernel)
+    ->ArgsProduct({{8, 10}, {1, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EnumerateModelsCold(benchmark::State& state) {
+  Vocabulary vocabulary;
+  const NebelExplosionFamily family(6, &vocabulary);
+  const Formula naive = GfuvFormula(family.t, family.p);
+  const Alphabet alphabet(
+      UnionOfVars(std::vector<Formula>{family.t.AsFormula(), family.p}));
+  for (auto _ : state) {
+    ModelCache::Global().Clear();
+    benchmark::DoNotOptimize(EnumerateModels(naive, alphabet));
+  }
+}
+BENCHMARK(BM_EnumerateModelsCold)->Unit(benchmark::kMillisecond);
+
+void BM_EnumerateModelsWarm(benchmark::State& state) {
+  Vocabulary vocabulary;
+  const NebelExplosionFamily family(6, &vocabulary);
+  const Formula naive = GfuvFormula(family.t, family.p);
+  const Alphabet alphabet(
+      UnionOfVars(std::vector<Formula>{family.t.AsFormula(), family.p}));
+  ModelCache::Global().Clear();
+  EnumerateModels(naive, alphabet);  // fill
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EnumerateModels(naive, alphabet));
+  }
+}
+BENCHMARK(BM_EnumerateModelsWarm)->Unit(benchmark::kMicrosecond);
+
+void BM_MinimalUnderInclusion(benchmark::State& state) {
+  const KernelInput input =
+      MakeNebelWorlds(static_cast<int>(state.range(0)));
+  std::vector<Interpretation> diffs;
+  for (const Interpretation& m : input.mt) {
+    for (const Interpretation& n : input.mp) {
+      diffs.push_back(m.SymmetricDifference(n));
+    }
+  }
+  for (auto _ : state) {
+    std::vector<Interpretation> copy = diffs;
+    benchmark::DoNotOptimize(MinimalUnderInclusion(std::move(copy)));
+  }
+}
+BENCHMARK(BM_MinimalUnderInclusion)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace revise
+
+int main(int argc, char** argv) {
+  revise::bench::JsonReporter reporter("bench_kernels", "BENCH_kernels.json",
+                                       &argc, argv);
+  revise::MeasureKernelScaling(&reporter.report());
+  revise::MeasureEnumerationCache(&reporter.report());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return reporter.WriteIfRequested() ? 0 : 1;
+}

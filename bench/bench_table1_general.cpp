@@ -30,6 +30,7 @@
 #include "revision/formula_based.h"
 #include "revision/operator.h"
 #include "solve/services.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace revise {
@@ -45,35 +46,61 @@ void MeasureCompactSizes(obs::Report* report) {
                    {"n", "t_size", "p_size", "dalal_size", "weber_size"});
   std::printf("%-6s %10s %10s %14s %14s\n", "n", "|T|", "|P|",
               "|Dalal T'|", "|Weber T'|");
+  // Each n is an independent instance (own vocabulary, seed 100 + n), so
+  // the sweep runs on the process thread pool (REVISE_THREADS) and the
+  // rows are emitted sequentially in n-order afterwards.
+  struct SizeRow {
+    int n;
+    uint64_t t_size;
+    uint64_t p_size;
+    uint64_t dalal_size;
+    uint64_t weber_size;
+  };
+  const std::vector<int> ns = {6, 9, 12, 15, 18, 24, 30};
+  const std::vector<std::vector<SizeRow>> row_shards =
+      ParallelMapRanges<std::vector<SizeRow>>(
+          ns.size(), 1, [&](size_t begin, size_t end) {
+            std::vector<SizeRow> shard;
+            for (size_t i = begin; i < end; ++i) {
+              const int n = ns[i];
+              Vocabulary vocabulary;
+              std::vector<Var> vars;
+              for (int j = 0; j < n; ++j) {
+                vars.push_back(vocabulary.Intern("x" + std::to_string(j)));
+              }
+              Rng rng(100 + n);
+              Formula t;
+              Formula p;
+              do {
+                t = RandomClauses(vars, static_cast<size_t>(n * 1.5), 3,
+                                  &rng);
+              } while (!IsSatisfiable(t));
+              do {
+                p = RandomClauses(vars, static_cast<size_t>(n * 1.5), 3,
+                                  &rng);
+              } while (!IsSatisfiable(p));
+              const Formula dalal = DalalCompact(t, p, &vocabulary);
+              const Formula weber = WeberCompact(t, p, &vocabulary);
+              shard.push_back({n, t.VarOccurrences(), p.VarOccurrences(),
+                               dalal.VarOccurrences(),
+                               weber.VarOccurrences()});
+            }
+            return shard;
+          });
   std::vector<uint64_t> dalal_sizes;
   std::vector<uint64_t> weber_sizes;
-  for (int n : {6, 9, 12, 15, 18, 24, 30}) {
-    Vocabulary vocabulary;
-    std::vector<Var> vars;
-    for (int i = 0; i < n; ++i) {
-      vars.push_back(vocabulary.Intern("x" + std::to_string(i)));
+  for (const std::vector<SizeRow>& shard : row_shards) {
+    for (const SizeRow& row : shard) {
+      dalal_sizes.push_back(row.dalal_size);
+      weber_sizes.push_back(row.weber_size);
+      std::printf("%-6d %10llu %10llu %14llu %14llu\n", row.n,
+                  static_cast<unsigned long long>(row.t_size),
+                  static_cast<unsigned long long>(row.p_size),
+                  static_cast<unsigned long long>(row.dalal_size),
+                  static_cast<unsigned long long>(row.weber_size));
+      report->AddRow("compact_sizes", {row.n, row.t_size, row.p_size,
+                                       row.dalal_size, row.weber_size});
     }
-    Rng rng(100 + n);
-    Formula t;
-    Formula p;
-    do {
-      t = RandomClauses(vars, static_cast<size_t>(n * 1.5), 3, &rng);
-    } while (!IsSatisfiable(t));
-    do {
-      p = RandomClauses(vars, static_cast<size_t>(n * 1.5), 3, &rng);
-    } while (!IsSatisfiable(p));
-    const Formula dalal = DalalCompact(t, p, &vocabulary);
-    const Formula weber = WeberCompact(t, p, &vocabulary);
-    dalal_sizes.push_back(dalal.VarOccurrences());
-    weber_sizes.push_back(weber.VarOccurrences());
-    std::printf("%-6d %10llu %10llu %14llu %14llu\n", n,
-                static_cast<unsigned long long>(t.VarOccurrences()),
-                static_cast<unsigned long long>(p.VarOccurrences()),
-                static_cast<unsigned long long>(dalal.VarOccurrences()),
-                static_cast<unsigned long long>(weber.VarOccurrences()));
-    report->AddRow("compact_sizes",
-                   {n, t.VarOccurrences(), p.VarOccurrences(),
-                    dalal.VarOccurrences(), weber.VarOccurrences()});
   }
   const std::string dalal_verdict = bench::GrowthVerdict(dalal_sizes);
   const std::string weber_verdict = bench::GrowthVerdict(weber_sizes);

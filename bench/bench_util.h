@@ -12,12 +12,15 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "logic/formula.h"
 #include "logic/theory.h"
 #include "logic/vocabulary.h"
 #include "obs/report.h"
+#include "solve/model_cache.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace revise::bench {
@@ -71,6 +74,16 @@ class JsonReporter {
       }
     }
     *argc = kept;
+    // Execution-environment metadata so reports from different machines
+    // and REVISE_THREADS / REVISE_MODEL_CACHE settings stay comparable.
+    report_.SetMeta("threads", obs::Json(static_cast<uint64_t>(
+                                   ParallelThreads())));
+    report_.SetMeta("hardware_threads",
+                    obs::Json(static_cast<uint64_t>(
+                        std::thread::hardware_concurrency())));
+    report_.SetMeta("model_cache_capacity",
+                    obs::Json(static_cast<uint64_t>(
+                        ModelCache::Global().capacity())));
   }
 
   obs::Report& report() { return report_; }

@@ -1,6 +1,7 @@
 #include "logic/formula.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -250,6 +251,44 @@ bool Formula::StructurallyEqual(const Formula& other) const {
     if (!child(i).StructurallyEqual(other.child(i))) return false;
   }
   return true;
+}
+
+namespace {
+
+uint64_t MixHash(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t StructuralHashRec(
+    const Formula& f, std::unordered_map<const void*, uint64_t>* memo) {
+  const auto it = memo->find(f.id());
+  if (it != memo->end()) return it->second;
+  uint64_t h = MixHash(0x243f6a8885a308d3ULL,
+                       static_cast<uint64_t>(f.kind()));
+  switch (f.kind()) {
+    case Connective::kConst:
+      h = MixHash(h, f.const_value() ? 1 : 0);
+      break;
+    case Connective::kVar:
+      h = MixHash(h, static_cast<uint64_t>(f.var()));
+      break;
+    default:
+      h = MixHash(h, f.arity());
+      for (size_t i = 0; i < f.arity(); ++i) {
+        h = MixHash(h, StructuralHashRec(f.child(i), memo));
+      }
+      break;
+  }
+  memo->emplace(f.id(), h);
+  return h;
+}
+
+}  // namespace
+
+uint64_t Formula::StructuralHash() const {
+  std::unordered_map<const void*, uint64_t> memo;
+  return StructuralHashRec(*this, &memo);
 }
 
 Formula ConjoinAll(const std::vector<Formula>& fs) {

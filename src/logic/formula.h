@@ -85,6 +85,12 @@ class Formula {
   // Structural equality (not logical equivalence).
   bool StructurallyEqual(const Formula& other) const;
 
+  // A hash consistent with StructurallyEqual: structurally equal formulas
+  // hash alike even when their DAG nodes differ.  Computed over the DAG
+  // (shared nodes hashed once), so it is cheap on heavily shared formulas.
+  // Used with the alphabet as the model-cache key (solve/model_cache.h).
+  uint64_t StructuralHash() const;
+
   // Stable pointer identity, usable as a hash/map key for DAG traversals.
   const void* id() const { return node_.get(); }
 

@@ -49,7 +49,11 @@ class ModelSet {
 
 // The paper's minc S / maxc S over a family of letter-sets (represented as
 // Interpretations): keeps only elements minimal (maximal) w.r.t. set
-// inclusion.  Duplicates are removed.
+// inclusion.  Duplicates are removed; the result is in the canonical
+// (lexicographic) order, so callers may binary-search it.  A proper subset
+// has strictly smaller cardinality, so candidates are swept in cardinality
+// buckets and tested only against the extremal elements already found —
+// |result| * n subset tests instead of n^2.
 std::vector<Interpretation> MinimalUnderInclusion(
     std::vector<Interpretation> sets);
 std::vector<Interpretation> MaximalUnderInclusion(

@@ -101,4 +101,13 @@ class Registry {
     return *revise_obs_counter_;                                          \
   }())
 
+// Returns a reference to the named global gauge, resolving the registry
+// lookup once per call site (the gauge analogue of REVISE_OBS_COUNTER).
+#define REVISE_OBS_GAUGE(name)                                            \
+  ([]() -> ::revise::obs::Gauge& {                                        \
+    static ::revise::obs::Gauge* const revise_obs_gauge_ =                \
+        ::revise::obs::Registry::Global().GetGauge(name);                 \
+    return *revise_obs_gauge_;                                            \
+  }())
+
 #endif  // REVISE_OBS_METRICS_H_

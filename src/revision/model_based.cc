@@ -3,10 +3,17 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace revise {
 
 namespace {
+
+// Shard grains: below these sizes the kernels run single-shard (inline).
+// Selection loops do O(|other set|) work per element; the flattened
+// pairwise sweeps do one popcount/xor per pair.
+constexpr size_t kSelectionGrain = 8;
+constexpr size_t kPairGrain = 2048;
 
 // Shared degenerate-case handling.  Returns true if the result is already
 // decided and stored in *result.
@@ -21,6 +28,44 @@ bool HandleDegenerate(const ModelSet& mt, const ModelSet& mp,
     return true;
   }
   return false;
+}
+
+// MinimalUnderInclusion returns the canonical (lexicographically sorted)
+// order, so membership of a difference set is a binary search.
+bool ContainsSorted(const std::vector<Interpretation>& sorted,
+                    const Interpretation& m) {
+  return std::binary_search(sorted.begin(), sorted.end(), m);
+}
+
+// Concatenates per-shard results in shard order (deterministic merge).
+std::vector<Interpretation> ConcatShards(
+    std::vector<std::vector<Interpretation>> shards) {
+  std::vector<Interpretation> merged;
+  size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  merged.reserve(total);
+  for (auto& shard : shards) {
+    merged.insert(merged.end(), std::make_move_iterator(shard.begin()),
+                  std::make_move_iterator(shard.end()));
+  }
+  return merged;
+}
+
+// Parallel selection over M(P): keeps every n in mp with accept(n).  The
+// per-shard hit lists are concatenated in shard order, so the output order
+// (and after ModelSet canonicalization, the result) is independent of the
+// thread count.
+template <typename Accept>
+std::vector<Interpretation> ParallelSelect(const ModelSet& mp,
+                                           const Accept& accept) {
+  return ConcatShards(ParallelMapRanges<std::vector<Interpretation>>(
+      mp.size(), kSelectionGrain, [&](size_t begin, size_t end) {
+        std::vector<Interpretation> selected;
+        for (size_t i = begin; i < end; ++i) {
+          if (accept(mp[i])) selected.push_back(mp[i]);
+        }
+        return selected;
+      }));
 }
 
 }  // namespace
@@ -40,32 +85,51 @@ std::optional<size_t> PointwiseMinDistance(const Interpretation& m,
   if (mp.empty()) return std::nullopt;
   size_t best = m.size() + 1;
   for (const Interpretation& n : mp) {
-    best = std::min(best, m.HammingDistance(n));
+    if (best == 0) break;
+    best = std::min(best, m.HammingDistanceCapped(n, best - 1));
   }
   return best;
 }
 
 std::vector<Interpretation> GlobalMinimalDiffsOfSets(const ModelSet& mt,
                                                      const ModelSet& mp) {
-  std::vector<Interpretation> diffs;
-  for (const Interpretation& m : mt) {
-    for (const Interpretation& n : mp) {
-      diffs.push_back(m.SymmetricDifference(n));
-    }
-  }
-  return MinimalUnderInclusion(std::move(diffs));
+  if (mt.empty() || mp.empty()) return {};
+  // Shard the flattened mt x mp pair space (robust when either side is
+  // tiny, e.g. a complete theory with one model against 2^m update
+  // models).  Each shard prunes locally, which keeps the final merge
+  // small; pruning shard-local minima never loses a global minimum.
+  const size_t pairs = mt.size() * mp.size();
+  std::vector<std::vector<Interpretation>> shards =
+      ParallelMapRanges<std::vector<Interpretation>>(
+          pairs, kPairGrain, [&](size_t begin, size_t end) {
+            std::vector<Interpretation> diffs;
+            diffs.reserve(end - begin);
+            for (size_t p = begin; p < end; ++p) {
+              diffs.push_back(mt[p / mp.size()].SymmetricDifference(
+                  mp[p % mp.size()]));
+            }
+            return MinimalUnderInclusion(std::move(diffs));
+          });
+  if (shards.size() == 1) return std::move(shards[0]);
+  return MinimalUnderInclusion(ConcatShards(std::move(shards)));
 }
 
 std::optional<size_t> GlobalMinDistanceOfSets(const ModelSet& mt,
                                               const ModelSet& mp) {
   if (mt.empty() || mp.empty()) return std::nullopt;
-  size_t best = mt.alphabet().size() + 1;
-  for (const Interpretation& m : mt) {
-    for (const Interpretation& n : mp) {
-      best = std::min(best, m.HammingDistance(n));
-    }
-  }
-  return best;
+  const size_t cap = mt.alphabet().size() + 1;
+  const size_t pairs = mt.size() * mp.size();
+  const std::vector<size_t> shard_best = ParallelMapRanges<size_t>(
+      pairs, kPairGrain, [&](size_t begin, size_t end) {
+        size_t best = cap;
+        for (size_t p = begin; p < end; ++p) {
+          if (best == 0) break;
+          best = std::min(best, mt[p / mp.size()].HammingDistanceCapped(
+                                    mp[p % mp.size()], best - 1));
+        }
+        return best;
+      });
+  return *std::min_element(shard_best.begin(), shard_best.end());
 }
 
 Interpretation WeberOmegaOfSets(const ModelSet& mt, const ModelSet& mp) {
@@ -80,16 +144,25 @@ ModelSet WinslettModels(const ModelSet& mt, const ModelSet& mp) {
   REVISE_CHECK(mt.alphabet() == mp.alphabet());
   ModelSet degenerate;
   if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
-  std::vector<Interpretation> selected;
-  for (const Interpretation& m : mt) {
-    const std::vector<Interpretation> mu = PointwiseMinimalDiffs(m, mp);
-    for (const Interpretation& n : mp) {
-      const Interpretation diff = m.SymmetricDifference(n);
-      if (std::find(mu.begin(), mu.end(), diff) != mu.end()) {
-        selected.push_back(n);
-      }
-    }
-  }
+  // Partition M(T) across workers; each shard selects independently and
+  // the shard hit lists are concatenated in shard order before the
+  // canonicalizing ModelSet constructor.
+  std::vector<Interpretation> selected =
+      ConcatShards(ParallelMapRanges<std::vector<Interpretation>>(
+          mt.size(), kSelectionGrain, [&](size_t begin, size_t end) {
+            std::vector<Interpretation> shard;
+            for (size_t i = begin; i < end; ++i) {
+              const Interpretation& m = mt[i];
+              const std::vector<Interpretation> mu =
+                  PointwiseMinimalDiffs(m, mp);
+              for (const Interpretation& n : mp) {
+                if (ContainsSorted(mu, m.SymmetricDifference(n))) {
+                  shard.push_back(n);
+                }
+              }
+            }
+            return shard;
+          }));
   return ModelSet(mp.alphabet(), std::move(selected));
 }
 
@@ -106,13 +179,19 @@ ModelSet ForbusModels(const ModelSet& mt, const ModelSet& mp) {
   REVISE_CHECK(mt.alphabet() == mp.alphabet());
   ModelSet degenerate;
   if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
-  std::vector<Interpretation> selected;
-  for (const Interpretation& m : mt) {
-    const std::optional<size_t> k = PointwiseMinDistance(m, mp);
-    for (const Interpretation& n : mp) {
-      if (m.HammingDistance(n) == *k) selected.push_back(n);
-    }
-  }
+  std::vector<Interpretation> selected =
+      ConcatShards(ParallelMapRanges<std::vector<Interpretation>>(
+          mt.size(), kSelectionGrain, [&](size_t begin, size_t end) {
+            std::vector<Interpretation> shard;
+            for (size_t i = begin; i < end; ++i) {
+              const Interpretation& m = mt[i];
+              const size_t k = *PointwiseMinDistance(m, mp);
+              for (const Interpretation& n : mp) {
+                if (m.HammingDistanceCapped(n, k) == k) shard.push_back(n);
+              }
+            }
+            return shard;
+          }));
   return ModelSet(mp.alphabet(), std::move(selected));
 }
 
@@ -122,17 +201,15 @@ ModelSet SatohModels(const ModelSet& mt, const ModelSet& mp) {
   if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
   const std::vector<Interpretation> delta =
       GlobalMinimalDiffsOfSets(mt, mp);
-  std::vector<Interpretation> selected;
-  for (const Interpretation& n : mp) {
-    for (const Interpretation& m : mt) {
-      const Interpretation diff = n.SymmetricDifference(m);
-      if (std::find(delta.begin(), delta.end(), diff) != delta.end()) {
-        selected.push_back(n);
-        break;
-      }
-    }
-  }
-  return ModelSet(mp.alphabet(), std::move(selected));
+  return ModelSet(mp.alphabet(),
+                  ParallelSelect(mp, [&](const Interpretation& n) {
+                    for (const Interpretation& m : mt) {
+                      if (ContainsSorted(delta, n.SymmetricDifference(m))) {
+                        return true;
+                      }
+                    }
+                    return false;
+                  }));
 }
 
 ModelSet DalalModels(const ModelSet& mt, const ModelSet& mp) {
@@ -140,16 +217,13 @@ ModelSet DalalModels(const ModelSet& mt, const ModelSet& mp) {
   ModelSet degenerate;
   if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
   const size_t k = *GlobalMinDistanceOfSets(mt, mp);
-  std::vector<Interpretation> selected;
-  for (const Interpretation& n : mp) {
-    for (const Interpretation& m : mt) {
-      if (n.HammingDistance(m) == k) {
-        selected.push_back(n);
-        break;
-      }
-    }
-  }
-  return ModelSet(mp.alphabet(), std::move(selected));
+  return ModelSet(mp.alphabet(),
+                  ParallelSelect(mp, [&](const Interpretation& n) {
+                    for (const Interpretation& m : mt) {
+                      if (n.HammingDistanceCapped(m, k) == k) return true;
+                    }
+                    return false;
+                  }));
 }
 
 ModelSet WeberModels(const ModelSet& mt, const ModelSet& mp) {
@@ -157,16 +231,13 @@ ModelSet WeberModels(const ModelSet& mt, const ModelSet& mp) {
   ModelSet degenerate;
   if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
   const Interpretation omega = WeberOmegaOfSets(mt, mp);
-  std::vector<Interpretation> selected;
-  for (const Interpretation& n : mp) {
-    for (const Interpretation& m : mt) {
-      if (n.SymmetricDifference(m).IsSubsetOf(omega)) {
-        selected.push_back(n);
-        break;
-      }
-    }
-  }
-  return ModelSet(mp.alphabet(), std::move(selected));
+  return ModelSet(mp.alphabet(),
+                  ParallelSelect(mp, [&](const Interpretation& n) {
+                    for (const Interpretation& m : mt) {
+                      if (!n.DiffersOutside(m, omega)) return true;
+                    }
+                    return false;
+                  }));
 }
 
 }  // namespace revise

@@ -21,6 +21,13 @@
 //            some M |= T.
 //   Weber:   N selected iff N delta M ⊆ Omega = ∪ delta(T,P) for some
 //            M |= T.
+//
+// Parallelism: the global sweeps (delta(T,P), k_{T,P}) shard the flattened
+// M(T) x M(P) pair space and the per-model selection loops shard one model
+// set across the process thread pool (util/parallel.h, REVISE_THREADS).
+// Every merge is order-canonicalizing (MinimalUnderInclusion, min, or the
+// sorting ModelSet constructor), so results are bit-identical to the
+// sequential reference at any thread count.
 
 #ifndef REVISE_REVISION_MODEL_BASED_H_
 #define REVISE_REVISION_MODEL_BASED_H_

@@ -1,0 +1,132 @@
+#include "solve/model_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace revise {
+
+namespace {
+
+size_t CapacityFromEnvironment() {
+  if (const char* value = std::getenv("REVISE_MODEL_CACHE")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end != value && *end == '\0' && parsed >= 0) {
+      return static_cast<size_t>(parsed);
+    }
+    if (*value != '\0') {
+      std::fprintf(stderr,
+                   "revise: ignoring invalid REVISE_MODEL_CACHE value '%s' "
+                   "(expected a non-negative entry count)\n",
+                   value);
+    }
+  }
+  return ModelCache::kDefaultCapacity;
+}
+
+uint64_t KeyHash(const Formula& f, const Alphabet& alphabet) {
+  uint64_t h = f.StructuralHash();
+  h ^= 0x9e3779b97f4a7c15ULL + alphabet.size() + (h << 6) + (h >> 2);
+  for (const Var v : alphabet.vars()) {
+    h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace
+
+ModelCache& ModelCache::Global() {
+  static ModelCache* const cache = new ModelCache(CapacityFromEnvironment());
+  return *cache;
+}
+
+ModelCache::EntryList::iterator ModelCache::FindLocked(
+    uint64_t hash, const Formula& f, const Alphabet& alphabet) {
+  const auto [begin, end] = index_.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    Entry& entry = *it->second;
+    if (entry.alphabet == alphabet && entry.formula.StructurallyEqual(f)) {
+      return it->second;
+    }
+  }
+  return lru_.end();
+}
+
+std::optional<ModelSet> ModelCache::Lookup(const Formula& f,
+                                           const Alphabet& alphabet) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return std::nullopt;
+  const uint64_t hash = KeyHash(f, alphabet);
+  const auto it = FindLocked(hash, f, alphabet);
+  if (it == lru_.end()) {
+    REVISE_OBS_COUNTER("solve.model_cache.misses").Increment();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it);
+  REVISE_OBS_COUNTER("solve.model_cache.hits").Increment();
+  return it->models;
+}
+
+void ModelCache::Insert(const Formula& f, const Alphabet& alphabet,
+                        const ModelSet& models) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;
+  const uint64_t hash = KeyHash(f, alphabet);
+  const auto it = FindLocked(hash, f, alphabet);
+  if (it != lru_.end()) {
+    it->models = models;
+    lru_.splice(lru_.begin(), lru_, it);
+    return;
+  }
+  lru_.push_front(Entry{hash, f, alphabet, models});
+  index_.emplace(hash, lru_.begin());
+  REVISE_OBS_COUNTER("solve.model_cache.insertions").Increment();
+  EvictOverCapacityLocked();
+  REVISE_OBS_GAUGE("solve.model_cache.size")
+      .Set(static_cast<int64_t>(lru_.size()));
+}
+
+void ModelCache::EvictOverCapacityLocked() {
+  while (lru_.size() > capacity_) {
+    const auto victim = std::prev(lru_.end());
+    const auto [begin, end] = index_.equal_range(victim->hash);
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == victim) {
+        index_.erase(it);
+        break;
+      }
+    }
+    lru_.erase(victim);
+    REVISE_OBS_COUNTER("solve.model_cache.evictions").Increment();
+  }
+}
+
+void ModelCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  REVISE_OBS_GAUGE("solve.model_cache.size").Set(0);
+}
+
+void ModelCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  EvictOverCapacityLocked();
+  REVISE_OBS_GAUGE("solve.model_cache.size")
+      .Set(static_cast<int64_t>(lru_.size()));
+}
+
+size_t ModelCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+size_t ModelCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace revise

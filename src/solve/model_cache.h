@@ -1,0 +1,92 @@
+// An LRU-bounded memo for full model enumerations.
+//
+// EnumerateModels re-pays a complete AllSAT sweep every time the same
+// (formula, alphabet) pair comes back — which the revision pipeline does
+// constantly: postulate checks enumerate M(T) and M(P) once per postulate,
+// query-equivalence tests enumerate both sides, and iterated revision
+// round-trips ModelSet -> Formula -> EnumerateModels on every step.  This
+// cache keys finished enumerations by the *structural* identity of the
+// formula (Formula::StructuralHash / StructurallyEqual, i.e. the shape and
+// variable ids, not node pointers) together with the alphabet.  Variable
+// ids fully determine the enumeration result, so hits are exact.
+//
+//   * bounded: least-recently-used entries are evicted beyond `capacity`;
+//   * explicit invalidation: Clear() drops everything (enumeration results
+//     are immutable facts, so invalidation is only needed when a test or
+//     long-lived process wants to release memory or isolate measurements);
+//   * observable: hits, misses, insertions and evictions are published as
+//     solve.model_cache.* counters, the live entry count as a gauge;
+//   * thread-safe: one mutex; entries are returned by value.
+//
+// Configuration: REVISE_MODEL_CACHE sets the capacity in entries
+// (default 128, 0 disables caching entirely).
+
+#ifndef REVISE_SOLVE_MODEL_CACHE_H_
+#define REVISE_SOLVE_MODEL_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "logic/formula.h"
+#include "logic/interpretation.h"
+#include "model/model_set.h"
+
+namespace revise {
+
+class ModelCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 128;
+
+  // The process-wide cache used by EnumerateModels (capacity taken from
+  // REVISE_MODEL_CACHE at first use).
+  static ModelCache& Global();
+
+  explicit ModelCache(size_t capacity) : capacity_(capacity) {}
+
+  ModelCache(const ModelCache&) = delete;
+  ModelCache& operator=(const ModelCache&) = delete;
+
+  // Returns the cached model set for (f, alphabet) and marks it most
+  // recently used, or nullopt on a miss (or when disabled).
+  std::optional<ModelSet> Lookup(const Formula& f, const Alphabet& alphabet);
+
+  // Records an enumeration result, evicting the least recently used
+  // entries beyond capacity.  Re-inserting an existing key refreshes it.
+  void Insert(const Formula& f, const Alphabet& alphabet,
+              const ModelSet& models);
+
+  // Drops every entry (explicit invalidation).
+  void Clear();
+
+  // Shrinks/extends the bound; shrinking evicts LRU entries immediately.
+  void set_capacity(size_t capacity);
+  size_t capacity() const;
+  bool enabled() const { return capacity() > 0; }
+  size_t size() const;
+
+ private:
+  struct Entry {
+    uint64_t hash = 0;
+    Formula formula;
+    Alphabet alphabet;
+    ModelSet models;
+  };
+  using EntryList = std::list<Entry>;
+
+  // Requires mu_ held.
+  void EvictOverCapacityLocked();
+  EntryList::iterator FindLocked(uint64_t hash, const Formula& f,
+                                 const Alphabet& alphabet);
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  EntryList lru_;  // front = most recently used
+  std::unordered_multimap<uint64_t, EntryList::iterator> index_;
+};
+
+}  // namespace revise
+
+#endif  // REVISE_SOLVE_MODEL_CACHE_H_

@@ -2,10 +2,52 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "solve/model_cache.h"
 #include "solve/sat_context.h"
 #include "util/check.h"
 
 namespace revise {
+
+namespace {
+
+// Core blocking-clause AllSAT loop shared by EnumerateModels and
+// QueryEquivalent: invokes visit(m) once per distinct projection m of a
+// model of f onto `alphabet`, in enumeration order, until visit returns
+// false or the projections are exhausted.
+template <typename Visit>
+void ForEachProjectedModel(const Formula& f, const Alphabet& alphabet,
+                           Visit&& visit) {
+  SatContext context;
+  context.Assert(f);
+  // Force the mapping of every alphabet variable to exist so blocking
+  // clauses can mention letters that do not occur in f.
+  std::vector<sat::Lit> alphabet_lits(alphabet.size());
+  for (size_t i = 0; i < alphabet.size(); ++i) {
+    alphabet_lits[i] = sat::PosLit(context.SatVarOf(alphabet.var(i)));
+  }
+  while (context.Solve()) {
+    const Interpretation m = context.ExtractModel(alphabet);
+    if (!visit(m)) return;
+    // Block this projection.
+    std::vector<sat::Lit> blocking(alphabet.size());
+    for (size_t i = 0; i < alphabet.size(); ++i) {
+      blocking[i] =
+          m.Get(i) ? sat::Negate(alphabet_lits[i]) : alphabet_lits[i];
+    }
+    if (!context.solver().AddClause(std::move(blocking))) return;
+  }
+}
+
+// True iff every variable of f lies inside `alphabet`, i.e. enumerating f
+// over `alphabet` involves no projection.
+bool ProjectionFree(const Formula& f, const Alphabet& alphabet) {
+  for (const Var v : f.Vars()) {
+    if (!alphabet.Contains(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 bool IsSatisfiable(const Formula& f) {
   obs::Span span("solve.sat");
@@ -32,29 +74,24 @@ bool AreEquivalent(const Formula& a, const Formula& b) {
 ModelSet EnumerateModels(const Formula& f, const Alphabet& alphabet,
                          size_t limit) {
   obs::Span span("solve.enumerate");
-  SatContext context;
-  context.Assert(f);
-  // Force the mapping of every alphabet variable to exist so blocking
-  // clauses can mention letters that do not occur in f.
-  std::vector<sat::Lit> alphabet_lits(alphabet.size());
-  for (size_t i = 0; i < alphabet.size(); ++i) {
-    alphabet_lits[i] = sat::PosLit(context.SatVarOf(alphabet.var(i)));
+  // Only unlimited enumerations are memoized: a truncated set is not a
+  // property of (f, alphabet) alone.
+  const bool cacheable = limit == 0;
+  if (cacheable) {
+    if (std::optional<ModelSet> cached =
+            ModelCache::Global().Lookup(f, alphabet)) {
+      return *std::move(cached);
+    }
   }
   std::vector<Interpretation> models;
-  while (context.Solve()) {
-    Interpretation m = context.ExtractModel(alphabet);
+  ForEachProjectedModel(f, alphabet, [&](const Interpretation& m) {
     models.push_back(m);
-    if (limit != 0 && models.size() >= limit) break;
-    // Block this projection.
-    std::vector<sat::Lit> blocking(alphabet.size());
-    for (size_t i = 0; i < alphabet.size(); ++i) {
-      blocking[i] =
-          m.Get(i) ? sat::Negate(alphabet_lits[i]) : alphabet_lits[i];
-    }
-    if (!context.solver().AddClause(std::move(blocking))) break;
-  }
+    return limit == 0 || models.size() < limit;
+  });
   REVISE_OBS_COUNTER("solve.models_enumerated").Increment(models.size());
-  return ModelSet(alphabet, std::move(models));
+  ModelSet result(alphabet, std::move(models));
+  if (cacheable) ModelCache::Global().Insert(f, alphabet, result);
+  return result;
 }
 
 size_t CountModels(const Formula& f, const Alphabet& alphabet) {
@@ -63,7 +100,35 @@ size_t CountModels(const Formula& f, const Alphabet& alphabet) {
 
 bool QueryEquivalent(const Formula& a, const Formula& b,
                      const Alphabet& alphabet) {
-  return EnumerateModels(a, alphabet) == EnumerateModels(b, alphabet);
+  obs::Span span("solve.query_equivalent");
+  if (ProjectionFree(a, alphabet) && ProjectionFree(b, alphabet)) {
+    // Projection onto `alphabet` is the identity for both sides, so query
+    // equivalence coincides with logical equivalence: one SAT call on
+    // Xor(a, b) replaces two full model enumerations.
+    REVISE_OBS_COUNTER("solve.query_equiv.sat_shortcut").Increment();
+    return !IsSatisfiable(Formula::Xor(a, b));
+  }
+  // General case: enumerate one side in full (through the model cache) and
+  // stream the other side model-by-model, stopping at the first projected
+  // model the sides do not share instead of always materializing both.
+  const ModelSet ma = EnumerateModels(a, alphabet);
+  size_t shared = 0;
+  bool contained = true;
+  ForEachProjectedModel(b, alphabet, [&](const Interpretation& m) {
+    if (!ma.Contains(m)) {
+      contained = false;
+      return false;
+    }
+    ++shared;
+    return true;
+  });
+  if (!contained) {
+    REVISE_OBS_COUNTER("solve.query_equiv.early_exit").Increment();
+    return false;
+  }
+  // Every projected model of b lies in M(a), each counted once (blocking
+  // clauses make the stream duplicate-free): equal iff the counts match.
+  return shared == ma.size();
 }
 
 }  // namespace revise

@@ -25,7 +25,10 @@ bool AreEquivalent(const Formula& a, const Formula& b);
 // are projected out (a projection appears once no matter how many
 // extensions it has); letters of `alphabet` not occurring in f take both
 // values.  `limit` == 0 means unlimited.  The enumeration uses blocking
-// clauses on the alphabet literals.
+// clauses on the alphabet literals.  Unlimited enumerations are memoized
+// in the process-wide ModelCache (solve/model_cache.h) keyed by the
+// structural formula hash and the alphabet; repeated enumerations of the
+// same pair are cache hits.
 ModelSet EnumerateModels(const Formula& f, const Alphabet& alphabet,
                          size_t limit = 0);
 
@@ -36,6 +39,9 @@ size_t CountModels(const Formula& f, const Alphabet& alphabet);
 // queries over `alphabet`: every formula built from `alphabet` letters is
 // entailed by a iff it is entailed by b.  Over a finite alphabet this holds
 // iff the projections of the two model sets onto `alphabet` coincide.
+// Short-circuits: when neither side has variables outside `alphabet` this
+// is a single SAT call on Xor(a, b); otherwise one side is enumerated in
+// full and the other streamed, stopping at the first unshared model.
 bool QueryEquivalent(const Formula& a, const Formula& b,
                      const Alphabet& alphabet);
 

@@ -1,0 +1,157 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace revise {
+
+namespace {
+
+// Hard ceiling on configured parallelism; a typo in REVISE_THREADS should
+// not fork thousands of threads.
+constexpr size_t kMaxThreads = 128;
+
+std::atomic<size_t> g_threads_override{0};
+
+// True while the current thread is executing inside a ThreadPool batch
+// (as a worker or as the submitting thread); nested Run calls then run
+// inline instead of deadlocking on the batch lock.
+thread_local bool t_inside_pool = false;
+
+size_t ThreadsFromEnvironment() {
+  if (const char* value = std::getenv("REVISE_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end != value && *end == '\0' && parsed > 0) {
+      return std::min<size_t>(static_cast<size_t>(parsed), kMaxThreads);
+    }
+    if (*value != '\0') {
+      std::fprintf(stderr,
+                   "revise: ignoring invalid REVISE_THREADS value '%s' "
+                   "(expected a positive integer)\n",
+                   value);
+    }
+  }
+  const size_t hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : std::min(hardware, kMaxThreads);
+}
+
+}  // namespace
+
+size_t ParallelThreads() {
+  const size_t override = g_threads_override.load(std::memory_order_relaxed);
+  if (override != 0) return std::min(override, kMaxThreads);
+  static const size_t from_environment = ThreadsFromEnvironment();
+  return from_environment;
+}
+
+void SetParallelThreadsOverride(size_t threads) {
+  g_threads_override.store(threads, std::memory_order_relaxed);
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked intentionally (the workers park forever); reachable through the
+  // static pointer, so leak checkers stay quiet and no destructor races
+  // static teardown.
+  static ThreadPool* const pool = new ThreadPool();
+  return *pool;
+}
+
+size_t ThreadPool::worker_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+void ThreadPool::EnsureWorkers(size_t target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (workers_.size() < target) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+bool ThreadPool::Claim(uint64_t generation,
+                       const std::function<void(size_t)>** fn,
+                       size_t* index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation_ != generation || task_ == nullptr || next_ >= task_count_) {
+    return false;
+  }
+  *fn = task_;
+  *index = next_++;
+  return true;
+}
+
+void ThreadPool::FinishOne() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (++completed_ == task_count_) done_cv_.notify_all();
+}
+
+void ThreadPool::RunBatch(uint64_t generation) {
+  t_inside_pool = true;
+  const std::function<void(size_t)>* fn = nullptr;
+  size_t index = 0;
+  while (Claim(generation, &fn, &index)) {
+    (*fn)(index);
+    FinishOne();
+  }
+  t_inside_pool = false;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (generation_ != seen_generation && task_ != nullptr);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    RunBatch(seen_generation);
+  }
+}
+
+void ThreadPool::Run(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || ParallelThreads() <= 1 || t_inside_pool) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> batch_lock(run_mu_);
+  EnsureWorkers(std::min(count - 1, ParallelThreads() - 1));
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &fn;
+    task_count_ = count;
+    next_ = 0;
+    completed_ = 0;
+    generation = ++generation_;
+  }
+  work_cv_.notify_all();
+  RunBatch(generation);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return completed_ == task_count_; });
+    task_ = nullptr;
+  }
+}
+
+std::vector<ShardRange> ShardRanges(size_t n, size_t shards) {
+  if (n == 0) return {};
+  const size_t count = std::max<size_t>(1, std::min(shards, n));
+  std::vector<ShardRange> ranges(count);
+  const size_t base = n / count;
+  const size_t extra = n % count;
+  size_t begin = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const size_t length = base + (i < extra ? 1 : 0);
+    ranges[i] = ShardRange{begin, begin + length};
+    begin += length;
+  }
+  return ranges;
+}
+
+}  // namespace revise

@@ -1,0 +1,120 @@
+// A minimal process-wide thread pool and a deterministic parallel-for.
+//
+// Design (see DESIGN.md "Performance"):
+//   * no external dependencies: std::thread, one mutex, two condition
+//     variables;
+//   * the worker count comes from the REVISE_THREADS environment variable
+//     (falling back to std::thread::hardware_concurrency), and can be
+//     overridden in-process with SetParallelThreadsOverride — tests run
+//     the same kernels at 1, 2 and 8 threads from a single binary;
+//   * determinism: ParallelMapRanges splits [0, n) into contiguous shards
+//     whose boundaries depend only on n and the thread count, and returns
+//     the per-shard results indexed by shard.  Callers merge in shard
+//     order, so a result is bit-identical across runs and across worker
+//     interleavings.  The revision kernels additionally merge through
+//     canonicalizing reducers (MinimalUnderInclusion / ModelSet), which
+//     makes their outputs identical across *thread counts* as well;
+//   * re-entrancy: a parallel region entered from inside another parallel
+//     region (or from a pool worker) runs inline on the calling thread.
+//     Nothing deadlocks, nested parallelism just serializes.
+
+#ifndef REVISE_UTIL_PARALLEL_H_
+#define REVISE_UTIL_PARALLEL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace revise {
+
+// The configured parallelism level, always >= 1.  Priority: the in-process
+// override, then REVISE_THREADS, then hardware_concurrency.
+size_t ParallelThreads();
+
+// Overrides ParallelThreads() for this process (0 restores the
+// environment/hardware default).  Intended for tests and benches.
+void SetParallelThreadsOverride(size_t threads);
+
+// A lazily created, process-wide pool of parked worker threads.  Work is
+// submitted as a batch of `count` tasks; workers (and the calling thread)
+// claim task indices under a mutex — tasks are coarse shards, so the
+// per-claim lock is noise.  Run blocks until every task has finished.
+class ThreadPool {
+ public:
+  static ThreadPool& Global();
+
+  // Calls fn(0) .. fn(count - 1), each exactly once, from the calling
+  // thread and the pool workers.  Returns when all calls have completed.
+  // Runs inline when count <= 1, ParallelThreads() == 1, or the calling
+  // thread is already inside a Run (nested regions serialize).
+  void Run(size_t count, const std::function<void(size_t)>& fn);
+
+  // Workers currently parked in the pool (grows on demand, never shrinks).
+  size_t worker_count() const;
+
+ private:
+  ThreadPool() = default;
+
+  void EnsureWorkers(size_t target);
+  void WorkerLoop();
+  // Claims one task of generation `generation` into *fn / *index; returns
+  // false when that batch is exhausted or superseded.
+  bool Claim(uint64_t generation, const std::function<void(size_t)>** fn,
+             size_t* index);
+  void FinishOne();
+  void RunBatch(uint64_t generation);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::mutex run_mu_;  // serializes whole batches
+  std::vector<std::thread> workers_;
+  const std::function<void(size_t)>* task_ = nullptr;
+  size_t task_count_ = 0;
+  size_t next_ = 0;
+  size_t completed_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+// A contiguous index shard [begin, end).
+struct ShardRange {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+// Splits [0, n) into at most `shards` contiguous, near-equal ranges (the
+// first n % shards ranges are one longer).  Returns min(shards, n) ranges;
+// empty for n == 0.  Boundaries depend only on n and `shards`.
+std::vector<ShardRange> ShardRanges(size_t n, size_t shards);
+
+// Deterministic parallel map over [0, n): evaluates fn(begin, end) for
+// contiguous shard ranges and returns the results indexed by shard.
+// `min_grain` bounds the smallest shard (at least that many indices per
+// shard), so tiny inputs never pay for thread handoff.  The shard
+// decomposition depends only on n, min_grain and ParallelThreads().
+template <typename R, typename F>
+std::vector<R> ParallelMapRanges(size_t n, size_t min_grain, F&& fn) {
+  if (n == 0) return {};
+  const size_t grain = min_grain == 0 ? 1 : min_grain;
+  const size_t want = std::min(ParallelThreads(), std::max<size_t>(1, n / grain));
+  const std::vector<ShardRange> ranges = ShardRanges(n, want);
+  std::vector<R> results(ranges.size());
+  if (ranges.size() == 1) {
+    results[0] = fn(size_t{0}, n);
+    return results;
+  }
+  ThreadPool::Global().Run(ranges.size(), [&](size_t shard) {
+    results[shard] = fn(ranges[shard].begin, ranges[shard].end);
+  });
+  return results;
+}
+
+}  // namespace revise
+
+#endif  // REVISE_UTIL_PARALLEL_H_

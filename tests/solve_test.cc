@@ -6,7 +6,9 @@
 #include "logic/parser.h"
 #include "logic/printer.h"
 #include "model/model_set.h"
+#include "obs/metrics.h"
 #include "solve/distance.h"
+#include "solve/model_cache.h"
 #include "solve/sat_context.h"
 #include "solve/services.h"
 #include "tests/test_util.h"
@@ -113,6 +115,27 @@ TEST(ServicesTest, QueryEquivalenceWithAuxiliaryLetters) {
   const Alphabet a({vocabulary.Find("a")});
   EXPECT_TRUE(QueryEquivalent(t_prime, t, a));
   EXPECT_FALSE(AreEquivalent(t_prime, t));
+}
+
+TEST(ServicesTest, RepeatedEnumerationIsCachedAndIdentical) {
+  // Force the cache on even under REVISE_MODEL_CACHE=0; restored below.
+  const size_t env_capacity = ModelCache::Global().capacity();
+  ModelCache::Global().set_capacity(ModelCache::kDefaultCapacity);
+  ModelCache::Global().Clear();
+  Vocabulary vocabulary;
+  const Formula f = ParseOrDie("(p | q) & (q | r) & !(p & r)", &vocabulary);
+  const Alphabet alphabet(f.Vars());
+  const uint64_t hits_before =
+      obs::Registry::Global().GetCounter("solve.model_cache.hits")->Value();
+  const ModelSet cold = EnumerateModels(f, alphabet);
+  const ModelSet warm = EnumerateModels(f, alphabet);
+  EXPECT_EQ(cold, warm);
+  EXPECT_EQ(BruteForceModels(f, alphabet), warm);
+  EXPECT_EQ(
+      hits_before + 1,
+      obs::Registry::Global().GetCounter("solve.model_cache.hits")->Value());
+  ModelCache::Global().Clear();
+  ModelCache::Global().set_capacity(env_capacity);
 }
 
 TEST(SatContextTest, FramesAreIndependent) {
