@@ -53,7 +53,7 @@ void PrintPhaseTransitionSweep(revise::obs::Report* report) {
       Solver solver;
       solver.EnsureVarCount(100);
       for (auto& clause : Random3SatClauses(100, ratio, &rng)) {
-        solver.AddClause(std::move(clause));
+        Solver::LatchConflict(solver.AddClause(std::move(clause)));
       }
       const auto start = std::chrono::steady_clock::now();
       if (solver.Solve() == Solver::Result::kSat) ++sat_count;
@@ -82,7 +82,9 @@ void BM_Random3Sat(benchmark::State& state) {
   for (auto _ : state) {
     Solver solver;
     solver.EnsureVarCount(n);
-    for (const auto& clause : clauses) solver.AddClause(clause);
+    for (const auto& clause : clauses) {
+      Solver::LatchConflict(solver.AddClause(clause));
+    }
     benchmark::DoNotOptimize(solver.Solve());
   }
   state.SetLabel("n=" + std::to_string(n) +
@@ -105,12 +107,13 @@ void BM_Pigeonhole(benchmark::State& state) {
     for (int p = 0; p < pigeons; ++p) {
       std::vector<Lit> clause;
       for (int h = 0; h < holes; ++h) clause.push_back(PosLit(var(p, h)));
-      solver.AddClause(std::move(clause));
+      Solver::LatchConflict(solver.AddClause(std::move(clause)));
     }
     for (int h = 0; h < holes; ++h) {
       for (int p1 = 0; p1 < pigeons; ++p1) {
         for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
-          solver.AddClause({NegLit(var(p1, h)), NegLit(var(p2, h))});
+          Solver::LatchConflict(
+              solver.AddClause({NegLit(var(p1, h)), NegLit(var(p2, h))}));
         }
       }
     }
@@ -127,7 +130,7 @@ void BM_IncrementalAssumptions(benchmark::State& state) {
   Solver solver;
   solver.EnsureVarCount(n);
   for (auto& clause : Random3SatClauses(n, 3.5, &rng)) {
-    solver.AddClause(std::move(clause));
+    Solver::LatchConflict(solver.AddClause(std::move(clause)));
   }
   for (auto _ : state) {
     const Lit assumption =

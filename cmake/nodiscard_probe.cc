@@ -1,0 +1,29 @@
+// Negative compile probe for the [[nodiscard]] contract on the
+// error-handling types (see the try_compile block in CMakeLists.txt).
+//
+// This file is EXPECTED NOT TO COMPILE under -Werror=unused-result: every
+// statement below discards a [[nodiscard]] value.  If it ever compiles,
+// configuration fails — that means the nodiscard annotations were lost and
+// silently dropped Status values would go unnoticed again.
+
+#include "util/status.h"
+
+namespace {
+
+revise::Status MakeStatus() { return revise::Status::Ok(); }
+revise::StatusOr<int> MakeStatusOr() { return 42; }
+
+void DiscardStatus() {
+  MakeStatus();  // discarded Status — must warn
+}
+
+void DiscardStatusOr() {
+  MakeStatusOr();  // discarded StatusOr — must warn
+}
+
+void DiscardOk() {
+  revise::Status status = MakeStatus();
+  status.ok();  // discarded ok() — must warn
+}
+
+}  // namespace

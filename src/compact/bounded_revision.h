@@ -22,12 +22,12 @@
 
 namespace revise {
 
-Formula WinslettBounded(const Formula& t, const Formula& p);
-Formula ForbusBounded(const Formula& t, const Formula& p);
-Formula SatohBounded(const Formula& t, const Formula& p);
-Formula DalalBounded(const Formula& t, const Formula& p);
-Formula WeberBounded(const Formula& t, const Formula& p);
-Formula BorgidaBounded(const Formula& t, const Formula& p);
+[[nodiscard]] Formula WinslettBounded(const Formula& t, const Formula& p);
+[[nodiscard]] Formula ForbusBounded(const Formula& t, const Formula& p);
+[[nodiscard]] Formula SatohBounded(const Formula& t, const Formula& p);
+[[nodiscard]] Formula DalalBounded(const Formula& t, const Formula& p);
+[[nodiscard]] Formula WeberBounded(const Formula& t, const Formula& p);
+[[nodiscard]] Formula BorgidaBounded(const Formula& t, const Formula& p);
 
 }  // namespace revise
 

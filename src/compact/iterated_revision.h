@@ -31,47 +31,49 @@ namespace revise {
 // One step of Theorem 5.1: the compact representation of (prior *_D p),
 // where `prior` is a (possibly already compacted, query-equivalent)
 // representation of the current knowledge and `x` is the query alphabet.
-Formula DalalCompactStep(const Formula& prior, const Formula& p,
-                         const std::vector<Var>& x, Vocabulary* vocabulary);
+[[nodiscard]] Formula DalalCompactStep(const Formula& prior, const Formula& p,
+                                       const std::vector<Var>& x,
+                                       Vocabulary* vocabulary);
 
 // Phi_m for the whole sequence.  Returns the per-step formulas
 // (result[i] represents T *_D P^1 ... *_D P^{i+1}).
-std::vector<Formula> DalalCompactIterated(const Formula& t,
-                                          const std::vector<Formula>& updates,
-                                          const std::vector<Var>& x,
-                                          Vocabulary* vocabulary);
+[[nodiscard]] std::vector<Formula> DalalCompactIterated(
+    const Formula& t, const std::vector<Formula>& updates,
+    const std::vector<Var>& x, Vocabulary* vocabulary);
 
 // One step of Corollary 5.2 (formula (10)) and the whole sequence.
-Formula WeberCompactStep(const Formula& prior, const Formula& p,
-                         const std::vector<Var>& x, Vocabulary* vocabulary);
-std::vector<Formula> WeberCompactIterated(const Formula& t,
-                                          const std::vector<Formula>& updates,
-                                          const std::vector<Var>& x,
-                                          Vocabulary* vocabulary);
+[[nodiscard]] Formula WeberCompactStep(const Formula& prior, const Formula& p,
+                                       const std::vector<Var>& x,
+                                       Vocabulary* vocabulary);
+[[nodiscard]] std::vector<Formula> WeberCompactIterated(
+    const Formula& t, const std::vector<Formula>& updates,
+    const std::vector<Var>& x, Vocabulary* vocabulary);
 
 // One step of the bounded-iterated schemes.  `prior` is the current
 // (query-equivalent) representation; `p` the bounded-size new formula.
 // Winslett: formula (12)/(15)/(16).
-Formula WinslettCompactStep(const Formula& prior, const Formula& p,
-                            Vocabulary* vocabulary);
+[[nodiscard]] Formula WinslettCompactStep(const Formula& prior,
+                                          const Formula& p,
+                                          Vocabulary* vocabulary);
 // Borgida: prior ∧ p when consistent, else the Winslett step.
-Formula BorgidaCompactStep(const Formula& prior, const Formula& p,
-                           Vocabulary* vocabulary);
+[[nodiscard]] Formula BorgidaCompactStep(const Formula& prior,
+                                         const Formula& p,
+                                         Vocabulary* vocabulary);
 // Satoh: formula (13).
-Formula SatohCompactStep(const Formula& prior, const Formula& p,
-                         Vocabulary* vocabulary);
+[[nodiscard]] Formula SatohCompactStep(const Formula& prior, const Formula& p,
+                                       Vocabulary* vocabulary);
 // Forbus: formula (14), with the DIST comparison realized by unary
 // counter circuits.
-Formula ForbusCompactStep(const Formula& prior, const Formula& p,
-                          Vocabulary* vocabulary);
+[[nodiscard]] Formula ForbusCompactStep(const Formula& prior, const Formula& p,
+                                        Vocabulary* vocabulary);
 
 // Iterates any of the step functions over a sequence of updates,
 // returning the per-step formulas.
 using CompactStepFn = Formula (*)(const Formula&, const Formula&,
                                   Vocabulary*);
-std::vector<Formula> CompactIterated(CompactStepFn step, const Formula& t,
-                                     const std::vector<Formula>& updates,
-                                     Vocabulary* vocabulary);
+[[nodiscard]] std::vector<Formula> CompactIterated(
+    CompactStepFn step, const Formula& t, const std::vector<Formula>& updates,
+    Vocabulary* vocabulary);
 
 }  // namespace revise
 

@@ -19,13 +19,15 @@ namespace revise {
 // T *_D P |= q via: binary-search k_{T,P} (O(log n) SAT calls), build the
 // Theorem 3.4 representation, one entailment check.  q may use any
 // letters; letters outside V(T) ∪ V(P) are unconstrained.
-bool DalalEntailsCompact(const Formula& t, const Formula& p,
-                         const Formula& q, Vocabulary* vocabulary);
+[[nodiscard]] bool DalalEntailsCompact(const Formula& t, const Formula& p,
+                                       const Formula& q,
+                                       Vocabulary* vocabulary);
 
 // T *_Web P |= q via the Theorem 3.5 representation.  The off-line part
 // computes Omega (minimal-diff enumeration).
-bool WeberEntailsCompact(const Formula& t, const Formula& p,
-                         const Formula& q, Vocabulary* vocabulary);
+[[nodiscard]] bool WeberEntailsCompact(const Formula& t, const Formula& p,
+                                       const Formula& q,
+                                       Vocabulary* vocabulary);
 
 }  // namespace revise
 

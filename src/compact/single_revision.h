@@ -27,15 +27,15 @@ namespace revise {
 // Theorem 3.4.  Query-equivalent to T *_D P over X = V(T) ∪ V(P).
 // Degenerate cases: returns False when P is unsatisfiable and P when T is
 // unsatisfiable (matching the operator conventions).
-Formula DalalCompact(const Formula& t, const Formula& p,
-                     Vocabulary* vocabulary);
+[[nodiscard]] Formula DalalCompact(const Formula& t, const Formula& p,
+                                   Vocabulary* vocabulary);
 
 // Theorem 3.5.  Query-equivalent to T *_Web P over X = V(T) ∪ V(P).
-Formula WeberCompact(const Formula& t, const Formula& p,
-                     Vocabulary* vocabulary);
+[[nodiscard]] Formula WeberCompact(const Formula& t, const Formula& p,
+                                   Vocabulary* vocabulary);
 
 // WIDTIO's trivially compact representation ((∩W) ∪ {P} as a formula).
-Formula WidtioCompact(const Theory& t, const Formula& p);
+[[nodiscard]] Formula WidtioCompact(const Theory& t, const Formula& p);
 
 }  // namespace revise
 

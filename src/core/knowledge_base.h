@@ -56,20 +56,21 @@ class KnowledgeBase {
   void Revise(const Formula& p);
 
   // Does the (iterated-)revised knowledge base entail `query`?
-  bool Ask(const Formula& query) const;
+  [[nodiscard]] bool Ask(const Formula& query) const;
 
   // Is `m` (over `alphabet` ⊇ the KB's letters) a model of the revised
   // knowledge base?  Note: under kCompact this requires recomputing the
   // projection — the compact representation is only QUERY-equivalent, the
   // paper's criterion (1); cheap model checking is exactly what it gives
   // up (Section 1).
-  bool IsModel(const Interpretation& m, const Alphabet& alphabet) const;
+  [[nodiscard]] bool IsModel(const Interpretation& m,
+                             const Alphabet& alphabet) const;
 
   // The models of the current knowledge base over its letters.
-  ModelSet Models() const;
+  [[nodiscard]] ModelSet Models() const;
 
   // The letters of the original theory and all revisions so far.
-  Alphabet CurrentAlphabet() const;
+  [[nodiscard]] Alphabet CurrentAlphabet() const;
 
   // Size (paper's |.| measure) of the stored representation: the explicit
   // or compact formula, or |T| + sum |P^i| for the delayed strategy.

@@ -35,7 +35,7 @@ size_t Interpretation::Cardinality() const {
 
 Interpretation Interpretation::SymmetricDifference(
     const Interpretation& other) const {
-  REVISE_CHECK_EQ(size_, other.size_);
+  REVISE_DCHECK_EQ(size_, other.size_);
   Interpretation result(size_);
   for (size_t i = 0; i < words_.size(); ++i) {
     result.words_[i] = words_[i] ^ other.words_[i];
@@ -44,7 +44,7 @@ Interpretation Interpretation::SymmetricDifference(
 }
 
 size_t Interpretation::HammingDistance(const Interpretation& other) const {
-  REVISE_CHECK_EQ(size_, other.size_);
+  REVISE_DCHECK_EQ(size_, other.size_);
   size_t count = 0;
   for (size_t i = 0; i < words_.size(); ++i) {
     count += std::popcount(words_[i] ^ other.words_[i]);
@@ -54,7 +54,7 @@ size_t Interpretation::HammingDistance(const Interpretation& other) const {
 
 size_t Interpretation::HammingDistanceCapped(const Interpretation& other,
                                              size_t cap) const {
-  REVISE_CHECK_EQ(size_, other.size_);
+  REVISE_DCHECK_EQ(size_, other.size_);
   size_t count = 0;
   for (size_t i = 0; i < words_.size(); ++i) {
     count += std::popcount(words_[i] ^ other.words_[i]);
@@ -65,8 +65,8 @@ size_t Interpretation::HammingDistanceCapped(const Interpretation& other,
 
 bool Interpretation::DiffersOutside(const Interpretation& other,
                                     const Interpretation& mask) const {
-  REVISE_CHECK_EQ(size_, other.size_);
-  REVISE_CHECK_EQ(size_, mask.size_);
+  REVISE_DCHECK_EQ(size_, other.size_);
+  REVISE_DCHECK_EQ(size_, mask.size_);
   for (size_t i = 0; i < words_.size(); ++i) {
     if (((words_[i] ^ other.words_[i]) & ~mask.words_[i]) != 0) return true;
   }
@@ -74,7 +74,7 @@ bool Interpretation::DiffersOutside(const Interpretation& other,
 }
 
 bool Interpretation::IsSubsetOf(const Interpretation& other) const {
-  REVISE_CHECK_EQ(size_, other.size_);
+  REVISE_DCHECK_EQ(size_, other.size_);
   for (size_t i = 0; i < words_.size(); ++i) {
     if ((words_[i] & ~other.words_[i]) != 0) return false;
   }
@@ -86,7 +86,7 @@ bool Interpretation::IsProperSubsetOf(const Interpretation& other) const {
 }
 
 Interpretation Interpretation::Union(const Interpretation& other) const {
-  REVISE_CHECK_EQ(size_, other.size_);
+  REVISE_DCHECK_EQ(size_, other.size_);
   Interpretation result(size_);
   for (size_t i = 0; i < words_.size(); ++i) {
     result.words_[i] = words_[i] | other.words_[i];
@@ -96,7 +96,7 @@ Interpretation Interpretation::Union(const Interpretation& other) const {
 
 Interpretation Interpretation::Intersection(
     const Interpretation& other) const {
-  REVISE_CHECK_EQ(size_, other.size_);
+  REVISE_DCHECK_EQ(size_, other.size_);
   Interpretation result(size_);
   for (size_t i = 0; i < words_.size(); ++i) {
     result.words_[i] = words_[i] & other.words_[i];
@@ -105,7 +105,7 @@ Interpretation Interpretation::Intersection(
 }
 
 Interpretation Interpretation::Minus(const Interpretation& other) const {
-  REVISE_CHECK_EQ(size_, other.size_);
+  REVISE_DCHECK_EQ(size_, other.size_);
   Interpretation result(size_);
   for (size_t i = 0; i < words_.size(); ++i) {
     result.words_[i] = words_[i] & ~other.words_[i];

@@ -26,17 +26,17 @@
 namespace revise {
 
 // Clause with at most one positive literal?
-bool IsHornClause(const Formula& f);
+[[nodiscard]] bool IsHornClause(const Formula& f);
 // CNF whose clauses are all Horn?
-bool IsHornFormula(const Formula& f);
+[[nodiscard]] bool IsHornFormula(const Formula& f);
 
 // Fixpoint closure of the model set under pairwise intersection.
-ModelSet IntersectionClosure(const ModelSet& models);
+[[nodiscard]] ModelSet IntersectionClosure(const ModelSet& models);
 
 // The prime (subsumption-minimal) Horn implicates of the model set,
 // conjoined: the canonical representation of the Horn least upper bound.
 // Requires alphabet size <= 20 (candidate enumeration is O(n * 2^n)).
-Formula HornLub(const ModelSet& models);
+[[nodiscard]] Formula HornLub(const ModelSet& models);
 
 }  // namespace revise
 

@@ -42,8 +42,8 @@ struct Implicant {
 // All prime implicants of the function whose on-set is `minterms`
 // (bit i of a minterm = value of alphabet letter i), over `num_vars`
 // letters.
-std::vector<Implicant> PrimeImplicants(const std::vector<uint32_t>& minterms,
-                                       size_t num_vars);
+[[nodiscard]] std::vector<Implicant> PrimeImplicants(
+    const std::vector<uint32_t>& minterms, size_t num_vars);
 
 struct TwoLevelResult {
   std::vector<Implicant> terms;
@@ -54,16 +54,16 @@ struct TwoLevelResult {
 
 // Exact minimum-literal DNF cover of the on-set (empty terms for the
 // constant-false function; a single all-dont-care term for constant true).
-TwoLevelResult MinimizeDnf(const std::vector<uint32_t>& minterms,
-                           size_t num_vars);
+[[nodiscard]] TwoLevelResult MinimizeDnf(const std::vector<uint32_t>& minterms,
+                                         size_t num_vars);
 
 // Convenience wrappers on model sets (alphabet size <= 32).
-TwoLevelResult MinimizeDnf(const ModelSet& models);
+[[nodiscard]] TwoLevelResult MinimizeDnf(const ModelSet& models);
 // Minimum CNF via the complement (De Morgan duality).
-TwoLevelResult MinimizeCnf(const ModelSet& models);
+[[nodiscard]] TwoLevelResult MinimizeCnf(const ModelSet& models);
 // min(|minimal DNF|, |minimal CNF|) in literals: the two-level proxy for
 // "size of the smallest equivalent formula".
-uint64_t MinimalTwoLevelSize(const ModelSet& models);
+[[nodiscard]] uint64_t MinimalTwoLevelSize(const ModelSet& models);
 
 // Renders a DNF result as a Formula over `alphabet`.
 Formula DnfToFormula(const TwoLevelResult& result, const Alphabet& alphabet);

@@ -9,18 +9,24 @@ namespace revise {
 ModelSet::ModelSet(Alphabet alphabet, std::vector<Interpretation> models)
     : alphabet_(std::move(alphabet)), models_(std::move(models)) {
   for (const Interpretation& m : models_) {
-    REVISE_CHECK_EQ(m.size(), alphabet_.size());
+    REVISE_DCHECK_EQ(m.size(), alphabet_.size());
   }
   std::sort(models_.begin(), models_.end());
   models_.erase(std::unique(models_.begin(), models_.end()), models_.end());
 }
 
 bool ModelSet::Contains(const Interpretation& m) const {
+  // binary_search is only meaningful against the canonical order the
+  // constructor establishes and over interpretations of matching width.
+  REVISE_DCHECK_EQ(m.size(), alphabet_.size());
+  REVISE_DCHECK(std::is_sorted(models_.begin(), models_.end()));
   return std::binary_search(models_.begin(), models_.end(), m);
 }
 
 bool ModelSet::IsSubsetOf(const ModelSet& other) const {
   REVISE_CHECK(alphabet_ == other.alphabet_);
+  REVISE_DCHECK(std::is_sorted(models_.begin(), models_.end()));
+  REVISE_DCHECK(std::is_sorted(other.models_.begin(), other.models_.end()));
   if (models_.size() > other.models_.size()) return false;
   return std::includes(other.models_.begin(), other.models_.end(),
                        models_.begin(), models_.end());
@@ -59,6 +65,11 @@ namespace {
 // against elements from strictly smaller/larger cardinality buckets.
 std::vector<size_t> CanonicalizeAndOrderByCardinality(
     std::vector<Interpretation>* sets, std::vector<size_t>* cards) {
+  // The subset sweeps below only make sense over a uniform width; mixed
+  // widths would silently compare interpretations of different alphabets.
+  for (size_t i = 1; i < sets->size(); ++i) {
+    REVISE_DCHECK_EQ((*sets)[i].size(), (*sets)[0].size());
+  }
   std::sort(sets->begin(), sets->end());
   sets->erase(std::unique(sets->begin(), sets->end()), sets->end());
   cards->resize(sets->size());

@@ -166,10 +166,12 @@ void Json::DumpTo(std::string* out, int indent, int depth) const {
       return;
     }
     *out += '[';
-    for (size_t i = 0; i < array->size(); ++i) {
-      if (i > 0) *out += indent > 0 ? "," : ", ";
+    // `index`, not `i`: the int64_t branch's condition declaration above
+    // stays in scope for the whole else-if chain and would be shadowed.
+    for (size_t index = 0; index < array->size(); ++index) {
+      if (index > 0) *out += indent > 0 ? "," : ", ";
       newline_pad(depth + 1);
-      (*array)[i].DumpTo(out, indent, depth + 1);
+      (*array)[index].DumpTo(out, indent, depth + 1);
     }
     newline_pad(depth);
     *out += ']';
@@ -180,12 +182,12 @@ void Json::DumpTo(std::string* out, int indent, int depth) const {
       return;
     }
     *out += '{';
-    for (size_t i = 0; i < members.size(); ++i) {
-      if (i > 0) *out += indent > 0 ? "," : ", ";
+    for (size_t index = 0; index < members.size(); ++index) {
+      if (index > 0) *out += indent > 0 ? "," : ", ";
       newline_pad(depth + 1);
-      *out += JsonQuote(members[i].first);
+      *out += JsonQuote(members[index].first);
       *out += ": ";
-      members[i].second.DumpTo(out, indent, depth + 1);
+      members[index].second.DumpTo(out, indent, depth + 1);
     }
     newline_pad(depth);
     *out += '}';

@@ -30,8 +30,8 @@ std::vector<uint64_t> MaximalConsistentSubsets(const Theory& t,
   for (size_t i = 0; i < t.size(); ++i) {
     selectors[i] = context.FreshLit();
     // s_i -> f_i.
-    context.solver().AddBinary(Negate(selectors[i]),
-                               context.Encode(t[i]));
+    sat::Solver::LatchConflict(context.solver().AddBinary(
+        Negate(selectors[i]), context.Encode(t[i])));
   }
   std::vector<uint64_t> worlds;
   while (context.Solve()) {
@@ -54,10 +54,12 @@ std::vector<uint64_t> MaximalConsistentSubsets(const Theory& t,
       const Lit activation = context.FreshLit();
       std::vector<Lit> clause = {Negate(activation)};
       clause.insert(clause.end(), outside.begin(), outside.end());
-      context.solver().AddClause(std::move(clause));
+      sat::Solver::LatchConflict(
+          context.solver().AddClause(std::move(clause)));
       assumptions.push_back(activation);
       const bool grew = context.Solve(assumptions);
-      context.solver().AddUnit(Negate(activation));
+      sat::Solver::LatchConflict(
+          context.solver().AddUnit(Negate(activation)));
       if (!grew) break;
       for (size_t i = 0; i < t.size(); ++i) {
         current[i] = context.ModelValueOfLit(selectors[i]);

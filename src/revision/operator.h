@@ -38,7 +38,7 @@ enum class OperatorId {
 };
 
 // The alphabet X = V(T) ∪ V(P) over which the revision is interpreted.
-Alphabet RevisionAlphabet(const Theory& t, const Formula& p);
+[[nodiscard]] Alphabet RevisionAlphabet(const Theory& t, const Formula& p);
 
 class RevisionOperator {
  public:
@@ -50,24 +50,27 @@ class RevisionOperator {
   virtual bool is_formula_based() const = 0;
 
   // Models of T * P over `alphabet`, which must contain V(T) ∪ V(P).
-  virtual ModelSet ReviseModels(const Theory& t, const Formula& p,
-                                const Alphabet& alphabet) const = 0;
-  ModelSet ReviseModels(const Theory& t, const Formula& p) const {
+  [[nodiscard]] virtual ModelSet ReviseModels(
+      const Theory& t, const Formula& p, const Alphabet& alphabet) const = 0;
+  [[nodiscard]] ModelSet ReviseModels(const Theory& t, const Formula& p) const {
     return ReviseModels(t, p, RevisionAlphabet(t, p));
   }
 
   // An explicit formula logically equivalent to T * P.  The default
   // renders the canonical DNF of ReviseModels; formula-based operators
   // override it with their structural representation.
-  virtual Formula ReviseFormula(const Theory& t, const Formula& p) const;
+  [[nodiscard]] virtual Formula ReviseFormula(const Theory& t,
+                                              const Formula& p) const;
 
   // T * P |= q.  q must use only letters of V(T) ∪ V(P) ∪ V(q); letters
   // outside V(T) ∪ V(P) are unconstrained in T * P.
-  bool Entails(const Theory& t, const Formula& p, const Formula& q) const;
+  [[nodiscard]] bool Entails(const Theory& t, const Formula& p,
+                             const Formula& q) const;
 
   // M |= T * P, with M given over `alphabet` ⊇ V(T) ∪ V(P).
-  bool IsModel(const Theory& t, const Formula& p, const Interpretation& m,
-               const Alphabet& alphabet) const;
+  [[nodiscard]] bool IsModel(const Theory& t, const Formula& p,
+                             const Interpretation& m,
+                             const Alphabet& alphabet) const;
 };
 
 // A model-based operator: semantics depends only on M(T) and M(P).
@@ -77,8 +80,8 @@ class ModelBasedOperator : public RevisionOperator {
 
   // The pure set-level semantics (exposed so iterated revision can run on
   // model sets directly).
-  virtual ModelSet ReviseModelSets(const ModelSet& mt,
-                                   const ModelSet& mp) const = 0;
+  [[nodiscard]] virtual ModelSet ReviseModelSets(const ModelSet& mt,
+                                                 const ModelSet& mp) const = 0;
 
   ModelSet ReviseModels(const Theory& t, const Formula& p,
                         const Alphabet& alphabet) const override;

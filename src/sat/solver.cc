@@ -48,6 +48,8 @@ void Solver::EnsureVarCount(int n) {
 }
 
 LBool Solver::ValueOfLit(Lit lit) const {
+  REVISE_DCHECK_GE(lit, 0);
+  REVISE_DCHECK_LT(LitVar(lit), NumVars());
   LBool v = assigns_[LitVar(lit)];
   if (v == LBool::kUndef) return LBool::kUndef;
   return LitSign(lit) ? NegateLBool(v) : v;
@@ -63,6 +65,7 @@ bool Solver::AddClause(std::vector<Lit> lits) {
   cleaned.reserve(lits.size());
   Lit prev = kUndefLit;
   for (Lit lit : lits) {
+    REVISE_CHECK_GE(lit, 0);
     REVISE_CHECK_LT(LitVar(lit), NumVars());
     if (lit == prev) continue;
     if (prev != kUndefLit && lit == Negate(prev) &&
@@ -127,7 +130,7 @@ void Solver::DetachClause(Clause* clause) {
 
 void Solver::UncheckedEnqueue(Lit lit, Clause* reason) {
   const int var = LitVar(lit);
-  REVISE_CHECK(assigns_[var] == LBool::kUndef);
+  REVISE_DCHECK(assigns_[var] == LBool::kUndef);
   assigns_[var] = BoolToLBool(!LitSign(lit));
   level_[var] = DecisionLevel();
   reason_[var] = reason;

@@ -50,22 +50,30 @@ class Solver {
 
   // Adds a clause.  Returns false if the solver becomes trivially
   // unsatisfiable (empty clause at level 0).  May be called between
-  // Solve() invocations.
-  bool AddClause(std::vector<Lit> lits);
-  bool AddUnit(Lit lit) { return AddClause({lit}); }
-  bool AddBinary(Lit a, Lit b) { return AddClause({a, b}); }
+  // Solve() invocations.  Ignoring the result loses the only cheap signal
+  // of top-level UNSAT, so it is [[nodiscard]]; callers that genuinely do
+  // not care re-check Okay() instead.
+  [[nodiscard]] bool AddClause(std::vector<Lit> lits);
+  [[nodiscard]] bool AddUnit(Lit lit) { return AddClause({lit}); }
+  [[nodiscard]] bool AddBinary(Lit a, Lit b) { return AddClause({a, b}); }
 
   // False once the clause set has been proven unsatisfiable outright.
-  bool Okay() const { return ok_; }
+  [[nodiscard]] bool Okay() const { return ok_; }
 
-  Result Solve();
+  // Consumes an Add{Clause,Unit,Binary} result at call sites where a
+  // top-level conflict needs no special handling: the solver latches
+  // !Okay() and the next Solve() reports UNSAT.  Using this helper (rather
+  // than a bare void cast) marks the discard as a reviewed decision.
+  static void LatchConflict(bool added) { static_cast<void>(added); }
+
+  [[nodiscard]] Result Solve();
   // Solves under the given assumptions; the assumptions are not added as
   // clauses and do not persist.
-  Result SolveAssuming(const std::vector<Lit>& assumptions);
+  [[nodiscard]] Result SolveAssuming(const std::vector<Lit>& assumptions);
 
   // Value of a variable in the model found by the last kSat Solve.
   // Unassigned variables (eliminated by simplification) read as false.
-  bool ModelValue(int var) const;
+  [[nodiscard]] bool ModelValue(int var) const;
 
   const SolverStats& stats() const { return stats_; }
 

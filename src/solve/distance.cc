@@ -13,6 +13,9 @@ using sat::Lit;
 using sat::Negate;
 using sat::PosLit;
 
+// Conflicts while adding constraints surface at the next Solve().
+constexpr auto LatchConflict = sat::Solver::LatchConflict;
+
 // Sets up T in frame 0, P in frame 1 and difference literals over the
 // alphabet; returns the diff literals.
 std::vector<Lit> SetUpDiffProblem(const Formula& t, const Formula& p,
@@ -27,10 +30,10 @@ std::vector<Lit> SetUpDiffProblem(const Formula& t, const Formula& p,
     const Lit d = context->FreshLit();
     sat::Solver& solver = context->solver();
     // d <-> a xor b.
-    solver.AddClause({Negate(d), a, b});
-    solver.AddClause({Negate(d), Negate(a), Negate(b)});
-    solver.AddClause({d, Negate(a), b});
-    solver.AddClause({d, a, Negate(b)});
+    LatchConflict(solver.AddClause({Negate(d), a, b}));
+    LatchConflict(solver.AddClause({Negate(d), Negate(a), Negate(b)}));
+    LatchConflict(solver.AddClause({d, Negate(a), b}));
+    LatchConflict(solver.AddClause({d, a, Negate(b)}));
     diffs[i] = d;
   }
   return diffs;
@@ -62,7 +65,7 @@ std::optional<size_t> MinHammingDistance(const Formula& t, const Formula& p,
   std::vector<Lit> counts = sat::EncodeTotalizer(diffs, &counter);
   context.solver().EnsureVarCount(counter.num_vars());
   for (const auto& clause : counter.clauses()) {
-    context.solver().AddClause(clause);
+    LatchConflict(context.solver().AddClause(clause));
   }
   while (best > 0) {
     // Ask for a solution with sum <= best - 1.
@@ -83,7 +86,7 @@ std::optional<size_t> MinHammingDistanceBinarySearch(
   std::vector<Lit> counts = sat::EncodeTotalizer(diffs, &counter);
   context.solver().EnsureVarCount(counter.num_vars());
   for (const auto& clause : counter.clauses()) {
-    context.solver().AddClause(clause);
+    LatchConflict(context.solver().AddClause(clause));
   }
   // Invariant: a model with sum <= hi exists; none with sum <= lo - 1.
   size_t lo = 0;
@@ -124,11 +127,11 @@ std::vector<Interpretation> GlobalMinimalDiffs(const Formula& t,
       for (size_t i = 0; i < diffs.size(); ++i) {
         if (current.Get(i)) clause.push_back(Negate(diffs[i]));
       }
-      context.solver().AddClause(std::move(clause));
+      LatchConflict(context.solver().AddClause(std::move(clause)));
       assumptions.push_back(activation);
       const bool improved = context.Solve(assumptions);
       // Retire the activation so the clause is permanently satisfied.
-      context.solver().AddUnit(Negate(activation));
+      LatchConflict(context.solver().AddUnit(Negate(activation)));
       if (!improved) break;
       current = DiffFromModel(context, diffs);
     }

@@ -22,25 +22,24 @@ namespace revise {
 // and a model of `p`.  Returns nullopt when either formula is
 // unsatisfiable.  Variables of t/p outside `alphabet` must not exist
 // (callers pass alphabet ⊇ V(t) ∪ V(p)).
-std::optional<size_t> MinHammingDistance(const Formula& t, const Formula& p,
-                                         const Alphabet& alphabet);
+[[nodiscard]] std::optional<size_t> MinHammingDistance(
+    const Formula& t, const Formula& p, const Alphabet& alphabet);
 
 // Same value computed with O(log |alphabet|) SAT calls by binary search on
 // the totalizer outputs — the oracle pattern behind Dalal's
 // Delta_2^p[log n] complexity (Section 2.2.4).
-std::optional<size_t> MinHammingDistanceBinarySearch(
+[[nodiscard]] std::optional<size_t> MinHammingDistanceBinarySearch(
     const Formula& t, const Formula& p, const Alphabet& alphabet);
 
 // delta(T,P): all subset-minimal symmetric differences (as letter sets over
 // `alphabet`) between a model of t and a model of p.  Empty result means
 // one of the formulas is unsatisfiable.
-std::vector<Interpretation> GlobalMinimalDiffs(const Formula& t,
-                                               const Formula& p,
-                                               const Alphabet& alphabet);
+[[nodiscard]] std::vector<Interpretation> GlobalMinimalDiffs(
+    const Formula& t, const Formula& p, const Alphabet& alphabet);
 
 // Weber's Omega = ∪ delta(T,P) as a letter set over `alphabet`.
-Interpretation WeberOmega(const Formula& t, const Formula& p,
-                          const Alphabet& alphabet);
+[[nodiscard]] Interpretation WeberOmega(const Formula& t, const Formula& p,
+                                        const Alphabet& alphabet);
 
 }  // namespace revise
 

@@ -51,7 +51,8 @@ class ModelCache {
 
   // Returns the cached model set for (f, alphabet) and marks it most
   // recently used, or nullopt on a miss (or when disabled).
-  std::optional<ModelSet> Lookup(const Formula& f, const Alphabet& alphabet);
+  [[nodiscard]] std::optional<ModelSet> Lookup(const Formula& f,
+                                               const Alphabet& alphabet);
 
   // Records an enumeration result, evicting the least recently used
   // entries beyond capacity.  Re-inserting an existing key refreshes it.

@@ -35,15 +35,15 @@ struct ExistsForallResult {
 // Decides ∃ exists_vars ∀ forall_vars . matrix.  Variables of `matrix`
 // outside both blocks are treated as existential (inner-most ∃ under the
 // ∀ would change the meaning; callers must list every variable).
-ExistsForallResult ExistsForallSat(const std::vector<Var>& exists_vars,
-                                   const std::vector<Var>& forall_vars,
-                                   const Formula& matrix);
+[[nodiscard]] ExistsForallResult ExistsForallSat(
+    const std::vector<Var>& exists_vars, const std::vector<Var>& forall_vars,
+    const Formula& matrix);
 
 // Criterion (1) between a and b over `alphabet`: do the projections of
 // M(a) and M(b) onto `alphabet` coincide?  Letters of a/b outside the
 // alphabet are treated as each formula's private auxiliary letters.
-bool QueryEquivalentQbf(const Formula& a, const Formula& b,
-                        const Alphabet& alphabet);
+[[nodiscard]] bool QueryEquivalentQbf(const Formula& a, const Formula& b,
+                                      const Alphabet& alphabet);
 
 }  // namespace revise
 

@@ -11,6 +11,12 @@ using sat::MakeLit;
 using sat::Negate;
 using sat::PosLit;
 
+namespace {
+// Tseitin encoding never reacts to a top-level conflict mid-recursion;
+// the solver latches UNSAT and the next Solve() reports it.
+constexpr auto LatchConflict = sat::Solver::LatchConflict;
+}  // namespace
+
 int SatContext::SatVarOf(Var var, int frame) {
   const FrameKey key{var, frame};
   auto it = var_map_.find(key);
@@ -40,7 +46,7 @@ Lit SatContext::EncodeRec(const Formula& f, int frame) {
     case Connective::kConst: {
       // A dedicated always-true/false variable per constant value.
       const Lit lit = FreshLit();
-      solver_.AddUnit(f.const_value() ? lit : Negate(lit));
+      LatchConflict(solver_.AddUnit(f.const_value() ? lit : Negate(lit)));
       result = lit;
       break;
     }
@@ -63,15 +69,15 @@ Lit SatContext::EncodeRec(const Formula& f, int frame) {
       big.reserve(children.size() + 1);
       for (const Lit c : children) {
         if (is_and) {
-          solver_.AddBinary(Negate(g), c);  // g -> c
+          LatchConflict(solver_.AddBinary(Negate(g), c));  // g -> c
           big.push_back(Negate(c));
         } else {
-          solver_.AddBinary(g, Negate(c));  // c -> g
+          LatchConflict(solver_.AddBinary(g, Negate(c)));  // c -> g
           big.push_back(c);
         }
       }
       big.push_back(is_and ? g : Negate(g));
-      solver_.AddClause(std::move(big));
+      LatchConflict(solver_.AddClause(std::move(big)));
       result = g;
       break;
     }
@@ -79,9 +85,9 @@ Lit SatContext::EncodeRec(const Formula& f, int frame) {
       const Lit a = EncodeRec(f.child(0), frame);
       const Lit b = EncodeRec(f.child(1), frame);
       const Lit g = FreshLit();
-      solver_.AddClause({Negate(g), Negate(a), b});  // g -> (a -> b)
-      solver_.AddBinary(g, a);                       // !a -> g
-      solver_.AddBinary(g, Negate(b));               // b -> g
+      LatchConflict(solver_.AddClause({Negate(g), Negate(a), b}));
+      LatchConflict(solver_.AddBinary(g, a));         // !a -> g
+      LatchConflict(solver_.AddBinary(g, Negate(b)));  // b -> g
       result = g;
       break;
     }
@@ -91,10 +97,10 @@ Lit SatContext::EncodeRec(const Formula& f, int frame) {
       Lit b = EncodeRec(f.child(1), frame);
       if (f.kind() == Connective::kXor) b = Negate(b);
       const Lit g = FreshLit();  // g <-> (a <-> b)
-      solver_.AddClause({Negate(g), Negate(a), b});
-      solver_.AddClause({Negate(g), a, Negate(b)});
-      solver_.AddClause({g, a, b});
-      solver_.AddClause({g, Negate(a), Negate(b)});
+      LatchConflict(solver_.AddClause({Negate(g), Negate(a), b}));
+      LatchConflict(solver_.AddClause({Negate(g), a, Negate(b)}));
+      LatchConflict(solver_.AddClause({g, a, b}));
+      LatchConflict(solver_.AddClause({g, Negate(a), Negate(b)}));
       result = g;
       break;
     }
@@ -130,7 +136,7 @@ Lit SatContext::EncodeRec(const Formula& f, int frame) {
 }
 
 void SatContext::Assert(const Formula& f, int frame) {
-  solver_.AddUnit(Encode(f, frame));
+  LatchConflict(solver_.AddUnit(Encode(f, frame)));
 }
 
 bool SatContext::Solve(const std::vector<Lit>& assumptions) {

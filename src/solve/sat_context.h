@@ -35,7 +35,7 @@ class SatContext {
   // Tseitin-encodes `f` (interpreting its variables in `frame`) and
   // returns a literal equivalent to f.  Clauses defining the encoding are
   // added to the solver; the formula itself is not asserted.
-  sat::Lit Encode(const Formula& f, int frame = 0);
+  [[nodiscard]] sat::Lit Encode(const Formula& f, int frame = 0);
 
   // Asserts f (unit clause on its encoding literal).
   void Assert(const Formula& f, int frame = 0);
@@ -46,7 +46,7 @@ class SatContext {
   // Solves under assumptions; returns true iff satisfiable.  When a soft
   // deadline is set and expires mid-search, returns false and timed_out()
   // reports true until the next Solve call.
-  bool Solve(const std::vector<sat::Lit>& assumptions = {});
+  [[nodiscard]] bool Solve(const std::vector<sat::Lit>& assumptions = {});
 
   // Like Solve, but a deadline expiry is reported as an explicit
   // kDeadlineExceeded status instead of being folded into `false`.
@@ -63,11 +63,12 @@ class SatContext {
   bool timed_out() const { return timed_out_; }
 
   // Value of logic variable `var` in `frame` in the last model.
-  bool ModelValue(Var var, int frame = 0) const;
-  bool ModelValueOfLit(sat::Lit lit) const;
+  [[nodiscard]] bool ModelValue(Var var, int frame = 0) const;
+  [[nodiscard]] bool ModelValueOfLit(sat::Lit lit) const;
 
   // Extracts the last model restricted to `alphabet` in `frame`.
-  Interpretation ExtractModel(const Alphabet& alphabet, int frame = 0) const;
+  [[nodiscard]] Interpretation ExtractModel(const Alphabet& alphabet,
+                                            int frame = 0) const;
 
  private:
   struct FrameKey {

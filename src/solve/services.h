@@ -12,13 +12,13 @@
 
 namespace revise {
 
-bool IsSatisfiable(const Formula& f);
+[[nodiscard]] bool IsSatisfiable(const Formula& f);
 
 // a |= b.
-bool Entails(const Formula& a, const Formula& b);
+[[nodiscard]] bool Entails(const Formula& a, const Formula& b);
 
 // Logical equivalence: a |= b and b |= a.
-bool AreEquivalent(const Formula& a, const Formula& b);
+[[nodiscard]] bool AreEquivalent(const Formula& a, const Formula& b);
 
 // All models of f over `alphabet`, i.e. the projections onto `alphabet` of
 // the models of f over V(f) ∪ alphabet.  Variables of f outside `alphabet`
@@ -29,11 +29,12 @@ bool AreEquivalent(const Formula& a, const Formula& b);
 // in the process-wide ModelCache (solve/model_cache.h) keyed by the
 // structural formula hash and the alphabet; repeated enumerations of the
 // same pair are cache hits.
-ModelSet EnumerateModels(const Formula& f, const Alphabet& alphabet,
-                         size_t limit = 0);
+[[nodiscard]] ModelSet EnumerateModels(const Formula& f,
+                                       const Alphabet& alphabet,
+                                       size_t limit = 0);
 
 // Exact model count over `alphabet` by enumeration (small alphabets only).
-size_t CountModels(const Formula& f, const Alphabet& alphabet);
+[[nodiscard]] size_t CountModels(const Formula& f, const Alphabet& alphabet);
 
 // Query equivalence (paper's criterion (1)) of `a` and `b` with respect to
 // queries over `alphabet`: every formula built from `alphabet` letters is
@@ -42,8 +43,8 @@ size_t CountModels(const Formula& f, const Alphabet& alphabet);
 // Short-circuits: when neither side has variables outside `alphabet` this
 // is a single SAT call on Xor(a, b); otherwise one side is enumerated in
 // full and the other streamed, stopping at the first unshared model.
-bool QueryEquivalent(const Formula& a, const Formula& b,
-                     const Alphabet& alphabet);
+[[nodiscard]] bool QueryEquivalent(const Formula& a, const Formula& b,
+                                   const Alphabet& alphabet);
 
 }  // namespace revise
 

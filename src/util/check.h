@@ -2,13 +2,32 @@
 //
 // These are for programmer errors (violated invariants), not for recoverable
 // conditions; recoverable conditions use Status (util/status.h).  A failed
-// check prints the condition and location to stderr and aborts.
+// check prints the condition and location to stderr and aborts; the binary
+// comparison forms (REVISE_CHECK_EQ etc.) additionally print both operand
+// values.
+//
+// Three families (see DESIGN.md "Static analysis & contracts"):
+//   * REVISE_CHECK*    — always on, in every build type.  Use at API
+//     boundaries and for invariants whose violation would corrupt results.
+//   * REVISE_DCHECK*   — compiled out when NDEBUG is defined (Release /
+//     RelWithDebInfo) unless REVISE_DCHECK_ALWAYS_ON is defined.  Use in
+//     hot kernels where the check is too expensive to keep in Release.
+//     Arguments are NOT evaluated when compiled out, so they must be free
+//     of side effects (enforced by tools/revise_lint).
+//   * REVISE_CHECK_OK  — asserts a Status (or StatusOr) is OK, printing the
+//     full status on failure.  For call sites where an error is impossible
+//     by construction.
+//
+// Every macro evaluates each argument exactly once.
 
 #ifndef REVISE_UTIL_CHECK_H_
 #define REVISE_UTIL_CHECK_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
 
 namespace revise::internal_check {
 
@@ -16,6 +35,48 @@ namespace revise::internal_check {
                                      int line) {
   std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", condition, file, line);
   std::abort();
+}
+
+// Renders a value for a failure message.  Streamable types go through
+// operator<<; anything else degrades to a placeholder rather than failing
+// to compile.
+template <typename T>
+std::string Repr(const T& value) {
+  if constexpr (requires(std::ostream& os, const T& t) { os << t; }) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+[[noreturn]] inline void CheckOpFailed(const char* expression,
+                                       const std::string& lhs,
+                                       const std::string& rhs,
+                                       const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s (%s vs. %s) at %s:%d\n", expression,
+               lhs.c_str(), rhs.c_str(), file, line);
+  std::abort();
+}
+
+[[noreturn]] inline void CheckOkFailed(const char* expression,
+                                       const std::string& status,
+                                       const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s is OK (got %s) at %s:%d\n",
+               expression, status.c_str(), file, line);
+  std::abort();
+}
+
+// Extracts the Status from either a Status or a StatusOr<T> without
+// naming those types (util/status.h includes are up to the caller).
+template <typename T>
+decltype(auto) StatusOf(const T& value) {
+  if constexpr (requires { value.status(); }) {
+    return value.status();
+  } else {
+    return (value);
+  }
 }
 
 }  // namespace revise::internal_check
@@ -28,11 +89,84 @@ namespace revise::internal_check {
     }                                                                      \
   } while (false)
 
-#define REVISE_CHECK_EQ(a, b) REVISE_CHECK((a) == (b))
-#define REVISE_CHECK_NE(a, b) REVISE_CHECK((a) != (b))
-#define REVISE_CHECK_LT(a, b) REVISE_CHECK((a) < (b))
-#define REVISE_CHECK_LE(a, b) REVISE_CHECK((a) <= (b))
-#define REVISE_CHECK_GT(a, b) REVISE_CHECK((a) > (b))
-#define REVISE_CHECK_GE(a, b) REVISE_CHECK((a) >= (b))
+// Binary comparison with operand capture: each side is evaluated exactly
+// once and both values are printed on failure.
+#define REVISE_CHECK_OP_(op, a, b)                                         \
+  do {                                                                     \
+    auto&& revise_check_lhs_ = (a);                                        \
+    auto&& revise_check_rhs_ = (b);                                        \
+    if (!(revise_check_lhs_ op revise_check_rhs_)) {                       \
+      ::revise::internal_check::CheckOpFailed(                             \
+          #a " " #op " " #b,                                               \
+          ::revise::internal_check::Repr(revise_check_lhs_),               \
+          ::revise::internal_check::Repr(revise_check_rhs_), __FILE__,     \
+          __LINE__);                                                       \
+    }                                                                      \
+  } while (false)
+
+#define REVISE_CHECK_EQ(a, b) REVISE_CHECK_OP_(==, a, b)
+#define REVISE_CHECK_NE(a, b) REVISE_CHECK_OP_(!=, a, b)
+#define REVISE_CHECK_LT(a, b) REVISE_CHECK_OP_(<, a, b)
+#define REVISE_CHECK_LE(a, b) REVISE_CHECK_OP_(<=, a, b)
+#define REVISE_CHECK_GT(a, b) REVISE_CHECK_OP_(>, a, b)
+#define REVISE_CHECK_GE(a, b) REVISE_CHECK_OP_(>=, a, b)
+
+// Asserts that a Status (or StatusOr<T>) is OK, printing the code and
+// message on failure.
+#define REVISE_CHECK_OK(expr)                                              \
+  do {                                                                     \
+    auto&& revise_check_status_ = (expr);                                  \
+    if (!revise_check_status_.ok()) {                                      \
+      ::revise::internal_check::CheckOkFailed(                             \
+          #expr,                                                           \
+          ::revise::internal_check::StatusOf(revise_check_status_)         \
+              .ToString(),                                                 \
+          __FILE__, __LINE__);                                             \
+    }                                                                      \
+  } while (false)
+
+// Debug-only checks: full CHECK semantics when on; when off the argument
+// expressions are type-checked but never evaluated.
+#if !defined(NDEBUG) || defined(REVISE_DCHECK_ALWAYS_ON)
+#define REVISE_DCHECK_IS_ON() 1
+#else
+#define REVISE_DCHECK_IS_ON() 0
+#endif
+
+#if REVISE_DCHECK_IS_ON()
+
+#define REVISE_DCHECK(condition) REVISE_CHECK(condition)
+#define REVISE_DCHECK_EQ(a, b) REVISE_CHECK_EQ(a, b)
+#define REVISE_DCHECK_NE(a, b) REVISE_CHECK_NE(a, b)
+#define REVISE_DCHECK_LT(a, b) REVISE_CHECK_LT(a, b)
+#define REVISE_DCHECK_LE(a, b) REVISE_CHECK_LE(a, b)
+#define REVISE_DCHECK_GT(a, b) REVISE_CHECK_GT(a, b)
+#define REVISE_DCHECK_GE(a, b) REVISE_CHECK_GE(a, b)
+
+#else  // REVISE_DCHECK_IS_ON()
+
+#define REVISE_DCHECK_NOP_1_(a)          \
+  do {                                   \
+    if (false) {                         \
+      static_cast<void>(a);              \
+    }                                    \
+  } while (false)
+#define REVISE_DCHECK_NOP_2_(a, b)       \
+  do {                                   \
+    if (false) {                         \
+      static_cast<void>(a);              \
+      static_cast<void>(b);              \
+    }                                    \
+  } while (false)
+
+#define REVISE_DCHECK(condition) REVISE_DCHECK_NOP_1_(condition)
+#define REVISE_DCHECK_EQ(a, b) REVISE_DCHECK_NOP_2_(a, b)
+#define REVISE_DCHECK_NE(a, b) REVISE_DCHECK_NOP_2_(a, b)
+#define REVISE_DCHECK_LT(a, b) REVISE_DCHECK_NOP_2_(a, b)
+#define REVISE_DCHECK_LE(a, b) REVISE_DCHECK_NOP_2_(a, b)
+#define REVISE_DCHECK_GT(a, b) REVISE_DCHECK_NOP_2_(a, b)
+#define REVISE_DCHECK_GE(a, b) REVISE_DCHECK_NOP_2_(a, b)
+
+#endif  // REVISE_DCHECK_IS_ON()
 
 #endif  // REVISE_UTIL_CHECK_H_

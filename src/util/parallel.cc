@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/check.h"
+
 namespace revise {
 
 namespace {
@@ -150,6 +152,13 @@ std::vector<ShardRange> ShardRanges(size_t n, size_t shards) {
     const size_t length = base + (i < extra ? 1 : 0);
     ranges[i] = ShardRange{begin, begin + length};
     begin += length;
+  }
+  // Shards must tile [0, n) contiguously and be non-empty: every parallel
+  // kernel indexes its slice directly off these bounds, so a gap or overlap
+  // here corrupts results silently rather than crashing.
+  REVISE_DCHECK_EQ(begin, n);
+  for (const ShardRange& range : ranges) {
+    REVISE_DCHECK_LT(range.begin, range.end);
   }
   return ranges;
 }

@@ -31,8 +31,11 @@ enum class StatusCode {
 // Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
 const char* StatusCodeName(StatusCode code);
 
-// A success-or-error result.  Cheap to copy in the OK case.
-class Status {
+// A success-or-error result.  Cheap to copy in the OK case.  The class is
+// [[nodiscard]]: a fallible call whose Status is silently dropped is a
+// correctness bug (see DESIGN.md "Static analysis & contracts"), so every
+// ignored Status fails the -Werror CI builds.
+class [[nodiscard]] Status {
  public:
   // Default-constructed Status is OK.
   Status() : code_(StatusCode::kOk) {}
@@ -41,8 +44,8 @@ class Status {
 
   static Status Ok() { return Status(); }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   // "OK" or "INVALID_ARGUMENT: <message>".
@@ -70,8 +73,9 @@ Status DeadlineExceededError(std::string message);
 
 // A value-or-error result.  Accessing value() on an error aborts, so callers
 // must test ok() (or use the REVISE_ASSIGN_OR_RETURN macro) first.
+// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Intentionally implicit, mirroring absl::StatusOr: allows
   // `return value;` and `return SomeError();` from the same function.
@@ -79,7 +83,7 @@ class StatusOr {
   StatusOr(T&& value) : rep_(std::move(value)) {}    // NOLINT
   StatusOr(Status status) : rep_(std::move(status)) {}  // NOLINT
 
-  bool ok() const { return std::holds_alternative<T>(rep_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(rep_); }
 
   const Status& status() const {
     static const Status ok_status;

@@ -1,0 +1,104 @@
+// Death tests for the CHECK / DCHECK / CHECK_OK macro families
+// (util/check.h): failures must abort and the message must carry the
+// expression, both operand values, and the failing location.
+
+#include "util/check.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace revise {
+namespace {
+
+struct Unprintable {
+  int tag = 0;
+  bool operator==(const Unprintable&) const = default;
+};
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  REVISE_CHECK(1 + 1 == 2);
+  REVISE_CHECK_EQ(4, 4);
+  REVISE_CHECK_NE(4, 5);
+  REVISE_CHECK_LT(4, 5);
+  REVISE_CHECK_LE(5, 5);
+  REVISE_CHECK_GT(5, 4);
+  REVISE_CHECK_GE(5, 5);
+  REVISE_CHECK_OK(Status::Ok());
+  REVISE_CHECK_OK(StatusOr<int>(7));
+}
+
+TEST(CheckDeathTest, CheckPrintsConditionAndLocation) {
+  EXPECT_DEATH(REVISE_CHECK(2 + 2 == 5),
+               "CHECK failed: 2 \\+ 2 == 5 at .*check_test\\.cc:[0-9]+");
+}
+
+TEST(CheckDeathTest, CheckEqPrintsBothOperands) {
+  const int lhs = 3;
+  const int rhs = 7;
+  EXPECT_DEATH(REVISE_CHECK_EQ(lhs, rhs),
+               "CHECK failed: lhs == rhs \\(3 vs. 7\\)");
+}
+
+TEST(CheckDeathTest, CheckLtPrintsStreamedValues) {
+  const std::string a = "zebra";
+  const std::string b = "apple";
+  EXPECT_DEATH(REVISE_CHECK_LT(a, b),
+               "CHECK failed: a < b \\(zebra vs. apple\\)");
+}
+
+TEST(CheckDeathTest, UnprintableOperandsDegradeGracefully) {
+  const Unprintable x{1};
+  const Unprintable y{2};
+  EXPECT_DEATH(REVISE_CHECK_EQ(x, y),
+               "CHECK failed: x == y \\(<unprintable> vs. <unprintable>\\)");
+}
+
+TEST(CheckTest, CheckOpEvaluatesOperandsExactlyOnce) {
+  int evaluations = 0;
+  const auto bump = [&evaluations] { return ++evaluations; };
+  REVISE_CHECK_LE(bump(), 100);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckDeathTest, CheckOkPrintsStatus) {
+  EXPECT_DEATH(REVISE_CHECK_OK(InvalidArgumentError("bad alphabet")),
+               "is OK \\(got INVALID_ARGUMENT: bad alphabet\\)");
+}
+
+TEST(CheckDeathTest, CheckOkPrintsStatusOrError) {
+  const StatusOr<int> result = NotFoundError("no such model");
+  EXPECT_DEATH(REVISE_CHECK_OK(result),
+               "is OK \\(got NOT_FOUND: no such model\\)");
+}
+
+#if REVISE_DCHECK_IS_ON()
+
+TEST(CheckDeathTest, DcheckFiresWhenEnabled) {
+  EXPECT_DEATH(REVISE_DCHECK(false), "CHECK failed: false");
+  EXPECT_DEATH(REVISE_DCHECK_EQ(1, 2), "CHECK failed: 1 == 2 \\(1 vs. 2\\)");
+}
+
+#else  // REVISE_DCHECK_IS_ON()
+
+TEST(CheckTest, DcheckCompiledOutDoesNotEvaluateArguments) {
+  int evaluations = 0;
+  const auto bump = [&evaluations] { return ++evaluations; };
+  REVISE_DCHECK(bump() > 0);
+  REVISE_DCHECK_EQ(bump(), bump());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckTest, DcheckCompiledOutIsSilentOnFailure) {
+  REVISE_DCHECK(false);
+  REVISE_DCHECK_EQ(1, 2);
+  REVISE_DCHECK_GT(0, 1);
+}
+
+#endif  // REVISE_DCHECK_IS_ON()
+
+}  // namespace
+}  // namespace revise

@@ -250,13 +250,13 @@ void AddPigeonhole(SatContext* context, int holes) {
   for (int p = 0; p < pigeons; ++p) {
     std::vector<sat::Lit> clause;
     for (int h = 0; h < holes; ++h) clause.push_back(sat::PosLit(var(p, h)));
-    solver.AddClause(std::move(clause));
+    ASSERT_TRUE(solver.AddClause(std::move(clause)));
   }
   for (int h = 0; h < holes; ++h) {
     for (int p1 = 0; p1 < pigeons; ++p1) {
       for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
-        solver.AddClause(
-            {sat::NegLit(var(p1, h)), sat::NegLit(var(p2, h))});
+        ASSERT_TRUE(solver.AddClause(
+            {sat::NegLit(var(p1, h)), sat::NegLit(var(p2, h))}));
       }
     }
   }

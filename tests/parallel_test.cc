@@ -41,6 +41,13 @@ uint64_t CounterValue(const char* name) {
 // ShardRanges / ThreadPool
 // ---------------------------------------------------------------------------
 
+// Enumerates purely for its model-cache side effect; the returned set is
+// irrelevant to the caller beyond a width sanity check.
+void WarmCache(const Formula& f, const Alphabet& alphabet) {
+  const ModelSet models = EnumerateModels(f, alphabet);
+  EXPECT_EQ(models.alphabet().size(), alphabet.size());
+}
+
 TEST(ShardRangesTest, PartitionsExactly) {
   for (const size_t n : {0u, 1u, 2u, 7u, 8u, 9u, 100u, 1000u}) {
     for (const size_t shards : {1u, 2u, 3u, 8u, 64u}) {
@@ -312,10 +319,11 @@ TEST(ModelCacheTest, StructurallyEqualFormulasShareAnEntry) {
   EXPECT_NE(first.id(), second.id());
   EXPECT_EQ(first.StructuralHash(), second.StructuralHash());
   const Alphabet alphabet(first.Vars());
-  EnumerateModels(first, alphabet);
+  const ModelSet warm = EnumerateModels(first, alphabet);
   const uint64_t hits_before = CounterValue("solve.model_cache.hits");
-  EnumerateModels(second, alphabet);
+  const ModelSet cached = EnumerateModels(second, alphabet);
   EXPECT_EQ(hits_before + 1, CounterValue("solve.model_cache.hits"));
+  EXPECT_EQ(warm.size(), cached.size());
 }
 
 TEST(ModelCacheTest, DistinctAlphabetsAreDistinctEntries) {
@@ -343,20 +351,20 @@ TEST(ModelCacheTest, LruEvictionDropsTheColdestEntry) {
       {vocabulary.Find("a"), vocabulary.Find("b")});
   const uint64_t evictions_before =
       CounterValue("solve.model_cache.evictions");
-  EnumerateModels(f1, alphabet);
-  EnumerateModels(f2, alphabet);
+  WarmCache(f1, alphabet);
+  WarmCache(f2, alphabet);
   EXPECT_EQ(2u, ModelCache::Global().size());
   // Touch f1 so f2 becomes the LRU entry, then overflow with f3.
-  EnumerateModels(f1, alphabet);
-  EnumerateModels(f3, alphabet);
+  WarmCache(f1, alphabet);
+  WarmCache(f3, alphabet);
   EXPECT_EQ(2u, ModelCache::Global().size());
   EXPECT_EQ(evictions_before + 1, CounterValue("solve.model_cache.evictions"));
   // f1 and f3 are warm; f2 was evicted and misses again.
   const uint64_t misses_before = CounterValue("solve.model_cache.misses");
-  EnumerateModels(f1, alphabet);
-  EnumerateModels(f3, alphabet);
+  WarmCache(f1, alphabet);
+  WarmCache(f3, alphabet);
   EXPECT_EQ(misses_before, CounterValue("solve.model_cache.misses"));
-  EnumerateModels(f2, alphabet);
+  WarmCache(f2, alphabet);
   EXPECT_EQ(misses_before + 1, CounterValue("solve.model_cache.misses"));
 }
 
@@ -367,7 +375,7 @@ TEST(ModelCacheTest, DisabledCacheStillBitIdentical) {
   ModelSet with_cache;
   {
     ScopedCache cache(ModelCache::kDefaultCapacity);
-    EnumerateModels(f, alphabet);               // cold fill
+    WarmCache(f, alphabet);                     // cold fill
     with_cache = EnumerateModels(f, alphabet);  // warm copy
   }
   ModelSet without_cache;
@@ -384,12 +392,12 @@ TEST(ModelCacheTest, ClearInvalidatesExplicitly) {
   Vocabulary vocabulary;
   const Formula f = ParseOrDie("a ^ b", &vocabulary);
   const Alphabet alphabet(f.Vars());
-  EnumerateModels(f, alphabet);
+  WarmCache(f, alphabet);
   EXPECT_EQ(1u, ModelCache::Global().size());
   ModelCache::Global().Clear();
   EXPECT_EQ(0u, ModelCache::Global().size());
   const uint64_t misses_before = CounterValue("solve.model_cache.misses");
-  EnumerateModels(f, alphabet);
+  WarmCache(f, alphabet);
   EXPECT_EQ(misses_before + 1, CounterValue("solve.model_cache.misses"));
 }
 

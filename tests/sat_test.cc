@@ -374,9 +374,9 @@ TEST(SolverTest, StatsAccumulate) {
       clause.push_back(
           MakeLit(static_cast<int>(rng.Below(10)), rng.Chance(0.5)));
     }
-    solver.AddClause(clause);
+    Solver::LatchConflict(solver.AddClause(clause));
   }
-  solver.Solve();
+  EXPECT_NE(solver.Solve(), Solver::Result::kUnknown);
   EXPECT_GT(solver.stats().propagations, 0u);
 }
 
@@ -402,12 +402,13 @@ TEST(SolverTest, CountersConsistentAfterUnsatSolve) {
   for (int p = 0; p < pigeons; ++p) {
     std::vector<Lit> clause;
     for (int h = 0; h < holes; ++h) clause.push_back(PosLit(var(p, h)));
-    solver.AddClause(std::move(clause));
+    ASSERT_TRUE(solver.AddClause(std::move(clause)));
   }
   for (int h = 0; h < holes; ++h) {
     for (int p1 = 0; p1 < pigeons; ++p1) {
       for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
-        solver.AddClause({NegLit(var(p1, h)), NegLit(var(p2, h))});
+        ASSERT_TRUE(
+            solver.AddClause({NegLit(var(p1, h)), NegLit(var(p2, h))}));
       }
     }
   }

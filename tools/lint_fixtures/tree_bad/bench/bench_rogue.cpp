@@ -1,0 +1,15 @@
+// Known-bad fixture: hand-rolled --json output without JsonReporter, so
+// the report lacks the shared execution metadata.
+
+#include <cstring>
+#include <fstream>
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      std::ofstream out(argv[i] + 7);  // finding: bench-json-meta
+      out << "{}\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Known-bad fixture: raw std::thread outside util/parallel.
+
+#include <thread>
+
+namespace revise {
+
+void Offender() {
+  std::thread worker([] {});  // finding: raw-thread
+  worker.join();
+  const unsigned n = std::thread::hardware_concurrency();  // allowed
+  (void)n;
+}
+
+}  // namespace revise

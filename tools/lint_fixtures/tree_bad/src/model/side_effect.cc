@@ -1,0 +1,20 @@
+// Known-bad fixture: CHECK/DCHECK arguments that mutate state.
+
+#define REVISE_CHECK(c) (void)(c)
+#define REVISE_CHECK_GT(a, b) (void)((a) > (b))
+#define REVISE_DCHECK(c) (void)(c)
+
+namespace revise {
+
+struct Sink {
+  void push_back(int);
+  int size() const;
+};
+
+void Offenders(int x, Sink* sink) {
+  REVISE_CHECK(x++ < 10);             // finding: increment
+  REVISE_CHECK_GT(x -= 1, 0);         // finding: compound assignment
+  REVISE_DCHECK((sink->push_back(1), sink->size() > 0));  // finding: mutator
+}
+
+}  // namespace revise

@@ -1,0 +1,16 @@
+// Known-bad fixture: unlimited EnumerateModels outside src/solve/.
+
+namespace revise {
+
+struct ModelSet {};
+struct Formula {};
+struct Alphabet {};
+
+ModelSet EnumerateModels(const Formula& f, const Alphabet& alphabet,
+                         unsigned limit = 0);
+
+ModelSet Offender(const Formula& f, const Alphabet& alphabet) {
+  return EnumerateModels(f, alphabet);  // finding: unlimited-enumerate
+}
+
+}  // namespace revise

@@ -1,0 +1,8 @@
+// Known-bad fixture: guard does not match REVISE_UTIL_BAD_GUARD_H_.
+
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+namespace revise {}
+
+#endif  // WRONG_GUARD_H

@@ -1,0 +1,17 @@
+// Known-good fixture: a bench that writes JSON through the shared
+// JsonReporter (which stamps the execution metadata).
+
+namespace revise::bench {
+
+struct JsonReporter {
+  JsonReporter(const char* name, const char* path, int* argc, char** argv);
+  bool WriteIfRequested();
+};
+
+}  // namespace revise::bench
+
+int main(int argc, char** argv) {
+  revise::bench::JsonReporter reporter("bench_sample", "BENCH_sample.json",
+                                       &argc, argv);
+  return reporter.WriteIfRequested() ? 0 : 1;
+}

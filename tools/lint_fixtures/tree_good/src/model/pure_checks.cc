@@ -1,0 +1,21 @@
+// Known-good fixture: CHECK arguments that compare, call const members,
+// and mention strings containing "++" stay clean.
+
+#define REVISE_CHECK(c) (void)(c)
+#define REVISE_CHECK_EQ(a, b) (void)((a) == (b))
+#define REVISE_DCHECK_LE(a, b) (void)((a) <= (b))
+
+namespace revise {
+
+int Size();
+
+void PureChecks(int x, int y) {
+  REVISE_CHECK(x <= y);
+  REVISE_CHECK_EQ(x + 1, y - 1);
+  REVISE_DCHECK_LE(Size(), y);
+  REVISE_CHECK(x == y || x < y);
+  const char* message = "operator++ in a string literal is fine";
+  REVISE_CHECK(message != nullptr);
+}
+
+}  // namespace revise

@@ -1,0 +1,21 @@
+// Known-good fixture: unlimited EnumerateModels is fine inside src/solve/,
+// and bounded calls are fine anywhere.
+
+namespace revise {
+
+struct ModelSet {};
+struct Formula {};
+struct Alphabet {};
+
+ModelSet EnumerateModels(const Formula& f, const Alphabet& alphabet,
+                         unsigned limit = 0);
+
+ModelSet InsideSolveLayer(const Formula& f, const Alphabet& alphabet) {
+  return EnumerateModels(f, alphabet);  // unlimited, but inside solve/
+}
+
+ModelSet BoundedAnywhere(const Formula& f, const Alphabet& alphabet) {
+  return EnumerateModels(f, alphabet, 16);  // explicit limit
+}
+
+}  // namespace revise

@@ -1,0 +1,19 @@
+// Known-good fixture: guard matches REVISE_UTIL_WIDGET_H_ (leading src/
+// is dropped), checks are pure, parallelism goes through util/parallel.
+
+#ifndef REVISE_UTIL_WIDGET_H_
+#define REVISE_UTIL_WIDGET_H_
+
+#include <cstddef>
+
+namespace revise {
+
+inline size_t WidgetCount(size_t n) {
+  // A qualified std::thread::hardware_concurrency() style mention in a
+  // comment must not trip the raw-thread rule.
+  return n + 1;
+}
+
+}  // namespace revise
+
+#endif  // REVISE_UTIL_WIDGET_H_

@@ -1,0 +1,57 @@
+# Self-test for revise_lint, run as a ctest (see tools/CMakeLists.txt):
+#   1. the known-good fixture tree lints clean;
+#   2. the known-bad tree fails and reports every rule id;
+#   3. the bad tree passes under an allowlist covering all findings;
+#   4. a stale allowlist entry fails a clean tree.
+#
+# Invoked as:
+#   cmake -DLINT=<binary> -DFIXTURES=<dir> -P lint_selftest.cmake
+
+function(expect_exit code description)
+  if(NOT RUN_RESULT EQUAL ${code})
+    message(FATAL_ERROR
+            "${description}: expected exit ${code}, got ${RUN_RESULT}\n"
+            "output:\n${RUN_OUTPUT}")
+  endif()
+endfunction()
+
+function(expect_output needle description)
+  string(FIND "${RUN_OUTPUT}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR
+            "${description}: expected output to mention '${needle}'\n"
+            "output:\n${RUN_OUTPUT}")
+  endif()
+endfunction()
+
+macro(run_lint)
+  execute_process(COMMAND ${LINT} ${ARGN}
+                  RESULT_VARIABLE RUN_RESULT
+                  OUTPUT_VARIABLE RUN_OUTPUT
+                  ERROR_VARIABLE RUN_OUTPUT)
+endmacro()
+
+# 1. Good tree is clean.
+run_lint(--root=${FIXTURES}/tree_good)
+expect_exit(0 "good tree")
+
+# 2. Bad tree fails and every rule fires.
+run_lint(--root=${FIXTURES}/tree_bad)
+expect_exit(1 "bad tree")
+foreach(rule unlimited-enumerate raw-thread include-guard
+        check-side-effect bench-json-meta)
+  expect_output("[${rule}]" "bad tree rule coverage")
+endforeach()
+
+# 3. Bad tree passes with a full allowlist.
+run_lint(--root=${FIXTURES}/tree_bad
+         --allowlist=${FIXTURES}/tree_bad_allowlist.txt)
+expect_exit(0 "allowlisted bad tree")
+
+# 4. A stale allowlist entry on a clean tree fails the run.
+run_lint(--root=${FIXTURES}/tree_good
+         --allowlist=${FIXTURES}/tree_bad_allowlist.txt)
+expect_exit(1 "stale allowlist")
+expect_output("stale allowlist entry" "stale allowlist message")
+
+message(STATUS "revise_lint self-test passed")
