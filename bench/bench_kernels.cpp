@@ -249,7 +249,7 @@ void BM_EnumerateModelsWarm(benchmark::State& state) {
   const Alphabet alphabet(
       UnionOfVars(std::vector<Formula>{family.t.AsFormula(), family.p}));
   ModelCache::Global().Clear();
-  EnumerateModels(naive, alphabet);  // fill
+  (void)EnumerateModels(naive, alphabet);  // fill
   for (auto _ : state) {
     benchmark::DoNotOptimize(EnumerateModels(naive, alphabet));
   }

@@ -4,11 +4,15 @@
 // prints the reproduced rows (computed from scratch at startup), then runs
 // google-benchmark timings for the machinery involved.  With --json[=path]
 // the reproduced rows, growth series, and an instrumentation snapshot are
-// also written as a machine-readable report (see obs/report.h).
+// also written as a machine-readable report (see obs/report.h).  With
+// --trace=<path> a Chrome Trace Event timeline of every recorded span is
+// written at exit (equivalent to REVISE_TRACE=chrome:<path>; the flag
+// wins when both are given).
 
 #ifndef REVISE_BENCH_BENCH_UTIL_H_
 #define REVISE_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -19,6 +23,7 @@
 #include "logic/theory.h"
 #include "logic/vocabulary.h"
 #include "obs/report.h"
+#include "obs/trace.h"
 #include "solve/model_cache.h"
 #include "util/parallel.h"
 #include "util/random.h"
@@ -50,13 +55,16 @@ inline std::string GrowthVerdict(const std::vector<uint64_t>& sizes) {
   return (r1 > 1.8 && r2 > 1.8) ? "EXPONENTIAL" : "polynomial";
 }
 
-// Handles the --json[=path] flag for a bench binary and owns its report.
+// Handles the --json[=path] and --trace=<path> flags for a bench binary
+// and owns its report.
 //
 // Construct before benchmark::Initialize (which rejects flags it does not
-// know): the constructor strips --json from argv.  The Measure*/Validate*
-// functions fill report() alongside their printf output; WriteIfRequested
-// serializes at exit.  Without --json the report is still assembled but
-// never written.
+// know): the constructor strips --json and --trace from argv.  The
+// Measure*/Validate* functions fill report() alongside their printf
+// output; WriteIfRequested serializes at exit.  Without --json the report
+// is still assembled but never written.  --trace=<path> switches span
+// collection to the Chrome sink (as REVISE_TRACE=chrome:<path> would) so
+// the run leaves a loadable timeline behind.
 class JsonReporter {
  public:
   JsonReporter(std::string_view bench_name, std::string default_path,
@@ -69,6 +77,10 @@ class JsonReporter {
       } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
         requested_ = true;
         path_ = argv[i] + 7;
+      } else if (std::strncmp(argv[i], "--trace=", 8) == 0 &&
+                 argv[i][8] != '\0') {
+        obs::SetChromeTracePath(argv[i] + 8);
+        obs::SetTraceSink(obs::TraceSink::kChrome);
       } else {
         argv[kept++] = argv[i];
       }
@@ -76,11 +88,24 @@ class JsonReporter {
     *argc = kept;
     // Execution-environment metadata so reports from different machines
     // and REVISE_THREADS / REVISE_MODEL_CACHE settings stay comparable.
-    report_.SetMeta("threads", obs::Json(static_cast<uint64_t>(
-                                   ParallelThreads())));
-    report_.SetMeta("hardware_threads",
-                    obs::Json(static_cast<uint64_t>(
-                        std::thread::hardware_concurrency())));
+    const uint64_t threads = static_cast<uint64_t>(ParallelThreads());
+    const uint64_t hardware =
+        static_cast<uint64_t>(std::thread::hardware_concurrency());
+    // Timings measured with more workers than cores are not comparable
+    // to true parallel runs; record what the machine can actually
+    // deliver and say so once.
+    const uint64_t effective =
+        hardware == 0 ? threads : std::min(threads, hardware);
+    if (hardware != 0 && threads > hardware) {
+      std::fprintf(stderr,
+                   "revise: REVISE_THREADS=%llu exceeds the %llu hardware "
+                   "threads; timings reflect oversubscription\n",
+                   static_cast<unsigned long long>(threads),
+                   static_cast<unsigned long long>(hardware));
+    }
+    report_.SetMeta("threads", obs::Json(threads));
+    report_.SetMeta("hardware_threads", obs::Json(hardware));
+    report_.SetMeta("effective_parallelism", obs::Json(effective));
     report_.SetMeta("model_cache_capacity",
                     obs::Json(static_cast<uint64_t>(
                         ModelCache::Global().capacity())));

@@ -9,7 +9,10 @@
 //   ask <formula>        is it entailed by the revised base?
 //   models               print the current model set
 //   size                 stored representation size
-//   :stats               instrumentation counters/gauges snapshot
+//   :stats               instrumentation snapshot: counters, gauges,
+//                        histogram percentiles, peak RSS
+//   :trace <path>        write a Chrome Trace Event file covering the
+//                        spans of the most recent `revise`
 //   reset                clear everything
 //   help, quit
 //
@@ -27,7 +30,9 @@
 #include <string>
 
 #include "core/librevise.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -68,7 +73,7 @@ class Repl {
       std::printf(
           "operator <name> | strategy <delayed|explicit|compact> |\n"
           "assert <f> | revise <f> | ask <f> | models | size | :stats | "
-          "reset | quit\n");
+          ":trace <path> | reset | quit\n");
       return true;
     }
     if (command == "operator") {
@@ -122,6 +127,9 @@ class Repl {
         return true;
       }
       EnsureKb();
+      // Keep only the spans of this revision in the buffer so a
+      // following :trace exports exactly one revision's timeline.
+      obs::ClearSpans();
       kb_->Revise(*f);
       std::printf("revised (%zu revision(s) so far)\n",
                   kb_->num_revisions());
@@ -153,7 +161,8 @@ class Repl {
     if (command == ":stats" || command == "stats") {
       const auto counters = obs::Registry::Global().SnapshotCounters();
       const auto gauges = obs::Registry::Global().SnapshotGauges();
-      if (counters.empty() && gauges.empty()) {
+      const auto histograms = obs::Registry::Global().SnapshotHistograms();
+      if (counters.empty() && gauges.empty() && histograms.empty()) {
         std::printf("no instrumentation recorded yet\n");
         return true;
       }
@@ -164,6 +173,38 @@ class Repl {
       for (const auto& [name, value] : gauges) {
         std::printf("%-28s %lld  (gauge)\n", name.c_str(),
                     static_cast<long long>(value));
+      }
+      for (const auto& [name, snapshot] : histograms) {
+        std::printf("%-28s n=%llu p50=%llu p90=%llu p99=%llu max=%llu\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(snapshot.count),
+                    static_cast<unsigned long long>(snapshot.p50),
+                    static_cast<unsigned long long>(snapshot.p90),
+                    static_cast<unsigned long long>(snapshot.p99),
+                    static_cast<unsigned long long>(snapshot.max));
+      }
+      std::printf("%-28s %llu bytes\n", "peak rss",
+                  static_cast<unsigned long long>(
+                      obs::MemoryStats::PeakRssBytes()));
+      return true;
+    }
+    if (command == ":trace") {
+      if (rest.empty()) {
+        std::printf("usage: :trace <path>\n");
+        return true;
+      }
+      if (obs::SnapshotSpans().empty()) {
+        std::printf(
+            "no spans recorded — run a `revise` first (tracing is "
+            "collected automatically)\n");
+        return true;
+      }
+      const Status status = obs::WriteChromeTrace(rest);
+      if (status.ok()) {
+        std::printf("chrome trace written to %s\n", rest.c_str());
+      } else {
+        std::printf("trace export failed: %s\n",
+                    status.ToString().c_str());
       }
       return true;
     }
@@ -202,6 +243,11 @@ class Repl {
 }  // namespace
 
 int main() {
+  // Collect spans silently so :trace always has a timeline to export;
+  // an explicit REVISE_TRACE setting (text/json/chrome) wins.
+  if (!revise::obs::TracingEnabled()) {
+    revise::obs::SetTraceSink(revise::obs::TraceSink::kSilent);
+  }
   Repl repl;
   repl.Run();
   return 0;

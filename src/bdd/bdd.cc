@@ -40,6 +40,13 @@ BddManager::NodeRef BddManager::MakeNode(uint32_t level, NodeRef low,
   obs::Registry::Global()
       .GetGauge("bdd.nodes")
       ->UpdateMax(static_cast<int64_t>(nodes_.size()));
+  // High-water estimate of the unique table: node storage plus the hash
+  // map entry (key, value, and two pointers of bucket overhead).
+  obs::Registry::Global()
+      .GetGauge("mem.bdd_unique_bytes")
+      ->UpdateMax(static_cast<int64_t>(
+          nodes_.size() * (sizeof(Node) + sizeof(NodeKey) +
+                           sizeof(NodeRef) + 2 * sizeof(void*))));
   return ref;
 }
 

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "logic/substitute.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "solve/distance.h"
 #include "solve/services.h"
@@ -58,22 +59,31 @@ Formula PointwiseBounded(const Formula& t, const Formula& p,
   return Formula::And(p, DisjoinAll(disjuncts));
 }
 
+// Feeds the construction's output size (the paper's |W| measure) into
+// the shared compact-size distribution; degenerate early-outs skip it.
+Formula RecordCompactSize(Formula f) {
+  REVISE_OBS_HISTOGRAM("compact.formula_size").Record(f.VarOccurrences());
+  return f;
+}
+
 }  // namespace
 
 Formula WinslettBounded(const Formula& t, const Formula& p) {
   obs::Span span("compact.WinslettBounded");
   // C delta S ⊊ S  <=>  C != 0 and C ⊆ S.
-  return PointwiseBounded(t, p, [](uint64_t c, uint64_t s) {
-    return c != 0 && (c & ~s) == 0;
-  });
+  return RecordCompactSize(
+      PointwiseBounded(t, p, [](uint64_t c, uint64_t s) {
+        return c != 0 && (c & ~s) == 0;
+      }));
 }
 
 Formula ForbusBounded(const Formula& t, const Formula& p) {
   obs::Span span("compact.ForbusBounded");
   // |C delta S| < |S|.
-  return PointwiseBounded(t, p, [](uint64_t c, uint64_t s) {
-    return std::popcount(c ^ s) < std::popcount(s);
-  });
+  return RecordCompactSize(
+      PointwiseBounded(t, p, [](uint64_t c, uint64_t s) {
+        return std::popcount(c ^ s) < std::popcount(s);
+      }));
 }
 
 Formula SatohBounded(const Formula& t, const Formula& p) {
@@ -89,7 +99,7 @@ Formula SatohBounded(const Formula& t, const Formula& p) {
     }
     disjuncts.push_back(FlipVars(t, s));
   }
-  return Formula::And(p, DisjoinAll(disjuncts));
+  return RecordCompactSize(Formula::And(p, DisjoinAll(disjuncts)));
 }
 
 Formula DalalBounded(const Formula& t, const Formula& p) {
@@ -105,7 +115,7 @@ Formula DalalBounded(const Formula& t, const Formula& p) {
     if (static_cast<size_t>(std::popcount(s)) != k) continue;
     disjuncts.push_back(FlipVars(t, SubsetByMask(vp, s)));
   }
-  return Formula::And(p, DisjoinAll(disjuncts));
+  return RecordCompactSize(Formula::And(p, DisjoinAll(disjuncts)));
 }
 
 Formula WeberBounded(const Formula& t, const Formula& p) {
@@ -123,7 +133,7 @@ Formula WeberBounded(const Formula& t, const Formula& p) {
   for (uint64_t s = 0; s < (uint64_t{1} << omega_vars.size()); ++s) {
     disjuncts.push_back(FlipVars(t, SubsetByMask(omega_vars, s)));
   }
-  return Formula::And(p, DisjoinAll(disjuncts));
+  return RecordCompactSize(Formula::And(p, DisjoinAll(disjuncts)));
 }
 
 Formula BorgidaBounded(const Formula& t, const Formula& p) {
@@ -131,7 +141,8 @@ Formula BorgidaBounded(const Formula& t, const Formula& p) {
   Formula degenerate;
   if (HandleDegenerate(t, p, &degenerate)) return degenerate;
   const Formula both = Formula::And(t, p);
-  if (IsSatisfiable(both)) return both;
+  if (IsSatisfiable(both)) return RecordCompactSize(both);
+  // Fallback delegates to WinslettBounded, which records its own size.
   return WinslettBounded(t, p);
 }
 

@@ -1,6 +1,7 @@
 #include "compact/single_revision.h"
 
 #include "compact/circuits.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "logic/substitute.h"
 #include "revision/formula_based.h"
@@ -8,6 +9,17 @@
 #include "solve/services.h"
 
 namespace revise {
+
+namespace {
+
+// Feeds the construction's output size (the paper's |W| measure) into
+// the shared compact-size distribution; degenerate early-outs skip it.
+Formula RecordCompactSize(Formula f) {
+  REVISE_OBS_HISTOGRAM("compact.formula_size").Record(f.VarOccurrences());
+  return f;
+}
+
+}  // namespace
 
 Formula DalalCompact(const Formula& t, const Formula& p,
                      Vocabulary* vocabulary) {
@@ -20,7 +32,7 @@ Formula DalalCompact(const Formula& t, const Formula& p,
   const std::vector<Var> y = vocabulary->FreshBlock("y", x.size());
   const Formula renamed_t = RenameVars(t, x, y);
   const Formula exa = ExaFormula(*k, x, y, vocabulary);
-  return Formula::And({renamed_t, p, exa});
+  return RecordCompactSize(Formula::And({renamed_t, p, exa}));
 }
 
 Formula WeberCompact(const Formula& t, const Formula& p,
@@ -35,12 +47,12 @@ Formula WeberCompact(const Formula& t, const Formula& p,
     if (omega.Get(i)) omega_vars.push_back(alphabet.var(i));
   }
   const std::vector<Var> z = vocabulary->FreshBlock("z", omega_vars.size());
-  return Formula::And(RenameVars(t, omega_vars, z), p);
+  return RecordCompactSize(Formula::And(RenameVars(t, omega_vars, z), p));
 }
 
 Formula WidtioCompact(const Theory& t, const Formula& p) {
   obs::Span span("compact.WIDTIO");
-  return WidtioTheory(t, p).AsFormula();
+  return RecordCompactSize(WidtioTheory(t, p).AsFormula());
 }
 
 }  // namespace revise

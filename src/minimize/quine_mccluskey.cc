@@ -52,6 +52,8 @@ std::vector<Implicant> PrimeImplicants(const std::vector<uint32_t>& minterms,
   std::sort(primes.begin(), primes.end());
   primes.erase(std::unique(primes.begin(), primes.end()), primes.end());
   REVISE_OBS_COUNTER("qm.prime_implicants").Increment(primes.size());
+  REVISE_OBS_HISTOGRAM("qm.primes_per_call")
+      .Record(static_cast<uint64_t>(primes.size()));
   return primes;
 }
 

@@ -1,0 +1,73 @@
+#include "obs/memory.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace revise::obs {
+
+namespace {
+
+// Largest VmHWM ever observed, so the reported peak is monotone even if
+// procfs is unavailable or resets across reads.
+std::atomic<uint64_t> g_observed_peak{0};
+
+// Returns the "<field>: N kB" value from /proc/self/status in bytes, or
+// 0 when the file or field is missing (non-Linux platforms).
+uint64_t ReadProcStatusBytes(const char* field) {
+  uint64_t bytes = 0;
+#if defined(__linux__)
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  const size_t field_len = std::strlen(field);
+  char line[256];
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, field, field_len) != 0 ||
+        line[field_len] != ':') {
+      continue;
+    }
+    unsigned long long kib = 0;
+    if (std::sscanf(line + field_len + 1, "%llu", &kib) == 1) {
+      bytes = static_cast<uint64_t>(kib) * 1024;
+    }
+    break;
+  }
+  std::fclose(file);
+#else
+  (void)field;
+#endif
+  return bytes;
+}
+
+}  // namespace
+
+uint64_t MemoryStats::PeakRssBytes() {
+  const uint64_t read = ReadProcStatusBytes("VmHWM");
+  uint64_t seen = g_observed_peak.load(std::memory_order_relaxed);
+  while (read > seen && !g_observed_peak.compare_exchange_weak(
+                            seen, read, std::memory_order_relaxed)) {
+  }
+  return read > seen ? read : seen;
+}
+
+uint64_t MemoryStats::CurrentRssBytes() {
+  return ReadProcStatusBytes("VmRSS");
+}
+
+Json MemoryStats::ToJson() {
+  Json doc = Json::MakeObject();
+  // VmRSS is maintained with batched per-thread counters and can briefly
+  // exceed the precisely-accounted VmHWM; clamp so peak >= current holds.
+  const uint64_t current = CurrentRssBytes();
+  const uint64_t peak = PeakRssBytes();
+  doc["peak_rss_bytes"] = peak > current ? peak : current;
+  doc["current_rss_bytes"] = current;
+  for (const auto& [name, value] : Registry::Global().SnapshotGauges()) {
+    if (name.rfind("mem.", 0) == 0) doc[name] = value;
+  }
+  return doc;
+}
+
+}  // namespace revise::obs

@@ -1,0 +1,41 @@
+// Process memory accounting for bench reports and the REPL.
+//
+// Two sources are combined:
+//   * the OS view — peak and current resident set size read from
+//     /proc/self/status (VmHWM / VmRSS).  On platforms without procfs
+//     both read as 0, and the peak additionally remembers the largest
+//     value this process ever observed, so PeakRssBytes() is monotone
+//     non-decreasing within a run regardless of the kernel's bookkeeping;
+//   * the library's own view — `mem.*` byte gauges maintained by the
+//     subsystems that hold the big allocations (model cache entries, BDD
+//     unique tables, interned vocabulary names), which attribute the RSS
+//     to owners.
+//
+// MemoryStats::ToJson() snapshots both into one object; report.h embeds
+// it in every schema-v2 report.
+
+#ifndef REVISE_OBS_MEMORY_H_
+#define REVISE_OBS_MEMORY_H_
+
+#include <cstdint>
+
+#include "obs/json.h"
+
+namespace revise::obs {
+
+class MemoryStats {
+ public:
+  // Peak resident set size in bytes (monotone within the process).
+  static uint64_t PeakRssBytes();
+  // Current resident set size in bytes (0 where unsupported).
+  static uint64_t CurrentRssBytes();
+
+  // {"peak_rss_bytes": ..., "current_rss_bytes": ...,
+  //  "mem.model_cache_bytes": ..., ...} — the RSS figures plus every
+  //  registered `mem.*` gauge.
+  static Json ToJson();
+};
+
+}  // namespace revise::obs
+
+#endif  // REVISE_OBS_MEMORY_H_

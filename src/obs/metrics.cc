@@ -29,6 +29,17 @@ Gauge* Registry::GetGauge(std::string_view name) {
   return it->second.get();
 }
 
+Histogram* Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    std::string key(name);
+    auto histogram = std::unique_ptr<Histogram>(new Histogram(key));
+    it = histograms_.emplace(std::move(key), std::move(histogram)).first;
+  }
+  return it->second.get();
+}
+
 std::vector<std::pair<std::string, uint64_t>> Registry::SnapshotCounters()
     const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -50,10 +61,23 @@ std::vector<std::pair<std::string, int64_t>> Registry::SnapshotGauges() const {
   return snapshot;
 }
 
+std::vector<std::pair<std::string, HistogramSnapshot>>
+Registry::SnapshotHistograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> snapshot;
+  snapshot.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    if (histogram->Count() == 0) continue;
+    snapshot.emplace_back(name, histogram->Snapshot());
+  }
+  return snapshot;
+}
+
 void Registry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
 }  // namespace revise::obs

@@ -25,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/histogram.h"
+
 namespace revise::obs {
 
 // A monotonic event counter.
@@ -72,14 +74,19 @@ class Registry {
   // The process-wide registry used by all instrumented subsystems.
   static Registry& Global();
 
-  // Returns the counter/gauge registered under `name`, creating it on
-  // first use.  The returned pointer is stable for the registry lifetime.
+  // Returns the counter/gauge/histogram registered under `name`, creating
+  // it on first use.  The returned pointer is stable for the registry
+  // lifetime.
   Counter* GetCounter(std::string_view name);
   Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
 
   // Name-sorted snapshots of every registered instrument.
   std::vector<std::pair<std::string, uint64_t>> SnapshotCounters() const;
   std::vector<std::pair<std::string, int64_t>> SnapshotGauges() const;
+  // Histograms that never recorded a sample are skipped.
+  std::vector<std::pair<std::string, HistogramSnapshot>> SnapshotHistograms()
+      const;
 
   // Zeroes every instrument (instruments stay registered).
   void ResetAll();
@@ -88,6 +95,7 @@ class Registry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
 }  // namespace revise::obs
@@ -108,6 +116,16 @@ class Registry {
     static ::revise::obs::Gauge* const revise_obs_gauge_ =                \
         ::revise::obs::Registry::Global().GetGauge(name);                 \
     return *revise_obs_gauge_;                                            \
+  }())
+
+// Returns a reference to the named global histogram, resolving the
+// registry lookup once per call site (the distribution analogue of
+// REVISE_OBS_COUNTER).
+#define REVISE_OBS_HISTOGRAM(name)                                        \
+  ([]() -> ::revise::obs::Histogram& {                                    \
+    static ::revise::obs::Histogram* const revise_obs_histogram_ =        \
+        ::revise::obs::Registry::Global().GetHistogram(name);             \
+    return *revise_obs_histogram_;                                        \
   }())
 
 #endif  // REVISE_OBS_METRICS_H_

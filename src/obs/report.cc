@@ -1,12 +1,57 @@
 #include "obs/report.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string_view>
+#include <thread>
 #include <utility>
 
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/parallel.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+extern char** environ;
+#endif
+
+#ifndef REVISE_GIT_SHA
+#define REVISE_GIT_SHA "unknown"
+#endif
+#ifndef REVISE_BUILD_TYPE
+#define REVISE_BUILD_TYPE "unknown"
+#endif
 
 namespace revise::obs {
+
+Json BuildManifest() {
+  Json manifest = Json::MakeObject();
+  manifest["git_sha"] = REVISE_GIT_SHA;
+#if defined(__clang__)
+  manifest["compiler"] = std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  manifest["compiler"] = std::string("gcc ") + __VERSION__;
+#else
+  manifest["compiler"] = "unknown";
+#endif
+  manifest["build_type"] = REVISE_BUILD_TYPE;
+  manifest["threads"] = static_cast<uint64_t>(ParallelThreads());
+  manifest["hardware_threads"] =
+      static_cast<uint64_t>(std::thread::hardware_concurrency());
+  Json env = Json::MakeObject();
+#if defined(__unix__) || defined(__APPLE__)
+  for (char** entry = environ; entry != nullptr && *entry != nullptr;
+       ++entry) {
+    const std::string_view var(*entry);
+    if (var.rfind("REVISE_", 0) != 0) continue;
+    const size_t eq = var.find('=');
+    if (eq == std::string_view::npos) continue;
+    env[var.substr(0, eq)] = var.substr(eq + 1);
+  }
+#endif
+  manifest["env"] = std::move(env);
+  return manifest;
+}
 
 void Report::SetMeta(std::string_view key, Json value) {
   meta_[key] = std::move(value);
@@ -47,6 +92,7 @@ Json Report::ToJson() const {
   Json doc = Json::MakeObject();
   doc["schema_version"] = kSchemaVersion;
   doc["name"] = name_;
+  doc["manifest"] = BuildManifest();
   doc["meta"] = meta_;
 
   Json tables = Json::MakeArray();
@@ -91,11 +137,30 @@ Json Report::ToJson() const {
   }
   doc["gauges"] = std::move(gauges);
 
+  Json histograms = Json::MakeObject();
+  for (const auto& [name, snapshot] :
+       Registry::Global().SnapshotHistograms()) {
+    Json entry = Json::MakeObject();
+    entry["count"] = snapshot.count;
+    entry["sum"] = snapshot.sum;
+    entry["min"] = snapshot.min;
+    entry["max"] = snapshot.max;
+    entry["mean"] = snapshot.Mean();
+    entry["p50"] = snapshot.p50;
+    entry["p90"] = snapshot.p90;
+    entry["p99"] = snapshot.p99;
+    histograms[name] = std::move(entry);
+  }
+  doc["histograms"] = std::move(histograms);
+
+  doc["memory"] = MemoryStats::ToJson();
+
   Json spans = Json::MakeArray();
   for (const SpanRecord& span : SnapshotSpans()) {
     Json entry = Json::MakeObject();
     entry["name"] = span.name;
     entry["depth"] = span.depth;
+    entry["tid"] = span.tid;
     entry["start_ns"] = span.start_ns;
     entry["duration_ns"] = span.duration_ns;
     spans.Append(std::move(entry));

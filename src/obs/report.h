@@ -3,23 +3,34 @@
 // A Report accumulates the artefacts of one bench (or test) run —
 // reproduced table rows, per-family size series, free-form metadata —
 // and serializes them together with a snapshot of the global counter
-// registry and span buffer to a stable JSON schema:
+// registry, histogram registry, memory accounting, and span buffer to a
+// stable JSON schema:
 //
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "name": "<bench name>",
+//     "manifest": { "git_sha": ..., "compiler": ..., "build_type": ...,
+//                   "threads": ..., "hardware_threads": ...,
+//                   "env": { "REVISE_THREADS": "8", ... } },
 //     "meta": { ... },
 //     "tables": [ {"name": ..., "columns": [...], "rows": [[...], ...]} ],
 //     "series": [ {"name": ..., "values": [...], "verdict": "..."} ],
 //     "counters": { "sat.conflicts": 123, ... },
 //     "gauges": { "bdd.nodes": 42, ... },
-//     "spans": [ {"name": ..., "depth": 0, "start_ns": ...,
+//     "histograms": { "revise.Dalal": {"count": ..., "sum": ...,
+//                     "min": ..., "max": ..., "mean": ..., "p50": ...,
+//                     "p90": ..., "p99": ...}, ... },
+//     "memory": { "peak_rss_bytes": ..., "current_rss_bytes": ...,
+//                 "mem.model_cache_bytes": ..., ... },
+//     "spans": [ {"name": ..., "depth": 0, "tid": 0, "start_ns": ...,
 //                 "duration_ns": ...} ]
 //   }
 //
 // Field order is fixed (Json objects preserve insertion order), so the
 // emitted artefacts diff cleanly between runs.  Bump `kSchemaVersion`
 // when the layout changes; tests/obs_test.cc validates the schema.
+// Schema history: v1 had no manifest/histograms/memory blocks and no
+// span thread ids; v2 readers (tools/revise_benchdiff.cc) accept both.
 
 #ifndef REVISE_OBS_REPORT_H_
 #define REVISE_OBS_REPORT_H_
@@ -33,7 +44,12 @@
 
 namespace revise::obs {
 
-inline constexpr int kSchemaVersion = 1;
+inline constexpr int kSchemaVersion = 2;
+
+// The build/run provenance block embedded in every report: git sha and
+// compiler baked in at build time, thread configuration and the REVISE_*
+// environment read at call time.
+Json BuildManifest();
 
 class Report {
  public:

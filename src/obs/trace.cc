@@ -5,8 +5,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <utility>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace revise::obs {
 
@@ -21,31 +23,96 @@ int64_t NowNanos() {
 std::atomic<TraceSink> g_sink{TraceSink::kNone};
 std::atomic<bool> g_enabled{false};
 
+// The bounded span ring.  `ring` grows with push_back until `capacity`,
+// then wraps: `write_pos` is the index of the oldest record (the next one
+// to be overwritten).
+struct SpanBufferState {
+  std::vector<SpanRecord> ring;
+  size_t capacity = kDefaultSpanBufferCapacity;
+  size_t write_pos = 0;
+};
+
 std::mutex g_spans_mu;
-std::vector<SpanRecord>& SpanBuffer() {
-  static std::vector<SpanRecord>* const buffer =
-      new std::vector<SpanRecord>();
+SpanBufferState& SpanBuffer() {
+  static SpanBufferState* const buffer = new SpanBufferState();
   return *buffer;
+}
+
+std::mutex g_chrome_mu;
+std::string& ChromePath() {
+  static std::string* const path = new std::string();
+  return *path;
 }
 
 thread_local int t_depth = 0;
 
-// Reads REVISE_TRACE once, before the first sink query.
+// Stable small thread ids in first-span order (the Chrome trace track
+// order).  The main thread usually traces first and gets 0.
+std::atomic<int> g_next_tid{0};
+int ThisThreadTid() {
+  thread_local const int tid =
+      g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void WriteChromeTraceAtExit() {
+  if (GetTraceSink() != TraceSink::kChrome) return;
+  const std::string path = GetChromeTracePath();
+  if (path.empty()) return;
+  const Status status = WriteChromeTrace(path);
+  if (status.ok()) {
+    std::fprintf(stderr, "revise: chrome trace written to %s\n",
+                 path.c_str());
+  } else {
+    std::fprintf(stderr, "revise: chrome trace export failed: %s\n",
+                 status.ToString().c_str());
+  }
+}
+
+void RegisterChromeAtExitOnce() {
+  static const bool registered = [] {
+    std::atexit(WriteChromeTraceAtExit);
+    return true;
+  }();
+  (void)registered;
+}
+
+// Reads REVISE_TRACE (and REVISE_TRACE_BUFFER) once, before the first
+// sink query.
 TraceSink SinkFromEnvironment() {
   const char* value = std::getenv("REVISE_TRACE");
   if (value == nullptr || *value == '\0') return TraceSink::kNone;
   if (std::strcmp(value, "text") == 0) return TraceSink::kText;
   if (std::strcmp(value, "json") == 0) return TraceSink::kJson;
   if (std::strcmp(value, "off") == 0) return TraceSink::kSilent;
+  if (std::strncmp(value, "chrome:", 7) == 0 && value[7] != '\0') {
+    SetChromeTracePath(value + 7);
+    return TraceSink::kChrome;
+  }
   std::fprintf(stderr,
                "revise: ignoring unknown REVISE_TRACE value '%s' "
-               "(expected text, json, or off)\n",
+               "(expected text, json, off, or chrome:<path>)\n",
                value);
   return TraceSink::kNone;
 }
 
 struct EnvironmentInit {
-  EnvironmentInit() { SetTraceSink(SinkFromEnvironment()); }
+  EnvironmentInit() {
+    if (const char* cap = std::getenv("REVISE_TRACE_BUFFER");
+        cap != nullptr && *cap != '\0') {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(cap, &end, 10);
+      if (end != nullptr && *end == '\0') {
+        SetSpanBufferCapacity(static_cast<size_t>(parsed));
+      } else {
+        std::fprintf(stderr,
+                     "revise: ignoring non-numeric REVISE_TRACE_BUFFER "
+                     "value '%s'\n",
+                     cap);
+      }
+    }
+    SetTraceSink(SinkFromEnvironment());
+  }
 };
 EnvironmentInit g_environment_init;
 
@@ -58,20 +125,99 @@ int64_t Stopwatch::ElapsedNanos() const { return NowNanos() - start_ns_; }
 void SetTraceSink(TraceSink sink) {
   g_sink.store(sink, std::memory_order_relaxed);
   g_enabled.store(sink != TraceSink::kNone, std::memory_order_relaxed);
+  if (sink == TraceSink::kChrome) RegisterChromeAtExitOnce();
 }
 
 TraceSink GetTraceSink() { return g_sink.load(std::memory_order_relaxed); }
 
 bool TracingEnabled() { return g_enabled.load(std::memory_order_relaxed); }
 
+void SetChromeTracePath(std::string path) {
+  {
+    std::lock_guard<std::mutex> lock(g_chrome_mu);
+    ChromePath() = std::move(path);
+  }
+  RegisterChromeAtExitOnce();
+}
+
+std::string GetChromeTracePath() {
+  std::lock_guard<std::mutex> lock(g_chrome_mu);
+  return ChromePath();
+}
+
 std::vector<SpanRecord> SnapshotSpans() {
   std::lock_guard<std::mutex> lock(g_spans_mu);
-  return SpanBuffer();
+  const SpanBufferState& state = SpanBuffer();
+  if (state.ring.size() < state.capacity || state.write_pos == 0) {
+    return state.ring;
+  }
+  std::vector<SpanRecord> ordered;
+  ordered.reserve(state.ring.size());
+  ordered.insert(ordered.end(), state.ring.begin() + static_cast<ptrdiff_t>(
+                                                         state.write_pos),
+                 state.ring.end());
+  ordered.insert(ordered.end(), state.ring.begin(),
+                 state.ring.begin() + static_cast<ptrdiff_t>(state.write_pos));
+  return ordered;
 }
 
 void ClearSpans() {
   std::lock_guard<std::mutex> lock(g_spans_mu);
-  SpanBuffer().clear();
+  SpanBuffer().ring.clear();
+  SpanBuffer().write_pos = 0;
+}
+
+void SetSpanBufferCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(g_spans_mu);
+  SpanBufferState& state = SpanBuffer();
+  state.capacity = capacity == 0 ? 1 : capacity;
+  state.ring.clear();
+  state.ring.shrink_to_fit();
+  state.write_pos = 0;
+}
+
+size_t SpanBufferCapacity() {
+  std::lock_guard<std::mutex> lock(g_spans_mu);
+  return SpanBuffer().capacity;
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  const std::vector<SpanRecord> spans = SnapshotSpans();
+  int64_t epoch_ns = 0;
+  for (const SpanRecord& span : spans) {
+    if (epoch_ns == 0 || span.start_ns < epoch_ns) epoch_ns = span.start_ns;
+  }
+  Json doc = Json::MakeObject();
+  Json events = Json::MakeArray();
+  for (const SpanRecord& span : spans) {
+    Json event = Json::MakeObject();
+    event["name"] = span.name;
+    event["cat"] = "revise";
+    event["ph"] = "X";
+    event["ts"] = static_cast<double>(span.start_ns - epoch_ns) * 1e-3;
+    event["dur"] = static_cast<double>(span.duration_ns) * 1e-3;
+    event["pid"] = 1;
+    event["tid"] = span.tid;
+    Json args = Json::MakeObject();
+    args["depth"] = span.depth;
+    event["args"] = std::move(args);
+    events.Append(std::move(event));
+  }
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ms";
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return InternalError("cannot open trace file: " + path);
+  }
+  const std::string text = doc.Dump(/*indent=*/1);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool newline_ok = std::fputc('\n', file) != EOF;
+  const bool close_ok = std::fclose(file) == 0;
+  if (written != text.size() || !newline_ok || !close_ok) {
+    return InternalError("short write to trace file: " + path);
+  }
+  return Status::Ok();
 }
 
 void Span::Begin(std::string_view name) {
@@ -87,9 +233,21 @@ void Span::End() {
   active_ = false;
   const TraceSink sink = GetTraceSink();
   if (sink == TraceSink::kNone) return;  // sink removed mid-span
+  const int tid = ThisThreadTid();
+  // Per-name duration distribution for the report's histograms section.
+  Registry::Global().GetHistogram(name_)->Record(
+      duration_ns < 0 ? 0 : static_cast<uint64_t>(duration_ns));
   {
     std::lock_guard<std::mutex> lock(g_spans_mu);
-    SpanBuffer().push_back(SpanRecord{name_, depth_, start_ns_, duration_ns});
+    SpanBufferState& state = SpanBuffer();
+    SpanRecord record{name_, depth_, tid, start_ns_, duration_ns};
+    if (state.ring.size() < state.capacity) {
+      state.ring.push_back(std::move(record));
+    } else {
+      state.ring[state.write_pos] = std::move(record);
+      state.write_pos = (state.write_pos + 1) % state.capacity;
+      REVISE_OBS_COUNTER("obs.spans_dropped").Increment();
+    }
   }
   if (sink == TraceSink::kText) {
     std::fprintf(stderr, "%*s%s  %.3f ms\n", depth_ * 2, "", name_.c_str(),
@@ -98,6 +256,7 @@ void Span::End() {
     Json line = Json::MakeObject();
     line["span"] = name_;
     line["depth"] = depth_;
+    line["tid"] = tid;
     line["start_ns"] = start_ns_;
     line["duration_ns"] = duration_ns;
     std::fprintf(stderr, "%s\n", line.Dump().c_str());

@@ -1,18 +1,29 @@
-// Scoped RAII timing spans and a monotonic Stopwatch.
+// Scoped RAII timing spans, a monotonic Stopwatch, and timeline export.
 //
 // A `Span` marks a timed region.  When tracing is off (the default) a
 // Span costs one relaxed atomic load at construction and nothing at
 // destruction — no string is built, no clock is read.  When a sink is
 // installed (SetTraceSink or the REVISE_TRACE environment variable),
-// spans record {name, depth, start, duration} into a process-wide buffer
-// and optionally stream to stderr:
+// spans record {name, depth, thread, start, duration} into a bounded
+// process-wide ring buffer, feed a per-name duration histogram in the
+// Registry, and optionally stream to stderr:
 //
-//   REVISE_TRACE=text   indented human-readable lines on stderr
-//   REVISE_TRACE=json   one JSON object per line on stderr
-//   REVISE_TRACE=off    collect spans silently (available to report.h)
+//   REVISE_TRACE=text           indented human-readable lines on stderr
+//   REVISE_TRACE=json           one JSON object per line on stderr
+//   REVISE_TRACE=off            collect spans silently (for report.h)
+//   REVISE_TRACE=chrome:<path>  collect silently and write a Chrome
+//                               Trace Event file (chrome://tracing or
+//                               Perfetto loadable) to <path> at exit
 //
-// Nesting is tracked with a thread-local depth counter, so the recorded
-// spans reconstruct the call tree per thread.
+// The span buffer is a ring of REVISE_TRACE_BUFFER records (default
+// 65536): long runs stay bounded, the oldest spans are overwritten, and
+// every overwrite increments the `obs.spans_dropped` counter so a
+// truncated timeline is self-announcing.
+//
+// Nesting is tracked with a thread-local depth counter and each thread
+// gets a stable small integer id (in first-span order), so the recorded
+// spans reconstruct the call tree per thread and export as a
+// multi-track timeline.
 
 #ifndef REVISE_OBS_TRACE_H_
 #define REVISE_OBS_TRACE_H_
@@ -22,6 +33,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/status.h"
 
 namespace revise::obs {
 
@@ -45,6 +58,7 @@ enum class TraceSink {
   kSilent,  // collect spans in the buffer only
   kText,    // buffer + indented text on stderr
   kJson,    // buffer + JSON lines on stderr
+  kChrome,  // buffer only; a Chrome trace file is written at exit
 };
 
 // Installs a sink.  kNone disables tracing (and is the default unless the
@@ -55,17 +69,36 @@ TraceSink GetTraceSink();
 // Fast check used by Span construction.
 bool TracingEnabled();
 
+// Destination for the Chrome Trace Event export when the kChrome sink is
+// active (set from REVISE_TRACE=chrome:<path> or the --trace flag).
+void SetChromeTracePath(std::string path);
+std::string GetChromeTracePath();
+
 // One finished span as recorded in the buffer.
 struct SpanRecord {
   std::string name;
   int depth = 0;           // nesting level within its thread, 0 = root
+  int tid = 0;             // stable thread id, 0 = first tracing thread
   int64_t start_ns = 0;    // steady-clock time at span entry
   int64_t duration_ns = 0;
 };
 
-// Copies the buffered spans (in completion order).
+// Copies the buffered spans (oldest surviving record first, then
+// completion order).
 std::vector<SpanRecord> SnapshotSpans();
 void ClearSpans();
+
+// Replaces the ring capacity (dropping any buffered spans).  Default is
+// kDefaultSpanBufferCapacity, overridable with REVISE_TRACE_BUFFER; a
+// test hook as much as a tuning knob.  Capacity 0 is clamped to 1.
+inline constexpr size_t kDefaultSpanBufferCapacity = 65536;
+void SetSpanBufferCapacity(size_t capacity);
+size_t SpanBufferCapacity();
+
+// Serializes the current span buffer as a Chrome Trace Event JSON object
+// ({"traceEvents": [...]}, "X" complete events, microsecond timestamps
+// rebased to the earliest buffered span, one track per thread id).
+Status WriteChromeTrace(const std::string& path);
 
 // RAII timed region.  `name` should follow the `subsystem.action`
 // convention, e.g. Span span("revise.Dalal");

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -140,7 +142,17 @@ Interpretation WeberOmegaOfSets(const ModelSet& mt, const ModelSet& mp) {
   return omega;
 }
 
-ModelSet WinslettModels(const ModelSet& mt, const ModelSet& mp) {
+namespace {
+
+// The revised set's cardinality is the paper's headline quantity — feed
+// every kernel result into one distribution.
+ModelSet RecordKernelResult(ModelSet result) {
+  REVISE_OBS_HISTOGRAM("revise.result_models")
+      .Record(static_cast<uint64_t>(result.size()));
+  return result;
+}
+
+ModelSet WinslettModelsImpl(const ModelSet& mt, const ModelSet& mp) {
   REVISE_CHECK(mt.alphabet() == mp.alphabet());
   ModelSet degenerate;
   if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
@@ -166,16 +178,16 @@ ModelSet WinslettModels(const ModelSet& mt, const ModelSet& mp) {
   return ModelSet(mp.alphabet(), std::move(selected));
 }
 
-ModelSet BorgidaModels(const ModelSet& mt, const ModelSet& mp) {
+ModelSet BorgidaModelsImpl(const ModelSet& mt, const ModelSet& mp) {
   REVISE_CHECK(mt.alphabet() == mp.alphabet());
   ModelSet degenerate;
   if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
   const ModelSet both = ModelSet::Intersection(mt, mp);
   if (!both.empty()) return both;
-  return WinslettModels(mt, mp);
+  return WinslettModelsImpl(mt, mp);
 }
 
-ModelSet ForbusModels(const ModelSet& mt, const ModelSet& mp) {
+ModelSet ForbusModelsImpl(const ModelSet& mt, const ModelSet& mp) {
   REVISE_CHECK(mt.alphabet() == mp.alphabet());
   ModelSet degenerate;
   if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
@@ -195,7 +207,7 @@ ModelSet ForbusModels(const ModelSet& mt, const ModelSet& mp) {
   return ModelSet(mp.alphabet(), std::move(selected));
 }
 
-ModelSet SatohModels(const ModelSet& mt, const ModelSet& mp) {
+ModelSet SatohModelsImpl(const ModelSet& mt, const ModelSet& mp) {
   REVISE_CHECK(mt.alphabet() == mp.alphabet());
   ModelSet degenerate;
   if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
@@ -212,7 +224,7 @@ ModelSet SatohModels(const ModelSet& mt, const ModelSet& mp) {
                   }));
 }
 
-ModelSet DalalModels(const ModelSet& mt, const ModelSet& mp) {
+ModelSet DalalModelsImpl(const ModelSet& mt, const ModelSet& mp) {
   REVISE_CHECK(mt.alphabet() == mp.alphabet());
   ModelSet degenerate;
   if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
@@ -226,7 +238,7 @@ ModelSet DalalModels(const ModelSet& mt, const ModelSet& mp) {
                   }));
 }
 
-ModelSet WeberModels(const ModelSet& mt, const ModelSet& mp) {
+ModelSet WeberModelsImpl(const ModelSet& mt, const ModelSet& mp) {
   REVISE_CHECK(mt.alphabet() == mp.alphabet());
   ModelSet degenerate;
   if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
@@ -238,6 +250,42 @@ ModelSet WeberModels(const ModelSet& mt, const ModelSet& mp) {
                     }
                     return false;
                   }));
+}
+
+}  // namespace
+
+// Public kernel entry points: a timed span per call (whose duration
+// feeds the same-named histogram when tracing is active) around the
+// untimed implementations above.
+
+ModelSet WinslettModels(const ModelSet& mt, const ModelSet& mp) {
+  obs::Span span("revise.kernel.Winslett");
+  return RecordKernelResult(WinslettModelsImpl(mt, mp));
+}
+
+ModelSet BorgidaModels(const ModelSet& mt, const ModelSet& mp) {
+  obs::Span span("revise.kernel.Borgida");
+  return RecordKernelResult(BorgidaModelsImpl(mt, mp));
+}
+
+ModelSet ForbusModels(const ModelSet& mt, const ModelSet& mp) {
+  obs::Span span("revise.kernel.Forbus");
+  return RecordKernelResult(ForbusModelsImpl(mt, mp));
+}
+
+ModelSet SatohModels(const ModelSet& mt, const ModelSet& mp) {
+  obs::Span span("revise.kernel.Satoh");
+  return RecordKernelResult(SatohModelsImpl(mt, mp));
+}
+
+ModelSet DalalModels(const ModelSet& mt, const ModelSet& mp) {
+  obs::Span span("revise.kernel.Dalal");
+  return RecordKernelResult(DalalModelsImpl(mt, mp));
+}
+
+ModelSet WeberModels(const ModelSet& mt, const ModelSet& mp) {
+  obs::Span span("revise.kernel.Weber");
+  return RecordKernelResult(WeberModelsImpl(mt, mp));
 }
 
 }  // namespace revise

@@ -105,11 +105,23 @@ ModelSet WeberOperator::ReviseModelSets(const ModelSet& mt,
   return WeberModels(mt, mp);
 }
 
+namespace {
+
+// Formula-based operators funnel their result cardinalities into the
+// same distribution the model-based kernels feed (model_based.cc).
+ModelSet RecordRevisionResult(ModelSet result) {
+  REVISE_OBS_HISTOGRAM("revise.result_models")
+      .Record(static_cast<uint64_t>(result.size()));
+  return result;
+}
+
+}  // namespace
+
 ModelSet GfuvOperator::ReviseModels(const Theory& t, const Formula& p,
                                     const Alphabet& alphabet) const {
   obs::Span span("revise.", name());
   REVISE_OBS_COUNTER("revise.operations").Increment();
-  return EnumerateModels(ReviseFormula(t, p), alphabet);
+  return RecordRevisionResult(EnumerateModels(ReviseFormula(t, p), alphabet));
 }
 
 Formula GfuvOperator::ReviseFormula(const Theory& t,
@@ -121,7 +133,7 @@ ModelSet WidtioOperator::ReviseModels(const Theory& t, const Formula& p,
                                       const Alphabet& alphabet) const {
   obs::Span span("revise.", name());
   REVISE_OBS_COUNTER("revise.operations").Increment();
-  return EnumerateModels(ReviseFormula(t, p), alphabet);
+  return RecordRevisionResult(EnumerateModels(ReviseFormula(t, p), alphabet));
 }
 
 Formula WidtioOperator::ReviseFormula(const Theory& t,
@@ -153,7 +165,8 @@ ModelSet NebelOperator::ReviseModels(const std::vector<Theory>& classes,
                                      const Alphabet& alphabet) const {
   obs::Span span("revise.", name());
   REVISE_OBS_COUNTER("revise.operations").Increment();
-  return EnumerateModels(NebelFormula(classes, p), alphabet);
+  return RecordRevisionResult(
+      EnumerateModels(NebelFormula(classes, p), alphabet));
 }
 
 Formula NebelOperator::ReviseFormula(const std::vector<Theory>& classes,

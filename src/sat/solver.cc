@@ -537,6 +537,8 @@ Solver::Result Solver::SolveAssuming(const std::vector<Lit>& assumptions) {
       .Increment(stats_.conflicts - before.conflicts);
   REVISE_OBS_COUNTER("sat.decisions")
       .Increment(stats_.decisions - before.decisions);
+  REVISE_OBS_HISTOGRAM("sat.decisions_per_solve")
+      .Record(stats_.decisions - before.decisions);
   REVISE_OBS_COUNTER("sat.propagations")
       .Increment(stats_.propagations - before.propagations);
   REVISE_OBS_COUNTER("sat.restarts").Increment(stats_.restarts - before.restarts);

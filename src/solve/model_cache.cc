@@ -38,6 +38,20 @@ uint64_t KeyHash(const Formula& f, const Alphabet& alphabet) {
 
 }  // namespace
 
+uint64_t ModelCache::ApproxEntryBytes(const Entry& entry) {
+  // Models dominate: one words vector per interpretation plus the object
+  // header.  The formula DAG is shared/interned, so only the fixed entry
+  // overhead is attributed here.
+  const uint64_t words = (entry.alphabet.size() + 63) / 64;
+  return sizeof(Entry) +
+         entry.models.size() * (sizeof(Interpretation) + words * 8);
+}
+
+void ModelCache::PublishBytesLocked() const {
+  REVISE_OBS_GAUGE("mem.model_cache_bytes")
+      .Set(static_cast<int64_t>(bytes_));
+}
+
 ModelCache& ModelCache::Global() {
   static ModelCache* const cache = new ModelCache(CapacityFromEnvironment());
   return *cache;
@@ -77,16 +91,21 @@ void ModelCache::Insert(const Formula& f, const Alphabet& alphabet,
   const uint64_t hash = KeyHash(f, alphabet);
   const auto it = FindLocked(hash, f, alphabet);
   if (it != lru_.end()) {
+    bytes_ -= ApproxEntryBytes(*it);
     it->models = models;
+    bytes_ += ApproxEntryBytes(*it);
     lru_.splice(lru_.begin(), lru_, it);
+    PublishBytesLocked();
     return;
   }
   lru_.push_front(Entry{hash, f, alphabet, models});
+  bytes_ += ApproxEntryBytes(lru_.front());
   index_.emplace(hash, lru_.begin());
   REVISE_OBS_COUNTER("solve.model_cache.insertions").Increment();
   EvictOverCapacityLocked();
   REVISE_OBS_GAUGE("solve.model_cache.size")
       .Set(static_cast<int64_t>(lru_.size()));
+  PublishBytesLocked();
 }
 
 void ModelCache::EvictOverCapacityLocked() {
@@ -99,6 +118,7 @@ void ModelCache::EvictOverCapacityLocked() {
         break;
       }
     }
+    bytes_ -= ApproxEntryBytes(*victim);
     lru_.erase(victim);
     REVISE_OBS_COUNTER("solve.model_cache.evictions").Increment();
   }
@@ -108,7 +128,9 @@ void ModelCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  bytes_ = 0;
   REVISE_OBS_GAUGE("solve.model_cache.size").Set(0);
+  PublishBytesLocked();
 }
 
 void ModelCache::set_capacity(size_t capacity) {
@@ -117,6 +139,7 @@ void ModelCache::set_capacity(size_t capacity) {
   EvictOverCapacityLocked();
   REVISE_OBS_GAUGE("solve.model_cache.size")
       .Set(static_cast<int64_t>(lru_.size()));
+  PublishBytesLocked();
 }
 
 size_t ModelCache::capacity() const {
@@ -127,6 +150,11 @@ size_t ModelCache::capacity() const {
 size_t ModelCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lru_.size();
+}
+
+uint64_t ModelCache::approx_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
 }
 
 }  // namespace revise

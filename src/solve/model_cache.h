@@ -15,7 +15,9 @@
 //     are immutable facts, so invalidation is only needed when a test or
 //     long-lived process wants to release memory or isolate measurements);
 //   * observable: hits, misses, insertions and evictions are published as
-//     solve.model_cache.* counters, the live entry count as a gauge;
+//     solve.model_cache.* counters, the live entry count as a gauge, and
+//     an estimate of the resident bytes as the mem.model_cache_bytes
+//     gauge (picked up by obs::MemoryStats::ToJson);
 //   * thread-safe: one mutex; entries are returned by value.
 //
 // Configuration: REVISE_MODEL_CACHE sets the capacity in entries
@@ -68,6 +70,10 @@ class ModelCache {
   bool enabled() const { return capacity() > 0; }
   size_t size() const;
 
+  // Estimated resident bytes across all entries (model words plus fixed
+  // per-entry overhead); mirrors the mem.model_cache_bytes gauge.
+  uint64_t approx_bytes() const;
+
  private:
   struct Entry {
     uint64_t hash = 0;
@@ -77,13 +83,17 @@ class ModelCache {
   };
   using EntryList = std::list<Entry>;
 
+  static uint64_t ApproxEntryBytes(const Entry& entry);
+
   // Requires mu_ held.
   void EvictOverCapacityLocked();
+  void PublishBytesLocked() const;
   EntryList::iterator FindLocked(uint64_t hash, const Formula& f,
                                  const Alphabet& alphabet);
 
   mutable std::mutex mu_;
   size_t capacity_;
+  uint64_t bytes_ = 0;  // sum of ApproxEntryBytes over lru_
   EntryList lru_;  // front = most recently used
   std::unordered_multimap<uint64_t, EntryList::iterator> index_;
 };

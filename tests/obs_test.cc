@@ -1,14 +1,20 @@
-// Tests for the observability layer: counter/gauge registry, scoped
-// tracing spans, the JSON document model, the report schema, and the
+// Tests for the observability layer: counter/gauge/histogram registry,
+// scoped tracing spans and the span ring buffer, Chrome trace export,
+// memory accounting, the JSON document model, the report schema, and the
 // soft-deadline path through SatContext.
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "obs/json.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -19,6 +25,8 @@
 namespace revise {
 namespace {
 
+using obs::Histogram;
+using obs::HistogramSnapshot;
 using obs::Json;
 using obs::Registry;
 using obs::Span;
@@ -95,6 +103,101 @@ TEST(MetricsTest, ConcurrentIncrementsAreNotLost) {
 }
 
 // ---------------------------------------------------------------------
+// Histograms.
+
+TEST(HistogramTest, SmallValuesHaveExactBuckets) {
+  for (uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(v), v);
+  }
+}
+
+TEST(HistogramTest, BucketBoundsBracketTheSample) {
+  const uint64_t samples[] = {8,    9,     15,        16,  17,
+                              100,  1023,  1024,      4095, 1u << 20,
+                              uint64_t{1} << 40, ~uint64_t{0}};
+  for (const uint64_t v : samples) {
+    const size_t index = Histogram::BucketIndex(v);
+    ASSERT_LT(index, Histogram::kNumBuckets) << v;
+    const uint64_t upper = Histogram::BucketUpperBound(index);
+    EXPECT_GE(upper, v) << v;
+    // Sub-bucket width is 2^(octave-3): the conservative representative
+    // overshoots by at most 12.5%.
+    EXPECT_LE(upper - v, v / Histogram::kSubBuckets) << v;
+    // The representative maps back to its own bucket, and the next value
+    // starts the next bucket.
+    EXPECT_EQ(Histogram::BucketIndex(upper), index) << v;
+    if (upper != ~uint64_t{0}) {
+      EXPECT_EQ(Histogram::BucketIndex(upper + 1), index + 1) << v;
+    }
+  }
+}
+
+TEST(HistogramTest, SnapshotOfEmptyHistogramIsZero) {
+  Histogram* h = Registry::Global().GetHistogram("test.hist_empty");
+  h->Reset();
+  const HistogramSnapshot s = h->Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.p50, 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+}
+
+TEST(HistogramTest, PercentilesOfUniformSamples) {
+  Histogram* h = Registry::Global().GetHistogram("test.hist_uniform");
+  h->Reset();
+  for (uint64_t v = 1; v <= 100; ++v) h->Record(v);
+  const HistogramSnapshot s = h->Snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 5050u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 50.5);
+  // Bucketed percentiles are conservative: at or above the true rank
+  // value, within the 12.5% bucket width.
+  EXPECT_GE(s.p50, 50u);
+  EXPECT_LE(s.p50, 50u + 50u / 8u);
+  EXPECT_GE(s.p90, 90u);
+  EXPECT_LE(s.p90, 90u + 90u / 8u);
+  EXPECT_GE(s.p99, 99u);
+  EXPECT_LE(s.p99, 99u + 99u / 8u);
+  h->Reset();
+  EXPECT_EQ(h->Snapshot().count, 0u);
+}
+
+TEST(HistogramTest, MacroInternsByName) {
+  Histogram* h = Registry::Global().GetHistogram("test.hist_macro");
+  h->Reset();
+  REVISE_OBS_HISTOGRAM("test.hist_macro").Record(3);
+  EXPECT_EQ(h->Count(), 1u);
+  EXPECT_EQ(h->name(), "test.hist_macro");
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreNotLost) {
+  Histogram* h = Registry::Global().GetHistogram("test.hist_threads");
+  h->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->Record(static_cast<uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot s = h->Snapshot();
+  constexpr uint64_t kTotal = uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(s.count, kTotal);
+  EXPECT_EQ(s.sum, kTotal * (kTotal - 1) / 2);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, kTotal - 1);
+}
+
+// ---------------------------------------------------------------------
 // Spans.
 
 TEST(TraceTest, DisabledSpansRecordNothing) {
@@ -128,6 +231,106 @@ TEST(TraceTest, NestedSpansRecordDepthAndCompletionOrder) {
   EXPECT_GE(spans[1].duration_ns, spans[0].duration_ns);
   obs::ClearSpans();
   EXPECT_TRUE(obs::SnapshotSpans().empty());
+}
+
+TEST(TraceTest, RingBufferWrapsOldestFirstAndCountsDrops) {
+  obs::SetSpanBufferCapacity(4);
+  obs::Counter* dropped =
+      Registry::Global().GetCounter("obs.spans_dropped");
+  const uint64_t before = dropped->Value();
+  obs::SetTraceSink(TraceSink::kSilent);
+  for (int i = 0; i < 6; ++i) {
+    Span span("test.wrap_" + std::to_string(i));
+  }
+  obs::SetTraceSink(TraceSink::kNone);
+  const std::vector<SpanRecord> spans = obs::SnapshotSpans();
+  ASSERT_EQ(spans.size(), 4u);  // bounded at capacity
+  // Oldest surviving span first: 0 and 1 were overwritten.
+  EXPECT_EQ(spans[0].name, "test.wrap_2");
+  EXPECT_EQ(spans[3].name, "test.wrap_5");
+  EXPECT_EQ(dropped->Value(), before + 2);
+  obs::SetSpanBufferCapacity(obs::kDefaultSpanBufferCapacity);
+}
+
+TEST(TraceTest, SpanBufferCapacityClampsZeroToOne) {
+  obs::SetSpanBufferCapacity(0);
+  EXPECT_EQ(obs::SpanBufferCapacity(), 1u);
+  obs::SetSpanBufferCapacity(obs::kDefaultSpanBufferCapacity);
+  EXPECT_EQ(obs::SpanBufferCapacity(), obs::kDefaultSpanBufferCapacity);
+}
+
+TEST(TraceTest, ChromeTraceExportRoundTrips) {
+  obs::SetSpanBufferCapacity(obs::kDefaultSpanBufferCapacity);
+  obs::SetTraceSink(TraceSink::kSilent);
+  {
+    Span outer("test.chrome_outer");
+    Span inner("test.chrome_inner");
+  }
+  obs::SetTraceSink(TraceSink::kNone);
+
+  const std::string path = ::testing::TempDir() + "revise_chrome_trace.json";
+  const Status status = obs::WriteChromeTrace(path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  StatusOr<Json> parsed = Json::Parse(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("displayTimeUnit")->AsString(), "ms");
+  const Json& events = *parsed->Find("traceEvents");
+  ASSERT_EQ(events.size(), 2u);
+  bool outer_found = false;
+  for (const Json& event : events.array()) {
+    EXPECT_EQ(event.Find("ph")->AsString(), "X");
+    EXPECT_EQ(event.Find("cat")->AsString(), "revise");
+    EXPECT_TRUE(event.Has("ts"));
+    EXPECT_TRUE(event.Has("dur"));
+    EXPECT_TRUE(event.Has("pid"));
+    EXPECT_TRUE(event.Has("tid"));
+    // Timestamps are rebased to the earliest span.
+    EXPECT_GE(event.Find("ts")->AsDouble(), 0.0);
+    if (event.Find("name")->AsString() == "test.chrome_outer") {
+      outer_found = true;
+      EXPECT_EQ(event.Find("args")->Find("depth")->AsInt(), 0);
+    }
+  }
+  EXPECT_TRUE(outer_found);
+  std::remove(path.c_str());
+  obs::ClearSpans();
+}
+
+// ---------------------------------------------------------------------
+// Memory accounting.
+
+TEST(MemoryTest, PeakRssIsPositiveAndMonotone) {
+#ifdef __linux__
+  const uint64_t first = obs::MemoryStats::PeakRssBytes();
+  EXPECT_GT(first, 0u);
+  // Touch a few megabytes so the high-water mark cannot go backwards
+  // even if the kernel re-accounts pages.
+  std::vector<char> ballast(8 << 20, 1);
+  EXPECT_GT(ballast.back(), 0);
+  const uint64_t second = obs::MemoryStats::PeakRssBytes();
+  EXPECT_GE(second, first);
+#else
+  EXPECT_EQ(obs::MemoryStats::PeakRssBytes(), 0u);
+#endif
+}
+
+TEST(MemoryTest, ToJsonCarriesRssAndByteGauges) {
+  REVISE_OBS_GAUGE("mem.test_bytes").Set(123);
+  const Json j = obs::MemoryStats::ToJson();
+  ASSERT_TRUE(j.Has("peak_rss_bytes"));
+  ASSERT_TRUE(j.Has("current_rss_bytes"));
+  ASSERT_TRUE(j.Has("mem.test_bytes"));
+  EXPECT_EQ(j.Find("mem.test_bytes")->AsInt(), 123);
+#ifdef __linux__
+  EXPECT_GE(j.Find("peak_rss_bytes")->AsUint(),
+            j.Find("current_rss_bytes")->AsUint());
+#endif
+  REVISE_OBS_GAUGE("mem.test_bytes").Set(0);
 }
 
 // ---------------------------------------------------------------------
@@ -185,17 +388,20 @@ TEST(ReportTest, ToJsonMatchesSchema) {
   report.AddRow("sizes", {1, uint64_t{10}});
   report.AddRow("sizes", {2, uint64_t{20}});
   report.AddSeries("growth", {10.0, 20.0}, "polynomial");
-  // Ensure at least one counter and one span exist in the snapshot.
+  // Ensure at least one counter, histogram sample, and span exist in the
+  // snapshot.
   REVISE_OBS_COUNTER("test.report_counter").Increment();
+  REVISE_OBS_HISTOGRAM("test.report_hist").Record(7);
   obs::SetTraceSink(TraceSink::kSilent);
   { Span span("test.report_span"); }
   obs::SetTraceSink(TraceSink::kNone);
 
   const Json j = report.ToJson();
-  // Fixed top-level field order.
+  // Fixed top-level field order (schema v2).
   const std::vector<std::string> expected_keys = {
-      "schema_version", "name",     "meta", "tables",
-      "series",         "counters", "gauges", "spans"};
+      "schema_version", "name",   "manifest",   "meta",
+      "tables",         "series", "counters",   "gauges",
+      "histograms",     "memory", "spans"};
   ASSERT_EQ(j.object().size(), expected_keys.size());
   for (size_t i = 0; i < expected_keys.size(); ++i) {
     EXPECT_EQ(j.object()[i].first, expected_keys[i]);
@@ -203,6 +409,15 @@ TEST(ReportTest, ToJsonMatchesSchema) {
   EXPECT_EQ(j.Find("schema_version")->AsInt(), obs::kSchemaVersion);
   EXPECT_EQ(j.Find("name")->AsString(), "schema_check");
   EXPECT_EQ(j.Find("meta")->Find("n")->AsInt(), 12);
+
+  // The manifest pins the build and environment the run came from.
+  const Json& manifest = *j.Find("manifest");
+  EXPECT_TRUE(manifest.Has("git_sha"));
+  EXPECT_TRUE(manifest.Has("compiler"));
+  EXPECT_TRUE(manifest.Has("build_type"));
+  EXPECT_TRUE(manifest.Has("threads"));
+  EXPECT_TRUE(manifest.Has("hardware_threads"));
+  EXPECT_TRUE(manifest.Find("env")->is_object());
 
   const Json& tables = *j.Find("tables");
   ASSERT_EQ(tables.size(), 1u);
@@ -218,11 +433,24 @@ TEST(ReportTest, ToJsonMatchesSchema) {
   ASSERT_EQ(series.at(0).Find("values")->size(), 2u);
 
   EXPECT_TRUE(j.Find("counters")->Has("test.report_counter"));
+
+  // Histograms carry the summary statistics, not raw buckets.
+  const Json* hist = j.Find("histograms")->Find("test.report_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_GE(hist->Find("count")->AsUint(), 1u);
+  for (const char* field : {"sum", "min", "max", "mean", "p50", "p90",
+                            "p99"}) {
+    EXPECT_TRUE(hist->Has(field)) << field;
+  }
+
+  EXPECT_TRUE(j.Find("memory")->Has("peak_rss_bytes"));
+
   bool span_found = false;
   for (const Json& span : j.Find("spans")->array()) {
     if (span.Find("name")->AsString() == "test.report_span") {
       span_found = true;
       EXPECT_TRUE(span.Has("depth"));
+      EXPECT_TRUE(span.Has("tid"));
       EXPECT_TRUE(span.Has("start_ns"));
       EXPECT_TRUE(span.Has("duration_ns"));
     }

@@ -1,0 +1,73 @@
+# Self-test for revise_benchdiff, run as a ctest (see tools/CMakeLists.txt):
+#   1. a candidate within thresholds passes (row reorder, extra rows,
+#      informational speedup changes, sub-noise-floor jitter);
+#   2. a seeded 10x slowdown fails;
+#   3. exact-value regressions fail (size, boolean, series verdict);
+#   4. a dropped row / dropped table fails;
+#   5. tightening --time-threshold flips case 1 to a failure;
+#   6. lowering --noise-floor-ms exposes the micro-timing jitter;
+#   7. an unreadable input is a usage error (exit 2), not a pass.
+#
+# Invoked as:
+#   cmake -DBENCHDIFF=<binary> -DFIXTURES=<dir> -P benchdiff_selftest.cmake
+
+function(expect_exit code description)
+  if(NOT RUN_RESULT EQUAL ${code})
+    message(FATAL_ERROR
+            "${description}: expected exit ${code}, got ${RUN_RESULT}\n"
+            "output:\n${RUN_OUTPUT}")
+  endif()
+endfunction()
+
+function(expect_output needle description)
+  string(FIND "${RUN_OUTPUT}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR
+            "${description}: expected output to mention '${needle}'\n"
+            "output:\n${RUN_OUTPUT}")
+  endif()
+endfunction()
+
+macro(run_diff)
+  execute_process(COMMAND ${BENCHDIFF} ${ARGN}
+                  RESULT_VARIABLE RUN_RESULT
+                  OUTPUT_VARIABLE RUN_OUTPUT
+                  ERROR_VARIABLE RUN_OUTPUT)
+endmacro()
+
+# 1. Healthy candidate passes.
+run_diff(${FIXTURES}/base.json ${FIXTURES}/ok.json)
+expect_exit(0 "healthy candidate")
+expect_output("OK" "healthy candidate summary")
+
+# 2. Seeded 10x slowdown fails.
+run_diff(${FIXTURES}/base.json ${FIXTURES}/regress_time.json)
+expect_exit(1 "seeded slowdown")
+expect_output("seq_ms" "seeded slowdown column")
+
+# 3. Exact-value regressions fail and are all reported.
+run_diff(${FIXTURES}/base.json ${FIXTURES}/regress_value.json)
+expect_exit(1 "value regression")
+expect_output("identical" "boolean regression")
+expect_output("dalal_size" "size regression")
+expect_output("verdict changed" "series verdict regression")
+
+# 4. Dropped row and dropped table fail.
+run_diff(${FIXTURES}/base.json ${FIXTURES}/regress_missing_row.json)
+expect_exit(1 "missing row")
+expect_output("missing from candidate" "missing row message")
+expect_output("table sizes" "missing table message")
+
+# 5. A tighter timing threshold flips the healthy candidate.
+run_diff(${FIXTURES}/base.json ${FIXTURES}/ok.json --time-threshold=1.1)
+expect_exit(1 "tight threshold")
+
+# 6. Removing the noise floor exposes micro-timing jitter.
+run_diff(${FIXTURES}/base.json ${FIXTURES}/ok.json --noise-floor-ms=0.0001)
+expect_exit(1 "no noise floor")
+
+# 7. Unreadable input is a usage error.
+run_diff(${FIXTURES}/base.json ${FIXTURES}/does_not_exist.json)
+expect_exit(2 "missing input")
+
+message(STATUS "revise_benchdiff self-test passed")

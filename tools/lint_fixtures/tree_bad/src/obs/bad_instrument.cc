@@ -1,0 +1,22 @@
+// Known-bad fixture: instrument names off the subsystem.metric
+// convention.
+
+#define REVISE_OBS_COUNTER(name) DummyCounter(name)
+#define REVISE_OBS_HISTOGRAM(name) DummyCounter(name)
+
+namespace revise {
+
+struct Instrument {
+  void Increment();
+  void Record(int);
+};
+
+Instrument& DummyCounter(const char*);
+
+void Offenders() {
+  REVISE_OBS_COUNTER("SatConflicts").Increment();    // finding: no dot
+  REVISE_OBS_COUNTER("sat.Conflicts").Increment();   // finding: uppercase
+  REVISE_OBS_HISTOGRAM("sat..decisions").Record(1);  // finding: empty segment
+}
+
+}  // namespace revise

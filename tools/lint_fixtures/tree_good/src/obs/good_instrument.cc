@@ -1,0 +1,23 @@
+// Known-good fixture: conforming instrument names, plus the shapes the
+// rule must skip (macro definitions, forwarded identifiers).
+
+#define REVISE_OBS_COUNTER(name) DummyCounter(name)
+#define REVISE_OBS_GAUGE(name) DummyCounter(name)
+
+namespace revise {
+
+struct Instrument {
+  void Increment();
+  void Set(int);
+};
+
+Instrument& DummyCounter(const char*);
+
+void Conforming(const char* runtime_name) {
+  REVISE_OBS_COUNTER("sat.conflicts").Increment();
+  REVISE_OBS_COUNTER("solve.model_cache.hits").Increment();
+  REVISE_OBS_GAUGE("mem.bdd_unique_bytes").Set(0);
+  REVISE_OBS_COUNTER(runtime_name).Increment();  // non-literal: skipped
+}
+
+}  // namespace revise

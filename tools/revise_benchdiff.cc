@@ -1,0 +1,466 @@
+// revise_benchdiff: structural regression diff of two bench reports.
+//
+// Compares a committed baseline report (obs/report.h JSON, schema v1 or
+// v2) against a freshly produced candidate and exits non-zero when the
+// candidate regressed.  The diff is schema-aware, not textual:
+//
+//   * tables are matched by name and rows are joined on the shortest
+//     leading column prefix that uniquely keys the baseline rows, so row
+//     reordering and added rows do not produce noise;
+//   * timing columns (suffix _ms/_us/_ns) are compared by ratio: the
+//     candidate may be at most --time-threshold times the baseline, and
+//     cells where both sides are below --noise-floor-ms are skipped
+//     (micro-timings are dominated by jitter);
+//   * ratio columns ("speedup" plus anything in --ratio-columns) are
+//     informational: parallel speedup depends on the machine, not the
+//     code, so they never fail the diff;
+//   * every other column — sizes, counts, verdict strings, agreement
+//     booleans — must match exactly, unless a per-column
+//     --threshold=<column>=<ratio> override turns it into a ratio check;
+//   * a table, row, column, or series present in the baseline but missing
+//     from the candidate is a regression (coverage must not shrink);
+//     extras in the candidate are ignored so baselines can trail new
+//     code;
+//   * series are matched by name: verdicts exactly, values numerically.
+//
+// Exit codes: 0 no regression, 1 regression found, 2 usage or I/O error.
+//
+// Usage:
+//   revise_benchdiff <baseline.json> <candidate.json>
+//       [--time-threshold=<ratio>]    (default 1.5)
+//       [--noise-floor-ms=<ms>]       (default 1.0)
+//       [--threshold=<column>=<ratio>] ...
+//       [--ratio-columns=<a,b,...>]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace revise {
+namespace {
+
+using obs::Json;
+
+struct Options {
+  std::string baseline_path;
+  std::string candidate_path;
+  double time_threshold = 1.5;
+  double noise_floor_ms = 1.0;
+  std::map<std::string, double> column_thresholds;
+  std::set<std::string> ratio_columns = {"speedup"};
+};
+
+// Collected regressions; the tool reports all of them, not just the
+// first.
+struct Findings {
+  std::vector<std::string> messages;
+  size_t compared = 0;
+
+  void Add(std::string message) { messages.push_back(std::move(message)); }
+  bool any() const { return !messages.empty(); }
+};
+
+bool ParseDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--time-threshold=", 0) == 0) {
+      if (!ParseDouble(arg.substr(17), &options->time_threshold) ||
+          options->time_threshold < 1.0) {
+        std::fprintf(stderr, "benchdiff: bad --time-threshold '%s'\n",
+                     arg.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--noise-floor-ms=", 0) == 0) {
+      if (!ParseDouble(arg.substr(17), &options->noise_floor_ms) ||
+          options->noise_floor_ms < 0.0) {
+        std::fprintf(stderr, "benchdiff: bad --noise-floor-ms '%s'\n",
+                     arg.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      const std::string spec = arg.substr(12);
+      const size_t eq = spec.rfind('=');
+      double ratio = 0;
+      if (eq == std::string::npos || eq == 0 ||
+          !ParseDouble(spec.substr(eq + 1), &ratio) || ratio < 1.0) {
+        std::fprintf(stderr,
+                     "benchdiff: bad --threshold '%s' "
+                     "(want <column>=<ratio>, ratio >= 1)\n",
+                     arg.c_str());
+        return false;
+      }
+      options->column_thresholds[spec.substr(0, eq)] = ratio;
+    } else if (arg.rfind("--ratio-columns=", 0) == 0) {
+      std::stringstream list(arg.substr(16));
+      std::string column;
+      while (std::getline(list, column, ',')) {
+        if (!column.empty()) options->ratio_columns.insert(column);
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "benchdiff: unknown flag '%s'\n", arg.c_str());
+      return false;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: revise_benchdiff <baseline.json> <candidate.json> "
+                 "[--time-threshold=R] [--noise-floor-ms=X] "
+                 "[--threshold=col=R] [--ratio-columns=a,b]\n");
+    return false;
+  }
+  options->baseline_path = positional[0];
+  options->candidate_path = positional[1];
+  return true;
+}
+
+bool LoadReport(const std::string& path, Json* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "benchdiff: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  StatusOr<Json> parsed = Json::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "benchdiff: %s: %s\n", path.c_str(),
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  if (!parsed->is_object() || !parsed->Has("tables")) {
+    std::fprintf(stderr, "benchdiff: %s is not a bench report\n",
+                 path.c_str());
+    return false;
+  }
+  *out = std::move(parsed).value();
+  return true;
+}
+
+// Numeric cells may round-trip through double formatting; compare with a
+// relative epsilon instead of bit equality.
+bool NumbersEqual(double a, double b) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= 1e-9 * scale;
+}
+
+bool CellsEqual(const Json& a, const Json& b) {
+  if (a.is_number() && b.is_number()) {
+    return NumbersEqual(a.AsDouble(), b.AsDouble());
+  }
+  return a == b;
+}
+
+std::string CellToString(const Json& cell) { return cell.Dump(); }
+
+// Multiplier turning a value in the column's unit into milliseconds.
+// Returns 0 for non-timing columns.
+double TimingUnitToMs(const std::string& column) {
+  auto ends_with = [&](const char* suffix) {
+    const size_t n = std::strlen(suffix);
+    return column.size() >= n &&
+           column.compare(column.size() - n, n, suffix) == 0;
+  };
+  if (ends_with("_ms")) return 1.0;
+  if (ends_with("_us")) return 1e-3;
+  if (ends_with("_ns")) return 1e-6;
+  return 0.0;
+}
+
+// The shortest leading column prefix that uniquely keys `rows`; falls
+// back to the full width when no prefix disambiguates.
+size_t KeyWidth(const Json& rows, size_t columns) {
+  for (size_t width = 1; width <= columns; ++width) {
+    std::set<std::string> seen;
+    bool unique = true;
+    for (const Json& row : rows.array()) {
+      std::string key;
+      for (size_t c = 0; c < width && c < row.size(); ++c) {
+        key += row.at(c).Dump();
+        key += '\x1f';
+      }
+      if (!seen.insert(key).second) {
+        unique = false;
+        break;
+      }
+    }
+    if (unique) return width;
+  }
+  return columns;
+}
+
+std::string RowKey(const Json& row, size_t width) {
+  std::string key;
+  for (size_t c = 0; c < width && c < row.size(); ++c) {
+    key += row.at(c).Dump();
+    key += '\x1f';
+  }
+  return key;
+}
+
+// Human-readable form of a join key for messages.
+std::string RowKeyLabel(const Json& row, size_t width) {
+  std::string label;
+  for (size_t c = 0; c < width && c < row.size(); ++c) {
+    if (!label.empty()) label += ", ";
+    label += CellToString(row.at(c));
+  }
+  return label;
+}
+
+void CompareCell(const Options& options, const std::string& table,
+                 const std::string& row_label, const std::string& column,
+                 const Json& base_cell, const Json& cand_cell,
+                 Findings* findings) {
+  ++findings->compared;
+  char message[512];
+
+  const auto threshold_it = options.column_thresholds.find(column);
+  const double unit_ms = TimingUnitToMs(column);
+
+  // Explicit per-column threshold wins over every default.
+  if (threshold_it != options.column_thresholds.end()) {
+    if (!base_cell.is_number() || !cand_cell.is_number()) {
+      if (!CellsEqual(base_cell, cand_cell)) {
+        std::snprintf(message, sizeof(message),
+                      "%s [%s] %s: expected %s, got %s", table.c_str(),
+                      row_label.c_str(), column.c_str(),
+                      CellToString(base_cell).c_str(),
+                      CellToString(cand_cell).c_str());
+        findings->Add(message);
+      }
+      return;
+    }
+    const double base = base_cell.AsDouble();
+    const double cand = cand_cell.AsDouble();
+    const double bound = base == 0.0 ? 0.0 : base * threshold_it->second;
+    if (cand > bound * (1 + 1e-9) + (base == 0.0 ? 1e-9 : 0.0)) {
+      std::snprintf(message, sizeof(message),
+                    "%s [%s] %s: %g exceeds %gx of baseline %g",
+                    table.c_str(), row_label.c_str(), column.c_str(), cand,
+                    threshold_it->second, base);
+      findings->Add(message);
+    }
+    return;
+  }
+
+  // Informational ratios never fail.
+  if (options.ratio_columns.count(column) != 0) return;
+
+  if (unit_ms > 0.0 && base_cell.is_number() && cand_cell.is_number()) {
+    const double base_ms = base_cell.AsDouble() * unit_ms;
+    const double cand_ms = cand_cell.AsDouble() * unit_ms;
+    if (base_ms < options.noise_floor_ms &&
+        cand_ms < options.noise_floor_ms) {
+      return;  // both in the jitter band
+    }
+    // Only a slowdown is a regression; allow the noise floor as an
+    // absolute grace so a tiny baseline does not demand a tiny ratio.
+    const double bound =
+        std::max(base_ms * options.time_threshold, options.noise_floor_ms);
+    if (cand_ms > bound * (1 + 1e-9)) {
+      std::snprintf(message, sizeof(message),
+                    "%s [%s] %s: %g ms exceeds %gx of baseline %g ms",
+                    table.c_str(), row_label.c_str(), column.c_str(),
+                    cand_ms, options.time_threshold, base_ms);
+      findings->Add(message);
+    }
+    return;
+  }
+
+  if (!CellsEqual(base_cell, cand_cell)) {
+    std::snprintf(message, sizeof(message),
+                  "%s [%s] %s: expected %s, got %s", table.c_str(),
+                  row_label.c_str(), column.c_str(),
+                  CellToString(base_cell).c_str(),
+                  CellToString(cand_cell).c_str());
+    findings->Add(message);
+  }
+}
+
+void CompareTable(const Options& options, const Json& base_table,
+                  const Json& cand_table, Findings* findings) {
+  const std::string name = base_table.Find("name")->AsString();
+  const Json& base_columns = *base_table.Find("columns");
+  const Json& base_rows = *base_table.Find("rows");
+  const Json& cand_columns = *cand_table.Find("columns");
+  const Json& cand_rows = *cand_table.Find("rows");
+
+  // Column name -> index in the candidate (its order may differ).
+  std::map<std::string, size_t> cand_column_index;
+  for (size_t c = 0; c < cand_columns.size(); ++c) {
+    cand_column_index[cand_columns.at(c).AsString()] = c;
+  }
+
+  const size_t key_width = KeyWidth(base_rows, base_columns.size());
+  for (size_t c = 0; c < key_width; ++c) {
+    // Join columns must exist and (being part of the key) line up.
+    const std::string& column = base_columns.at(c).AsString();
+    if (cand_column_index.count(column) == 0) {
+      findings->Add("table " + name + ": candidate lost key column '" +
+                    column + "'");
+      return;
+    }
+  }
+
+  std::map<std::string, const Json*> cand_by_key;
+  for (const Json& row : cand_rows.array()) {
+    std::string key;
+    for (size_t c = 0; c < key_width; ++c) {
+      const size_t cc = cand_column_index[base_columns.at(c).AsString()];
+      key += (cc < row.size() ? row.at(cc).Dump() : "null");
+      key += '\x1f';
+    }
+    cand_by_key.emplace(key, &row);
+  }
+
+  for (const Json& base_row : base_rows.array()) {
+    const auto found = cand_by_key.find(RowKey(base_row, key_width));
+    const std::string row_label = RowKeyLabel(base_row, key_width);
+    if (found == cand_by_key.end()) {
+      findings->Add("table " + name + ": row [" + row_label +
+                    "] missing from candidate");
+      continue;
+    }
+    const Json& cand_row = *found->second;
+    for (size_t c = key_width; c < base_columns.size(); ++c) {
+      const std::string& column = base_columns.at(c).AsString();
+      const auto cand_c = cand_column_index.find(column);
+      if (cand_c == cand_column_index.end() ||
+          cand_c->second >= cand_row.size()) {
+        findings->Add("table " + name + ": column '" + column +
+                      "' missing from candidate");
+        break;  // report a lost column once, not per row
+      }
+      CompareCell(options, name, row_label, column, base_row.at(c),
+                  cand_row.at(cand_c->second), findings);
+    }
+  }
+}
+
+void CompareSeries(const Json& base_series, const Json& cand_series,
+                   Findings* findings) {
+  const std::string name = base_series.Find("name")->AsString();
+  const Json* base_verdict = base_series.Find("verdict");
+  const Json* cand_verdict = cand_series.Find("verdict");
+  ++findings->compared;
+  if (base_verdict != nullptr &&
+      (cand_verdict == nullptr || !(*base_verdict == *cand_verdict))) {
+    findings->Add(
+        "series " + name + ": verdict changed from " +
+        CellToString(*base_verdict) + " to " +
+        (cand_verdict == nullptr ? "<absent>" : CellToString(*cand_verdict)));
+  }
+  const Json& base_values = *base_series.Find("values");
+  const Json* cand_values = cand_series.Find("values");
+  if (cand_values == nullptr || cand_values->size() < base_values.size()) {
+    findings->Add("series " + name + ": candidate has fewer values");
+    return;
+  }
+  for (size_t i = 0; i < base_values.size(); ++i) {
+    ++findings->compared;
+    if (!CellsEqual(base_values.at(i), cand_values->at(i))) {
+      findings->Add("series " + name + "[" + std::to_string(i) +
+                    "]: expected " + CellToString(base_values.at(i)) +
+                    ", got " + CellToString(cand_values->at(i)));
+    }
+  }
+}
+
+int Run(const Options& options) {
+  Json baseline;
+  Json candidate;
+  if (!LoadReport(options.baseline_path, &baseline) ||
+      !LoadReport(options.candidate_path, &candidate)) {
+    return 2;
+  }
+  const Json* base_name = baseline.Find("name");
+  const Json* cand_name = candidate.Find("name");
+  if (base_name != nullptr && cand_name != nullptr &&
+      !(*base_name == *cand_name)) {
+    std::fprintf(stderr,
+                 "benchdiff: reports are from different benches (%s vs "
+                 "%s)\n",
+                 CellToString(*base_name).c_str(),
+                 CellToString(*cand_name).c_str());
+    return 2;
+  }
+
+  Findings findings;
+
+  // Candidate tables by name.
+  std::map<std::string, const Json*> cand_tables;
+  if (const Json* tables = candidate.Find("tables")) {
+    for (const Json& table : tables->array()) {
+      cand_tables[table.Find("name")->AsString()] = &table;
+    }
+  }
+  for (const Json& base_table : baseline.Find("tables")->array()) {
+    const std::string name = base_table.Find("name")->AsString();
+    const auto found = cand_tables.find(name);
+    if (found == cand_tables.end()) {
+      findings.Add("table " + name + " missing from candidate");
+      continue;
+    }
+    CompareTable(options, base_table, *found->second, &findings);
+  }
+
+  std::map<std::string, const Json*> cand_series;
+  if (const Json* series = candidate.Find("series")) {
+    for (const Json& entry : series->array()) {
+      cand_series[entry.Find("name")->AsString()] = &entry;
+    }
+  }
+  if (const Json* series = baseline.Find("series")) {
+    for (const Json& entry : series->array()) {
+      const std::string name = entry.Find("name")->AsString();
+      const auto found = cand_series.find(name);
+      if (found == cand_series.end()) {
+        findings.Add("series " + name + " missing from candidate");
+        continue;
+      }
+      CompareSeries(entry, *found->second, &findings);
+    }
+  }
+
+  if (findings.any()) {
+    std::fprintf(stderr, "benchdiff: %zu regression(s) vs %s:\n",
+                 findings.messages.size(), options.baseline_path.c_str());
+    for (const std::string& message : findings.messages) {
+      std::fprintf(stderr, "  %s\n", message.c_str());
+    }
+    return 1;
+  }
+  std::printf("benchdiff: OK — %zu value(s) match %s within thresholds\n",
+              findings.compared, options.baseline_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace revise
+
+int main(int argc, char** argv) {
+  revise::Options options;
+  if (!revise::ParseArgs(argc, argv, &options)) return 2;
+  return revise::Run(options);
+}

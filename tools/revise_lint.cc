@@ -27,6 +27,14 @@
 //                        mutation).  DCHECK arguments are not evaluated in
 //                        Release builds, so side effects there change
 //                        behavior between build types.
+//   obs-name             a REVISE_OBS_COUNTER/GAUGE/HISTOGRAM call whose
+//                        literal name does not follow the
+//                        `subsystem.metric` convention (lowercase
+//                        [a-z0-9_] segments joined by '.').  Instrument
+//                        names key the JSON reports; a stray spelling
+//                        silently forks a metric.  Non-literal arguments
+//                        (the macro definitions, forwarded identifiers)
+//                        are skipped.
 //
 // Usage:
 //   revise_lint --root=DIR [--allowlist=FILE] [file...]
@@ -407,6 +415,80 @@ void CheckCheckSideEffect(const std::string& rel_path,
   }
 }
 
+// --- rule: obs-name -----------------------------------------------------
+
+// `subsystem.metric`: lowercase [a-z0-9_] segments, at least one dot, no
+// empty segments.
+bool IsValidInstrumentName(std::string_view name) {
+  bool saw_dot = false;
+  bool segment_empty = true;
+  for (const char c : name) {
+    if (c == '.') {
+      if (segment_empty) return false;
+      saw_dot = true;
+      segment_empty = true;
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+               c == '_') {
+      segment_empty = false;
+    } else {
+      return false;
+    }
+  }
+  return saw_dot && !segment_empty;
+}
+
+// Macro positions come from the stripped `code`; the literal itself was
+// blanked there, so it is read back out of `raw` (same offsets — the
+// strip preserves length).
+void CheckObsName(const std::string& rel_path, const std::string& code,
+                  const std::string& raw,
+                  std::vector<Finding>* findings) {
+  constexpr std::string_view kMacros[] = {
+      "REVISE_OBS_COUNTER", "REVISE_OBS_GAUGE", "REVISE_OBS_HISTOGRAM"};
+  for (const std::string_view macro : kMacros) {
+    size_t pos = 0;
+    while ((pos = code.find(macro, pos)) != std::string::npos) {
+      const size_t after = pos + macro.size();
+      const bool own_token =
+          (pos == 0 || !IsIdentChar(code[pos - 1])) &&
+          (after >= code.size() || !IsIdentChar(code[after]));
+      if (!own_token) {
+        pos = after;
+        continue;
+      }
+      size_t open = after;
+      while (open < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[open]))) {
+        ++open;
+      }
+      if (open >= code.size() || code[open] != '(') {
+        pos = after;
+        continue;
+      }
+      size_t quote = open + 1;
+      while (quote < raw.size() &&
+             std::isspace(static_cast<unsigned char>(raw[quote]))) {
+        ++quote;
+      }
+      if (quote >= raw.size() || raw[quote] != '"') {
+        pos = after;  // not a literal argument
+        continue;
+      }
+      const size_t end = raw.find('"', quote + 1);
+      if (end == std::string::npos) break;
+      const std::string_view name(raw.data() + quote + 1, end - quote - 1);
+      if (!IsValidInstrumentName(name)) {
+        findings->push_back(
+            {rel_path, LineOfOffset(code, pos), "obs-name",
+             "instrument name \"" + std::string(name) +
+                 "\" violates the subsystem.metric convention (lowercase "
+                 "[a-z0-9_] segments joined by '.')"});
+      }
+      pos = end;
+    }
+  }
+}
+
 // --- driver -------------------------------------------------------------
 
 bool HasExtension(const fs::path& path, std::string_view ext) {
@@ -511,6 +593,7 @@ int main(int argc, char** argv) {
     CheckUnlimitedEnumerate(rel, code, &findings);
     CheckBenchJsonMeta(rel, code, raw, &findings);
     CheckCheckSideEffect(rel, code, &findings);
+    CheckObsName(rel, code, raw, &findings);
   }
 
   // Partition into hard findings and allowlisted ones; track which
