@@ -1,0 +1,75 @@
+// The committed regression corpus: shrunk repros as small text files.
+//
+// Every failure the fuzzer has ever found (and every hand-written
+// regression scenario) lives under tests/corpus/ as one `.corpus` file in
+// a line-oriented format the concrete parser syntax makes diff-friendly:
+//
+//   # revise_fuzz corpus v1
+//   name: weber-omega-projection
+//   oracle: operator-reference
+//   expect: ok
+//   seed: 12345
+//   theory: a -> b; !c
+//   p: a & c
+//   q: b
+//
+// The first line is a mandatory header (versioned so the format can
+// evolve without silently mis-reading old entries); later '#' lines are
+// comments.  `oracle` names one oracle id or `all`; `expect` is `ok` (the
+// scenario must pass, the usual regression direction) or `parse-error`
+// (the text itself must be rejected by the parser with a non-OK Status —
+// used for parser-robustness repros such as over-deep nesting).  `theory`
+// is ';'-separated as in Theory::Parse; `q` defaults to `true`.
+//
+// CI and ctest replay the whole directory on every run, so a repro that
+// regresses fails the build.
+
+#ifndef REVISE_FUZZ_CORPUS_H_
+#define REVISE_FUZZ_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/scenario.h"
+#include "util/status.h"
+
+namespace revise::fuzz {
+
+inline constexpr const char kCorpusHeader[] = "# revise_fuzz corpus v1";
+inline constexpr const char kCorpusExtension[] = ".corpus";
+
+struct CorpusEntry {
+  std::string name;           // slug, doubles as the file stem
+  std::string oracle = "all"; // oracle id or "all"
+  std::string expect = "ok";  // "ok" | "parse-error"
+  uint64_t seed = 0;          // originating fuzz seed (0 = hand-written)
+  std::string theory;         // ';'-separated, may be empty
+  std::string p;
+  std::string q = "true";
+};
+
+// Serializes an entry in the canonical format (header, fixed key order).
+std::string FormatEntry(const CorpusEntry& entry);
+
+// Parses one entry from file contents.  Fails on a missing/mismatched
+// header, unknown keys, duplicate keys, or missing required fields.
+StatusOr<CorpusEntry> ParseEntry(const std::string& text);
+
+// Reads and parses the file at `path`.
+StatusOr<CorpusEntry> LoadEntry(const std::string& path);
+
+// The `.corpus` files directly under `dir`, sorted by name.
+StatusOr<std::vector<std::string>> ListCorpusFiles(const std::string& dir);
+
+// Re-parses the entry's formulas into a fresh vocabulary.  For
+// expect == "parse-error" entries this is the call that must fail.
+StatusOr<Scenario> ScenarioFromEntry(const CorpusEntry& entry);
+
+// Renders a (typically shrunk) scenario as a corpus entry.
+CorpusEntry EntryFromScenario(const Scenario& scenario, std::string name,
+                              std::string oracle);
+
+}  // namespace revise::fuzz
+
+#endif  // REVISE_FUZZ_CORPUS_H_

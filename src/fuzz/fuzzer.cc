@@ -1,0 +1,120 @@
+#include "fuzz/fuzzer.h"
+
+#include <chrono>
+#include <string_view>
+#include <utility>
+
+#include "fuzz/shrink.h"
+#include "obs/metrics.h"
+
+namespace revise::fuzz {
+
+namespace {
+
+FuzzFailure MakeFailure(uint64_t seed, OracleFailure found,
+                        const Scenario& scenario, bool shrink,
+                        int max_shrink_steps) {
+  FuzzFailure failure;
+  failure.seed = seed;
+  failure.oracle = std::move(found.oracle);
+  failure.detail = std::move(found.detail);
+  if (shrink) {
+    ShrinkResult reduced =
+        ShrinkScenario(scenario, failure.oracle, max_shrink_steps);
+    failure.scenario = std::move(reduced.scenario);
+    failure.shrink_steps = reduced.steps;
+  } else {
+    failure.scenario = scenario;
+  }
+  failure.repro =
+      EntryFromScenario(failure.scenario,
+                        failure.oracle + "-seed" + std::to_string(seed),
+                        failure.oracle);
+  return failure;
+}
+
+}  // namespace
+
+FuzzReport Fuzz(const FuzzOptions& options) {
+  FuzzReport report;
+  const auto start = std::chrono::steady_clock::now();
+  const auto out_of_time = [&] {
+    if (options.time_budget_s <= 0) return false;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count() >= options.time_budget_s;
+  };
+  for (uint64_t i = 0; options.runs == 0 || i < options.runs; ++i) {
+    if (out_of_time()) break;
+    if (report.failures.size() >=
+        static_cast<size_t>(options.max_failures)) {
+      break;
+    }
+    const uint64_t seed = options.seed + i;
+    const Scenario scenario = GenerateScenario(seed, options.generator);
+    ++report.executions;
+    REVISE_OBS_COUNTER("fuzz.executions").Increment();
+    if (std::optional<OracleFailure> found =
+            CheckScenario(scenario, options.oracle)) {
+      ++report.mismatches;
+      REVISE_OBS_COUNTER("fuzz.mismatches").Increment();
+      report.failures.push_back(MakeFailure(seed, *std::move(found),
+                                            scenario, options.shrink,
+                                            options.max_shrink_steps));
+    }
+  }
+  return report;
+}
+
+StatusOr<FuzzReport> ReplayCorpus(const std::string& dir) {
+  REVISE_ASSIGN_OR_RETURN(std::vector<std::string> files,
+                          ListCorpusFiles(dir));
+  FuzzReport report;
+  for (const std::string& path : files) {
+    REVISE_ASSIGN_OR_RETURN(CorpusEntry entry, LoadEntry(path));
+    StatusOr<Scenario> scenario = ScenarioFromEntry(entry);
+    ++report.executions;
+    REVISE_OBS_COUNTER("fuzz.executions").Increment();
+    if (entry.expect == "parse-error") {
+      if (scenario.ok()) {
+        ++report.mismatches;
+        REVISE_OBS_COUNTER("fuzz.mismatches").Increment();
+        FuzzFailure failure;
+        failure.seed = entry.seed;
+        failure.oracle = "parse";
+        failure.detail = entry.name +
+                         ": expected a parse error, but the entry parsed "
+                         "cleanly";
+        failure.scenario = *std::move(scenario);
+        failure.repro = entry;
+        report.failures.push_back(std::move(failure));
+      }
+      continue;
+    }
+    if (!scenario.ok()) {
+      return Status(scenario.status().code(),
+                    path + ": " + scenario.status().message());
+    }
+    const std::string_view oracle =
+        entry.oracle == "all" ? std::string_view{} : entry.oracle;
+    if (!oracle.empty() && FindOracle(oracle) == nullptr) {
+      return InvalidArgumentError(path + ": unknown oracle \"" +
+                                  entry.oracle + "\"");
+    }
+    if (std::optional<OracleFailure> found =
+            CheckScenario(*scenario, oracle)) {
+      ++report.mismatches;
+      REVISE_OBS_COUNTER("fuzz.mismatches").Increment();
+      FuzzFailure failure;
+      failure.seed = entry.seed;
+      failure.oracle = std::move(found->oracle);
+      failure.detail = entry.name + ": " + found->detail;
+      failure.scenario = *std::move(scenario);
+      failure.repro = entry;
+      report.failures.push_back(std::move(failure));
+    }
+  }
+  return report;
+}
+
+}  // namespace revise::fuzz

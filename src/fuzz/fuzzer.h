@@ -1,0 +1,69 @@
+// The fuzzing driver: generate -> check -> shrink -> report.
+//
+// Fuzz() walks seeds sequentially from a base seed, generating one
+// scenario per seed and running every oracle (or one, when restricted)
+// against it.  A disagreement is shrunk to a local minimum and recorded
+// as a FuzzFailure whose CorpusEntry is ready to commit under
+// tests/corpus/.  ReplayCorpus() re-checks every committed repro, which
+// is how the regression corpus is wired into ctest and CI.
+//
+// Observability: fuzz.executions counts scenarios checked,
+// fuzz.mismatches counts failures found, fuzz.shrink_steps counts
+// accepted shrink reductions (all through the process obs registry, so
+// they appear in the standard JSON metrics reports).
+
+#ifndef REVISE_FUZZ_FUZZER_H_
+#define REVISE_FUZZ_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.h"
+#include "fuzz/oracles.h"
+#include "fuzz/scenario.h"
+#include "util/status.h"
+
+namespace revise::fuzz {
+
+struct FuzzOptions {
+  uint64_t seed = 1;          // first seed; run i uses seed + i
+  uint64_t runs = 1000;       // scenario count (0 = until the time budget)
+  double time_budget_s = 0;   // wall-clock stop; 0 = none
+  bool shrink = true;         // shrink failures to local minima
+  int max_shrink_steps = 500;
+  int max_failures = 10;      // stop after this many distinct failures
+  std::string oracle;         // restrict to one oracle id; empty = all
+  GeneratorOptions generator;
+};
+
+struct FuzzFailure {
+  uint64_t seed = 0;       // the generating seed
+  std::string oracle;      // the disagreeing oracle
+  std::string detail;      // the oracle's message (pre-shrink)
+  Scenario scenario;       // the shrunk (or original) repro
+  int shrink_steps = 0;
+  CorpusEntry repro;       // serializable form of `scenario`
+};
+
+struct FuzzReport {
+  uint64_t executions = 0;
+  uint64_t mismatches = 0;
+  std::vector<FuzzFailure> failures;
+};
+
+// Deterministic for fixed options.  Mutates the global model cache and
+// the thread override transiently (the model-cache and thread-count
+// oracles restore what they found).
+FuzzReport Fuzz(const FuzzOptions& options);
+
+// Replays every `.corpus` entry under `dir`.  `expect: ok` entries must
+// parse and pass their oracle(s); `expect: parse-error` entries must be
+// rejected by the parser.  Failures are reported with the entry name as
+// the seed-less repro.  Returns an error only when the directory or an
+// entry file itself is unreadable/malformed.
+StatusOr<FuzzReport> ReplayCorpus(const std::string& dir);
+
+}  // namespace revise::fuzz
+
+#endif  // REVISE_FUZZ_FUZZER_H_

@@ -1,0 +1,553 @@
+#include "fuzz/oracles.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "compact/query.h"
+#include "compact/single_revision.h"
+#include "logic/evaluate.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "model/canonical.h"
+#include "model/model_set.h"
+#include "obs/metrics.h"
+#include "revision/model_based.h"
+#include "revision/operator.h"
+#include "solve/model_cache.h"
+#include "solve/services.h"
+#include "util/parallel.h"
+
+namespace revise::fuzz {
+
+namespace {
+
+// ---- shared scaffolding --------------------------------------------------
+
+std::string SetSizes(const ModelSet& got, const ModelSet& want) {
+  return "got " + std::to_string(got.size()) + " models, expected " +
+         std::to_string(want.size());
+}
+
+// The degenerate-case conventions shared by all six operators
+// (model_based.h): P unsatisfiable -> empty; T unsatisfiable -> M(P).
+// Returns true when a convention applied and *out is final.
+bool RefDegenerate(const ModelSet& mt, const ModelSet& mp, ModelSet* out) {
+  if (mp.empty()) {
+    *out = ModelSet(mp.alphabet(), {});
+    return true;
+  }
+  if (mt.empty()) {
+    *out = mp;
+    return true;
+  }
+  return false;
+}
+
+// Quadratic inclusion-minimal filter — deliberately independent of
+// MinimalUnderInclusion's bucketed sweep.
+std::vector<Interpretation> NaiveMinimal(
+    const std::vector<Interpretation>& sets) {
+  std::vector<Interpretation> out;
+  for (const Interpretation& candidate : sets) {
+    bool dominated = false;
+    for (const Interpretation& other : sets) {
+      if (other.IsProperSubsetOf(candidate)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    if (std::find(out.begin(), out.end(), candidate) == out.end()) {
+      out.push_back(candidate);
+    }
+  }
+  return out;
+}
+
+bool ContainsSet(const std::vector<Interpretation>& sets,
+                 const Interpretation& m) {
+  return std::find(sets.begin(), sets.end(), m) != sets.end();
+}
+
+ModelSet RefWinslett(const ModelSet& mt, const ModelSet& mp) {
+  ModelSet out;
+  if (RefDegenerate(mt, mp, &out)) return out;
+  std::vector<Interpretation> selected;
+  for (const Interpretation& m : mt) {
+    std::vector<Interpretation> diffs;
+    diffs.reserve(mp.size());
+    for (const Interpretation& n : mp) {
+      diffs.push_back(m.SymmetricDifference(n));
+    }
+    const std::vector<Interpretation> minimal = NaiveMinimal(diffs);
+    for (const Interpretation& n : mp) {
+      if (ContainsSet(minimal, m.SymmetricDifference(n))) {
+        selected.push_back(n);
+      }
+    }
+  }
+  return ModelSet(mp.alphabet(), std::move(selected));
+}
+
+ModelSet RefForbus(const ModelSet& mt, const ModelSet& mp) {
+  ModelSet out;
+  if (RefDegenerate(mt, mp, &out)) return out;
+  std::vector<Interpretation> selected;
+  for (const Interpretation& m : mt) {
+    size_t best = static_cast<size_t>(-1);
+    for (const Interpretation& n : mp) {
+      best = std::min(best, m.HammingDistance(n));
+    }
+    for (const Interpretation& n : mp) {
+      if (m.HammingDistance(n) == best) selected.push_back(n);
+    }
+  }
+  return ModelSet(mp.alphabet(), std::move(selected));
+}
+
+ModelSet RefBorgida(const ModelSet& mt, const ModelSet& mp) {
+  ModelSet out;
+  if (RefDegenerate(mt, mp, &out)) return out;
+  const ModelSet both = ModelSet::Intersection(mt, mp);
+  if (!both.empty()) return both;
+  return RefWinslett(mt, mp);
+}
+
+// delta(T, P): the globally inclusion-minimal pairwise differences.
+std::vector<Interpretation> RefGlobalDiffs(const ModelSet& mt,
+                                           const ModelSet& mp) {
+  std::vector<Interpretation> diffs;
+  for (const Interpretation& m : mt) {
+    for (const Interpretation& n : mp) {
+      diffs.push_back(m.SymmetricDifference(n));
+    }
+  }
+  return NaiveMinimal(diffs);
+}
+
+ModelSet RefSatoh(const ModelSet& mt, const ModelSet& mp) {
+  ModelSet out;
+  if (RefDegenerate(mt, mp, &out)) return out;
+  const std::vector<Interpretation> delta = RefGlobalDiffs(mt, mp);
+  std::vector<Interpretation> selected;
+  for (const Interpretation& n : mp) {
+    for (const Interpretation& m : mt) {
+      if (ContainsSet(delta, m.SymmetricDifference(n))) {
+        selected.push_back(n);
+        break;
+      }
+    }
+  }
+  return ModelSet(mp.alphabet(), std::move(selected));
+}
+
+ModelSet RefDalal(const ModelSet& mt, const ModelSet& mp) {
+  ModelSet out;
+  if (RefDegenerate(mt, mp, &out)) return out;
+  size_t k = static_cast<size_t>(-1);
+  for (const Interpretation& m : mt) {
+    for (const Interpretation& n : mp) {
+      k = std::min(k, m.HammingDistance(n));
+    }
+  }
+  std::vector<Interpretation> selected;
+  for (const Interpretation& n : mp) {
+    for (const Interpretation& m : mt) {
+      if (m.HammingDistance(n) == k) {
+        selected.push_back(n);
+        break;
+      }
+    }
+  }
+  return ModelSet(mp.alphabet(), std::move(selected));
+}
+
+ModelSet RefWeber(const ModelSet& mt, const ModelSet& mp) {
+  ModelSet out;
+  if (RefDegenerate(mt, mp, &out)) return out;
+  Interpretation omega(mp.alphabet().size());
+  for (const Interpretation& d : RefGlobalDiffs(mt, mp)) {
+    omega = omega.Union(d);
+  }
+  std::vector<Interpretation> selected;
+  for (const Interpretation& n : mp) {
+    for (const Interpretation& m : mt) {
+      if (m.SymmetricDifference(n).IsSubsetOf(omega)) {
+        selected.push_back(n);
+        break;
+      }
+    }
+  }
+  return ModelSet(mp.alphabet(), std::move(selected));
+}
+
+ModelSet RefModels(OperatorId id, const ModelSet& mt, const ModelSet& mp) {
+  switch (id) {
+    case OperatorId::kWinslett:
+      return RefWinslett(mt, mp);
+    case OperatorId::kBorgida:
+      return RefBorgida(mt, mp);
+    case OperatorId::kForbus:
+      return RefForbus(mt, mp);
+    case OperatorId::kSatoh:
+      return RefSatoh(mt, mp);
+    case OperatorId::kDalal:
+      return RefDalal(mt, mp);
+    case OperatorId::kWeber:
+      return RefWeber(mt, mp);
+    default:
+      return ModelSet(mp.alphabet(), {});
+  }
+}
+
+// ---- oracles -------------------------------------------------------------
+
+std::optional<std::string> BruteForceModelsOracle(const Scenario& s) {
+  const Alphabet x = RevisionAlphabet(s.t, s.p);
+  if (x.size() > kMaxOracleAlphabet) return std::nullopt;
+  const size_t n = x.size();
+  const struct {
+    const char* label;
+    Formula formula;
+  } sides[] = {{"theory", s.t.AsFormula()}, {"p", s.p}};
+  for (const auto& side : sides) {
+    std::vector<Interpretation> expected;
+    for (uint64_t index = 0; index < (uint64_t{1} << n); ++index) {
+      Interpretation m = Interpretation::FromIndex(n, index);
+      if (Evaluate(side.formula, x, m)) expected.push_back(std::move(m));
+    }
+    const ModelSet want(x, std::move(expected));
+    const ModelSet got = EnumerateModels(side.formula, x, 0);
+    if (!(got == want)) {
+      return std::string(side.label) + ": AllSAT disagrees with the " +
+             "truth table (" + SetSizes(got, want) + ")";
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> OperatorReferenceOracle(const Scenario& s) {
+  const Alphabet x = RevisionAlphabet(s.t, s.p);
+  if (x.size() > kMaxOracleAlphabet) return std::nullopt;
+  const ModelSet mt = EnumerateModels(s.t.AsFormula(), x, 0);
+  const ModelSet mp = EnumerateModels(s.p, x, 0);
+  for (const ModelBasedOperator* op : AllModelBasedOperators()) {
+    const ModelSet got = op->ReviseModelSets(mt, mp);
+    const ModelSet want = RefModels(op->id(), mt, mp);
+    if (!(got == want)) {
+      return std::string(op->name()) +
+             ": kernel disagrees with the naive reference (" +
+             SetSizes(got, want) + ")";
+    }
+    const ModelSet via_formulas = op->ReviseModels(s.t, s.p, x);
+    if (!(via_formulas == want)) {
+      return std::string(op->name()) +
+             ": ReviseModels(T, P) disagrees with ReviseModelSets on the "
+             "enumerated sets";
+    }
+  }
+  return std::nullopt;
+}
+
+class ScopedThreadOverride {
+ public:
+  explicit ScopedThreadOverride(size_t threads) {
+    SetParallelThreadsOverride(threads);
+  }
+  ~ScopedThreadOverride() { SetParallelThreadsOverride(0); }
+  ScopedThreadOverride(const ScopedThreadOverride&) = delete;
+  ScopedThreadOverride& operator=(const ScopedThreadOverride&) = delete;
+};
+
+std::optional<std::string> ThreadCountOracle(const Scenario& s) {
+  const Alphabet x = RevisionAlphabet(s.t, s.p);
+  if (x.size() > kMaxOracleAlphabet) return std::nullopt;
+  const ModelSet mt = EnumerateModels(s.t.AsFormula(), x, 0);
+  const ModelSet mp = EnumerateModels(s.p, x, 0);
+  for (const ModelBasedOperator* op : AllModelBasedOperators()) {
+    ModelSet sequential;
+    ModelSet parallel;
+    {
+      ScopedThreadOverride one(1);
+      sequential = op->ReviseModelSets(mt, mp);
+    }
+    {
+      ScopedThreadOverride three(3);
+      parallel = op->ReviseModelSets(mt, mp);
+    }
+    if (!(sequential == parallel)) {
+      return std::string(op->name()) +
+             ": 1-thread and 3-thread results differ (" +
+             SetSizes(parallel, sequential) +
+             "); a merge is not canonicalizing";
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ModelCacheOracle(const Scenario& s) {
+  const Alphabet x = RevisionAlphabet(s.t, s.p);
+  if (x.size() > kMaxOracleAlphabet) return std::nullopt;
+  const Formula ft = s.t.AsFormula();
+  obs::Registry& registry = obs::Registry::Global();
+  ModelCache& cache = ModelCache::Global();
+  const size_t saved_capacity = cache.capacity();
+
+  cache.set_capacity(64);
+  cache.Clear();
+  const ModelSet cold = EnumerateModels(ft, x, 0);
+  const uint64_t hits_before =
+      registry.GetCounter("solve.model_cache.hits")->Value();
+  const ModelSet warm = EnumerateModels(ft, x, 0);
+  const uint64_t hits_after =
+      registry.GetCounter("solve.model_cache.hits")->Value();
+
+  cache.set_capacity(0);
+  const uint64_t misses_before =
+      registry.GetCounter("solve.model_cache.misses")->Value();
+  const ModelSet disabled = EnumerateModels(ft, x, 0);
+  const uint64_t misses_after =
+      registry.GetCounter("solve.model_cache.misses")->Value();
+  const size_t disabled_size = cache.size();
+
+  cache.set_capacity(saved_capacity);
+  cache.Clear();
+
+  if (!(cold == warm)) {
+    return "warm cache result differs from the cold enumeration (" +
+           SetSizes(warm, cold) + ")";
+  }
+  if (!(cold == disabled)) {
+    return "disabled-cache result differs from the cached enumeration (" +
+           SetSizes(disabled, cold) + ")";
+  }
+  if (hits_after <= hits_before) {
+    return "re-enumerating a cached formula did not count a cache hit";
+  }
+  if (misses_after <= misses_before) {
+    return "a disabled cache must still count lookups as misses "
+           "(hits + misses == unlimited enumerations)";
+  }
+  if (disabled_size != 0) {
+    return "a disabled cache reported " + std::to_string(disabled_size) +
+           " resident entries";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> BddVsEnumerationOracle(const Scenario& s) {
+  const Alphabet x = RevisionAlphabet(s.t, s.p);
+  if (x.size() > kMaxOracleAlphabet || x.size() == 0) return std::nullopt;
+  const Formula f = Formula::And(s.t.AsFormula(), s.p);
+  BddManager bdd(x.vars());
+  const BddManager::NodeRef root = bdd.FromFormula(f);
+  const ModelSet models = EnumerateModels(f, x, 0);
+  const uint64_t bdd_count = bdd.CountModels(root);
+  if (bdd_count != models.size()) {
+    return "BDD counts " + std::to_string(bdd_count) +
+           " models, AllSAT enumerates " + std::to_string(models.size());
+  }
+  // Canonicity: the canonical DNF of the enumerated models is equivalent
+  // to f, so a hash-consed manager must rebuild the identical node.
+  const BddManager::NodeRef rebuilt = bdd.FromFormula(CanonicalDnf(models));
+  if (rebuilt != root) {
+    return "canonical DNF of the enumerated models compiled to a "
+           "different BDD node than the formula itself";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> CompactVsDirectOracle(const Scenario& s) {
+  const Alphabet x = RevisionAlphabet(s.t, s.p);
+  if (x.size() > kMaxOracleAlphabet) return std::nullopt;
+  Vocabulary* vocabulary = s.vocabulary.get();
+  const Formula ft = s.t.AsFormula();
+  const ModelSet mt = EnumerateModels(ft, x, 0);
+  const ModelSet mp = EnumerateModels(s.p, x, 0);
+
+  const Formula dalal_compact = DalalCompact(ft, s.p, vocabulary);
+  if (!QueryEquivalent(dalal_compact, CanonicalDnf(DalalModels(mt, mp)),
+                       x)) {
+    return "DalalCompact (Thm 3.4) is not query-equivalent to the direct "
+           "Dalal revision over X";
+  }
+  const Formula weber_compact = WeberCompact(ft, s.p, vocabulary);
+  if (!QueryEquivalent(weber_compact, CanonicalDnf(WeberModels(mt, mp)),
+                       x)) {
+    return "WeberCompact (Thm 3.5) is not query-equivalent to the direct "
+           "Weber revision over X";
+  }
+  const Formula widtio_compact = WidtioCompact(s.t, s.p);
+  const ModelSet widtio =
+      OperatorById(OperatorId::kWidtio)->ReviseModels(s.t, s.p, x);
+  if (!QueryEquivalent(widtio_compact, CanonicalDnf(widtio), x)) {
+    return "WidtioCompact is not query-equivalent to the direct WIDTIO "
+           "revision over X";
+  }
+
+  const bool dalal_compact_entails =
+      DalalEntailsCompact(ft, s.p, s.q, vocabulary);
+  if (dalal_compact_entails !=
+      OperatorById(OperatorId::kDalal)->Entails(s.t, s.p, s.q)) {
+    return "DalalEntailsCompact and the direct Dalal entailment disagree "
+           "on Q";
+  }
+  const bool weber_compact_entails =
+      WeberEntailsCompact(ft, s.p, s.q, vocabulary);
+  if (weber_compact_entails !=
+      OperatorById(OperatorId::kWeber)->Entails(s.t, s.p, s.q)) {
+    return "WeberEntailsCompact and the direct Weber entailment disagree "
+           "on Q";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> PostulatesOracle(const Scenario& s) {
+  const Alphabet x = RevisionAlphabet(s.t, s.p);
+  if (x.size() > kMaxOracleAlphabet) return std::nullopt;
+  const ModelSet mt = EnumerateModels(s.t.AsFormula(), x, 0);
+  const ModelSet mp = EnumerateModels(s.p, x, 0);
+  const ModelSet both = ModelSet::Intersection(mt, mp);
+  for (const ModelBasedOperator* op : AllModelBasedOperators()) {
+    const std::string name(op->name());
+    const ModelSet r = op->ReviseModelSets(mt, mp);
+    if (!r.IsSubsetOf(mp)) {
+      return name + ": success (R1) violated — a selected model does not "
+                    "satisfy P";
+    }
+    if (!mp.empty() && r.empty()) {
+      return name + ": consistency (R3) violated — P is satisfiable but "
+                    "T * P is not";
+    }
+    // Revision vacuity (R2) holds for the four revision operators;
+    // Winslett and Forbus are update operators and legitimately break it.
+    const bool is_update = op->id() == OperatorId::kWinslett ||
+                           op->id() == OperatorId::kForbus;
+    if (!is_update && !mt.empty() && !both.empty() && !(r == both)) {
+      return name + ": vacuity (R2) violated — T & P is consistent but "
+                    "T * P != T & P";
+    }
+    // Update vacuity (U2): T |= P leaves T untouched; holds for all six.
+    if (!mt.empty() && mt.IsSubsetOf(mp) && !(r == mt)) {
+      return name + ": update vacuity (U2) violated — T |= P but "
+                    "T * P != T";
+    }
+    // Idempotence: revising the result by the same P is a fixpoint.
+    const ModelSet again = op->ReviseModelSets(r, mp);
+    if (!(again == r)) {
+      return name + ": idempotence violated — (T * P) * P != T * P";
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Figure1ContainmentOracle(const Scenario& s) {
+  const Alphabet x = RevisionAlphabet(s.t, s.p);
+  if (x.size() > kMaxOracleAlphabet) return std::nullopt;
+  const ModelSet mt = EnumerateModels(s.t.AsFormula(), x, 0);
+  const ModelSet mp = EnumerateModels(s.p, x, 0);
+  const ModelSet winslett = WinslettModels(mt, mp);
+  const ModelSet borgida = BorgidaModels(mt, mp);
+  const ModelSet forbus = ForbusModels(mt, mp);
+  const ModelSet satoh = SatohModels(mt, mp);
+  const ModelSet dalal = DalalModels(mt, mp);
+  const ModelSet weber = WeberModels(mt, mp);
+  const struct {
+    const char* from;
+    const char* to;
+    const ModelSet& small;
+    const ModelSet& big;
+  } edges[] = {
+      {"Dalal", "Forbus", dalal, forbus},
+      {"Dalal", "Satoh", dalal, satoh},
+      {"Dalal", "Borgida", dalal, borgida},
+      {"Forbus", "Winslett", forbus, winslett},
+      {"Satoh", "Winslett", satoh, winslett},
+      {"Satoh", "Weber", satoh, weber},
+      {"Borgida", "Winslett", borgida, winslett},
+  };
+  for (const auto& edge : edges) {
+    if (!edge.small.IsSubsetOf(edge.big)) {
+      return std::string("Figure 1 arrow broken: ") + edge.from +
+             " is not contained in " + edge.to;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ParserRoundtripOracle(const Scenario& s) {
+  Vocabulary* vocabulary = s.vocabulary.get();
+  std::vector<Formula> formulas(s.t.begin(), s.t.end());
+  formulas.push_back(s.p);
+  formulas.push_back(s.q);
+  for (const Formula& f : formulas) {
+    const std::string text = revise::ToString(f, *vocabulary);
+    StatusOr<Formula> parsed = Parse(text, vocabulary);
+    if (!parsed.ok()) {
+      return "printed formula no longer parses: " +
+             parsed.status().ToString() + " in \"" + text + "\"";
+    }
+    if (!parsed.value().StructurallyEqual(f)) {
+      return "print -> parse changed the formula's structure: \"" + text +
+             "\"";
+    }
+  }
+  return std::nullopt;
+}
+
+const std::vector<Oracle> kOracles = {
+    {"brute-force-models",
+     "AllSAT enumeration vs a truth-table sweep of Evaluate",
+     BruteForceModelsOracle},
+    {"operator-reference",
+     "the six operator kernels vs naive reference semantics",
+     OperatorReferenceOracle},
+    {"thread-count", "ReviseModelSets at 1 thread vs 3 threads",
+     ThreadCountOracle},
+    {"model-cache", "enumeration with the global cache cold/warm/disabled",
+     ModelCacheOracle},
+    {"bdd-vs-enumeration", "ROBDD model count and canonicity vs AllSAT",
+     BddVsEnumerationOracle},
+    {"compact-vs-direct",
+     "Theorem 3.4/3.5 compact constructions vs direct revision",
+     CompactVsDirectOracle},
+    {"postulates",
+     "KM laws: success, consistency, vacuity, U2, idempotence",
+     PostulatesOracle},
+    {"figure1-containment", "the containment arrows of Figure 1",
+     Figure1ContainmentOracle},
+    {"parser-roundtrip", "print -> parse structural round-trip",
+     ParserRoundtripOracle},
+};
+
+}  // namespace
+
+const std::vector<Oracle>& AllOracles() { return kOracles; }
+
+const Oracle* FindOracle(std::string_view name) {
+  for (const Oracle& oracle : kOracles) {
+    if (name == oracle.name) return &oracle;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> RunOracle(const Oracle& oracle,
+                                     const Scenario& scenario) {
+  return oracle.run(scenario);
+}
+
+std::optional<OracleFailure> CheckScenario(const Scenario& scenario,
+                                           std::string_view only_oracle) {
+  for (const Oracle& oracle : kOracles) {
+    if (!only_oracle.empty() && only_oracle != oracle.name) continue;
+    if (std::optional<std::string> detail = oracle.run(scenario)) {
+      return OracleFailure{oracle.name, *std::move(detail)};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace revise::fuzz

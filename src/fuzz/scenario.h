@@ -1,0 +1,72 @@
+// Random revision scenarios for differential fuzzing.
+//
+// A Scenario is one complete revision instance — a theory T, a revision
+// formula P and a query Q over a shared vocabulary — generated
+// deterministically from a 64-bit seed.  The generator is biased toward
+// the regions where revision implementations historically disagree:
+// Horn-shaped theories (the paper's Section 5 restriction), bounded-|P|
+// revisions (Section 4), near-unsatisfiable clause densities (where the
+// degenerate-case conventions kick in), deeply nested formulas (parser
+// and printer stress) and degenerate alphabets (one letter, letters of P
+// disjoint from T, constant formulas).
+//
+// Everything downstream (oracles, shrinker, corpus) treats a Scenario as
+// a value: the vocabulary is shared by reference so copies stay cheap and
+// shrunk variants keep interning into the same id space.
+
+#ifndef REVISE_FUZZ_SCENARIO_H_
+#define REVISE_FUZZ_SCENARIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "logic/formula.h"
+#include "logic/theory.h"
+#include "logic/vocabulary.h"
+
+namespace revise::fuzz {
+
+// The generator's structural bias, recorded on the scenario for triage.
+enum class Shape {
+  kGeneral,      // uniform random formula trees
+  kHorn,         // T and P are conjunctions of Horn clauses
+  kNearUnsat,    // 3-CNF near the satisfiability phase transition
+  kDeepNesting,  // long unary/binary chains (parser & printer stress)
+  kDegenerate,   // tiny or skewed alphabets, constants, empty theory
+  kBoundedP,     // |V(P)| small relative to V(T) (the paper's Section 4)
+};
+
+const char* ShapeName(Shape shape);
+
+struct Scenario {
+  // Shared so Scenario stays copyable (Vocabulary itself is identity-only)
+  // and shrunk variants intern into the same id space.
+  std::shared_ptr<Vocabulary> vocabulary;
+  Theory t;
+  Formula p;
+  Formula q;
+  Shape shape = Shape::kGeneral;
+  uint64_t seed = 0;
+
+  // Sum of the tree sizes of every element of T plus P and Q: the measure
+  // the shrinker drives downward.
+  [[nodiscard]] uint64_t TotalTreeSize() const;
+
+  // Multi-line human-readable rendering (concrete parser syntax).
+  [[nodiscard]] std::string ToString() const;
+};
+
+struct GeneratorOptions {
+  int max_vars = 6;             // alphabet bound for non-degenerate shapes
+  int max_theory_elements = 3;  // |T| upper bound
+  int max_depth = 4;            // formula-tree depth for general shapes
+};
+
+// Deterministic: the same (seed, options) pair always yields the same
+// scenario, including variable names.
+Scenario GenerateScenario(uint64_t seed, const GeneratorOptions& options = {});
+
+}  // namespace revise::fuzz
+
+#endif  // REVISE_FUZZ_SCENARIO_H_

@@ -1,0 +1,131 @@
+#include "fuzz/shrink.h"
+
+#include <utility>
+
+#include "fuzz/oracles.h"
+#include "obs/metrics.h"
+
+namespace revise::fuzz {
+
+namespace {
+
+Formula ReplaceChild(const Formula& f, size_t index,
+                     const Formula& replacement) {
+  std::vector<Formula> children(f.children().begin(), f.children().end());
+  children[index] = replacement;
+  switch (f.kind()) {
+    case Connective::kNot:
+      return Formula::Not(children[0]);
+    case Connective::kAnd:
+      return Formula::And(children);
+    case Connective::kOr:
+      return Formula::Or(children);
+    case Connective::kImplies:
+      return Formula::Implies(children[0], children[1]);
+    case Connective::kIff:
+      return Formula::Iff(children[0], children[1]);
+    case Connective::kXor:
+      return Formula::Xor(children[0], children[1]);
+    default:
+      return f;
+  }
+}
+
+Formula DropOperand(const Formula& f, size_t index) {
+  std::vector<Formula> children;
+  children.reserve(f.arity() - 1);
+  for (size_t i = 0; i < f.arity(); ++i) {
+    if (i != index) children.push_back(f.child(i));
+  }
+  return f.kind() == Connective::kAnd ? Formula::And(children)
+                                      : Formula::Or(children);
+}
+
+}  // namespace
+
+std::vector<Formula> FormulaReductions(const Formula& f) {
+  std::vector<Formula> out;
+  if (f.IsConst()) return out;
+  out.push_back(Formula::True());
+  out.push_back(Formula::False());
+  for (size_t i = 0; i < f.arity(); ++i) {
+    out.push_back(f.child(i));
+  }
+  if ((f.kind() == Connective::kAnd || f.kind() == Connective::kOr) &&
+      f.arity() > 2) {
+    for (size_t i = 0; i < f.arity(); ++i) {
+      out.push_back(DropOperand(f, i));
+    }
+  }
+  for (size_t i = 0; i < f.arity(); ++i) {
+    for (const Formula& reduced : FormulaReductions(f.child(i))) {
+      out.push_back(ReplaceChild(f, i, reduced));
+    }
+  }
+  return out;
+}
+
+ShrinkResult ShrinkScenario(const Scenario& failing,
+                            const FailurePredicate& still_fails,
+                            int max_steps) {
+  ShrinkResult result{failing, 0};
+  if (!still_fails(failing)) return result;
+  bool improved = true;
+  while (improved && result.steps < max_steps) {
+    improved = false;
+    const Scenario& current = result.scenario;
+    const uint64_t size = current.TotalTreeSize();
+
+    std::vector<Scenario> candidates;
+    for (size_t i = 0; i < current.t.size(); ++i) {
+      Scenario candidate = current;
+      std::vector<Formula> formulas = current.t.formulas();
+      formulas.erase(formulas.begin() + static_cast<ptrdiff_t>(i));
+      candidate.t = Theory(std::move(formulas));
+      candidates.push_back(std::move(candidate));
+    }
+    for (size_t i = 0; i < current.t.size(); ++i) {
+      for (const Formula& reduced : FormulaReductions(current.t[i])) {
+        Scenario candidate = current;
+        std::vector<Formula> formulas = current.t.formulas();
+        formulas[i] = reduced;
+        candidate.t = Theory(std::move(formulas));
+        candidates.push_back(std::move(candidate));
+      }
+    }
+    for (const Formula& reduced : FormulaReductions(current.p)) {
+      Scenario candidate = current;
+      candidate.p = reduced;
+      candidates.push_back(std::move(candidate));
+    }
+    for (const Formula& reduced : FormulaReductions(current.q)) {
+      Scenario candidate = current;
+      candidate.q = reduced;
+      candidates.push_back(std::move(candidate));
+    }
+
+    for (Scenario& candidate : candidates) {
+      if (candidate.TotalTreeSize() >= size) continue;
+      if (still_fails(candidate)) {
+        result.scenario = std::move(candidate);
+        ++result.steps;
+        REVISE_OBS_COUNTER("fuzz.shrink_steps").Increment();
+        improved = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+ShrinkResult ShrinkScenario(const Scenario& failing,
+                            std::string_view oracle_name, int max_steps) {
+  return ShrinkScenario(
+      failing,
+      [oracle_name](const Scenario& candidate) {
+        return CheckScenario(candidate, oracle_name).has_value();
+      },
+      max_steps);
+}
+
+}  // namespace revise::fuzz

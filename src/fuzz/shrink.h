@@ -1,0 +1,52 @@
+// Delta-debugging shrinker for failing scenarios.
+//
+// Given a scenario on which an oracle reports a mismatch, greedily apply
+// size-reducing edits — drop a theory element, replace a subformula by a
+// constant or one of its children, drop one operand of an n-ary
+// conjunction/disjunction — keeping an edit only when the oracle still
+// fails and the total tree size strictly decreased.  Strict decrease
+// makes termination a counting argument; greedy first-improvement keeps
+// the oracle-evaluation count linear in the number of accepted steps.
+//
+// Each accepted reduction increments the fuzz.shrink_steps counter.
+
+#ifndef REVISE_FUZZ_SHRINK_H_
+#define REVISE_FUZZ_SHRINK_H_
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/scenario.h"
+
+namespace revise::fuzz {
+
+struct ShrinkResult {
+  Scenario scenario;  // the reduced repro (still failing)
+  int steps = 0;      // accepted reductions
+};
+
+// True when the scenario still exhibits the failure being minimized.
+using FailurePredicate = std::function<bool(const Scenario&)>;
+
+// All one-edit size-reducing variants of `f` (constants, child promotion,
+// n-ary operand dropping, and the same recursively at every position).
+// Exposed for tests.
+std::vector<Formula> FormulaReductions(const Formula& f);
+
+// Shrinks `failing` while `still_fails` holds.  The input must currently
+// satisfy the predicate; the result is a local minimum — no single edit
+// both shrinks it and preserves the failure.  `max_steps` bounds the
+// accepted-reduction count as a safety stop.
+ShrinkResult ShrinkScenario(const Scenario& failing,
+                            const FailurePredicate& still_fails,
+                            int max_steps = 500);
+
+// Convenience: shrink against the named oracle (empty = all oracles).
+ShrinkResult ShrinkScenario(const Scenario& failing,
+                            std::string_view oracle_name,
+                            int max_steps = 500);
+
+}  // namespace revise::fuzz
+
+#endif  // REVISE_FUZZ_SHRINK_H_

@@ -125,6 +125,18 @@ class Parser {
                                 std::move(message));
   }
 
+  // Called at every recursion point (parenthesis, negation, right-hand
+  // side of '->').  Pair with --depth_ on the non-error path.
+  Status EnterNested() {
+    if (++depth_ > kMaxParseDepth) {
+      return ResourceExhaustedError(
+          "syntax error at offset " + std::to_string(current_.position) +
+          ": nesting exceeds the depth limit of " +
+          std::to_string(kMaxParseDepth));
+    }
+    return Status::Ok();
+  }
+
   StatusOr<Formula> ParseIff() {
     REVISE_ASSIGN_OR_RETURN(Formula left, ParseImplies());
     while (current_.kind == TokenKind::kIff) {
@@ -138,8 +150,10 @@ class Parser {
   StatusOr<Formula> ParseImplies() {
     REVISE_ASSIGN_OR_RETURN(Formula left, ParseXor());
     if (current_.kind == TokenKind::kImplies) {
+      REVISE_RETURN_IF_ERROR(EnterNested());
       REVISE_RETURN_IF_ERROR(Advance());
       REVISE_ASSIGN_OR_RETURN(Formula right, ParseImplies());
+      --depth_;
       return Formula::Implies(left, right);
     }
     return left;
@@ -177,8 +191,10 @@ class Parser {
 
   StatusOr<Formula> ParseUnary() {
     if (current_.kind == TokenKind::kNot) {
+      REVISE_RETURN_IF_ERROR(EnterNested());
       REVISE_RETURN_IF_ERROR(Advance());
       REVISE_ASSIGN_OR_RETURN(Formula inner, ParseUnary());
+      --depth_;
       return Formula::Not(inner);
     }
     return ParseAtom();
@@ -200,12 +216,14 @@ class Parser {
         return Formula::Variable(var);
       }
       case TokenKind::kLParen: {
+        REVISE_RETURN_IF_ERROR(EnterNested());
         REVISE_RETURN_IF_ERROR(Advance());
         REVISE_ASSIGN_OR_RETURN(Formula inner, ParseIff());
         if (current_.kind != TokenKind::kRParen) {
           return Error("expected ')'");
         }
         REVISE_RETURN_IF_ERROR(Advance());
+        --depth_;
         return inner;
       }
       default:
@@ -216,6 +234,7 @@ class Parser {
   Lexer lexer_;
   Vocabulary* vocabulary_;
   Token current_{TokenKind::kEnd, {}, 0};
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -23,6 +23,15 @@
 
 namespace revise {
 
+// Maximum nesting depth the parser accepts.  Nesting is what recurses
+// (parentheses, '!' chains and the right-recursive '->'), so the limit
+// bounds the parser's stack growth; input beyond it gets a
+// kResourceExhausted parse Status instead of a stack overflow.  The
+// value is far above anything a human writes and low enough that the
+// deepest accepted input stays within a default thread stack even under
+// sanitizers.
+inline constexpr int kMaxParseDepth = 256;
+
 // Parses `text`, interning variables into `*vocabulary`.
 StatusOr<Formula> Parse(std::string_view text, Vocabulary* vocabulary);
 

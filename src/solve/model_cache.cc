@@ -47,13 +47,17 @@ uint64_t ModelCache::ApproxEntryBytes(const Entry& entry) {
          entry.models.size() * (sizeof(Interpretation) + words * 8);
 }
 
-void ModelCache::PublishBytesLocked() const {
+void ModelCache::PublishGaugesLocked() const {
+  if (!publish_gauges_) return;
+  REVISE_OBS_GAUGE("solve.model_cache.size")
+      .Set(static_cast<int64_t>(lru_.size()));
   REVISE_OBS_GAUGE("mem.model_cache_bytes")
       .Set(static_cast<int64_t>(bytes_));
 }
 
 ModelCache& ModelCache::Global() {
-  static ModelCache* const cache = new ModelCache(CapacityFromEnvironment());
+  static ModelCache* const cache =
+      new ModelCache(CapacityFromEnvironment(), /*publish_gauges=*/true);
   return *cache;
 }
 
@@ -72,7 +76,14 @@ ModelCache::EntryList::iterator ModelCache::FindLocked(
 std::optional<ModelSet> ModelCache::Lookup(const Formula& f,
                                            const Alphabet& alphabet) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (capacity_ == 0) return std::nullopt;
+  if (capacity_ == 0) {
+    // A disabled cache answers every probe with a miss; counting it keeps
+    // hits + misses equal to the number of unlimited enumerations whether
+    // or not caching is configured (the fuzz model-cache oracle and the
+    // JSON reports rely on that invariant).
+    REVISE_OBS_COUNTER("solve.model_cache.misses").Increment();
+    return std::nullopt;
+  }
   const uint64_t hash = KeyHash(f, alphabet);
   const auto it = FindLocked(hash, f, alphabet);
   if (it == lru_.end()) {
@@ -95,7 +106,7 @@ void ModelCache::Insert(const Formula& f, const Alphabet& alphabet,
     it->models = models;
     bytes_ += ApproxEntryBytes(*it);
     lru_.splice(lru_.begin(), lru_, it);
-    PublishBytesLocked();
+    PublishGaugesLocked();
     return;
   }
   lru_.push_front(Entry{hash, f, alphabet, models});
@@ -103,9 +114,7 @@ void ModelCache::Insert(const Formula& f, const Alphabet& alphabet,
   index_.emplace(hash, lru_.begin());
   REVISE_OBS_COUNTER("solve.model_cache.insertions").Increment();
   EvictOverCapacityLocked();
-  REVISE_OBS_GAUGE("solve.model_cache.size")
-      .Set(static_cast<int64_t>(lru_.size()));
-  PublishBytesLocked();
+  PublishGaugesLocked();
 }
 
 void ModelCache::EvictOverCapacityLocked() {
@@ -129,17 +138,14 @@ void ModelCache::Clear() {
   lru_.clear();
   index_.clear();
   bytes_ = 0;
-  REVISE_OBS_GAUGE("solve.model_cache.size").Set(0);
-  PublishBytesLocked();
+  PublishGaugesLocked();
 }
 
 void ModelCache::set_capacity(size_t capacity) {
   std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity;
   EvictOverCapacityLocked();
-  REVISE_OBS_GAUGE("solve.model_cache.size")
-      .Set(static_cast<int64_t>(lru_.size()));
-  PublishBytesLocked();
+  PublishGaugesLocked();
 }
 
 size_t ModelCache::capacity() const {

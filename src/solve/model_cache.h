@@ -15,13 +15,24 @@
 //     are immutable facts, so invalidation is only needed when a test or
 //     long-lived process wants to release memory or isolate measurements);
 //   * observable: hits, misses, insertions and evictions are published as
-//     solve.model_cache.* counters, the live entry count as a gauge, and
-//     an estimate of the resident bytes as the mem.model_cache_bytes
-//     gauge (picked up by obs::MemoryStats::ToJson);
+//     solve.model_cache.* counters by every instance (they aggregate
+//     process-wide cache activity); the live entry count
+//     (solve.model_cache.size) and the resident-byte estimate
+//     (mem.model_cache_bytes, picked up by obs::MemoryStats::ToJson) are
+//     gauges describing the *global* cache only — a short-lived local
+//     instance must not leave the gauges describing a dead cache;
 //   * thread-safe: one mutex; entries are returned by value.
 //
 // Configuration: REVISE_MODEL_CACHE sets the capacity in entries
 // (default 128, 0 disables caching entirely).
+//
+// Disable vs evict-all semantics: capacity 0 means *disabled*.  A
+// disabled cache still counts every Lookup as a miss (so hits + misses
+// keeps matching the number of unlimited enumerations regardless of
+// configuration), Insert is a silent no-op, and both gauges read 0.
+// set_capacity(0) on a populated cache evicts every entry (counted as
+// evictions) before disabling; set_capacity(n > 0) re-enables with an
+// empty cache and the counters continue monotonically.
 
 #ifndef REVISE_SOLVE_MODEL_CACHE_H_
 #define REVISE_SOLVE_MODEL_CACHE_H_
@@ -46,7 +57,10 @@ class ModelCache {
   // REVISE_MODEL_CACHE at first use).
   static ModelCache& Global();
 
-  explicit ModelCache(size_t capacity) : capacity_(capacity) {}
+  // `publish_gauges` marks the instance whose size/bytes feed the global
+  // gauges; only Global() passes true.  Counters are always published.
+  explicit ModelCache(size_t capacity, bool publish_gauges = false)
+      : capacity_(capacity), publish_gauges_(publish_gauges) {}
 
   ModelCache(const ModelCache&) = delete;
   ModelCache& operator=(const ModelCache&) = delete;
@@ -87,12 +101,13 @@ class ModelCache {
 
   // Requires mu_ held.
   void EvictOverCapacityLocked();
-  void PublishBytesLocked() const;
+  void PublishGaugesLocked() const;
   EntryList::iterator FindLocked(uint64_t hash, const Formula& f,
                                  const Alphabet& alphabet);
 
   mutable std::mutex mu_;
   size_t capacity_;
+  const bool publish_gauges_;
   uint64_t bytes_ = 0;  // sum of ApproxEntryBytes over lru_
   EntryList lru_;  // front = most recently used
   std::unordered_multimap<uint64_t, EntryList::iterator> index_;

@@ -1,0 +1,246 @@
+// Tests for the differential fuzzing subsystem (src/fuzz/): generator
+// determinism and coverage, oracle agreement at HEAD, the delta-debugging
+// shrinker on planted failures, corpus (de)serialization, and the replay
+// of the committed regression corpus.
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/oracles.h"
+#include "fuzz/scenario.h"
+#include "fuzz/shrink.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "obs/metrics.h"
+
+namespace revise::fuzz {
+namespace {
+
+std::filesystem::path CommittedCorpusDir() {
+  return std::filesystem::path(__FILE__).parent_path() / "corpus";
+}
+
+uint64_t CounterValue(const char* name) {
+  return obs::Registry::Global().GetCounter(name)->Value();
+}
+
+// ---- generator -----------------------------------------------------------
+
+TEST(GeneratorTest, SameSeedReproducesTheSameScenario) {
+  for (uint64_t seed : {1u, 7u, 99u, 1234u}) {
+    const Scenario a = GenerateScenario(seed);
+    const Scenario b = GenerateScenario(seed);
+    EXPECT_EQ(a.ToString(), b.ToString()) << "seed " << seed;
+    EXPECT_EQ(a.shape, b.shape);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiverge) {
+  int distinct = 0;
+  const std::string base = GenerateScenario(1).ToString();
+  for (uint64_t seed = 2; seed < 12; ++seed) {
+    if (GenerateScenario(seed).ToString() != base) ++distinct;
+  }
+  EXPECT_GE(distinct, 9);
+}
+
+TEST(GeneratorTest, AllShapesAppearWithinTwoHundredSeeds) {
+  std::set<Shape> seen;
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    seen.insert(GenerateScenario(seed).shape);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(GeneratorTest, GeneratedFormulasStayWithinTheParserDepthLimit) {
+  // The deep-nesting shape must stress the printer/parser without
+  // tripping the kMaxParseDepth guard, or the parser-roundtrip oracle
+  // would report spurious failures.
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    const Scenario s = GenerateScenario(seed);
+    if (s.shape != Shape::kDeepNesting) continue;
+    const std::string text = ToString(s.t[0], *s.vocabulary);
+    StatusOr<Formula> parsed = Parse(text, s.vocabulary.get());
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << " for seed " << seed;
+  }
+}
+
+// ---- oracles -------------------------------------------------------------
+
+TEST(OracleTest, RegistryIsConsistent) {
+  ASSERT_FALSE(AllOracles().empty());
+  for (const Oracle& oracle : AllOracles()) {
+    EXPECT_EQ(FindOracle(oracle.name), &oracle);
+  }
+  EXPECT_EQ(FindOracle("no-such-oracle"), nullptr);
+}
+
+TEST(OracleTest, HeadImplementationSurvivesAFuzzBatch) {
+  FuzzOptions options;
+  options.seed = 424242;
+  options.runs = 150;
+  const FuzzReport report = Fuzz(options);
+  EXPECT_EQ(report.executions, 150u);
+  EXPECT_EQ(report.mismatches, 0u);
+  for (const FuzzFailure& failure : report.failures) {
+    ADD_FAILURE() << failure.oracle << ": " << failure.detail << "\n"
+                  << failure.scenario.ToString();
+  }
+}
+
+TEST(OracleTest, FuzzPublishesExecutionCounters) {
+  const uint64_t before = CounterValue("fuzz.executions");
+  FuzzOptions options;
+  options.seed = 7;
+  options.runs = 5;
+  const FuzzReport report = Fuzz(options);
+  EXPECT_EQ(report.executions, 5u);
+  EXPECT_EQ(CounterValue("fuzz.executions"), before + 5);
+}
+
+// ---- shrinker ------------------------------------------------------------
+
+TEST(ShrinkTest, FormulaReductionsAreStrictlySmallerOrConstants) {
+  Vocabulary vocabulary;
+  const Formula f =
+      ParseOrDie("(a & b & c) | !(a -> (b <-> c))", &vocabulary);
+  const std::vector<Formula> reductions = FormulaReductions(f);
+  ASSERT_FALSE(reductions.empty());
+  for (const Formula& r : reductions) {
+    EXPECT_LE(r.TreeSize(), f.TreeSize());
+  }
+  // Child promotion is among the candidates.
+  const bool has_child = std::any_of(
+      reductions.begin(), reductions.end(),
+      [&](const Formula& r) { return r.StructurallyEqual(f.child(0)); });
+  EXPECT_TRUE(has_child);
+}
+
+TEST(ShrinkTest, PlantedFailureShrinksToALocalMinimum) {
+  // Plant a "bug" that fires whenever P mentions v0 while T is nonempty;
+  // the shrinker must strip everything else away.
+  Scenario big;
+  big.vocabulary = std::make_shared<Vocabulary>();
+  const Var v0 = big.vocabulary->Intern("v0");
+  big.t = Theory::ParseOrDie("(v0 & v1) | (v2 <-> v3); v1 -> (v2 ^ v0)",
+                             big.vocabulary.get());
+  big.p = ParseOrDie("(v0 | v1) & (v2 -> v3) & !(v1 ^ v3)",
+                     big.vocabulary.get());
+  big.q = ParseOrDie("v1 <-> (v2 | v0)", big.vocabulary.get());
+  const auto mentions_v0 = [v0](const Formula& f) {
+    const std::vector<Var> vars = f.Vars();
+    return std::find(vars.begin(), vars.end(), v0) != vars.end();
+  };
+  const FailurePredicate planted = [&](const Scenario& s) {
+    return !s.t.empty() && mentions_v0(s.p);
+  };
+  ASSERT_TRUE(planted(big));
+
+  const uint64_t steps_before = CounterValue("fuzz.shrink_steps");
+  const ShrinkResult reduced = ShrinkScenario(big, planted);
+  EXPECT_TRUE(planted(reduced.scenario));
+  EXPECT_GT(reduced.steps, 0);
+  EXPECT_LT(reduced.scenario.TotalTreeSize(), big.TotalTreeSize());
+  EXPECT_EQ(CounterValue("fuzz.shrink_steps"),
+            steps_before + static_cast<uint64_t>(reduced.steps));
+  // The local minimum under this predicate: a one-element theory reduced
+  // to a constant, P reduced to the literal v0, Q reduced to a constant.
+  EXPECT_EQ(reduced.scenario.TotalTreeSize(), 3u);
+  EXPECT_TRUE(reduced.scenario.p.StructurallyEqual(Formula::Variable(v0)));
+  EXPECT_EQ(reduced.scenario.t.size(), 1u);
+}
+
+TEST(ShrinkTest, PassingScenarioIsReturnedUntouched) {
+  const Scenario s = GenerateScenario(5);
+  const ShrinkResult result =
+      ShrinkScenario(s, [](const Scenario&) { return false; });
+  EXPECT_EQ(result.steps, 0);
+  EXPECT_EQ(result.scenario.ToString(), s.ToString());
+}
+
+// ---- corpus --------------------------------------------------------------
+
+TEST(CorpusTest, FormatParseRoundTrip) {
+  CorpusEntry entry;
+  entry.name = "round-trip";
+  entry.oracle = "postulates";
+  entry.expect = "ok";
+  entry.seed = 99;
+  entry.theory = "a -> b; !c";
+  entry.p = "a & c";
+  entry.q = "b";
+  const StatusOr<CorpusEntry> parsed = ParseEntry(FormatEntry(entry));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().name, entry.name);
+  EXPECT_EQ(parsed.value().oracle, entry.oracle);
+  EXPECT_EQ(parsed.value().expect, entry.expect);
+  EXPECT_EQ(parsed.value().seed, entry.seed);
+  EXPECT_EQ(parsed.value().theory, entry.theory);
+  EXPECT_EQ(parsed.value().p, entry.p);
+  EXPECT_EQ(parsed.value().q, entry.q);
+}
+
+TEST(CorpusTest, ParseEntryRejectsMalformedInput) {
+  EXPECT_FALSE(ParseEntry("name: x\np: a\n").ok()) << "missing header";
+  const std::string header = std::string(kCorpusHeader) + "\n";
+  EXPECT_FALSE(ParseEntry(header + "p: a\n").ok()) << "missing name";
+  EXPECT_FALSE(ParseEntry(header + "name: x\n").ok()) << "missing p";
+  EXPECT_FALSE(ParseEntry(header + "name: x\np: a\nwat: 1\n").ok())
+      << "unknown key";
+  EXPECT_FALSE(
+      ParseEntry(header + "name: x\nname: y\np: a\n").ok())
+      << "duplicate key";
+  EXPECT_FALSE(
+      ParseEntry(header + "name: x\np: a\nexpect: maybe\n").ok())
+      << "bad expect";
+  EXPECT_FALSE(
+      ParseEntry(header + "name: x\np: a\nseed: twelve\n").ok())
+      << "bad seed";
+}
+
+TEST(CorpusTest, ScenarioEntryRoundTripPreservesSemantics) {
+  const Scenario original = GenerateScenario(17);
+  const CorpusEntry entry =
+      EntryFromScenario(original, "seed17", "operator-reference");
+  const StatusOr<Scenario> restored = ScenarioFromEntry(entry);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored.value().t.size(), original.t.size());
+  // Formula text is rendered with the same printer both ways.
+  EXPECT_EQ(ToString(restored.value().p, *restored.value().vocabulary),
+            ToString(original.p, *original.vocabulary));
+}
+
+TEST(CorpusTest, CommittedCorpusReplaysClean) {
+  const std::string dir = CommittedCorpusDir().string();
+  const StatusOr<FuzzReport> report = ReplayCorpus(dir);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GE(report.value().executions, 6u);
+  EXPECT_EQ(report.value().mismatches, 0u);
+  for (const FuzzFailure& failure : report.value().failures) {
+    ADD_FAILURE() << failure.oracle << ": " << failure.detail;
+  }
+}
+
+TEST(CorpusTest, ParseErrorEntriesDemandAParserRejection) {
+  // The committed depth-overflow repro must keep failing to parse; if the
+  // guard regresses (or the limit is raised past the repro) the replay
+  // flags it.
+  const StatusOr<CorpusEntry> entry = LoadEntry(
+      (CommittedCorpusDir() / "parser-depth-overflow.corpus").string());
+  ASSERT_TRUE(entry.ok()) << entry.status();
+  EXPECT_EQ(entry.value().expect, "parse-error");
+  const StatusOr<Scenario> scenario = ScenarioFromEntry(entry.value());
+  ASSERT_FALSE(scenario.ok());
+  EXPECT_EQ(scenario.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace revise::fuzz

@@ -129,6 +129,52 @@ TEST(ParserTest, ImpliesIsRightAssociative) {
   EXPECT_TRUE(f.StructurallyEqual(g));
 }
 
+TEST(ParserTest, AcceptsNestingUpToTheDepthLimit) {
+  Vocabulary vocabulary;
+  const std::string deep = std::string(kMaxParseDepth, '(') + "a" +
+                           std::string(kMaxParseDepth, ')');
+  const StatusOr<Formula> f = Parse(deep, &vocabulary);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(Connective::kVar, f.value().kind());
+}
+
+TEST(ParserTest, RejectsNestingOneBeyondTheDepthLimit) {
+  Vocabulary vocabulary;
+  const std::string deep = std::string(kMaxParseDepth + 1, '(') + "a" +
+                           std::string(kMaxParseDepth + 1, ')');
+  const StatusOr<Formula> f = Parse(deep, &vocabulary);
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(StatusCode::kResourceExhausted, f.status().code());
+}
+
+TEST(ParserTest, DeeplyNestedInputReturnsStatusInsteadOfCrashing) {
+  // Regression for the fuzzer's first finding: 100k nested parentheses,
+  // negations, or right-recursive implications used to overflow the
+  // parser stack.  All three recursion points must hit the guard.
+  Vocabulary vocabulary;
+  constexpr int kDeep = 100000;
+  const std::string parens =
+      std::string(kDeep, '(') + "a" + std::string(kDeep, ')');
+  EXPECT_EQ(StatusCode::kResourceExhausted,
+            Parse(parens, &vocabulary).status().code());
+  const std::string nots = std::string(kDeep, '!') + "a";
+  EXPECT_EQ(StatusCode::kResourceExhausted,
+            Parse(nots, &vocabulary).status().code());
+  std::string implies = "a";
+  for (int i = 0; i < kDeep; ++i) implies += " -> a";
+  EXPECT_EQ(StatusCode::kResourceExhausted,
+            Parse(implies, &vocabulary).status().code());
+}
+
+TEST(ParserTest, DepthLimitCountsNestingNotLength) {
+  // Long but flat input (a & a & ...) must stay accepted: '&' chains
+  // iterate, so breadth is unaffected by the depth guard.
+  Vocabulary vocabulary;
+  std::string flat = "a";
+  for (int i = 0; i < 10000; ++i) flat += " & a";
+  EXPECT_TRUE(Parse(flat, &vocabulary).ok());
+}
+
 TEST(ParserTest, AcceptsTildeForNegation) {
   Vocabulary vocabulary;
   EXPECT_TRUE(ParseOrDie("~a", &vocabulary)

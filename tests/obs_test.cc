@@ -167,6 +167,98 @@ TEST(HistogramTest, PercentilesOfUniformSamples) {
   EXPECT_EQ(h->Snapshot().count, 0u);
 }
 
+TEST(HistogramTest, SingleSamplePinsEveryPercentile) {
+  Histogram* h = Registry::Global().GetHistogram("test.hist_single");
+  h->Reset();
+  h->Record(37);
+  const HistogramSnapshot s = h->Snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.sum, 37u);
+  EXPECT_EQ(s.min, 37u);
+  EXPECT_EQ(s.max, 37u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 37.0);
+  // With one sample, every quantile falls in its bucket: the shared
+  // representative is the bucket upper bound for 37 (the 32..39 octave
+  // slice, representative 39).
+  const uint64_t representative =
+      Histogram::BucketUpperBound(Histogram::BucketIndex(37));
+  EXPECT_EQ(s.p50, representative);
+  EXPECT_EQ(s.p90, representative);
+  EXPECT_EQ(s.p99, representative);
+}
+
+TEST(HistogramTest, SingleExactSamplePercentilesAreExact) {
+  // Values below kSubBuckets have width-one buckets, so the percentile
+  // estimate is the sample itself, not an overshoot.
+  Histogram* h = Registry::Global().GetHistogram("test.hist_exact");
+  h->Reset();
+  h->Record(5);
+  const HistogramSnapshot s = h->Snapshot();
+  EXPECT_EQ(s.p50, 5u);
+  EXPECT_EQ(s.p90, 5u);
+  EXPECT_EQ(s.p99, 5u);
+}
+
+TEST(HistogramTest, AllSamplesInOneSubBucketCollapseThePercentiles) {
+  // 1000 samples spread across one sub-bucket (1024..1151 share a bucket
+  // at 3 sub-bucket bits) are indistinguishable to the estimator: every
+  // percentile reports the bucket's upper bound while min/max/sum stay
+  // exact.
+  Histogram* h = Registry::Global().GetHistogram("test.hist_one_bucket");
+  h->Reset();
+  const size_t index = Histogram::BucketIndex(1024);
+  ASSERT_EQ(Histogram::BucketIndex(1151), index);
+  for (uint64_t i = 0; i < 1000; ++i) h->Record(1024 + i % 128);
+  const HistogramSnapshot s = h->Snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.min, 1024u);
+  EXPECT_EQ(s.max, 1151u);
+  const uint64_t representative = Histogram::BucketUpperBound(index);
+  EXPECT_EQ(representative, 1151u);
+  EXPECT_EQ(s.p50, representative);
+  EXPECT_EQ(s.p90, representative);
+  EXPECT_EQ(s.p99, representative);
+}
+
+TEST(HistogramTest, ZeroSamplesLandInTheZeroBucket) {
+  // A histogram fed only zeros must not confuse "no samples" with
+  // "samples of value zero".
+  Histogram* h = Registry::Global().GetHistogram("test.hist_zeros");
+  h->Reset();
+  for (int i = 0; i < 10; ++i) h->Record(0);
+  const HistogramSnapshot s = h->Snapshot();
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.p50, 0u);
+  EXPECT_EQ(s.p99, 0u);
+}
+
+TEST(HistogramTest, SaturatingSampleStaysInTheLastBucket) {
+  Histogram* h = Registry::Global().GetHistogram("test.hist_saturate");
+  h->Reset();
+  h->Record(~uint64_t{0});
+  const HistogramSnapshot s = h->Snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.max, ~uint64_t{0});
+  EXPECT_EQ(s.p50, ~uint64_t{0});
+  EXPECT_EQ(s.p99, ~uint64_t{0});
+}
+
+TEST(HistogramTest, TwoSamplesSplitTheMedianRank) {
+  // With two samples, rank(ceil(0.5 * 2)) == 1: the median is the lower
+  // sample's bucket, while p90/p99 land on the upper one.
+  Histogram* h = Registry::Global().GetHistogram("test.hist_two");
+  h->Reset();
+  h->Record(2);
+  h->Record(1000);
+  const HistogramSnapshot s = h->Snapshot();
+  EXPECT_EQ(s.p50, 2u);
+  EXPECT_EQ(s.p90, Histogram::BucketUpperBound(Histogram::BucketIndex(1000)));
+  EXPECT_EQ(s.p99, s.p90);
+}
+
 TEST(HistogramTest, MacroInternsByName) {
   Histogram* h = Registry::Global().GetHistogram("test.hist_macro");
   h->Reset();

@@ -401,6 +401,83 @@ TEST(ModelCacheTest, ClearInvalidatesExplicitly) {
   EXPECT_EQ(misses_before + 1, CounterValue("solve.model_cache.misses"));
 }
 
+TEST(ModelCacheTest, DisabledCacheCountsEveryLookupAsAMiss) {
+  // Regression: Lookup used to bail out before the miss counter when the
+  // cache was disabled, so hits + misses undercounted the enumerations
+  // and REVISE_MODEL_CACHE=0 runs reported impossible ratios.
+  ScopedCache cache(0);
+  Vocabulary vocabulary;
+  const Formula f = ParseOrDie("a & (b | c)", &vocabulary);
+  const Alphabet alphabet(f.Vars());
+  const uint64_t hits_before = CounterValue("solve.model_cache.hits");
+  const uint64_t misses_before = CounterValue("solve.model_cache.misses");
+  WarmCache(f, alphabet);
+  WarmCache(f, alphabet);
+  EXPECT_EQ(misses_before + 2, CounterValue("solve.model_cache.misses"));
+  EXPECT_EQ(hits_before, CounterValue("solve.model_cache.hits"));
+  EXPECT_EQ(0u, ModelCache::Global().size());
+  EXPECT_EQ(0u, ModelCache::Global().approx_bytes());
+}
+
+int64_t GaugeValue(const char* name) {
+  return obs::Registry::Global().GetGauge(name)->Value();
+}
+
+TEST(ModelCacheTest, DisablingEvictsEverythingAndZeroesGauges) {
+  ScopedCache cache(ModelCache::kDefaultCapacity);
+  Vocabulary vocabulary;
+  const Formula f1 = ParseOrDie("a | b", &vocabulary);
+  const Formula f2 = ParseOrDie("a & b", &vocabulary);
+  const Alphabet alphabet(f1.Vars());
+  WarmCache(f1, alphabet);
+  WarmCache(f2, alphabet);
+  EXPECT_EQ(2, GaugeValue("solve.model_cache.size"));
+  EXPECT_GT(GaugeValue("mem.model_cache_bytes"), 0);
+  const uint64_t evictions_before =
+      CounterValue("solve.model_cache.evictions");
+  ModelCache::Global().set_capacity(0);
+  EXPECT_FALSE(ModelCache::Global().enabled());
+  EXPECT_EQ(evictions_before + 2,
+            CounterValue("solve.model_cache.evictions"));
+  EXPECT_EQ(0, GaugeValue("solve.model_cache.size"));
+  EXPECT_EQ(0, GaugeValue("mem.model_cache_bytes"));
+  EXPECT_EQ(0u, ModelCache::Global().approx_bytes());
+  // Inserts while disabled stay no-ops and leave the gauges at zero.
+  WarmCache(f1, alphabet);
+  EXPECT_EQ(0u, ModelCache::Global().size());
+  EXPECT_EQ(0, GaugeValue("solve.model_cache.size"));
+  // Re-enabling starts from an empty cache and resumes publishing.
+  ModelCache::Global().set_capacity(4);
+  WarmCache(f1, alphabet);
+  EXPECT_EQ(1, GaugeValue("solve.model_cache.size"));
+  EXPECT_GT(GaugeValue("mem.model_cache_bytes"), 0);
+}
+
+TEST(ModelCacheTest, LocalInstancesDoNotStompTheGlobalGauges) {
+  // Regression: a short-lived local ModelCache used to publish its own
+  // size/bytes into the process-wide gauges, leaving them describing a
+  // dead cache after the instance was destroyed.
+  ScopedCache cache(ModelCache::kDefaultCapacity);
+  Vocabulary vocabulary;
+  const Formula f = ParseOrDie("a -> b", &vocabulary);
+  const Alphabet alphabet(f.Vars());
+  WarmCache(f, alphabet);
+  const int64_t size_before = GaugeValue("solve.model_cache.size");
+  const int64_t bytes_before = GaugeValue("mem.model_cache_bytes");
+  EXPECT_EQ(1, size_before);
+  {
+    ModelCache local(8);
+    local.Insert(f, alphabet, EnumerateModels(f, alphabet));
+    local.Insert(ParseOrDie("a & b & a", &vocabulary), alphabet,
+                 EnumerateModels(f, alphabet));
+    EXPECT_EQ(2u, local.size());
+    local.set_capacity(0);
+    local.Clear();
+  }
+  EXPECT_EQ(size_before, GaugeValue("solve.model_cache.size"));
+  EXPECT_EQ(bytes_before, GaugeValue("mem.model_cache_bytes"));
+}
+
 TEST(ModelCacheTest, LimitedEnumerationsBypassTheCache) {
   ScopedCache cache(ModelCache::kDefaultCapacity);
   Vocabulary vocabulary;

@@ -6,7 +6,8 @@
 #   4. a dropped row / dropped table fails;
 #   5. tightening --time-threshold flips case 1 to a failure;
 #   6. lowering --noise-floor-ms exposes the micro-timing jitter;
-#   7. an unreadable input is a usage error (exit 2), not a pass.
+#   7. candidate rows colliding on the baseline join key are flagged;
+#   8. an unreadable input is a usage error (exit 2), not a pass.
 #
 # Invoked as:
 #   cmake -DBENCHDIFF=<binary> -DFIXTURES=<dir> -P benchdiff_selftest.cmake
@@ -66,7 +67,14 @@ expect_exit(1 "tight threshold")
 run_diff(${FIXTURES}/base.json ${FIXTURES}/ok.json --noise-floor-ms=0.0001)
 expect_exit(1 "no noise floor")
 
-# 7. Unreadable input is a usage error.
+# 7. A candidate row colliding with another on the baseline's
+#    shortest-unique key prefix is reported as an ambiguity, not silently
+#    joined against whichever row the map kept first.
+run_diff(${FIXTURES}/base.json ${FIXTURES}/regress_ambiguous_prefix.json)
+expect_exit(1 "ambiguous join key")
+expect_output("ambiguous at baseline key [6]" "ambiguity message")
+
+# 8. Unreadable input is a usage error.
 run_diff(${FIXTURES}/base.json ${FIXTURES}/does_not_exist.json)
 expect_exit(2 "missing input")
 

@@ -312,7 +312,55 @@ void CompareTable(const Options& options, const Json& base_table,
     cand_column_index[cand_columns.at(c).AsString()] = c;
   }
 
-  const size_t key_width = KeyWidth(base_rows, base_columns.size());
+  // Candidate-row key built through the column-name mapping, so the join
+  // tolerates reordered candidate columns.
+  const auto cand_key = [&](const Json& row, size_t width) {
+    std::string key;
+    for (size_t c = 0; c < width; ++c) {
+      const auto cc = cand_column_index.find(base_columns.at(c).AsString());
+      key += (cc != cand_column_index.end() && cc->second < row.size()
+                  ? row.at(cc->second).Dump()
+                  : "null");
+      key += '\x1f';
+    }
+    return key;
+  };
+  const auto first_duplicate = [&](size_t width) -> const Json* {
+    std::set<std::string> seen;
+    for (const Json& row : cand_rows.array()) {
+      if (!seen.insert(cand_key(row, width)).second) return &row;
+    }
+    return nullptr;
+  };
+
+  // The shortest prefix that uniquely keys the baseline must also
+  // uniquely key the candidate: an added candidate row colliding on that
+  // prefix would otherwise silently decide which row gets compared (the
+  // map keeps the first), masking a regression in the other.  Widen until
+  // both sides are unique — full row if nothing shorter disambiguates —
+  // and report the ambiguity itself as a finding.
+  size_t key_width = KeyWidth(base_rows, base_columns.size());
+  if (const Json* duplicate = first_duplicate(key_width)) {
+    std::string label;
+    for (size_t c = 0; c < key_width; ++c) {
+      const auto cc = cand_column_index.find(base_columns.at(c).AsString());
+      if (!label.empty()) label += ", ";
+      label += (cc != cand_column_index.end() && cc->second < duplicate->size()
+                    ? CellToString(duplicate->at(cc->second))
+                    : "null");
+    }
+    while (key_width < base_columns.size() &&
+           first_duplicate(key_width) != nullptr) {
+      ++key_width;
+    }
+    findings->Add("table " + name + ": candidate rows are ambiguous at "
+                  "baseline key [" + label + "]; joining on " +
+                  (key_width == base_columns.size()
+                       ? std::string("the full row")
+                       : "the first " + std::to_string(key_width) +
+                             " column(s)"));
+  }
+
   for (size_t c = 0; c < key_width; ++c) {
     // Join columns must exist and (being part of the key) line up.
     const std::string& column = base_columns.at(c).AsString();
@@ -325,13 +373,7 @@ void CompareTable(const Options& options, const Json& base_table,
 
   std::map<std::string, const Json*> cand_by_key;
   for (const Json& row : cand_rows.array()) {
-    std::string key;
-    for (size_t c = 0; c < key_width; ++c) {
-      const size_t cc = cand_column_index[base_columns.at(c).AsString()];
-      key += (cc < row.size() ? row.at(cc).Dump() : "null");
-      key += '\x1f';
-    }
-    cand_by_key.emplace(key, &row);
+    cand_by_key.emplace(cand_key(row, key_width), &row);
   }
 
   for (const Json& base_row : base_rows.array()) {

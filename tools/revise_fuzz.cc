@@ -1,0 +1,164 @@
+// revise_fuzz: differential fuzzing of the revision pipelines.
+//
+// Usage:
+//   revise_fuzz [--seed=N] [--runs=N] [--time-budget-s=S] [--max-vars=N]
+//               [--oracle=NAME] [--no-shrink] [--replay=DIR] [--save=DIR]
+//               [--json] [--list-oracles]
+//
+// Default mode generates `runs` seeded scenarios and checks each against
+// every oracle (see src/fuzz/oracles.h).  On a mismatch the scenario is
+// shrunk to a local minimum and printed as a ready-to-commit corpus
+// entry; --save=DIR additionally writes it to DIR/<name>.corpus.
+// --replay=DIR re-checks a committed corpus instead of generating.
+//
+// Exit codes: 0 all checks agreed, 1 at least one mismatch, 2 usage or
+// I/O error.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "fuzz/fuzzer.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using revise::fuzz::AllOracles;
+using revise::fuzz::FindOracle;
+using revise::fuzz::FuzzFailure;
+using revise::fuzz::FuzzOptions;
+using revise::fuzz::FuzzReport;
+using revise::fuzz::Oracle;
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+int Usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "revise_fuzz: %s\n", error);
+  std::fprintf(
+      stderr,
+      "usage: revise_fuzz [--seed=N] [--runs=N] [--time-budget-s=S]\n"
+      "                   [--max-vars=N] [--oracle=NAME] [--no-shrink]\n"
+      "                   [--replay=DIR] [--save=DIR] [--json]\n"
+      "                   [--list-oracles]\n");
+  return 2;
+}
+
+void PrintFailure(const FuzzFailure& failure) {
+  std::fprintf(stderr,
+               "\nMISMATCH (oracle %s, seed %llu, %d shrink steps)\n"
+               "  %s\n"
+               "repro corpus entry:\n%s",
+               failure.oracle.c_str(),
+               static_cast<unsigned long long>(failure.seed),
+               failure.shrink_steps, failure.detail.c_str(),
+               FormatEntry(failure.repro).c_str());
+}
+
+bool SaveFailure(const FuzzFailure& failure, const std::string& dir) {
+  const std::string path =
+      dir + "/" + failure.repro.name + revise::fuzz::kCorpusExtension;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "revise_fuzz: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << FormatEntry(failure.repro);
+  std::fprintf(stderr, "saved repro: %s\n", path.c_str());
+  return true;
+}
+
+uint64_t CounterValue(const char* name) {
+  return revise::obs::Registry::Global().GetCounter(name)->Value();
+}
+
+void PrintSummary(const FuzzReport& report, bool json) {
+  if (json) {
+    std::printf(
+        "{\"fuzz\": {\"executions\": %llu, \"mismatches\": %llu, "
+        "\"shrink_steps\": %llu}}\n",
+        static_cast<unsigned long long>(CounterValue("fuzz.executions")),
+        static_cast<unsigned long long>(CounterValue("fuzz.mismatches")),
+        static_cast<unsigned long long>(
+            CounterValue("fuzz.shrink_steps")));
+    return;
+  }
+  std::printf("revise_fuzz: %llu scenarios, %llu mismatches\n",
+              static_cast<unsigned long long>(report.executions),
+              static_cast<unsigned long long>(report.mismatches));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzOptions options;
+  std::string replay_dir;
+  std::string save_dir;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&](size_t prefix) {
+      return std::string(arg.substr(prefix));
+    };
+    if (StartsWith(arg, "--seed=")) {
+      options.seed = std::strtoull(value(7).c_str(), nullptr, 10);
+    } else if (StartsWith(arg, "--runs=")) {
+      options.runs = std::strtoull(value(7).c_str(), nullptr, 10);
+    } else if (StartsWith(arg, "--time-budget-s=")) {
+      options.time_budget_s = std::strtod(value(16).c_str(), nullptr);
+    } else if (StartsWith(arg, "--max-vars=")) {
+      const int max_vars = std::atoi(value(11).c_str());
+      if (max_vars < 1) return Usage("--max-vars must be >= 1");
+      options.generator.max_vars = max_vars;
+    } else if (StartsWith(arg, "--oracle=")) {
+      options.oracle = value(9);
+      if (FindOracle(options.oracle) == nullptr) {
+        return Usage("unknown oracle (see --list-oracles)");
+      }
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else if (StartsWith(arg, "--replay=")) {
+      replay_dir = value(9);
+    } else if (StartsWith(arg, "--save=")) {
+      save_dir = value(7);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-oracles") {
+      for (const Oracle& oracle : AllOracles()) {
+        std::printf("%-22s %s\n", oracle.name, oracle.description);
+      }
+      return 0;
+    } else if (arg == "--help") {
+      Usage(nullptr);
+      return 0;
+    } else {
+      return Usage("unknown flag (see --help)");
+    }
+  }
+
+  FuzzReport report;
+  if (!replay_dir.empty()) {
+    revise::StatusOr<FuzzReport> replayed =
+        revise::fuzz::ReplayCorpus(replay_dir);
+    if (!replayed.ok()) {
+      std::fprintf(stderr, "revise_fuzz: %s\n",
+                   replayed.status().ToString().c_str());
+      return 2;
+    }
+    report = *std::move(replayed);
+  } else {
+    report = revise::fuzz::Fuzz(options);
+  }
+
+  for (const FuzzFailure& failure : report.failures) {
+    PrintFailure(failure);
+    if (!save_dir.empty() && !SaveFailure(failure, save_dir)) return 2;
+  }
+  PrintSummary(report, json);
+  return report.mismatches == 0 ? 0 : 1;
+}

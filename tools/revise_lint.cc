@@ -35,6 +35,16 @@
 //                        silently forks a metric.  Non-literal arguments
 //                        (the macro definitions, forwarded identifiers)
 //                        are skipped.
+//   fuzz-corpus          a committed .corpus regression repro that the
+//                        replay job would reject: wrong header line,
+//                        unknown or duplicated key, bad expect/seed
+//                        value, or a missing required field.  A rotted
+//                        corpus file silently drops a regression from the
+//                        replay, so malformedness is a lint failure, not
+//                        a runtime skip.  (The validation mirrors
+//                        src/fuzz/corpus.cc deliberately but
+//                        independently: the linter stays link-free and
+//                        double-checks the parser's contract.)
 //
 // Usage:
 //   revise_lint --root=DIR [--allowlist=FILE] [file...]
@@ -489,6 +499,93 @@ void CheckObsName(const std::string& rel_path, const std::string& code,
   }
 }
 
+// --- rule: fuzz-corpus --------------------------------------------------
+
+// Validates a committed fuzz-regression repro without linking the fuzz
+// library: header line, known keys only, no duplicates, well-formed
+// expect/seed, and the required name/p fields.  Must stay in sync with
+// the format in src/fuzz/corpus.cc.
+void CheckFuzzCorpus(const std::string& rel_path, const std::string& raw,
+                     std::vector<Finding>* findings) {
+  constexpr std::string_view kHeader = "# revise_fuzz corpus v1";
+  constexpr std::string_view kKeys[] = {"name",   "oracle", "expect",
+                                        "seed",   "theory", "p",
+                                        "q"};
+  const auto add = [&](size_t line, const std::string& message) {
+    findings->push_back({rel_path, line, "fuzz-corpus", message});
+  };
+  const auto trim = [](std::string_view s) {
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.front()))) {
+      s.remove_prefix(1);
+    }
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.back()))) {
+      s.remove_suffix(1);
+    }
+    return s;
+  };
+
+  std::istringstream in(raw);
+  std::string line;
+  size_t line_number = 0;
+  bool saw_header = false;
+  std::set<std::string> seen;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view text = trim(line);
+    if (line_number == 1) {
+      if (text != kHeader) {
+        add(1, "first line must be \"" + std::string(kHeader) + "\"");
+        return;  // everything after a bad header would be noise
+      }
+      saw_header = true;
+      continue;
+    }
+    if (text.empty() || text.front() == '#') continue;
+    const size_t colon = text.find(':');
+    if (colon == std::string_view::npos) {
+      add(line_number, "expected \"key: value\", got \"" +
+                           std::string(text) + "\"");
+      continue;
+    }
+    const std::string key(trim(text.substr(0, colon)));
+    const std::string value(trim(text.substr(colon + 1)));
+    if (std::find(std::begin(kKeys), std::end(kKeys), key) ==
+        std::end(kKeys)) {
+      add(line_number, "unknown key \"" + key + "\"");
+      continue;
+    }
+    if (!seen.insert(key).second) {
+      add(line_number, "duplicate key \"" + key + "\"");
+      continue;
+    }
+    if (key == "expect" && value != "ok" && value != "parse-error") {
+      add(line_number,
+          "expect must be \"ok\" or \"parse-error\", got \"" + value +
+              "\"");
+    }
+    if (key == "seed" &&
+        (value.empty() ||
+         !std::all_of(value.begin(), value.end(), [](char c) {
+           return c >= '0' && c <= '9';
+         }))) {
+      add(line_number, "seed must be a non-negative integer, got \"" +
+                           value + "\"");
+    }
+  }
+  if (!saw_header) {
+    add(1, "empty corpus file (missing header line)");
+    return;
+  }
+  for (const char* required : {"name", "p"}) {
+    if (seen.count(required) == 0) {
+      add(line_number, std::string("missing required key \"") + required +
+                           "\"");
+    }
+  }
+}
+
 // --- driver -------------------------------------------------------------
 
 bool HasExtension(const fs::path& path, std::string_view ext) {
@@ -497,7 +594,7 @@ bool HasExtension(const fs::path& path, std::string_view ext) {
 
 bool ShouldScan(const fs::path& path) {
   return HasExtension(path, ".h") || HasExtension(path, ".cc") ||
-         HasExtension(path, ".cpp");
+         HasExtension(path, ".cpp") || HasExtension(path, ".corpus");
 }
 
 void CollectFiles(const fs::path& root, std::vector<fs::path>* files) {
@@ -585,8 +682,15 @@ int main(int argc, char** argv) {
     std::ostringstream buffer;
     buffer << in.rdbuf();
     const std::string raw = buffer.str();
-    const std::string code = StripCommentsAndLiterals(raw);
     const std::string rel = RelativeTo(options.root, file);
+
+    if (HasExtension(file, ".corpus")) {
+      // Corpus repros are line-oriented data, not C++; only the format
+      // rule applies.
+      CheckFuzzCorpus(rel, raw, &findings);
+      continue;
+    }
+    const std::string code = StripCommentsAndLiterals(raw);
 
     if (HasExtension(file, ".h")) CheckIncludeGuard(rel, code, &findings);
     CheckRawThread(rel, code, &findings);
