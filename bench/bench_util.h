@@ -7,7 +7,9 @@
 // also written as a machine-readable report (see obs/report.h).  With
 // --trace=<path> a Chrome Trace Event timeline of every recorded span is
 // written at exit (equivalent to REVISE_TRACE=chrome:<path>; the flag
-// wins when both are given).
+// wins when both are given).  With --explain=<path> per-operation cost
+// attribution (obs/profile.h) is enabled for the whole run and the
+// completed profile trees are written to <path> as JSON.
 
 #ifndef REVISE_BENCH_BENCH_UTIL_H_
 #define REVISE_BENCH_BENCH_UTIL_H_
@@ -22,6 +24,7 @@
 #include "logic/formula.h"
 #include "logic/theory.h"
 #include "logic/vocabulary.h"
+#include "obs/profile.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "solve/model_cache.h"
@@ -81,6 +84,10 @@ class JsonReporter {
                  argv[i][8] != '\0') {
         obs::SetChromeTracePath(argv[i] + 8);
         obs::SetTraceSink(obs::TraceSink::kChrome);
+      } else if (std::strncmp(argv[i], "--explain=", 10) == 0 &&
+                 argv[i][10] != '\0') {
+        explain_path_ = argv[i] + 10;
+        obs::SetProfilingEnabled(true);
       } else {
         argv[kept++] = argv[i];
       }
@@ -117,19 +124,40 @@ class JsonReporter {
 
   // Returns false if writing was requested and failed.
   bool WriteIfRequested() {
-    if (!requested_) return true;
+    bool ok = true;
+    if (!explain_path_.empty()) {
+      obs::Json doc = obs::Json::MakeObject();
+      doc["schema_version"] = obs::kSchemaVersion;
+      doc["schema_minor"] = obs::kSchemaMinor;
+      doc["profiles"] = obs::ProfileForestToJson();
+      std::FILE* file = std::fopen(explain_path_.c_str(), "w");
+      if (file == nullptr) {
+        std::fprintf(stderr, "explain profile: cannot open %s\n",
+                     explain_path_.c_str());
+        ok = false;
+      } else {
+        const std::string text = doc.Dump(/*indent=*/2);
+        std::fwrite(text.data(), 1, text.size(), file);
+        std::fputc('\n', file);
+        std::fclose(file);
+        std::printf("\nEXPLAIN profiles written to %s\n",
+                    explain_path_.c_str());
+      }
+    }
+    if (!requested_) return ok;
     const Status status = report_.WriteToFile(path_);
     if (!status.ok()) {
       std::fprintf(stderr, "json report: %s\n", status.ToString().c_str());
       return false;
     }
     std::printf("\nJSON report written to %s\n", path_.c_str());
-    return true;
+    return ok;
   }
 
  private:
   obs::Report report_;
   std::string path_;
+  std::string explain_path_;
   bool requested_ = false;
 };
 

@@ -13,6 +13,11 @@
 //                        histogram percentiles, peak RSS
 //   :trace <path>        write a Chrome Trace Event file covering the
 //                        spans of the most recent `revise`
+//   :explain <op> <phi> <mu>
+//                        run {phi} * mu under <op> with per-operation
+//                        cost attribution and print the EXPLAIN tree
+//                        (formulas with spaces: separate phi and mu
+//                        with ';')
 //   reset                clear everything
 //   help, quit
 //
@@ -73,7 +78,7 @@ class Repl {
       std::printf(
           "operator <name> | strategy <delayed|explicit|compact> |\n"
           "assert <f> | revise <f> | ask <f> | models | size | :stats | "
-          ":trace <path> | reset | quit\n");
+          ":trace <path> | :explain <op> <phi> <mu> | reset | quit\n");
       return true;
     }
     if (command == "operator") {
@@ -206,6 +211,55 @@ class Repl {
         std::printf("trace export failed: %s\n",
                     status.ToString().c_str());
       }
+      return true;
+    }
+    if (command == ":explain") {
+      std::istringstream args(rest);
+      std::string op_name;
+      if (!(args >> op_name)) {
+        std::printf("usage: :explain <op> <phi> <mu>\n");
+        return true;
+      }
+      const RevisionOperator* op = FindOperator(op_name);
+      if (op == nullptr) {
+        std::printf("unknown operator '%s'\n", op_name.c_str());
+        return true;
+      }
+      std::string formulas;
+      std::getline(args, formulas);
+      // phi and mu are separated by ';' (needed when the formulas contain
+      // spaces) or, failing that, by the last run of whitespace.
+      std::string phi_text;
+      std::string mu_text;
+      if (const size_t semi = formulas.find(';');
+          semi != std::string::npos) {
+        phi_text = formulas.substr(0, semi);
+        mu_text = formulas.substr(semi + 1);
+      } else {
+        const size_t split = formulas.find_last_not_of(" \t");
+        const size_t space = formulas.find_last_of(" \t", split);
+        if (space == std::string::npos) {
+          std::printf("usage: :explain <op> <phi> <mu>\n");
+          return true;
+        }
+        phi_text = formulas.substr(0, space);
+        mu_text = formulas.substr(space + 1);
+      }
+      StatusOr<Formula> phi = Parse(phi_text, &vocabulary_);
+      if (!phi.ok()) {
+        std::printf("parse error in phi: %s\n",
+                    phi.status().ToString().c_str());
+        return true;
+      }
+      StatusOr<Formula> mu = Parse(mu_text, &vocabulary_);
+      if (!mu.ok()) {
+        std::printf("parse error in mu: %s\n",
+                    mu.status().ToString().c_str());
+        return true;
+      }
+      const Explanation explanation =
+          Explain(*op, Theory({*phi}), *mu);
+      std::printf("%s", RenderExplanation(explanation).c_str());
       return true;
     }
     if (command == "size") {

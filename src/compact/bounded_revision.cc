@@ -5,6 +5,7 @@
 #include "logic/substitute.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/profile.h"
 #include "solve/distance.h"
 #include "solve/services.h"
 #include "util/check.h"
@@ -69,7 +70,7 @@ Formula RecordCompactSize(Formula f) {
 }  // namespace
 
 Formula WinslettBounded(const Formula& t, const Formula& p) {
-  obs::Span span("compact.WinslettBounded");
+  obs::ProfileScope profile("compact.WinslettBounded");
   // C delta S ⊊ S  <=>  C != 0 and C ⊆ S.
   return RecordCompactSize(
       PointwiseBounded(t, p, [](uint64_t c, uint64_t s) {
@@ -78,7 +79,7 @@ Formula WinslettBounded(const Formula& t, const Formula& p) {
 }
 
 Formula ForbusBounded(const Formula& t, const Formula& p) {
-  obs::Span span("compact.ForbusBounded");
+  obs::ProfileScope profile("compact.ForbusBounded");
   // |C delta S| < |S|.
   return RecordCompactSize(
       PointwiseBounded(t, p, [](uint64_t c, uint64_t s) {
@@ -87,7 +88,7 @@ Formula ForbusBounded(const Formula& t, const Formula& p) {
 }
 
 Formula SatohBounded(const Formula& t, const Formula& p) {
-  obs::Span span("compact.SatohBounded");
+  obs::ProfileScope profile("compact.SatohBounded");
   Formula degenerate;
   if (HandleDegenerate(t, p, &degenerate)) return degenerate;
   const Alphabet alphabet(UnionOfVars(std::vector<Formula>{t, p}));
@@ -103,7 +104,7 @@ Formula SatohBounded(const Formula& t, const Formula& p) {
 }
 
 Formula DalalBounded(const Formula& t, const Formula& p) {
-  obs::Span span("compact.DalalBounded");
+  obs::ProfileScope profile("compact.DalalBounded");
   Formula degenerate;
   if (HandleDegenerate(t, p, &degenerate)) return degenerate;
   const Alphabet alphabet(UnionOfVars(std::vector<Formula>{t, p}));
@@ -119,7 +120,7 @@ Formula DalalBounded(const Formula& t, const Formula& p) {
 }
 
 Formula WeberBounded(const Formula& t, const Formula& p) {
-  obs::Span span("compact.WeberBounded");
+  obs::ProfileScope profile("compact.WeberBounded");
   Formula degenerate;
   if (HandleDegenerate(t, p, &degenerate)) return degenerate;
   const Alphabet alphabet(UnionOfVars(std::vector<Formula>{t, p}));
@@ -137,7 +138,7 @@ Formula WeberBounded(const Formula& t, const Formula& p) {
 }
 
 Formula BorgidaBounded(const Formula& t, const Formula& p) {
-  obs::Span span("compact.BorgidaBounded");
+  obs::ProfileScope profile("compact.BorgidaBounded");
   Formula degenerate;
   if (HandleDegenerate(t, p, &degenerate)) return degenerate;
   const Formula both = Formula::And(t, p);

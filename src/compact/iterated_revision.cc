@@ -5,6 +5,7 @@
 #include "compact/circuits.h"
 #include "logic/substitute.h"
 #include "obs/trace.h"
+#include "obs/profile.h"
 #include "solve/distance.h"
 #include "solve/services.h"
 #include "util/check.h"
@@ -77,7 +78,7 @@ Formula RestrictToMask(const Formula& p, const std::vector<Var>& vp,
 
 Formula DalalCompactStep(const Formula& prior, const Formula& p,
                          const std::vector<Var>& x, Vocabulary* vocabulary) {
-  obs::Span span("compact.DalalStep");
+  obs::ProfileScope profile("compact.DalalStep");
   Formula degenerate;
   if (HandleDegenerate(prior, p, &degenerate)) return degenerate;
   const Alphabet alphabet(x);
@@ -103,7 +104,7 @@ std::vector<Formula> DalalCompactIterated(const Formula& t,
 
 Formula WeberCompactStep(const Formula& prior, const Formula& p,
                          const std::vector<Var>& x, Vocabulary* vocabulary) {
-  obs::Span span("compact.WeberStep");
+  obs::ProfileScope profile("compact.WeberStep");
   Formula degenerate;
   if (HandleDegenerate(prior, p, &degenerate)) return degenerate;
   const Alphabet alphabet(x);
@@ -132,7 +133,7 @@ std::vector<Formula> WeberCompactIterated(const Formula& t,
 
 Formula WinslettCompactStep(const Formula& prior, const Formula& p,
                             Vocabulary* vocabulary) {
-  obs::Span span("compact.WinslettStep");
+  obs::ProfileScope profile("compact.WinslettStep");
   Formula degenerate;
   if (HandleDegenerate(prior, p, &degenerate)) return degenerate;
   const std::vector<Var> vp = p.Vars();
@@ -158,7 +159,7 @@ Formula WinslettCompactStep(const Formula& prior, const Formula& p,
 
 Formula BorgidaCompactStep(const Formula& prior, const Formula& p,
                            Vocabulary* vocabulary) {
-  obs::Span span("compact.BorgidaStep");
+  obs::ProfileScope profile("compact.BorgidaStep");
   Formula degenerate;
   if (HandleDegenerate(prior, p, &degenerate)) return degenerate;
   const Formula both = Formula::And(prior, p);
@@ -168,7 +169,7 @@ Formula BorgidaCompactStep(const Formula& prior, const Formula& p,
 
 Formula SatohCompactStep(const Formula& prior, const Formula& p,
                          Vocabulary* vocabulary) {
-  obs::Span span("compact.SatohStep");
+  obs::ProfileScope profile("compact.SatohStep");
   // The measure-based realization of formula (13): the measure of minimal
   // distance for Satoh is delta(T,P) itself (Section 4.3's summary).  We
   // compute delta off-line with the solver and require diff(V(P), Y) to be
@@ -216,7 +217,7 @@ Formula SatohCompactStep(const Formula& prior, const Formula& p,
 
 Formula ForbusCompactStep(const Formula& prior, const Formula& p,
                           Vocabulary* vocabulary) {
-  obs::Span span("compact.ForbusStep");
+  obs::ProfileScope profile("compact.ForbusStep");
   // Formula (14): prior[V(P)/Y] ∧ P ∧ ∀Z.(F_P(Z) ->
   //   !(DIST(Z,Y) < DIST(V(P),Y))), with the DIST comparison realized by
   // unary counter circuits whose gate letters are functionally determined.

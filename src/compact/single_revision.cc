@@ -3,6 +3,7 @@
 #include "compact/circuits.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/profile.h"
 #include "logic/substitute.h"
 #include "revision/formula_based.h"
 #include "solve/distance.h"
@@ -23,7 +24,7 @@ Formula RecordCompactSize(Formula f) {
 
 Formula DalalCompact(const Formula& t, const Formula& p,
                      Vocabulary* vocabulary) {
-  obs::Span span("compact.Dalal");
+  obs::ProfileScope profile("compact.Dalal");
   if (!IsSatisfiable(p)) return Formula::False();
   if (!IsSatisfiable(t)) return p;
   const Alphabet alphabet(UnionOfVars(std::vector<Formula>{t, p}));
@@ -37,7 +38,7 @@ Formula DalalCompact(const Formula& t, const Formula& p,
 
 Formula WeberCompact(const Formula& t, const Formula& p,
                      Vocabulary* vocabulary) {
-  obs::Span span("compact.Weber");
+  obs::ProfileScope profile("compact.Weber");
   if (!IsSatisfiable(p)) return Formula::False();
   if (!IsSatisfiable(t)) return p;
   const Alphabet alphabet(UnionOfVars(std::vector<Formula>{t, p}));
@@ -51,7 +52,7 @@ Formula WeberCompact(const Formula& t, const Formula& p,
 }
 
 Formula WidtioCompact(const Theory& t, const Formula& p) {
-  obs::Span span("compact.WIDTIO");
+  obs::ProfileScope profile("compact.WIDTIO");
   return RecordCompactSize(WidtioTheory(t, p).AsFormula());
 }
 

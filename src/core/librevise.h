@@ -26,6 +26,7 @@
 #include "logic/vocabulary.h"
 #include "model/canonical.h"
 #include "model/model_set.h"
+#include "revision/explain.h"             // EXPLAIN cost attribution
 #include "revision/formula_based.h"       // W(T,P), GFUV, WIDTIO, Nebel
 #include "revision/iterated.h"
 #include "revision/model_based.h"

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "fuzz/shrink.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace revise::fuzz {
@@ -58,9 +59,14 @@ FuzzReport Fuzz(const FuzzOptions& options) {
             CheckScenario(scenario, options.oracle)) {
       ++report.mismatches;
       REVISE_OBS_COUNTER("fuzz.mismatches").Increment();
+      REVISE_FLIGHT_EVENT("fuzz.oracle_mismatch",
+                          found->oracle + " seed " + std::to_string(seed));
       report.failures.push_back(MakeFailure(seed, *std::move(found),
                                             scenario, options.shrink,
                                             options.max_shrink_steps));
+    } else {
+      REVISE_FLIGHT_EVENT("fuzz.oracle_agree",
+                          "seed " + std::to_string(seed));
     }
   }
   return report;
@@ -105,6 +111,7 @@ StatusOr<FuzzReport> ReplayCorpus(const std::string& dir) {
             CheckScenario(*scenario, oracle)) {
       ++report.mismatches;
       REVISE_OBS_COUNTER("fuzz.mismatches").Increment();
+      REVISE_FLIGHT_EVENT("fuzz.oracle_mismatch", found->oracle + ": " + entry.name);
       FuzzFailure failure;
       failure.seed = entry.seed;
       failure.oracle = std::move(found->oracle);

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/profile.h"
 #include "util/check.h"
 
 namespace revise {
@@ -191,7 +192,7 @@ std::vector<uint32_t> ComplementMinterms(const ModelSet& models) {
 
 TwoLevelResult MinimizeDnf(const std::vector<uint32_t>& minterms,
                            size_t num_vars) {
-  obs::Span span("qm.minimize");
+  obs::ProfileScope profile("qm.minimize");
   TwoLevelResult result;
   if (minterms.empty()) return result;  // constant false
   const std::vector<Implicant> primes = PrimeImplicants(minterms, num_vars);

@@ -1,0 +1,225 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "obs/json.h"
+#include "util/check.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace revise::obs {
+
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Stable small thread ids in first-event order, independent of the trace
+// layer's ids so recording never perturbs Chrome track numbering.
+std::atomic<int> g_next_tid{0};
+int ThisThreadTid() {
+  thread_local const int tid =
+      g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+// The preallocated ring: slots are fixed-size PODs, so recording copies
+// bytes under the mutex and never allocates.
+struct RecorderState {
+  std::vector<FlightEvent> ring;
+  size_t capacity = kDefaultFlightRecorderCapacity;
+  size_t write_pos = 0;  // oldest record once the ring has wrapped
+  uint64_t dropped = 0;
+  bool capacity_from_env = false;
+};
+
+std::mutex g_recorder_mu;
+RecorderState& Recorder() {
+  static RecorderState* const state = [] {
+    auto* created = new RecorderState();
+    if (const char* cap = std::getenv("REVISE_FLIGHT_EVENTS");
+        cap != nullptr && *cap != '\0') {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(cap, &end, 10);
+      if (end != nullptr && *end == '\0' && parsed > 0) {
+        created->capacity = static_cast<size_t>(parsed);
+        created->capacity_from_env = true;
+      }
+    }
+    created->ring.reserve(created->capacity);
+    return created;
+  }();
+  return *state;
+}
+
+void CopyTruncated(std::string_view text, char* out, size_t out_size) {
+  const size_t n = std::min(text.size(), out_size - 1);
+  std::memcpy(out, text.data(), n);
+  out[n] = '\0';
+}
+
+int ProcessId() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<int>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+void CrashHook(const char* message) {
+  DumpFlightRecorder(stderr, message);
+  const std::string path = WriteCrashDump(message);
+  if (!path.empty()) {
+    std::fprintf(stderr, "revise: crash dump written to %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+
+void InstallFlightRecorderCrashHook() {
+  static const bool installed = [] {
+    internal_check::SetCrashReportHook(&CrashHook);
+    return true;
+  }();
+  (void)installed;
+}
+
+void RecordFlightEvent(std::string_view name, std::string_view detail) {
+  InstallFlightRecorderCrashHook();
+  FlightEvent event;
+  event.t_ns = NowNanos();
+  event.tid = ThisThreadTid();
+  CopyTruncated(name, event.name, sizeof(event.name));
+  CopyTruncated(detail, event.detail, sizeof(event.detail));
+  std::lock_guard<std::mutex> lock(g_recorder_mu);
+  RecorderState& state = Recorder();
+  if (state.ring.size() < state.capacity) {
+    state.ring.push_back(event);
+  } else {
+    state.ring[state.write_pos] = event;
+    state.write_pos = (state.write_pos + 1) % state.capacity;
+    ++state.dropped;
+  }
+}
+
+void SetFlightRecorderCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(g_recorder_mu);
+  RecorderState& state = Recorder();
+  state.capacity = capacity == 0 ? 1 : capacity;
+  state.ring.clear();
+  state.ring.shrink_to_fit();
+  state.ring.reserve(state.capacity);
+  state.write_pos = 0;
+  state.dropped = 0;
+}
+
+size_t FlightRecorderCapacity() {
+  std::lock_guard<std::mutex> lock(g_recorder_mu);
+  return Recorder().capacity;
+}
+
+std::vector<FlightEvent> SnapshotFlightEvents() {
+  std::lock_guard<std::mutex> lock(g_recorder_mu);
+  const RecorderState& state = Recorder();
+  if (state.ring.size() < state.capacity || state.write_pos == 0) {
+    return state.ring;
+  }
+  std::vector<FlightEvent> ordered;
+  ordered.reserve(state.ring.size());
+  ordered.insert(ordered.end(),
+                 state.ring.begin() + static_cast<ptrdiff_t>(state.write_pos),
+                 state.ring.end());
+  ordered.insert(ordered.end(), state.ring.begin(),
+                 state.ring.begin() + static_cast<ptrdiff_t>(state.write_pos));
+  return ordered;
+}
+
+void ClearFlightEvents() {
+  std::lock_guard<std::mutex> lock(g_recorder_mu);
+  RecorderState& state = Recorder();
+  state.ring.clear();
+  state.write_pos = 0;
+  state.dropped = 0;
+}
+
+uint64_t FlightEventsDropped() {
+  std::lock_guard<std::mutex> lock(g_recorder_mu);
+  return Recorder().dropped;
+}
+
+void DumpFlightRecorder(std::FILE* out, const char* reason) {
+  const std::vector<FlightEvent> events = SnapshotFlightEvents();
+  const uint64_t dropped = FlightEventsDropped();
+  std::fprintf(out, "=== revise flight recorder (reason: %s) ===\n",
+               reason == nullptr ? "unspecified" : reason);
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FlightEvent& event = events[i];
+    std::fprintf(out, "  [%4zu] t=%lld ns tid=%d %s%s%s\n", i,
+                 static_cast<long long>(event.t_ns), event.tid, event.name,
+                 event.detail[0] == '\0' ? "" : " ", event.detail);
+  }
+  std::fprintf(out,
+               "=== end flight recorder (%zu events, %llu overwritten) ===\n",
+               events.size(), static_cast<unsigned long long>(dropped));
+}
+
+std::string FlightRecorderJson(const char* reason) {
+  Json recorder = Json::MakeObject();
+  recorder["reason"] = reason == nullptr ? "unspecified" : reason;
+  recorder["pid"] = ProcessId();
+  recorder["dropped"] = FlightEventsDropped();
+  Json events = Json::MakeArray();
+  for (const FlightEvent& event : SnapshotFlightEvents()) {
+    Json entry = Json::MakeObject();
+    entry["t_ns"] = event.t_ns;
+    entry["tid"] = event.tid;
+    entry["name"] = event.name;
+    entry["detail"] = event.detail;
+    events.Append(std::move(entry));
+  }
+  recorder["events"] = std::move(events);
+  Json doc = Json::MakeObject();
+  doc["flight_recorder"] = std::move(recorder);
+  return doc.Dump(/*indent=*/1);
+}
+
+std::string WriteCrashDump(const char* reason) {
+  std::string path;
+  if (const char* dir = std::getenv("REVISE_CRASH_DIR");
+      dir != nullptr && *dir != '\0') {
+    path.assign(dir);
+    if (path.back() != '/') path.push_back('/');
+  }
+  char name[48];
+  std::snprintf(name, sizeof(name), "crash_%d.json", ProcessId());
+  path += name;
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return {};
+  const std::string text = FlightRecorderJson(reason);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool newline_ok = std::fputc('\n', file) != EOF;
+  const bool close_ok = std::fclose(file) == 0;
+  if (written != text.size() || !newline_ok || !close_ok) return {};
+  return path;
+}
+
+FlightOpScope::FlightOpScope(std::string_view op_name) {
+  CopyTruncated(op_name, op_name_, sizeof(op_name_));
+  REVISE_FLIGHT_EVENT("revise.op_begin", op_name_);
+}
+
+FlightOpScope::~FlightOpScope() {
+  REVISE_FLIGHT_EVENT("revise.op_end", op_name_);
+}
+
+}  // namespace revise::obs

@@ -1,0 +1,96 @@
+// An always-on crash flight recorder: a bounded ring of recent
+// structured events (operation begin/end, cache evictions, deadline
+// hits, fuzz oracle verdicts) that failure paths dump so every crash or
+// fuzzer mismatch is a self-describing artifact.
+//
+// Recording is cheap and allocation-free: each event copies its name and
+// detail into fixed char arrays of a preallocated slot under one mutex.
+// The ring holds kDefaultFlightRecorderCapacity events (overridable with
+// REVISE_FLIGHT_EVENTS or SetFlightRecorderCapacity); older events are
+// overwritten oldest-first.
+//
+// The first recorded event installs a crash hook into the REVISE_CHECK /
+// REVISE_DCHECK failure path (util/check.h): a failed check dumps the
+// ring to stderr and writes crash_<pid>.json (into REVISE_CRASH_DIR or
+// the working directory) before aborting.  revise_fuzz does the same on
+// an oracle mismatch.
+//
+// Event names follow the `subsystem.metric` convention and are validated
+// by tools/revise_lint — always record through REVISE_FLIGHT_EVENT with
+// a literal name.
+
+#ifndef REVISE_OBS_FLIGHT_RECORDER_H_
+#define REVISE_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace revise::obs {
+
+inline constexpr size_t kDefaultFlightRecorderCapacity = 1024;
+
+// One recorded event; name/detail are truncated to the slot size.
+struct FlightEvent {
+  int64_t t_ns = 0;  // steady-clock timestamp
+  int tid = 0;       // stable small thread id, in first-event order
+  char name[48] = {};
+  char detail[80] = {};
+};
+
+// Appends an event to the ring (and installs the crash hook on first
+// use).  Prefer the REVISE_FLIGHT_EVENT macro, which revise_lint checks.
+void RecordFlightEvent(std::string_view name, std::string_view detail = {});
+
+// Replaces the ring capacity, dropping buffered events (capacity 0 is
+// clamped to 1).
+void SetFlightRecorderCapacity(size_t capacity);
+size_t FlightRecorderCapacity();
+
+// Buffered events, oldest surviving first.
+std::vector<FlightEvent> SnapshotFlightEvents();
+void ClearFlightEvents();
+
+// Events overwritten since the last ClearFlightEvents /
+// SetFlightRecorderCapacity.
+uint64_t FlightEventsDropped();
+
+// Writes the ring to `out` as human-readable lines bracketed by
+// "=== revise flight recorder" markers.
+void DumpFlightRecorder(std::FILE* out, const char* reason);
+
+// {"flight_recorder": {"reason": ..., "pid": ..., "dropped": ...,
+//  "events": [{"t_ns":..., "tid":..., "name":..., "detail":...}, ...]}}
+std::string FlightRecorderJson(const char* reason);
+
+// Writes FlightRecorderJson to crash_<pid>.json in REVISE_CRASH_DIR (or
+// the working directory) and returns the path; empty on I/O failure.
+std::string WriteCrashDump(const char* reason);
+
+// Installs the util/check.h crash hook (idempotent; RecordFlightEvent
+// does this automatically).
+void InstallFlightRecorderCrashHook();
+
+// RAII begin/end event pair around one revision operation.
+class FlightOpScope {
+ public:
+  explicit FlightOpScope(std::string_view op_name);
+  ~FlightOpScope();
+
+  FlightOpScope(const FlightOpScope&) = delete;
+  FlightOpScope& operator=(const FlightOpScope&) = delete;
+
+ private:
+  char op_name_[48] = {};
+};
+
+}  // namespace revise::obs
+
+// The lint-checked recording form: `name` must be a string literal in
+// `subsystem.metric` format.
+#define REVISE_FLIGHT_EVENT(name, detail) \
+  (::revise::obs::RecordFlightEvent((name), (detail)))
+
+#endif  // REVISE_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,238 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+#include "obs/memory.h"
+#include "obs/metrics.h"
+
+namespace revise::obs {
+
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<bool> g_profiling{false};
+
+// One mutex guards every tree mutation (child attachment, peak notes,
+// root completion): concurrent shard tasks share their parent node, and
+// profiling is an opt-in diagnosis mode where simplicity beats ns-level
+// contention tuning.
+std::mutex g_profile_mu;
+
+struct ProfileState {
+  std::vector<std::unique_ptr<ProfileNode>> forest;
+  size_t nodes_created = 0;  // since the last TakeProfiles()
+};
+
+ProfileState& State() {
+  static ProfileState* const state = new ProfileState();
+  return *state;
+}
+
+thread_local ProfileNode* t_current_node = nullptr;
+
+// The interned Counter* for each attribution key, resolved once.
+const std::array<Counter*, kProfileCounterCount>& AttributionCounters() {
+  static const std::array<Counter*, kProfileCounterCount>* const counters =
+      [] {
+        auto* resolved = new std::array<Counter*, kProfileCounterCount>();
+        const auto& keys = ProfileCounterKeys();
+        for (size_t i = 0; i < kProfileCounterCount; ++i) {
+          (*resolved)[i] = Registry::Global().GetCounter(keys[i]);
+        }
+        return resolved;
+      }();
+  return *counters;
+}
+
+void AppendRendered(const ProfileNode& node, int indent, std::string* out) {
+  char line[256];
+  std::snprintf(line, sizeof(line), "%*s%s  %.3f ms", indent * 2, "",
+                node.name.c_str(),
+                static_cast<double>(node.duration_ns) * 1e-6);
+  out->append(line);
+  const auto& keys = ProfileCounterKeys();
+  for (size_t i = 0; i < kProfileCounterCount; ++i) {
+    if (node.inclusive[i] == 0) continue;
+    std::snprintf(line, sizeof(line), "  %s=%llu", keys[i],
+                  static_cast<unsigned long long>(node.inclusive[i]));
+    out->append(line);
+  }
+  if (node.peak_model_set_models != 0) {
+    std::snprintf(line, sizeof(line), "  peak_model_set=%llu",
+                  static_cast<unsigned long long>(
+                      node.peak_model_set_models));
+    out->append(line);
+  }
+  if (node.peak_rss_delta_bytes > 0) {
+    std::snprintf(line, sizeof(line), "  rss+%lld B",
+                  static_cast<long long>(node.peak_rss_delta_bytes));
+    out->append(line);
+  }
+  out->push_back('\n');
+  for (const std::unique_ptr<ProfileNode>& child : node.children) {
+    AppendRendered(*child, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+const std::array<const char*, kProfileCounterCount>& ProfileCounterKeys() {
+  static const std::array<const char*, kProfileCounterCount> keys = {
+      REVISE_PROFILE_KEY("sat.solves"),
+      REVISE_PROFILE_KEY("sat.decisions"),
+      REVISE_PROFILE_KEY("sat.conflicts"),
+      REVISE_PROFILE_KEY("solve.models_enumerated"),
+      REVISE_PROFILE_KEY("solve.model_cache.hits"),
+      REVISE_PROFILE_KEY("solve.model_cache.misses"),
+      REVISE_PROFILE_KEY("bdd.nodes_created"),
+      REVISE_PROFILE_KEY("qm.prime_implicants"),
+  };
+  return keys;
+}
+
+uint64_t ProfileNode::Exclusive(size_t counter) const {
+  uint64_t from_children = 0;
+  for (const std::unique_ptr<ProfileNode>& child : children) {
+    from_children += child->inclusive[counter];
+  }
+  const uint64_t total = inclusive[counter];
+  return from_children >= total ? 0 : total - from_children;
+}
+
+void SetProfilingEnabled(bool enabled) {
+  g_profiling.store(enabled, std::memory_order_relaxed);
+}
+
+bool ProfilingEnabled() {
+  return g_profiling.load(std::memory_order_relaxed);
+}
+
+void ProfileScope::Begin(std::string name) {
+  auto node = std::make_unique<ProfileNode>();
+  node->name = std::move(name);
+  node->span_id = span_.id();
+  node->start_ns = NowNanos();
+  node->parent = t_current_node;
+  ProfileNode* raw = node.get();
+  {
+    std::lock_guard<std::mutex> lock(g_profile_mu);
+    ProfileState& state = State();
+    if (state.nodes_created >= kMaxLiveProfileNodes) {
+      REVISE_OBS_COUNTER("obs.profile_nodes_dropped").Increment();
+      return;  // scope stays inactive; notes fall through to the parent
+    }
+    ++state.nodes_created;
+    if (node->parent != nullptr) {
+      node->parent->children.push_back(std::move(node));
+    } else {
+      root_ = std::move(node);
+    }
+  }
+  const auto& counters = AttributionCounters();
+  for (size_t i = 0; i < kProfileCounterCount; ++i) {
+    entry_[i] = counters[i]->Value();
+  }
+  entry_peak_rss_ = MemoryStats::PeakRssBytes();
+  node_ = raw;
+  t_current_node = raw;
+}
+
+void ProfileScope::End() {
+  const auto& counters = AttributionCounters();
+  node_->duration_ns = NowNanos() - node_->start_ns;
+  for (size_t i = 0; i < kProfileCounterCount; ++i) {
+    node_->inclusive[i] = counters[i]->Value() - entry_[i];
+  }
+  const uint64_t peak_rss = MemoryStats::PeakRssBytes();
+  node_->peak_rss_delta_bytes =
+      static_cast<int64_t>(peak_rss) - static_cast<int64_t>(entry_peak_rss_);
+  t_current_node = node_->parent;
+  {
+    std::lock_guard<std::mutex> lock(g_profile_mu);
+    if (node_->parent != nullptr) {
+      // The child's peak counts toward every enclosing operation.
+      node_->parent->peak_model_set_models =
+          std::max(node_->parent->peak_model_set_models,
+                   node_->peak_model_set_models);
+    } else if (root_ != nullptr) {
+      State().forest.push_back(std::move(root_));
+    }
+  }
+  node_ = nullptr;
+}
+
+void NoteModelSetCardinality(size_t models) {
+  if (!ProfilingEnabled()) return;
+  ProfileNode* node = t_current_node;
+  if (node == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_profile_mu);
+  node->peak_model_set_models =
+      std::max(node->peak_model_set_models, static_cast<uint64_t>(models));
+}
+
+std::vector<std::unique_ptr<ProfileNode>> TakeProfiles() {
+  std::lock_guard<std::mutex> lock(g_profile_mu);
+  ProfileState& state = State();
+  std::vector<std::unique_ptr<ProfileNode>> taken = std::move(state.forest);
+  state.forest.clear();
+  state.nodes_created = 0;
+  return taken;
+}
+
+Json ProfileNodeToJson(const ProfileNode& node) {
+  Json entry = Json::MakeObject();
+  entry["name"] = node.name;
+  entry["span_id"] = node.span_id;
+  entry["duration_ns"] = node.duration_ns;
+  Json counters = Json::MakeObject();
+  const auto& keys = ProfileCounterKeys();
+  for (size_t i = 0; i < kProfileCounterCount; ++i) {
+    counters[keys[i]] = node.inclusive[i];
+  }
+  entry["counters"] = std::move(counters);
+  entry["peak_model_set_models"] = node.peak_model_set_models;
+  entry["peak_rss_delta_bytes"] = node.peak_rss_delta_bytes;
+  Json children = Json::MakeArray();
+  for (const std::unique_ptr<ProfileNode>& child : node.children) {
+    children.Append(ProfileNodeToJson(*child));
+  }
+  entry["children"] = std::move(children);
+  return entry;
+}
+
+Json ProfileForestToJson() {
+  std::lock_guard<std::mutex> lock(g_profile_mu);
+  Json forest = Json::MakeArray();
+  for (const std::unique_ptr<ProfileNode>& root : State().forest) {
+    forest.Append(ProfileNodeToJson(*root));
+  }
+  return forest;
+}
+
+std::string RenderProfileTree(const ProfileNode& root) {
+  std::string out;
+  AppendRendered(root, 0, &out);
+  return out;
+}
+
+namespace internal {
+
+void* CurrentProfileNodeRaw() { return t_current_node; }
+
+void SetCurrentProfileNodeRaw(void* node) {
+  t_current_node = static_cast<ProfileNode*>(node);
+}
+
+}  // namespace internal
+
+}  // namespace revise::obs

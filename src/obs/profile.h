@@ -1,0 +1,147 @@
+// Operation-scoped cost attribution (EXPLAIN profiles).
+//
+// A `ProfileScope` brackets one operation: it snapshots a fixed set of
+// attribution counters (SAT solves/decisions/conflicts, models
+// enumerated, model-cache hits/misses, BDD nodes, QM prime implicants)
+// on entry and exit and records the deltas in a tree node.  Scopes nest
+// through a thread-local current-node pointer that also hops across
+// ThreadPool batches (the same pool-context hooks the trace spans use),
+// so the finished tree mirrors the causal span tree — each node carries
+// the id of the span it opened.
+//
+// Attribution rules:
+//   * a node's recorded deltas are INCLUSIVE of its children;
+//   * Exclusive(i) = inclusive minus the children's inclusive, clamped
+//     at zero.  With REVISE_THREADS=1 the exclusive values over a tree
+//     sum exactly to the global counter deltas; with concurrent siblings
+//     the shared global counters can double-attribute overlapping work,
+//     so parallel profiles are an upper bound per node;
+//   * peak model-set cardinality is the largest set Note'd while the
+//     scope (or any descendant) was current;
+//   * bytes are the peak-RSS growth while the scope was open — monotone,
+//     inclusive-only (no per-child exclusivity).
+//
+// Profiling is off by default; a disabled ProfileScope costs one relaxed
+// atomic load beyond its embedded Span.  Completed root scopes append to
+// a process-wide forest drained by TakeProfiles() (the `:explain` REPL
+// command, the bench --explain flag) or serialized in place by
+// ProfileForestToJson() (the report `profiles` section).
+
+#ifndef REVISE_OBS_PROFILE_H_
+#define REVISE_OBS_PROFILE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace revise::obs {
+
+// Marks a profile counter key for tools/revise_lint, which validates the
+// literal against the `subsystem.metric` naming rule exactly like the
+// first argument of REVISE_OBS_COUNTER.  Expands to the literal itself.
+#define REVISE_PROFILE_KEY(name) (name)
+
+inline constexpr size_t kProfileCounterCount = 8;
+
+// The fixed attribution set, in a stable order.  Keys double as the
+// Registry counter names the deltas are read from.
+const std::array<const char*, kProfileCounterCount>& ProfileCounterKeys();
+
+// One operation in a finished (or in-flight) cost tree.
+struct ProfileNode {
+  std::string name;
+  uint64_t span_id = 0;    // the aligned trace span; 0 when tracing off
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+  // Counter deltas between scope entry and exit, index-aligned with
+  // ProfileCounterKeys(); inclusive of children.
+  std::array<uint64_t, kProfileCounterCount> inclusive{};
+  // Largest model-set cardinality noted while this scope or any
+  // descendant was current.
+  uint64_t peak_model_set_models = 0;
+  // Peak-RSS growth while the scope was open (monotone, inclusive).
+  int64_t peak_rss_delta_bytes = 0;
+  ProfileNode* parent = nullptr;  // not owned; null for roots
+  std::vector<std::unique_ptr<ProfileNode>> children;
+
+  // Inclusive minus the children's inclusive, clamped at zero.
+  uint64_t Exclusive(size_t counter) const;
+};
+
+// Toggles profiling process-wide.  Scopes already open keep their state.
+void SetProfilingEnabled(bool enabled);
+bool ProfilingEnabled();
+
+// RAII attribution scope.  Always opens a trace Span of the same name
+// (so profile trees and span trees stay aligned); builds a ProfileNode
+// only while ProfilingEnabled().
+class ProfileScope {
+ public:
+  explicit ProfileScope(std::string_view name) : span_(name) {
+    if (ProfilingEnabled()) Begin(std::string(name));
+  }
+  // Mirrors Span's two-part constructor: the concatenation is only paid
+  // when profiling is on (the Span member handles the tracing side).
+  ProfileScope(std::string_view prefix, std::string_view suffix)
+      : span_(prefix, suffix) {
+    if (ProfilingEnabled()) {
+      std::string name(prefix);
+      name += suffix;
+      Begin(std::move(name));
+    }
+  }
+  ~ProfileScope() {
+    if (node_ != nullptr) End();
+  }
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  void Begin(std::string name);
+  void End();
+
+  Span span_;
+  ProfileNode* node_ = nullptr;
+  std::unique_ptr<ProfileNode> root_;  // set only when this scope is a root
+  std::array<uint64_t, kProfileCounterCount> entry_{};
+  uint64_t entry_peak_rss_ = 0;
+};
+
+// Records the cardinality of a model set the current operation
+// materialized; feeds the peak-model-set attribution.  No-op when
+// profiling is off or no scope is current.
+void NoteModelSetCardinality(size_t models);
+
+// Completed root trees in completion order, transferring ownership and
+// emptying the forest.
+std::vector<std::unique_ptr<ProfileNode>> TakeProfiles();
+
+// Serializes the completed forest without draining it (report.cc).
+Json ProfileForestToJson();
+Json ProfileNodeToJson(const ProfileNode& node);
+
+// Renders one tree as indented text, one node per line with duration and
+// the non-zero attribution values (`:explain`'s output).
+std::string RenderProfileTree(const ProfileNode& root);
+
+// Nodes created past this cap are dropped (counted in
+// obs.profile_nodes_dropped) until TakeProfiles() resets the budget.
+inline constexpr size_t kMaxLiveProfileNodes = 65536;
+
+namespace internal {
+// Raw thread-local current-node accessors for the pool-context hooks in
+// trace.cc; not part of the public surface.
+void* CurrentProfileNodeRaw();
+void SetCurrentProfileNodeRaw(void* node);
+}  // namespace internal
+
+}  // namespace revise::obs
+
+#endif  // REVISE_OBS_PROFILE_H_

@@ -8,6 +8,7 @@
 
 #include "obs/memory.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "util/parallel.h"
 
@@ -91,6 +92,7 @@ void Report::AddSeries(std::string_view series, std::vector<double> values,
 Json Report::ToJson() const {
   Json doc = Json::MakeObject();
   doc["schema_version"] = kSchemaVersion;
+  doc["schema_minor"] = kSchemaMinor;
   doc["name"] = name_;
   doc["manifest"] = BuildManifest();
   doc["meta"] = meta_;
@@ -159,6 +161,8 @@ Json Report::ToJson() const {
   for (const SpanRecord& span : SnapshotSpans()) {
     Json entry = Json::MakeObject();
     entry["name"] = span.name;
+    entry["id"] = span.id;
+    entry["parent_id"] = span.parent_id;
     entry["depth"] = span.depth;
     entry["tid"] = span.tid;
     entry["start_ns"] = span.start_ns;
@@ -166,6 +170,8 @@ Json Report::ToJson() const {
     spans.Append(std::move(entry));
   }
   doc["spans"] = std::move(spans);
+
+  doc["profiles"] = ProfileForestToJson();
 
   return doc;
 }

@@ -8,6 +8,7 @@
 //
 //   {
 //     "schema_version": 2,
+//     "schema_minor": 1,
 //     "name": "<bench name>",
 //     "manifest": { "git_sha": ..., "compiler": ..., "build_type": ...,
 //                   "threads": ..., "hardware_threads": ...,
@@ -22,15 +23,23 @@
 //                     "p90": ..., "p99": ...}, ... },
 //     "memory": { "peak_rss_bytes": ..., "current_rss_bytes": ...,
 //                 "mem.model_cache_bytes": ..., ... },
-//     "spans": [ {"name": ..., "depth": 0, "tid": 0, "start_ns": ...,
-//                 "duration_ns": ...} ]
+//     "spans": [ {"name": ..., "id": 7, "parent_id": 0, "depth": 0,
+//                 "tid": 0, "start_ns": ..., "duration_ns": ...} ],
+//     "profiles": [ {"name": ..., "span_id": ..., "duration_ns": ...,
+//                    "counters": {"sat.solves": ..., ...},
+//                    "peak_model_set_models": ...,
+//                    "peak_rss_delta_bytes": ...,
+//                    "children": [...]} ]
 //   }
 //
 // Field order is fixed (Json objects preserve insertion order), so the
 // emitted artefacts diff cleanly between runs.  Bump `kSchemaVersion`
-// when the layout changes; tests/obs_test.cc validates the schema.
+// when the layout changes; additive extensions bump `kSchemaMinor`
+// instead; tests/obs_test.cc validates the schema.
 // Schema history: v1 had no manifest/histograms/memory blocks and no
-// span thread ids; v2 readers (tools/revise_benchdiff.cc) accept both.
+// span thread ids; v2.1 added span ids/parent ids and the profiles
+// section (additive, so `schema_version` stays 2 and v2 readers parse
+// v2.1 reports); v2 readers (tools/revise_benchdiff.cc) accept all.
 
 #ifndef REVISE_OBS_REPORT_H_
 #define REVISE_OBS_REPORT_H_
@@ -45,6 +54,7 @@
 namespace revise::obs {
 
 inline constexpr int kSchemaVersion = 2;
+inline constexpr int kSchemaMinor = 1;
 
 // The build/run provenance block embedded in every report: git sha and
 // compiler baked in at build time, thread configuration and the REVISE_*

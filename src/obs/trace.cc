@@ -4,11 +4,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <utility>
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "util/parallel.h"
 
 namespace revise::obs {
 
@@ -45,6 +48,30 @@ std::string& ChromePath() {
 }
 
 thread_local int t_depth = 0;
+
+// Causal context: the innermost open span (0 = none) and a process-wide
+// id allocator.  Id 0 is reserved for "no parent".
+thread_local uint64_t t_current_span_id = 0;
+std::atomic<uint64_t> g_next_span_id{1};
+
+// Pool-context hooks (util/parallel.h): carry the submitting thread's
+// span context and profile node into every thread executing tasks of a
+// batch, so shard-local spans attach to the spawning operation.
+void CapturePoolContext(PoolTaskContext* out) {
+  out->trace_span_id = t_current_span_id;
+  out->trace_depth = t_depth;
+  out->profile_node = internal::CurrentProfileNodeRaw();
+}
+
+void SwapPoolContext(const PoolTaskContext& incoming,
+                     PoolTaskContext* previous) {
+  previous->trace_span_id = t_current_span_id;
+  previous->trace_depth = t_depth;
+  previous->profile_node = internal::CurrentProfileNodeRaw();
+  t_current_span_id = incoming.trace_span_id;
+  t_depth = incoming.trace_depth;
+  internal::SetCurrentProfileNodeRaw(incoming.profile_node);
+}
 
 // Stable small thread ids in first-span order (the Chrome trace track
 // order).  The main thread usually traces first and gets 0.
@@ -98,6 +125,7 @@ TraceSink SinkFromEnvironment() {
 
 struct EnvironmentInit {
   EnvironmentInit() {
+    SetPoolContextHooks(&CapturePoolContext, &SwapPoolContext);
     if (const char* cap = std::getenv("REVISE_TRACE_BUFFER");
         cap != nullptr && *cap != '\0') {
       char* end = nullptr;
@@ -131,6 +159,8 @@ void SetTraceSink(TraceSink sink) {
 TraceSink GetTraceSink() { return g_sink.load(std::memory_order_relaxed); }
 
 bool TracingEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+uint64_t CurrentSpanId() { return t_current_span_id; }
 
 void SetChromeTracePath(std::string path) {
   {
@@ -187,6 +217,10 @@ Status WriteChromeTrace(const std::string& path) {
   for (const SpanRecord& span : spans) {
     if (epoch_ns == 0 || span.start_ns < epoch_ns) epoch_ns = span.start_ns;
   }
+  // Parent lookup for cross-thread flow arrows (a dropped parent simply
+  // has no arrow; the child still renders on its own track).
+  std::map<uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& span : spans) by_id[span.id] = &span;
   Json doc = Json::MakeObject();
   Json events = Json::MakeArray();
   for (const SpanRecord& span : spans) {
@@ -200,8 +234,39 @@ Status WriteChromeTrace(const std::string& path) {
     event["tid"] = span.tid;
     Json args = Json::MakeObject();
     args["depth"] = span.depth;
+    args["id"] = span.id;
+    args["parent_id"] = span.parent_id;
     event["args"] = std::move(args);
     events.Append(std::move(event));
+    // A parent on another thread gets an explicit flow event pair: start
+    // ("s") on the parent's track, finish ("f") on the child's, both at
+    // the child's entry time and keyed by the child's unique span id.
+    const auto parent = by_id.find(span.parent_id);
+    if (span.parent_id == 0 || parent == by_id.end() ||
+        parent->second->tid == span.tid) {
+      continue;
+    }
+    const double flow_ts =
+        static_cast<double>(span.start_ns - epoch_ns) * 1e-3;
+    Json start = Json::MakeObject();
+    start["name"] = span.name;
+    start["cat"] = "revise.flow";
+    start["ph"] = "s";
+    start["id"] = span.id;
+    start["ts"] = flow_ts;
+    start["pid"] = 1;
+    start["tid"] = parent->second->tid;
+    events.Append(std::move(start));
+    Json finish = Json::MakeObject();
+    finish["name"] = span.name;
+    finish["cat"] = "revise.flow";
+    finish["ph"] = "f";
+    finish["bp"] = "e";
+    finish["id"] = span.id;
+    finish["ts"] = flow_ts;
+    finish["pid"] = 1;
+    finish["tid"] = span.tid;
+    events.Append(std::move(finish));
   }
   doc["traceEvents"] = std::move(events);
   doc["displayTimeUnit"] = "ms";
@@ -223,12 +288,16 @@ Status WriteChromeTrace(const std::string& path) {
 void Span::Begin(std::string_view name) {
   if (name_.empty()) name_.assign(name);
   active_ = true;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_id_ = t_current_span_id;
+  t_current_span_id = id_;
   depth_ = t_depth++;
   start_ns_ = NowNanos();
 }
 
 void Span::End() {
   const int64_t duration_ns = NowNanos() - start_ns_;
+  t_current_span_id = parent_id_;
   --t_depth;
   active_ = false;
   const TraceSink sink = GetTraceSink();
@@ -240,7 +309,8 @@ void Span::End() {
   {
     std::lock_guard<std::mutex> lock(g_spans_mu);
     SpanBufferState& state = SpanBuffer();
-    SpanRecord record{name_, depth_, tid, start_ns_, duration_ns};
+    SpanRecord record{name_, id_, parent_id_, depth_, tid, start_ns_,
+                      duration_ns};
     if (state.ring.size() < state.capacity) {
       state.ring.push_back(std::move(record));
     } else {
@@ -255,6 +325,8 @@ void Span::End() {
   } else if (sink == TraceSink::kJson) {
     Json line = Json::MakeObject();
     line["span"] = name_;
+    line["id"] = id_;
+    line["parent_id"] = parent_id_;
     line["depth"] = depth_;
     line["tid"] = tid;
     line["start_ns"] = start_ns_;

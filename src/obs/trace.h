@@ -24,6 +24,15 @@
 // gets a stable small integer id (in first-span order), so the recorded
 // spans reconstruct the call tree per thread and export as a
 // multi-track timeline.
+//
+// Spans are additionally causal: every span draws a process-unique id
+// and records the id of the innermost span open when it began.  The
+// parent context is thread-local but also hops across ThreadPool
+// batches (util/parallel.h pool-context hooks), so spans opened inside
+// ParallelMapRanges shards link to the operation that spawned them
+// instead of starting a fresh depth-0 track, and the whole run
+// reconstructs as a single rooted tree.  Cross-thread edges export as
+// Chrome flow events.
 
 #ifndef REVISE_OBS_TRACE_H_
 #define REVISE_OBS_TRACE_H_
@@ -77,11 +86,17 @@ std::string GetChromeTracePath();
 // One finished span as recorded in the buffer.
 struct SpanRecord {
   std::string name;
-  int depth = 0;           // nesting level within its thread, 0 = root
+  uint64_t id = 0;         // process-unique, allocated at span entry
+  uint64_t parent_id = 0;  // innermost enclosing span; 0 = root
+  int depth = 0;           // nesting level within its causal tree, 0 = root
   int tid = 0;             // stable thread id, 0 = first tracing thread
   int64_t start_ns = 0;    // steady-clock time at span entry
   int64_t duration_ns = 0;
 };
+
+// The id of the innermost span currently open on this thread (including
+// a parent installed by the pool-context hooks); 0 when none.
+uint64_t CurrentSpanId();
 
 // Copies the buffered spans (oldest surviving record first, then
 // completion order).
@@ -124,12 +139,17 @@ class Span {
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
+  // This span's id while active; 0 when tracing was off at construction.
+  uint64_t id() const { return id_; }
+
  private:
   void Begin(std::string_view name);
   void End();
 
   bool active_ = false;
   std::string name_;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
   int depth_ = 0;
   int64_t start_ns_ = 0;
 };

@@ -1,0 +1,42 @@
+#include "revision/explain.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "util/check.h"
+
+namespace revise {
+
+Explanation Explain(const RevisionOperator& op, const Theory& t,
+                    const Formula& p) {
+  return Explain(op, t, p, RevisionAlphabet(t, p));
+}
+
+Explanation Explain(const RevisionOperator& op, const Theory& t,
+                    const Formula& p, const Alphabet& alphabet) {
+  const bool was_profiling = obs::ProfilingEnabled();
+  // Discard trees completed before the call so the drain below returns
+  // exactly this revision's forest.
+  obs::TakeProfiles();
+  obs::SetProfilingEnabled(true);
+  ModelSet result = [&] {
+    obs::ProfileScope root("explain.", op.name());
+    return op.ReviseModels(t, p, alphabet);
+  }();
+  obs::SetProfilingEnabled(was_profiling);
+  std::vector<std::unique_ptr<obs::ProfileNode>> forest =
+      obs::TakeProfiles();
+  // The root scope closed last, so it is the final completed tree.
+  REVISE_CHECK(!forest.empty());
+  Explanation explanation{std::move(result), std::move(forest.back())};
+  return explanation;
+}
+
+std::string RenderExplanation(const Explanation& explanation) {
+  char header[64];
+  std::snprintf(header, sizeof(header), "%zu model(s)\n",
+                explanation.result.size());
+  return header + obs::RenderProfileTree(*explanation.profile);
+}
+
+}  // namespace revise

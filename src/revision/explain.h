@@ -1,0 +1,44 @@
+// EXPLAIN: run one revision with cost attribution enabled and return the
+// per-operation profile tree (obs/profile.h) next to the result.
+//
+// The tree's root is a synthetic `explain.<Operator>` scope wrapping the
+// operator call; its children are the operations the revision actually
+// performed (model enumeration, kernels, SAT services, ...), each with
+// the counter deltas attributed to it.  With REVISE_THREADS=1 the
+// exclusive per-node costs sum exactly to the global counter deltas of
+// the call (the documented attribution rule — see obs/profile.h for the
+// parallel caveat).
+//
+// Explain toggles process-wide profiling for the duration of the call
+// and drains the completed-profile forest, so it is a diagnosis entry
+// point (REPL `:explain`, tests), not something to call concurrently
+// with an unrelated --explain bench run.
+
+#ifndef REVISE_REVISION_EXPLAIN_H_
+#define REVISE_REVISION_EXPLAIN_H_
+
+#include <memory>
+#include <string>
+
+#include "obs/profile.h"
+#include "revision/operator.h"
+
+namespace revise {
+
+struct Explanation {
+  ModelSet result;                          // models of T * P
+  std::unique_ptr<obs::ProfileNode> profile;  // root cost tree, never null
+};
+
+Explanation Explain(const RevisionOperator& op, const Theory& t,
+                    const Formula& p);
+Explanation Explain(const RevisionOperator& op, const Theory& t,
+                    const Formula& p, const Alphabet& alphabet);
+
+// The `:explain` rendering: the result cardinality followed by the
+// indented cost tree (obs::RenderProfileTree).
+std::string RenderExplanation(const Explanation& explanation);
+
+}  // namespace revise
+
+#endif  // REVISE_REVISION_EXPLAIN_H_

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/profile.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -259,32 +260,32 @@ ModelSet WeberModelsImpl(const ModelSet& mt, const ModelSet& mp) {
 // untimed implementations above.
 
 ModelSet WinslettModels(const ModelSet& mt, const ModelSet& mp) {
-  obs::Span span("revise.kernel.Winslett");
+  obs::ProfileScope profile("revise.kernel.Winslett");
   return RecordKernelResult(WinslettModelsImpl(mt, mp));
 }
 
 ModelSet BorgidaModels(const ModelSet& mt, const ModelSet& mp) {
-  obs::Span span("revise.kernel.Borgida");
+  obs::ProfileScope profile("revise.kernel.Borgida");
   return RecordKernelResult(BorgidaModelsImpl(mt, mp));
 }
 
 ModelSet ForbusModels(const ModelSet& mt, const ModelSet& mp) {
-  obs::Span span("revise.kernel.Forbus");
+  obs::ProfileScope profile("revise.kernel.Forbus");
   return RecordKernelResult(ForbusModelsImpl(mt, mp));
 }
 
 ModelSet SatohModels(const ModelSet& mt, const ModelSet& mp) {
-  obs::Span span("revise.kernel.Satoh");
+  obs::ProfileScope profile("revise.kernel.Satoh");
   return RecordKernelResult(SatohModelsImpl(mt, mp));
 }
 
 ModelSet DalalModels(const ModelSet& mt, const ModelSet& mp) {
-  obs::Span span("revise.kernel.Dalal");
+  obs::ProfileScope profile("revise.kernel.Dalal");
   return RecordKernelResult(DalalModelsImpl(mt, mp));
 }
 
 ModelSet WeberModels(const ModelSet& mt, const ModelSet& mp) {
-  obs::Span span("revise.kernel.Weber");
+  obs::ProfileScope profile("revise.kernel.Weber");
   return RecordKernelResult(WeberModelsImpl(mt, mp));
 }
 

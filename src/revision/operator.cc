@@ -3,7 +3,8 @@
 #include "logic/evaluate.h"
 #include "model/canonical.h"
 #include "obs/metrics.h"
-#include "obs/trace.h"
+#include "obs/flight_recorder.h"
+#include "obs/profile.h"
 #include "revision/candidates.h"
 #include "revision/formula_based.h"
 #include "revision/model_based.h"
@@ -69,7 +70,8 @@ bool RevisionOperator::IsModel(const Theory& t, const Formula& p,
 
 ModelSet ModelBasedOperator::ReviseModels(const Theory& t, const Formula& p,
                                           const Alphabet& alphabet) const {
-  obs::Span span("revise.", name());
+  obs::ProfileScope profile("revise.", name());
+  obs::FlightOpScope flight(name());
   REVISE_OBS_COUNTER("revise.operations").Increment();
   const ModelSet mt = EnumerateModels(t.AsFormula(), alphabet);
   return ReviseModelsAuto(id(), mt, p, alphabet);
@@ -119,7 +121,8 @@ ModelSet RecordRevisionResult(ModelSet result) {
 
 ModelSet GfuvOperator::ReviseModels(const Theory& t, const Formula& p,
                                     const Alphabet& alphabet) const {
-  obs::Span span("revise.", name());
+  obs::ProfileScope profile("revise.", name());
+  obs::FlightOpScope flight(name());
   REVISE_OBS_COUNTER("revise.operations").Increment();
   return RecordRevisionResult(EnumerateModels(ReviseFormula(t, p), alphabet));
 }
@@ -131,7 +134,8 @@ Formula GfuvOperator::ReviseFormula(const Theory& t,
 
 ModelSet WidtioOperator::ReviseModels(const Theory& t, const Formula& p,
                                       const Alphabet& alphabet) const {
-  obs::Span span("revise.", name());
+  obs::ProfileScope profile("revise.", name());
+  obs::FlightOpScope flight(name());
   REVISE_OBS_COUNTER("revise.operations").Increment();
   return RecordRevisionResult(EnumerateModels(ReviseFormula(t, p), alphabet));
 }
@@ -163,7 +167,8 @@ Formula NebelOperator::ReviseFormula(const Theory& t,
 ModelSet NebelOperator::ReviseModels(const std::vector<Theory>& classes,
                                      const Formula& p,
                                      const Alphabet& alphabet) const {
-  obs::Span span("revise.", name());
+  obs::ProfileScope profile("revise.", name());
+  obs::FlightOpScope flight(name());
   REVISE_OBS_COUNTER("revise.operations").Increment();
   return RecordRevisionResult(
       EnumerateModels(NebelFormula(classes, p), alphabet));

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace revise {
@@ -130,6 +131,10 @@ void ModelCache::EvictOverCapacityLocked() {
     bytes_ -= ApproxEntryBytes(*victim);
     lru_.erase(victim);
     REVISE_OBS_COUNTER("solve.model_cache.evictions").Increment();
+    char detail[64];
+    std::snprintf(detail, sizeof(detail), "%zu entries, %zu bytes",
+                  lru_.size(), bytes_);
+    REVISE_FLIGHT_EVENT("solve.model_cache.evict", detail);
   }
 }
 

@@ -1,5 +1,6 @@
 #include "solve/sat_context.h"
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -151,6 +152,7 @@ bool SatContext::Solve(const std::vector<Lit>& assumptions) {
     if (result == sat::Solver::Result::kUnknown) {
       timed_out_ = true;
       REVISE_OBS_COUNTER("solve.timed_out").Increment();
+      REVISE_FLIGHT_EVENT("solve.deadline_hit", "soft SAT deadline exceeded");
     }
     return result == sat::Solver::Result::kSat;
   }

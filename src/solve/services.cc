@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/profile.h"
 #include "solve/model_cache.h"
 #include "solve/sat_context.h"
 #include "util/check.h"
@@ -50,7 +51,7 @@ bool ProjectionFree(const Formula& f, const Alphabet& alphabet) {
 }  // namespace
 
 bool IsSatisfiable(const Formula& f) {
-  obs::Span span("solve.sat");
+  obs::ProfileScope profile("solve.sat");
   SatContext context;
   context.Assert(f);
   return context.Solve();
@@ -58,7 +59,7 @@ bool IsSatisfiable(const Formula& f) {
 
 bool Entails(const Formula& a, const Formula& b) {
   // a |= b iff a & !b is unsatisfiable.
-  obs::Span span("solve.entails");
+  obs::ProfileScope profile("solve.entails");
   SatContext context;
   context.Assert(a);
   context.Assert(Formula::Not(b));
@@ -73,13 +74,14 @@ bool AreEquivalent(const Formula& a, const Formula& b) {
 
 ModelSet EnumerateModels(const Formula& f, const Alphabet& alphabet,
                          size_t limit) {
-  obs::Span span("solve.enumerate");
+  obs::ProfileScope profile("solve.enumerate");
   // Only unlimited enumerations are memoized: a truncated set is not a
   // property of (f, alphabet) alone.
   const bool cacheable = limit == 0;
   if (cacheable) {
     if (std::optional<ModelSet> cached =
             ModelCache::Global().Lookup(f, alphabet)) {
+      obs::NoteModelSetCardinality(cached->size());
       return *std::move(cached);
     }
   }
@@ -89,6 +91,7 @@ ModelSet EnumerateModels(const Formula& f, const Alphabet& alphabet,
     return limit == 0 || models.size() < limit;
   });
   REVISE_OBS_COUNTER("solve.models_enumerated").Increment(models.size());
+  obs::NoteModelSetCardinality(models.size());
   ModelSet result(alphabet, std::move(models));
   if (cacheable) ModelCache::Global().Insert(f, alphabet, result);
   return result;
@@ -100,7 +103,7 @@ size_t CountModels(const Formula& f, const Alphabet& alphabet) {
 
 bool QueryEquivalent(const Formula& a, const Formula& b,
                      const Alphabet& alphabet) {
-  obs::Span span("solve.query_equivalent");
+  obs::ProfileScope profile("solve.query_equivalent");
   if (ProjectionFree(a, alphabet) && ProjectionFree(b, alphabet)) {
     // Projection onto `alphabet` is the identity for both sides, so query
     // equivalence coincides with logical equivalence: one SAT call on

@@ -23,6 +23,7 @@
 #ifndef REVISE_UTIL_CHECK_H_
 #define REVISE_UTIL_CHECK_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -31,9 +32,34 @@
 
 namespace revise::internal_check {
 
+// A process-wide hook invoked (once) with the failure message before a
+// failed check aborts.  The observability layer installs one that dumps
+// the flight recorder (obs/flight_recorder.h) to stderr and a
+// crash_<pid>.json file, so every CHECK failure carries the recent event
+// history.  The hook is cleared before it runs: a hook that itself fails
+// a check cannot recurse.
+using CrashReportHook = void (*)(const char* message);
+
+inline std::atomic<CrashReportHook>& CrashReportHookSlot() {
+  static std::atomic<CrashReportHook> slot{nullptr};
+  return slot;
+}
+
+inline void SetCrashReportHook(CrashReportHook hook) {
+  CrashReportHookSlot().store(hook, std::memory_order_release);
+}
+
+inline void InvokeCrashReportHook(const char* message) {
+  if (const CrashReportHook hook =
+          CrashReportHookSlot().exchange(nullptr, std::memory_order_acq_rel)) {
+    hook(message);
+  }
+}
+
 [[noreturn]] inline void CheckFailed(const char* condition, const char* file,
                                      int line) {
   std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", condition, file, line);
+  InvokeCrashReportHook(condition);
   std::abort();
 }
 
@@ -57,6 +83,7 @@ std::string Repr(const T& value) {
                                        const char* file, int line) {
   std::fprintf(stderr, "CHECK failed: %s (%s vs. %s) at %s:%d\n", expression,
                lhs.c_str(), rhs.c_str(), file, line);
+  InvokeCrashReportHook(expression);
   std::abort();
 }
 
@@ -65,6 +92,7 @@ std::string Repr(const T& value) {
                                        const char* file, int line) {
   std::fprintf(stderr, "CHECK failed: %s is OK (got %s) at %s:%d\n",
                expression, status.c_str(), file, line);
+  InvokeCrashReportHook(expression);
   std::abort();
 }
 

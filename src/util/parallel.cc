@@ -21,6 +21,9 @@ std::atomic<size_t> g_threads_override{0};
 // inline instead of deadlocking on the batch lock.
 thread_local bool t_inside_pool = false;
 
+std::atomic<PoolContextCaptureFn> g_context_capture{nullptr};
+std::atomic<PoolContextSwapFn> g_context_swap{nullptr};
+
 size_t ThreadsFromEnvironment() {
   if (const char* value = std::getenv("REVISE_THREADS")) {
     char* end = nullptr;
@@ -52,6 +55,12 @@ void SetParallelThreadsOverride(size_t threads) {
   g_threads_override.store(threads, std::memory_order_relaxed);
 }
 
+void SetPoolContextHooks(PoolContextCaptureFn capture,
+                         PoolContextSwapFn swap) {
+  g_context_capture.store(capture, std::memory_order_release);
+  g_context_swap.store(swap, std::memory_order_release);
+}
+
 ThreadPool& ThreadPool::Global() {
   // Leaked intentionally (the workers park forever); reachable through the
   // static pointer, so leak checkers stay quiet and no destructor races
@@ -74,13 +83,14 @@ void ThreadPool::EnsureWorkers(size_t target) {
 
 bool ThreadPool::Claim(uint64_t generation,
                        const std::function<void(size_t)>** fn,
-                       size_t* index) {
+                       size_t* index, PoolTaskContext* context) {
   std::lock_guard<std::mutex> lock(mu_);
   if (generation_ != generation || task_ == nullptr || next_ >= task_count_) {
     return false;
   }
   *fn = task_;
   *index = next_++;
+  *context = task_context_;
   return true;
 }
 
@@ -93,9 +103,24 @@ void ThreadPool::RunBatch(uint64_t generation) {
   t_inside_pool = true;
   const std::function<void(size_t)>* fn = nullptr;
   size_t index = 0;
-  while (Claim(generation, &fn, &index)) {
+  PoolTaskContext incoming;
+  PoolTaskContext saved;
+  bool context_installed = false;
+  const PoolContextSwapFn swap =
+      g_context_swap.load(std::memory_order_acquire);
+  while (Claim(generation, &fn, &index, &incoming)) {
+    // All tasks of a batch share one caller context, so install it once
+    // on the first claim and restore after the batch drains.
+    if (!context_installed && swap != nullptr) {
+      swap(incoming, &saved);
+      context_installed = true;
+    }
     (*fn)(index);
     FinishOne();
+  }
+  if (context_installed) {
+    PoolTaskContext ignored;
+    swap(saved, &ignored);
   }
   t_inside_pool = false;
 }
@@ -123,10 +148,16 @@ void ThreadPool::Run(size_t count, const std::function<void(size_t)>& fn) {
   }
   std::lock_guard<std::mutex> batch_lock(run_mu_);
   EnsureWorkers(std::min(count - 1, ParallelThreads() - 1));
+  PoolTaskContext context;
+  if (const PoolContextCaptureFn capture =
+          g_context_capture.load(std::memory_order_acquire)) {
+    capture(&context);
+  }
   uint64_t generation;
   {
     std::lock_guard<std::mutex> lock(mu_);
     task_ = &fn;
+    task_context_ = context;
     task_count_ = count;
     next_ = 0;
     completed_ = 0;

@@ -40,6 +40,29 @@ size_t ParallelThreads();
 // environment/hardware default).  Intended for tests and benches.
 void SetParallelThreadsOverride(size_t threads);
 
+// Per-batch caller context carried from the submitting thread to every
+// thread that executes tasks of the batch.  util/ does not interpret the
+// fields; the observability layer registers hooks (SetPoolContextHooks)
+// that fill and install them, so spans and profiles opened inside pool
+// tasks attach to the operation that spawned the batch instead of
+// starting a fresh root on the worker thread.
+struct PoolTaskContext {
+  uint64_t trace_span_id = 0;   // innermost open span on the submitter
+  int trace_depth = 0;          // its nesting depth
+  void* profile_node = nullptr; // current cost-attribution node
+};
+
+// `capture` reads the submitting thread's context into *out at batch
+// submission.  `swap` installs `incoming` on the executing thread and
+// saves the previous context into *previous (callers restore by swapping
+// back).  Registered once, by obs/trace.cc; both hooks must be
+// thread-safe and cheap.
+using PoolContextCaptureFn = void (*)(PoolTaskContext* out);
+using PoolContextSwapFn = void (*)(const PoolTaskContext& incoming,
+                                   PoolTaskContext* previous);
+void SetPoolContextHooks(PoolContextCaptureFn capture,
+                         PoolContextSwapFn swap);
+
 // A lazily created, process-wide pool of parked worker threads.  Work is
 // submitted as a batch of `count` tasks; workers (and the calling thread)
 // claim task indices under a mutex — tasks are coarse shards, so the
@@ -62,10 +85,11 @@ class ThreadPool {
 
   void EnsureWorkers(size_t target);
   void WorkerLoop();
-  // Claims one task of generation `generation` into *fn / *index; returns
-  // false when that batch is exhausted or superseded.
+  // Claims one task of generation `generation` into *fn / *index (and the
+  // batch's caller context into *context); returns false when that batch
+  // is exhausted or superseded.
   bool Claim(uint64_t generation, const std::function<void(size_t)>** fn,
-             size_t* index);
+             size_t* index, PoolTaskContext* context);
   void FinishOne();
   void RunBatch(uint64_t generation);
 
@@ -75,6 +99,7 @@ class ThreadPool {
   std::mutex run_mu_;  // serializes whole batches
   std::vector<std::thread> workers_;
   const std::function<void(size_t)>* task_ = nullptr;
+  PoolTaskContext task_context_;
   size_t task_count_ = 0;
   size_t next_ = 0;
   size_t completed_ = 0;

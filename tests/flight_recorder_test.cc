@@ -1,0 +1,159 @@
+// Tests for the crash flight recorder (obs/flight_recorder.h): the
+// bounded ring overwrites oldest-first and counts drops, FlightOpScope
+// brackets operations, the JSON dump parses, WriteCrashDump lands in
+// REVISE_CRASH_DIR, and — the crash path itself — a failed REVISE_CHECK
+// dumps the recorded events to stderr before aborting.
+
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace revise::obs {
+namespace {
+
+std::vector<std::string> EventNames() {
+  std::vector<std::string> names;
+  for (const FlightEvent& event : SnapshotFlightEvents()) {
+    names.emplace_back(event.name);
+  }
+  return names;
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ClearFlightEvents(); }
+  void TearDown() override {
+    SetFlightRecorderCapacity(kDefaultFlightRecorderCapacity);
+  }
+};
+
+TEST_F(FlightRecorderTest, RingOverwritesOldestFirstAndCountsDrops) {
+  SetFlightRecorderCapacity(4);
+  EXPECT_EQ(FlightRecorderCapacity(), 4u);
+  for (int i = 0; i < 6; ++i) {
+    RecordFlightEvent("test.evt_" + std::to_string(i), "detail");
+  }
+  const std::vector<std::string> names = EventNames();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "test.evt_2");
+  EXPECT_EQ(names[1], "test.evt_3");
+  EXPECT_EQ(names[2], "test.evt_4");
+  EXPECT_EQ(names[3], "test.evt_5");
+  EXPECT_EQ(FlightEventsDropped(), 2u);
+  ClearFlightEvents();
+  EXPECT_TRUE(SnapshotFlightEvents().empty());
+  EXPECT_EQ(FlightEventsDropped(), 0u);
+}
+
+TEST_F(FlightRecorderTest, LongNamesAndDetailsTruncateSafely) {
+  const std::string long_name(200, 'n');
+  const std::string long_detail(400, 'd');
+  RecordFlightEvent(long_name, long_detail);
+  const auto events = SnapshotFlightEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].name), std::string(47, 'n'));
+  EXPECT_EQ(std::string(events[0].detail), std::string(79, 'd'));
+}
+
+TEST_F(FlightRecorderTest, OpScopeEmitsBeginAndEndEvents) {
+  {
+    FlightOpScope scope("Winslett");
+    REVISE_FLIGHT_EVENT("test.inside_op", "between begin and end");
+  }
+  const auto events = SnapshotFlightEvents();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "revise.op_begin");
+  EXPECT_STREQ(events[0].detail, "Winslett");
+  EXPECT_STREQ(events[1].name, "test.inside_op");
+  EXPECT_STREQ(events[2].name, "revise.op_end");
+  EXPECT_STREQ(events[2].detail, "Winslett");
+  EXPECT_GE(events[2].t_ns, events[0].t_ns);
+}
+
+TEST_F(FlightRecorderTest, JsonDumpParsesWithReasonAndEvents) {
+  SetFlightRecorderCapacity(2);
+  for (int i = 0; i < 3; ++i) {
+    RecordFlightEvent("test.json_evt", "i=" + std::to_string(i));
+  }
+  StatusOr<Json> parsed = Json::Parse(FlightRecorderJson("unit test"));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json* recorder = parsed->Find("flight_recorder");
+  ASSERT_NE(recorder, nullptr);
+  EXPECT_EQ(recorder->Find("reason")->AsString(), "unit test");
+  EXPECT_GT(recorder->Find("pid")->AsUint(), 0u);
+  EXPECT_EQ(recorder->Find("dropped")->AsUint(), 1u);
+  const Json* events = recorder->Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ(events->at(0).Find("name")->AsString(), "test.json_evt");
+  EXPECT_EQ(events->at(1).Find("detail")->AsString(), "i=2");
+  EXPECT_TRUE(events->at(0).Has("t_ns"));
+  EXPECT_TRUE(events->at(0).Has("tid"));
+}
+
+TEST_F(FlightRecorderTest, CrashDumpWritesToCrashDir) {
+  ASSERT_EQ(setenv("REVISE_CRASH_DIR", ::testing::TempDir().c_str(), 1), 0);
+  REVISE_FLIGHT_EVENT("test.crash_dump", "dump target check");
+  const std::string path = WriteCrashDump("unit test dump");
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find(::testing::TempDir()), std::string::npos);
+  EXPECT_NE(path.find("crash_"), std::string::npos);
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string contents;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+  StatusOr<Json> parsed = Json::Parse(contents);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json* recorder = parsed->Find("flight_recorder");
+  ASSERT_NE(recorder, nullptr);
+  EXPECT_EQ(recorder->Find("reason")->AsString(), "unit test dump");
+  unsetenv("REVISE_CRASH_DIR");
+}
+
+TEST_F(FlightRecorderTest, DumpBracketsEventsWithMarkers) {
+  REVISE_FLIGHT_EVENT("test.dump_marker", "stderr dump");
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  DumpFlightRecorder(sink, "marker check");
+  std::rewind(sink);
+  std::string contents;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), sink)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(sink);
+  EXPECT_NE(contents.find("=== revise flight recorder (reason: marker check)"),
+            std::string::npos);
+  EXPECT_NE(contents.find("test.dump_marker"), std::string::npos);
+  EXPECT_NE(contents.find("=== end flight recorder"), std::string::npos);
+}
+
+// The crash path: a failed REVISE_CHECK invokes the installed hook,
+// which dumps the ring (with the events recorded before the crash) to
+// stderr before aborting.  REVISE_CRASH_DIR keeps the child's
+// crash_<pid>.json out of the working directory.
+TEST(FlightRecorderDeathTest, CheckFailureDumpsTheRecorder) {
+  ASSERT_EQ(setenv("REVISE_CRASH_DIR", ::testing::TempDir().c_str(), 1), 0);
+  REVISE_FLIGHT_EVENT("test.before_crash", "recorded before the check");
+  EXPECT_DEATH(REVISE_CHECK(1 == 2), "revise flight recorder");
+  EXPECT_DEATH(REVISE_CHECK(1 == 2), "test.before_crash");
+  unsetenv("REVISE_CRASH_DIR");
+}
+
+}  // namespace
+}  // namespace revise::obs

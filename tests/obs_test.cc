@@ -1,5 +1,6 @@
 // Tests for the observability layer: counter/gauge/histogram registry,
-// scoped tracing spans and the span ring buffer, Chrome trace export,
+// scoped tracing spans and the span ring buffer, causal span trees
+// across the thread pool, Chrome trace export (including flow events),
 // memory accounting, the JSON document model, the report schema, and the
 // soft-deadline path through SatContext.
 
@@ -7,6 +8,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -20,6 +23,7 @@
 #include "obs/trace.h"
 #include "sat/literal.h"
 #include "solve/sat_context.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace revise {
@@ -321,6 +325,12 @@ TEST(TraceTest, NestedSpansRecordDepthAndCompletionOrder) {
   // The outer span contains the inner one in time.
   EXPECT_LE(spans[1].start_ns, spans[0].start_ns);
   EXPECT_GE(spans[1].duration_ns, spans[0].duration_ns);
+  // Causal links: the inner span carries the outer one's id; the outer
+  // span is a root.
+  EXPECT_NE(spans[1].id, 0u);
+  EXPECT_NE(spans[0].id, spans[1].id);
+  EXPECT_EQ(spans[0].parent_id, spans[1].id);
+  EXPECT_EQ(spans[1].parent_id, 0u);
   obs::ClearSpans();
   EXPECT_TRUE(obs::SnapshotSpans().empty());
 }
@@ -386,11 +396,124 @@ TEST(TraceTest, ChromeTraceExportRoundTrips) {
     if (event.Find("name")->AsString() == "test.chrome_outer") {
       outer_found = true;
       EXPECT_EQ(event.Find("args")->Find("depth")->AsInt(), 0);
+      EXPECT_EQ(event.Find("args")->Find("parent_id")->AsUint(), 0u);
+      EXPECT_NE(event.Find("args")->Find("id")->AsUint(), 0u);
     }
   }
   EXPECT_TRUE(outer_found);
   std::remove(path.c_str());
   obs::ClearSpans();
+}
+
+// ---------------------------------------------------------------------
+// Causal span trees across the thread pool.
+
+// Collects the spans of one traced parallel operation: a root span that
+// fans out via ParallelMapRanges, each shard opening a span with a
+// nested leaf.
+std::vector<SpanRecord> RunTracedParallelOperation() {
+  obs::SetTraceSink(TraceSink::kSilent);
+  obs::ClearSpans();
+  {
+    Span root("test.causal_root");
+    ParallelMapRanges<int>(64, 1, [](size_t begin, size_t end) {
+      Span shard("test.causal_shard");
+      Span leaf("test.causal_leaf");
+      return static_cast<int>(end - begin);
+    });
+  }
+  obs::SetTraceSink(TraceSink::kNone);
+  return obs::SnapshotSpans();
+}
+
+// The regression this guards: spans opened inside pool-worker shard
+// tasks used to start fresh roots on the worker thread.  With the
+// pool-context hooks they attach to the operation that spawned the
+// batch, so every thread count yields one single rooted tree.
+TEST(TraceCausalityTest, PoolShardSpansFormOneRootedTree) {
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    SetParallelThreadsOverride(threads);
+    const std::vector<SpanRecord> spans = RunTracedParallelOperation();
+    SetParallelThreadsOverride(0);
+    ASSERT_GE(spans.size(), 3u) << "threads=" << threads;
+
+    std::map<uint64_t, const SpanRecord*> by_id;
+    uint64_t root_id = 0;
+    size_t roots = 0;
+    for (const SpanRecord& span : spans) {
+      EXPECT_NE(span.id, 0u);
+      EXPECT_TRUE(by_id.emplace(span.id, &span).second)
+          << "duplicate span id " << span.id;
+      if (span.parent_id == 0) {
+        ++roots;
+        root_id = span.id;
+        EXPECT_EQ(span.name, "test.causal_root");
+      }
+    }
+    EXPECT_EQ(roots, 1u) << "threads=" << threads;
+
+    for (const SpanRecord& span : spans) {
+      if (span.parent_id == 0) continue;
+      // Every non-root span hangs off a recorded span, and the parent
+      // links are stable: shards attach to the root, leaves to their
+      // shard, with depths one below their parent's.
+      const auto parent = by_id.find(span.parent_id);
+      ASSERT_NE(parent, by_id.end()) << span.name;
+      EXPECT_EQ(span.depth, parent->second->depth + 1) << span.name;
+      if (span.name == "test.causal_shard") {
+        EXPECT_EQ(span.parent_id, root_id);
+      } else {
+        ASSERT_EQ(span.name, "test.causal_leaf");
+        EXPECT_EQ(parent->second->name, "test.causal_shard");
+      }
+    }
+  }
+}
+
+TEST(TraceCausalityTest, ChromeExportEmitsFlowEventsForCrossThreadSpans) {
+  SetParallelThreadsOverride(8);
+  const std::vector<SpanRecord> spans = RunTracedParallelOperation();
+  SetParallelThreadsOverride(0);
+
+  // Whether any child ran on a different thread than its parent decides
+  // whether flow events must appear (the pool may legally run every
+  // shard on the submitting thread if it drains the batch first).
+  std::map<uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& span : spans) by_id.emplace(span.id, &span);
+  std::set<uint64_t> cross_thread_children;
+  for (const SpanRecord& span : spans) {
+    const auto parent = by_id.find(span.parent_id);
+    if (parent != by_id.end() && parent->second->tid != span.tid) {
+      cross_thread_children.insert(span.id);
+    }
+  }
+
+  const std::string path = ::testing::TempDir() + "revise_flow_trace.json";
+  ASSERT_TRUE(obs::WriteChromeTrace(path).ok());
+  obs::ClearSpans();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::remove(path.c_str());
+  StatusOr<Json> parsed = Json::Parse(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  // Flow events round-trip: every cross-thread child has a start ("s")
+  // and finish ("f") pair keyed by its span id, and no other flow ids
+  // appear.
+  std::set<uint64_t> starts;
+  std::set<uint64_t> finishes;
+  for (const Json& event : parsed->Find("traceEvents")->array()) {
+    const std::string ph = event.Find("ph")->AsString();
+    if (ph != "s" && ph != "f") continue;
+    EXPECT_EQ(event.Find("cat")->AsString(), "revise.flow");
+    const uint64_t flow_id = event.Find("id")->AsUint();
+    EXPECT_TRUE(cross_thread_children.count(flow_id) != 0) << flow_id;
+    (ph == "s" ? starts : finishes).insert(flow_id);
+  }
+  EXPECT_EQ(starts, cross_thread_children);
+  EXPECT_EQ(finishes, cross_thread_children);
 }
 
 // ---------------------------------------------------------------------
@@ -489,16 +612,20 @@ TEST(ReportTest, ToJsonMatchesSchema) {
   obs::SetTraceSink(TraceSink::kNone);
 
   const Json j = report.ToJson();
-  // Fixed top-level field order (schema v2).
+  // Fixed top-level field order (schema v2.1: additive over v2 — the
+  // minor stamp right after the version, profiles appended last).
   const std::vector<std::string> expected_keys = {
-      "schema_version", "name",   "manifest",   "meta",
-      "tables",         "series", "counters",   "gauges",
-      "histograms",     "memory", "spans"};
+      "schema_version", "schema_minor", "name",     "manifest",
+      "meta",           "tables",       "series",   "counters",
+      "gauges",         "histograms",   "memory",   "spans",
+      "profiles"};
   ASSERT_EQ(j.object().size(), expected_keys.size());
   for (size_t i = 0; i < expected_keys.size(); ++i) {
     EXPECT_EQ(j.object()[i].first, expected_keys[i]);
   }
   EXPECT_EQ(j.Find("schema_version")->AsInt(), obs::kSchemaVersion);
+  EXPECT_EQ(j.Find("schema_minor")->AsInt(), obs::kSchemaMinor);
+  EXPECT_TRUE(j.Find("profiles")->is_array());
   EXPECT_EQ(j.Find("name")->AsString(), "schema_check");
   EXPECT_EQ(j.Find("meta")->Find("n")->AsInt(), 12);
 
@@ -545,6 +672,8 @@ TEST(ReportTest, ToJsonMatchesSchema) {
       EXPECT_TRUE(span.Has("tid"));
       EXPECT_TRUE(span.Has("start_ns"));
       EXPECT_TRUE(span.Has("duration_ns"));
+      EXPECT_NE(span.Find("id")->AsUint(), 0u);
+      EXPECT_TRUE(span.Has("parent_id"));
     }
   }
   EXPECT_TRUE(span_found);

@@ -7,7 +7,13 @@
 #   5. tightening --time-threshold flips case 1 to a failure;
 #   6. lowering --noise-floor-ms exposes the micro-timing jitter;
 #   7. candidate rows colliding on the baseline join key are flagged;
-#   8. an unreadable input is a usage error (exit 2), not a pass.
+#   8. an unreadable input is a usage error (exit 2), not a pass;
+#   9. histogram percentiles within --hist-threshold pass (improvements
+#      and extra histograms included), a seeded p99 blow-up and a dropped
+#      histogram fail, tightening --hist-threshold or lowering
+#      --hist-noise-floor flips the healthy candidate, and a report
+#      without a histograms section (schema v1) diffs cleanly against one
+#      with it.
 #
 # Invoked as:
 #   cmake -DBENCHDIFF=<binary> -DFIXTURES=<dir> -P benchdiff_selftest.cmake
@@ -77,5 +83,35 @@ expect_output("ambiguous at baseline key [6]" "ambiguity message")
 # 8. Unreadable input is a usage error.
 run_diff(${FIXTURES}/base.json ${FIXTURES}/does_not_exist.json)
 expect_exit(2 "missing input")
+
+# 9a. Histogram drift within the threshold passes; improvements and
+#     extra candidate histograms are not regressions.
+run_diff(${FIXTURES}/hist_base.json ${FIXTURES}/hist_ok.json)
+expect_exit(0 "healthy histograms")
+
+# 9b. A seeded p99 blow-up and a dropped histogram both fail.
+run_diff(${FIXTURES}/hist_base.json ${FIXTURES}/hist_regress.json)
+expect_exit(1 "histogram regression")
+expect_output("sat.decisions_per_solve.p99" "histogram percentile message")
+expect_output("histogram revise.result_models missing"
+              "dropped histogram message")
+
+# 9c. Tightening --hist-threshold flips the healthy candidate.
+run_diff(${FIXTURES}/hist_base.json ${FIXTURES}/hist_ok.json
+         --hist-threshold=1.01)
+expect_exit(1 "tight histogram threshold")
+
+# 9d. Lowering the noise floor exposes the tiny-count quantile jitter.
+run_diff(${FIXTURES}/hist_base.json ${FIXTURES}/hist_ok.json
+         --hist-noise-floor=1)
+expect_exit(1 "no histogram noise floor")
+expect_output("qm.tiny_counts" "tiny histogram message")
+
+# 9e. Reports without a histograms section (schema v1) parse and diff
+#     cleanly against v2.1 reports, in both directions.
+run_diff(${FIXTURES}/hist_base.json ${FIXTURES}/hist_cand_v1.json)
+expect_exit(0 "v2.1 baseline vs v1 candidate")
+run_diff(${FIXTURES}/hist_cand_v1.json ${FIXTURES}/hist_base.json)
+expect_exit(0 "v1 baseline vs v2.1 candidate")
 
 message(STATUS "revise_benchdiff self-test passed")

@@ -3,6 +3,8 @@
 
 #define REVISE_OBS_COUNTER(name) DummyCounter(name)
 #define REVISE_OBS_HISTOGRAM(name) DummyCounter(name)
+#define REVISE_FLIGHT_EVENT(name, detail) DummyEvent(name, detail)
+#define REVISE_PROFILE_KEY(name) name
 
 namespace revise {
 
@@ -12,11 +14,16 @@ struct Instrument {
 };
 
 Instrument& DummyCounter(const char*);
+void DummyEvent(const char*, const char*);
 
 void Offenders() {
   REVISE_OBS_COUNTER("SatConflicts").Increment();    // finding: no dot
   REVISE_OBS_COUNTER("sat.Conflicts").Increment();   // finding: uppercase
   REVISE_OBS_HISTOGRAM("sat..decisions").Record(1);  // finding: empty segment
+  REVISE_FLIGHT_EVENT("CacheEvict", "x");            // finding: no dot
+  REVISE_FLIGHT_EVENT("solve.Deadline", "x");        // finding: uppercase
+  const char* key = REVISE_PROFILE_KEY("sat.Solves");  // finding: uppercase
+  (void)key;
 }
 
 }  // namespace revise

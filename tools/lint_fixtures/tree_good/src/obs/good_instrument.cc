@@ -3,6 +3,8 @@
 
 #define REVISE_OBS_COUNTER(name) DummyCounter(name)
 #define REVISE_OBS_GAUGE(name) DummyCounter(name)
+#define REVISE_FLIGHT_EVENT(name, detail) DummyEvent(name, detail)
+#define REVISE_PROFILE_KEY(name) name
 
 namespace revise {
 
@@ -12,12 +14,17 @@ struct Instrument {
 };
 
 Instrument& DummyCounter(const char*);
+void DummyEvent(const char*, const char*);
 
 void Conforming(const char* runtime_name) {
   REVISE_OBS_COUNTER("sat.conflicts").Increment();
   REVISE_OBS_COUNTER("solve.model_cache.hits").Increment();
   REVISE_OBS_GAUGE("mem.bdd_unique_bytes").Set(0);
   REVISE_OBS_COUNTER(runtime_name).Increment();  // non-literal: skipped
+  REVISE_FLIGHT_EVENT("solve.model_cache.evict", "1024 entries");
+  REVISE_FLIGHT_EVENT(runtime_name, "forwarded identifier: skipped");
+  const char* key = REVISE_PROFILE_KEY("sat.solves");
+  (void)key;
 }
 
 }  // namespace revise

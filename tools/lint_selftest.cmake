@@ -42,6 +42,10 @@ foreach(rule unlimited-enumerate raw-thread include-guard
         check-side-effect bench-json-meta obs-name fuzz-corpus)
   expect_output("[${rule}]" "bad tree rule coverage")
 endforeach()
+# The obs-name rule also covers flight-recorder event names and profile
+# counter keys.
+expect_output("CacheEvict" "flight event name coverage")
+expect_output("sat.Solves" "profile key coverage")
 
 # 3. Bad tree passes with a full allowlist.
 run_lint(--root=${FIXTURES}/tree_bad

@@ -21,7 +21,16 @@
 //     from the candidate is a regression (coverage must not shrink);
 //     extras in the candidate are ignored so baselines can trail new
 //     code;
-//   * series are matched by name: verdicts exactly, values numerically.
+//   * series are matched by name: verdicts exactly, values numerically;
+//   * histogram distributions (schema v2+) are matched by name and their
+//     p50/p90/p99 compared by ratio: the candidate percentile may be at
+//     most --hist-threshold times the baseline (upward only — a faster
+//     or smaller distribution is never a regression), and percentiles
+//     where both sides are below --hist-noise-floor are skipped (tiny
+//     samples shift their tail quantiles by whole buckets).  A histogram
+//     present in the baseline but absent from the candidate is a
+//     regression; reports without a histograms section (schema v1) skip
+//     the comparison entirely, so old and new reports diff both ways.
 //
 // Exit codes: 0 no regression, 1 regression found, 2 usage or I/O error.
 //
@@ -29,6 +38,8 @@
 //   revise_benchdiff <baseline.json> <candidate.json>
 //       [--time-threshold=<ratio>]    (default 1.5)
 //       [--noise-floor-ms=<ms>]       (default 1.0)
+//       [--hist-threshold=<ratio>]    (default 1.5)
+//       [--hist-noise-floor=<value>]  (default 16)
 //       [--threshold=<column>=<ratio>] ...
 //       [--ratio-columns=<a,b,...>]
 
@@ -56,6 +67,8 @@ struct Options {
   std::string candidate_path;
   double time_threshold = 1.5;
   double noise_floor_ms = 1.0;
+  double hist_threshold = 1.5;
+  double hist_noise_floor = 16.0;
   std::map<std::string, double> column_thresholds;
   std::set<std::string> ratio_columns = {"speedup"};
 };
@@ -96,6 +109,20 @@ bool ParseArgs(int argc, char** argv, Options* options) {
                      arg.c_str());
         return false;
       }
+    } else if (arg.rfind("--hist-threshold=", 0) == 0) {
+      if (!ParseDouble(arg.substr(17), &options->hist_threshold) ||
+          options->hist_threshold < 1.0) {
+        std::fprintf(stderr, "benchdiff: bad --hist-threshold '%s'\n",
+                     arg.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--hist-noise-floor=", 0) == 0) {
+      if (!ParseDouble(arg.substr(19), &options->hist_noise_floor) ||
+          options->hist_noise_floor < 0.0) {
+        std::fprintf(stderr, "benchdiff: bad --hist-noise-floor '%s'\n",
+                     arg.c_str());
+        return false;
+      }
     } else if (arg.rfind("--threshold=", 0) == 0) {
       const std::string spec = arg.substr(12);
       const size_t eq = spec.rfind('=');
@@ -126,6 +153,7 @@ bool ParseArgs(int argc, char** argv, Options* options) {
     std::fprintf(stderr,
                  "usage: revise_benchdiff <baseline.json> <candidate.json> "
                  "[--time-threshold=R] [--noise-floor-ms=X] "
+                 "[--hist-threshold=R] [--hist-noise-floor=X] "
                  "[--threshold=col=R] [--ratio-columns=a,b]\n");
     return false;
   }
@@ -429,6 +457,57 @@ void CompareSeries(const Json& base_series, const Json& cand_series,
   }
 }
 
+// Histogram distributions (report schema v2+): per-name upward-only
+// ratio check on the published percentiles.  The count is deliberately
+// ignored — it scales with benchmark iterations, which depend on machine
+// speed — while the percentiles describe the distribution itself.
+void CompareHistograms(const Options& options, const Json& baseline,
+                       const Json& candidate, Findings* findings) {
+  const Json* base_hists = baseline.Find("histograms");
+  const Json* cand_hists = candidate.Find("histograms");
+  // Schema v1 reports have no histograms section; nothing to compare
+  // (and a v1 baseline must keep diffing against a v2.1 candidate).
+  if (base_hists == nullptr || cand_hists == nullptr ||
+      !base_hists->is_object() || !cand_hists->is_object()) {
+    return;
+  }
+  static constexpr const char* kPercentiles[] = {"p50", "p90", "p99"};
+  for (const auto& [name, base_entry] : base_hists->object()) {
+    const Json* cand_entry = cand_hists->Find(name);
+    if (cand_entry == nullptr) {
+      findings->Add("histogram " + name + " missing from candidate");
+      continue;
+    }
+    for (const char* percentile : kPercentiles) {
+      const Json* base_cell = base_entry.Find(percentile);
+      const Json* cand_cell = cand_entry->Find(percentile);
+      if (base_cell == nullptr || !base_cell->is_number()) continue;
+      if (cand_cell == nullptr || !cand_cell->is_number()) {
+        findings->Add("histogram " + name + "." + percentile +
+                      " missing from candidate");
+        continue;
+      }
+      ++findings->compared;
+      const double base = base_cell->AsDouble();
+      const double cand = cand_cell->AsDouble();
+      if (base < options.hist_noise_floor &&
+          cand < options.hist_noise_floor) {
+        continue;  // both within quantile-bucket jitter
+      }
+      const double bound =
+          std::max(base * options.hist_threshold, options.hist_noise_floor);
+      if (cand > bound * (1 + 1e-9)) {
+        char message[256];
+        std::snprintf(message, sizeof(message),
+                      "histogram %s.%s: %g exceeds %gx of baseline %g",
+                      name.c_str(), percentile, cand,
+                      options.hist_threshold, base);
+        findings->Add(message);
+      }
+    }
+  }
+}
+
 int Run(const Options& options) {
   Json baseline;
   Json candidate;
@@ -484,6 +563,8 @@ int Run(const Options& options) {
       CompareSeries(entry, *found->second, &findings);
     }
   }
+
+  CompareHistograms(options, baseline, candidate, &findings);
 
   if (findings.any()) {
     std::fprintf(stderr, "benchdiff: %zu regression(s) vs %s:\n",

@@ -3,13 +3,19 @@
 // Usage:
 //   revise_fuzz [--seed=N] [--runs=N] [--time-budget-s=S] [--max-vars=N]
 //               [--oracle=NAME] [--no-shrink] [--replay=DIR] [--save=DIR]
-//               [--json] [--list-oracles]
+//               [--json] [--list-oracles] [--force-mismatch]
 //
 // Default mode generates `runs` seeded scenarios and checks each against
 // every oracle (see src/fuzz/oracles.h).  On a mismatch the scenario is
 // shrunk to a local minimum and printed as a ready-to-commit corpus
 // entry; --save=DIR additionally writes it to DIR/<name>.corpus.
 // --replay=DIR re-checks a committed corpus instead of generating.
+//
+// Any mismatch additionally dumps the observability flight recorder
+// (recent oracle verdicts, cache evictions, deadline hits) to stderr and
+// writes crash_<pid>.json, so a repro is self-describing.
+// --force-mismatch injects a synthetic mismatch after the run — a
+// test-only flag that lets CI assert the crash-dump plumbing works.
 //
 // Exit codes: 0 all checks agreed, 1 at least one mismatch, 2 usage or
 // I/O error.
@@ -23,6 +29,7 @@
 #include <string_view>
 
 #include "fuzz/fuzzer.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace {
@@ -45,7 +52,7 @@ int Usage(const char* error) {
       "usage: revise_fuzz [--seed=N] [--runs=N] [--time-budget-s=S]\n"
       "                   [--max-vars=N] [--oracle=NAME] [--no-shrink]\n"
       "                   [--replay=DIR] [--save=DIR] [--json]\n"
-      "                   [--list-oracles]\n");
+      "                   [--list-oracles] [--force-mismatch]\n");
   return 2;
 }
 
@@ -100,6 +107,7 @@ int main(int argc, char** argv) {
   std::string replay_dir;
   std::string save_dir;
   bool json = false;
+  bool force_mismatch = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const auto value = [&](size_t prefix) {
@@ -128,6 +136,8 @@ int main(int argc, char** argv) {
       save_dir = value(7);
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--force-mismatch") {
+      force_mismatch = true;
     } else if (arg == "--list-oracles") {
       for (const Oracle& oracle : AllOracles()) {
         std::printf("%-22s %s\n", oracle.name, oracle.description);
@@ -155,9 +165,25 @@ int main(int argc, char** argv) {
     report = revise::fuzz::Fuzz(options);
   }
 
+  if (force_mismatch) {
+    // Synthetic verdict so the crash dump exercises the same path a real
+    // oracle disagreement takes.
+    REVISE_FLIGHT_EVENT("fuzz.oracle_mismatch",
+                        "injected by --force-mismatch");
+    ++report.mismatches;
+  }
   for (const FuzzFailure& failure : report.failures) {
     PrintFailure(failure);
     if (!save_dir.empty() && !SaveFailure(failure, save_dir)) return 2;
+  }
+  if (report.mismatches != 0) {
+    revise::obs::DumpFlightRecorder(stderr, "fuzzer mismatch");
+    const std::string dump =
+        revise::obs::WriteCrashDump("fuzzer mismatch");
+    if (!dump.empty()) {
+      std::fprintf(stderr, "revise_fuzz: crash dump written to %s\n",
+                   dump.c_str());
+    }
   }
   PrintSummary(report, json);
   return report.mismatches == 0 ? 0 : 1;

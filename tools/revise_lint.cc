@@ -27,11 +27,14 @@
 //                        mutation).  DCHECK arguments are not evaluated in
 //                        Release builds, so side effects there change
 //                        behavior between build types.
-//   obs-name             a REVISE_OBS_COUNTER/GAUGE/HISTOGRAM call whose
-//                        literal name does not follow the
+//   obs-name             a REVISE_OBS_COUNTER/GAUGE/HISTOGRAM,
+//                        REVISE_FLIGHT_EVENT, or REVISE_PROFILE_KEY call
+//                        whose literal name does not follow the
 //                        `subsystem.metric` convention (lowercase
 //                        [a-z0-9_] segments joined by '.').  Instrument
-//                        names key the JSON reports; a stray spelling
+//                        names key the JSON reports, profile counter keys
+//                        key the EXPLAIN trees, and flight-recorder event
+//                        names key the crash dumps; a stray spelling
 //                        silently forks a metric.  Non-literal arguments
 //                        (the macro definitions, forwarded identifiers)
 //                        are skipped.
@@ -454,7 +457,8 @@ void CheckObsName(const std::string& rel_path, const std::string& code,
                   const std::string& raw,
                   std::vector<Finding>* findings) {
   constexpr std::string_view kMacros[] = {
-      "REVISE_OBS_COUNTER", "REVISE_OBS_GAUGE", "REVISE_OBS_HISTOGRAM"};
+      "REVISE_OBS_COUNTER", "REVISE_OBS_GAUGE", "REVISE_OBS_HISTOGRAM",
+      "REVISE_FLIGHT_EVENT", "REVISE_PROFILE_KEY"};
   for (const std::string_view macro : kMacros) {
     size_t pos = 0;
     while ((pos = code.find(macro, pos)) != std::string::npos) {
