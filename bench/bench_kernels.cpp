@@ -1,13 +1,15 @@
 // Microbenchmarks for the revision kernels and the model-enumeration
 // cache (no paper table — this is the performance regression harness).
 //
-//   * Parallel kernel scaling: every model-based operator kernel timed at
-//     1 thread vs REVISE_THREADS (default: hardware) on a Nebel-style
-//     worlds instance (mt = one letter of each pair {x_i, y_i}, mp =
-//     pair-equal models), with a bit-identity check between the two runs.
-//     Speedup scales with physical cores; on a 1-core container the two
-//     columns coincide and the "threads"/"hardware_threads" metadata
-//     records why.
+//   * Kernel scaling: every model-based operator kernel timed three ways
+//     on a Nebel-style worlds instance (mt = one letter of each pair
+//     {x_i, y_i}, mp = pair-equal models): scalar Interpretation loops at
+//     1 thread (seq_ms), packed bit-matrix kernels at 1 thread
+//     (seq_packed_ms) and packed at REVISE_THREADS (par_ms), with a
+//     bit-identity check across all three runs.  The headline `speedup`
+//     column is the single-thread packed-vs-scalar ratio — honest on any
+//     machine; parallel scaling shows up in par_ms only when the manifest
+//     records more than one hardware thread.
 //   * Enumeration cache: cold vs warm EnumerateModels on the Nebel GFUV
 //     formula.  The warm path is a structural-hash lookup and is orders
 //     of magnitude faster than re-running the AllSAT loop.
@@ -23,6 +25,7 @@
 
 #include "bench/bench_util.h"
 #include "hardness/families.h"
+#include "kernel/kernels.h"
 #include "model/model_set.h"
 #include "obs/metrics.h"
 #include "revision/formula_based.h"
@@ -84,15 +87,46 @@ double TimeMs(int reps, const Fn& fn) {
   return best;
 }
 
+// Times one kernel row three ways (scalar/1t, packed/1t, packed/default
+// threads), checks all three results are bit-identical and appends the
+// row.  Restores packed kernels + default threads on exit.
+template <typename Result, typename Run>
+void MeasureKernelRow(obs::Report* report, const char* name, int m,
+                      size_t pairs, const Run& run) {
+  Result scalar_result;
+  Result packed_result;
+  Result par_result;
+  kernel::SetPackedKernelsEnabled(false);
+  SetParallelThreadsOverride(1);
+  const double seq_ms = TimeMs(3, [&] { scalar_result = run(); });
+  kernel::SetPackedKernelsEnabled(true);
+  const double seq_packed_ms = TimeMs(3, [&] { packed_result = run(); });
+  SetParallelThreadsOverride(0);  // default: REVISE_THREADS or hardware
+  const double par_ms = TimeMs(3, [&] { par_result = run(); });
+  const bool identical =
+      scalar_result == packed_result && packed_result == par_result;
+  const double speedup = seq_packed_ms > 0 ? seq_ms / seq_packed_ms : 0.0;
+  std::printf("%-22s %-4d %10zu %10.2f %14.2f %10.2f %7.2fx %10s\n", name, m,
+              pairs, seq_ms, seq_packed_ms, par_ms, speedup,
+              identical ? "yes" : "NO");
+  report->AddRow("kernel_scaling", {name, m, pairs, seq_ms, seq_packed_ms,
+                                    par_ms, speedup, identical});
+}
+
 void MeasureKernelScaling(obs::Report* report) {
-  bench::Headline("Revision kernels: 1 thread vs REVISE_THREADS");
+  bench::Headline("Revision kernels: scalar vs packed vs REVISE_THREADS");
   const size_t parallel_threads = ParallelThreads();
-  std::printf("hardware threads: %u, parallel run uses %zu thread(s)\n",
-              std::thread::hardware_concurrency(), parallel_threads);
-  report->AddTable("kernel_scaling", {"kernel", "m", "pairs", "seq_ms",
-                                      "par_ms", "speedup", "identical"});
-  std::printf("%-22s %-4s %10s %10s %10s %8s %10s\n", "kernel", "m",
-              "pairs", "seq ms", "par ms", "speedup", "identical");
+  std::printf(
+      "hardware threads: %u, parallel run uses %zu thread(s), "
+      "simd path: %s\n",
+      std::thread::hardware_concurrency(), parallel_threads,
+      kernel::ActiveSimdPath());
+  report->AddTable("kernel_scaling",
+                   {"kernel", "m", "pairs", "seq_ms", "seq_packed_ms",
+                    "par_ms", "speedup", "identical"});
+  std::printf("%-22s %-4s %10s %10s %14s %10s %8s %10s\n", "kernel", "m",
+              "pairs", "seq ms", "seq packed ms", "par ms", "speedup",
+              "identical");
 
   struct Kernel {
     const char* name;
@@ -107,60 +141,20 @@ void MeasureKernelScaling(obs::Report* report) {
   for (const Kernel& kernel : kernels) {
     const KernelInput input = MakeNebelWorlds(kernel.m);
     const size_t pairs = input.mt.size() * input.mp.size();
-    ModelSet seq_result;
-    ModelSet par_result;
-    SetParallelThreadsOverride(1);
-    const double seq_ms =
-        TimeMs(3, [&] { seq_result = kernel.run(input.mt, input.mp); });
-    SetParallelThreadsOverride(0);  // default: REVISE_THREADS or hardware
-    const double par_ms =
-        TimeMs(3, [&] { par_result = kernel.run(input.mt, input.mp); });
-    const bool identical = seq_result == par_result;
-    const double speedup = par_ms > 0 ? seq_ms / par_ms : 0.0;
-    std::printf("%-22s %-4d %10zu %10.2f %10.2f %7.2fx %10s\n", kernel.name,
-                kernel.m, pairs, seq_ms, par_ms, speedup,
-                identical ? "yes" : "NO");
-    report->AddRow("kernel_scaling", {kernel.name, kernel.m, pairs, seq_ms,
-                                      par_ms, speedup, identical});
+    MeasureKernelRow<ModelSet>(
+        report, kernel.name, kernel.m, pairs,
+        [&] { return kernel.run(input.mt, input.mp); });
   }
 
   // The two global sweeps underneath Satoh/Dalal/Weber, timed directly.
   const KernelInput input = MakeNebelWorlds(10);
   const size_t pairs = input.mt.size() * input.mp.size();
-  {
-    std::vector<Interpretation> seq_diffs;
-    std::vector<Interpretation> par_diffs;
-    SetParallelThreadsOverride(1);
-    const double seq_ms = TimeMs(
-        3, [&] { seq_diffs = GlobalMinimalDiffsOfSets(input.mt, input.mp); });
-    SetParallelThreadsOverride(0);
-    const double par_ms = TimeMs(
-        3, [&] { par_diffs = GlobalMinimalDiffsOfSets(input.mt, input.mp); });
-    const bool identical = seq_diffs == par_diffs;
-    const double speedup = par_ms > 0 ? seq_ms / par_ms : 0.0;
-    std::printf("%-22s %-4d %10zu %10.2f %10.2f %7.2fx %10s\n",
-                "GlobalMinimalDiffs", 10, pairs, seq_ms, par_ms, speedup,
-                identical ? "yes" : "NO");
-    report->AddRow("kernel_scaling", {"GlobalMinimalDiffs", 10, pairs,
-                                      seq_ms, par_ms, speedup, identical});
-  }
-  {
-    std::optional<size_t> seq_k;
-    std::optional<size_t> par_k;
-    SetParallelThreadsOverride(1);
-    const double seq_ms = TimeMs(
-        3, [&] { seq_k = GlobalMinDistanceOfSets(input.mt, input.mp); });
-    SetParallelThreadsOverride(0);
-    const double par_ms = TimeMs(
-        3, [&] { par_k = GlobalMinDistanceOfSets(input.mt, input.mp); });
-    const bool identical = seq_k == par_k;
-    const double speedup = par_ms > 0 ? seq_ms / par_ms : 0.0;
-    std::printf("%-22s %-4d %10zu %10.2f %10.2f %7.2fx %10s\n",
-                "GlobalMinDistance", 10, pairs, seq_ms, par_ms, speedup,
-                identical ? "yes" : "NO");
-    report->AddRow("kernel_scaling", {"GlobalMinDistance", 10, pairs,
-                                      seq_ms, par_ms, speedup, identical});
-  }
+  MeasureKernelRow<std::vector<Interpretation>>(
+      report, "GlobalMinimalDiffs", 10, pairs,
+      [&] { return GlobalMinimalDiffsOfSets(input.mt, input.mp); });
+  MeasureKernelRow<std::optional<size_t>>(
+      report, "GlobalMinDistance", 10, pairs,
+      [&] { return GlobalMinDistanceOfSets(input.mt, input.mp); });
 }
 
 void MeasureEnumerationCache(obs::Report* report) {
@@ -279,6 +273,11 @@ BENCHMARK(BM_MinimalUnderInclusion)->Arg(6)->Arg(8)
 int main(int argc, char** argv) {
   revise::bench::JsonReporter reporter("bench_kernels", "BENCH_kernels.json",
                                        &argc, argv);
+  // Which ISA path the packed kernels compiled to — timings from
+  // different paths are comparable in correctness, not in speed.
+  reporter.report().SetMeta(
+      "simd_path",
+      revise::obs::Json(std::string(revise::kernel::ActiveSimdPath())));
   revise::MeasureKernelScaling(&reporter.report());
   revise::MeasureEnumerationCache(&reporter.report());
   benchmark::Initialize(&argc, argv);

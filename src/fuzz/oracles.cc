@@ -8,6 +8,7 @@
 #include "bdd/bdd.h"
 #include "compact/query.h"
 #include "compact/single_revision.h"
+#include "kernel/kernels.h"
 #include "logic/evaluate.h"
 #include "logic/parser.h"
 #include "logic/printer.h"
@@ -288,6 +289,67 @@ std::optional<std::string> ThreadCountOracle(const Scenario& s) {
   return std::nullopt;
 }
 
+// Flips the packed-kernel routing switch for a scope, restoring the
+// previous state on exit.
+class ScopedPackedKernels {
+ public:
+  explicit ScopedPackedKernels(bool enabled)
+      : saved_(kernel::PackedKernelsEnabled()) {
+    kernel::SetPackedKernelsEnabled(enabled);
+  }
+  ~ScopedPackedKernels() { kernel::SetPackedKernelsEnabled(saved_); }
+  ScopedPackedKernels(const ScopedPackedKernels&) = delete;
+  ScopedPackedKernels& operator=(const ScopedPackedKernels&) = delete;
+
+ private:
+  const bool saved_;
+};
+
+std::optional<std::string> PackedKernelsOracle(const Scenario& s) {
+  const Alphabet x = RevisionAlphabet(s.t, s.p);
+  if (x.size() > kMaxOracleAlphabet) return std::nullopt;
+  const ModelSet mt = EnumerateModels(s.t.AsFormula(), x, 0);
+  const ModelSet mp = EnumerateModels(s.p, x, 0);
+  for (const ModelBasedOperator* op : AllModelBasedOperators()) {
+    // Model-set path: packed bit-matrix sweeps (at a parallel thread
+    // count, so tile sharding is exercised) vs the scalar loops.
+    ModelSet scalar;
+    ModelSet packed;
+    {
+      ScopedPackedKernels off(false);
+      scalar = op->ReviseModelSets(mt, mp);
+    }
+    {
+      ScopedPackedKernels on(true);
+      ScopedThreadOverride three(3);
+      packed = op->ReviseModelSets(mt, mp);
+    }
+    if (!(scalar == packed)) {
+      return std::string(op->name()) +
+             ": packed kernels disagree with the scalar loops (" +
+             SetSizes(packed, scalar) + ")";
+    }
+    // Formula path: the mask kernels in the candidate enumeration.
+    ModelSet scalar_masks;
+    ModelSet packed_masks;
+    {
+      ScopedPackedKernels off(false);
+      scalar_masks = op->ReviseModels(s.t, s.p, x);
+    }
+    {
+      ScopedPackedKernels on(true);
+      packed_masks = op->ReviseModels(s.t, s.p, x);
+    }
+    if (!(scalar_masks == packed_masks)) {
+      return std::string(op->name()) +
+             ": packed mask kernels disagree with the scalar candidate "
+             "loops (" +
+             SetSizes(packed_masks, scalar_masks) + ")";
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<std::string> ModelCacheOracle(const Scenario& s) {
   const Alphabet x = RevisionAlphabet(s.t, s.p);
   if (x.size() > kMaxOracleAlphabet) return std::nullopt;
@@ -507,6 +569,9 @@ const std::vector<Oracle> kOracles = {
      OperatorReferenceOracle},
     {"thread-count", "ReviseModelSets at 1 thread vs 3 threads",
      ThreadCountOracle},
+    {"packed-kernels",
+     "packed bit-matrix kernels vs the scalar Interpretation loops",
+     PackedKernelsOracle},
     {"model-cache", "enumeration with the global cache cold/warm/disabled",
      ModelCacheOracle},
     {"bdd-vs-enumeration", "ROBDD model count and canonicity vs AllSAT",

@@ -1,0 +1,46 @@
+#include "kernel/packed_matrix.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "kernel/simd.h"
+#include "util/check.h"
+
+namespace revise::kernel {
+
+PackedModelMatrix::PackedModelMatrix(size_t bits, size_t rows)
+    : bits_(bits),
+      rows_(rows),
+      words_used_((bits + 63) / 64),
+      blocks_(std::max<size_t>(
+          1, (words_used_ + kWordsPerBlock - 1) / kWordsPerBlock)),
+      stride_(blocks_ * kWordsPerBlock) {
+  const size_t words = std::max<size_t>(1, rows_) * stride_;
+  data_.reset(static_cast<uint64_t*>(
+      ::operator new[](words * sizeof(uint64_t), std::align_val_t{64})));
+  std::memset(data_.get(), 0, words * sizeof(uint64_t));
+}
+
+PackedModelMatrix PackedModelMatrix::FromModels(
+    size_t bits, const std::vector<Interpretation>& models) {
+  PackedModelMatrix matrix(bits, models.size());
+  for (size_t r = 0; r < models.size(); ++r) {
+    matrix.SetRow(r, models[r]);
+  }
+  return matrix;
+}
+
+void PackedModelMatrix::SetRow(size_t r, const Interpretation& m) {
+  REVISE_DCHECK_LT(r, rows_);
+  REVISE_DCHECK_EQ(m.size(), bits_);
+  const std::vector<uint64_t>& words = m.words();
+  REVISE_DCHECK_EQ(words.size(), words_used_);
+  std::copy(words.begin(), words.end(), row(r));
+}
+
+Interpretation PackedModelMatrix::ToInterpretation(size_t r) const {
+  REVISE_DCHECK_LT(r, rows_);
+  return Interpretation::FromWords(bits_, row(r));
+}
+
+}  // namespace revise::kernel

@@ -1,0 +1,76 @@
+// A model set re-laid as a contiguous row-major bit matrix.
+//
+// Each row is one interpretation: bit i of row r is the value
+// models[r].Get(i), stored in 64-bit words exactly as Interpretation
+// stores them.  Rows are padded with zero words to a whole number of
+// 256-bit blocks (simd.h kWordsPerBlock) and the backing store is
+// 64-byte-aligned, so the batch kernels can sweep whole blocks — SIMD or
+// SWAR — without tail cases and without per-pair pointer chasing through
+// std::vector headers.  The matrix is built once per operator call and is
+// immutable from the kernels' point of view; the zero padding is a class
+// invariant (Interpretation keeps its own tail bits zero, and the
+// constructors zero-fill), which is what makes block-granular popcounts
+// exact.
+//
+// The layer sits below model/: it depends only on logic/ and util/, and
+// accepts plain Interpretation vectors (ModelSet callers pass
+// set.models() and set.alphabet().size()).
+
+#ifndef REVISE_KERNEL_PACKED_MATRIX_H_
+#define REVISE_KERNEL_PACKED_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "logic/interpretation.h"
+
+namespace revise::kernel {
+
+class PackedModelMatrix {
+ public:
+  PackedModelMatrix() = default;
+  // Zero-filled matrix of `rows` interpretations over `bits` letters.
+  PackedModelMatrix(size_t bits, size_t rows);
+
+  // Packs `models` (uniform width `bits`) row by row.
+  static PackedModelMatrix FromModels(size_t bits,
+                                      const std::vector<Interpretation>& models);
+
+  size_t bits() const { return bits_; }
+  size_t rows() const { return rows_; }
+  // Words that carry payload bits: ceil(bits / 64).
+  size_t words_used() const { return words_used_; }
+  // 256-bit blocks per row (at least 1, so every row is sweepable).
+  size_t blocks() const { return blocks_; }
+  // Words from one row to the next: blocks() * kWordsPerBlock.
+  size_t row_stride() const { return stride_; }
+
+  const uint64_t* row(size_t r) const { return data_.get() + r * stride_; }
+  uint64_t* row(size_t r) { return data_.get() + r * stride_; }
+
+  // Copies `m` into row `r` (m.size() must equal bits()).
+  void SetRow(size_t r, const Interpretation& m);
+  // Materializes row `r` back into an Interpretation.
+  Interpretation ToInterpretation(size_t r) const;
+
+ private:
+  struct AlignedFree {
+    void operator()(uint64_t* p) const {
+      ::operator delete[](p, std::align_val_t{64});
+    }
+  };
+
+  size_t bits_ = 0;
+  size_t rows_ = 0;
+  size_t words_used_ = 0;
+  size_t blocks_ = 0;
+  size_t stride_ = 0;
+  std::unique_ptr<uint64_t[], AlignedFree> data_;
+};
+
+}  // namespace revise::kernel
+
+#endif  // REVISE_KERNEL_PACKED_MATRIX_H_

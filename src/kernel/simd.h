@@ -1,0 +1,256 @@
+// The single ISA seam of the packed kernel layer.
+//
+// Every primitive here is an exact bit count or an exact word predicate
+// over 256-bit blocks (kWordsPerBlock x 64-bit words), so each of the
+// three compiled paths — scalar (`off`), portable SWAR (`swar`) and the
+// compile-time-dispatched AVX2/NEON path (`native`) — returns bit-for-bit
+// the same value.  Which path a translation unit gets is decided by
+// REVISE_SIMD_MODE, which src/kernel/CMakeLists.txt sets from the
+// REVISE_SIMD cache option (off|swar|native); everything outside
+// src/kernel/*.cc compiles without ISA flags and reaches these paths only
+// through the kernels' exported functions.
+//
+//   off     std::popcount word loop — the semantics oracle, no tricks;
+//   swar    4-word unrolled Wilkes/Mula-style accumulation: per-word
+//           nibble counts summed across the block, one widening multiply
+//           per block instead of one per word;
+//   native  AVX2 vpshufb nibble-LUT popcount (x86) or vcnt byte counts
+//           (NEON) on whole 256-bit blocks, falling back to swar when the
+//           compiler advertises neither ISA.
+//
+// Rows handed to these functions are zero-padded to whole blocks by
+// PackedModelMatrix, so reading the full block never changes a count and
+// never reads unowned memory.
+
+#ifndef REVISE_KERNEL_SIMD_H_
+#define REVISE_KERNEL_SIMD_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#ifndef REVISE_SIMD_MODE
+#define REVISE_SIMD_MODE 1  // default: portable SWAR
+#endif
+
+#if REVISE_SIMD_MODE == 2 && defined(__AVX2__)
+#define REVISE_SIMD_PATH_AVX2 1
+#include <immintrin.h>
+#elif REVISE_SIMD_MODE == 2 && defined(__ARM_NEON)
+#define REVISE_SIMD_PATH_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace revise::kernel {
+
+// Words per block; PackedModelMatrix pads every row to a whole number of
+// blocks and aligns rows so a block load never splits a cache line pair.
+inline constexpr size_t kWordsPerBlock = 4;
+
+// Human-readable name of the path this translation unit compiled.
+static constexpr const char* SimdPathName() {
+#if REVISE_SIMD_MODE == 0
+  return "off";
+#elif defined(REVISE_SIMD_PATH_AVX2)
+  return "avx2";
+#elif defined(REVISE_SIMD_PATH_NEON)
+  return "neon";
+#else
+  return "swar";
+#endif
+}
+
+// --- SWAR core ----------------------------------------------------------
+
+// Per-byte population counts of one word (each byte ends up 0..8): the
+// classic three-step halving reduction, stopped at byte granularity so
+// several words can share one horizontal sum.
+static inline uint64_t ByteCounts(uint64_t x) {
+  x -= (x >> 1) & 0x5555555555555555ULL;
+  x = (x & 0x3333333333333333ULL) + ((x >> 2) & 0x3333333333333333ULL);
+  return (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
+}
+
+// Popcount of a 4-word block by SWAR accumulation: four byte-count words
+// summed (byte lanes reach at most 32), widened to 16-bit lanes (at most
+// 64 each, so the 4 x 64 = 256 total cannot overflow the final lane) and
+// collapsed with one multiply.
+static inline uint64_t SwarPopcountBlock(uint64_t w0, uint64_t w1, uint64_t w2,
+                                         uint64_t w3) {
+  const uint64_t bytes =
+      ByteCounts(w0) + ByteCounts(w1) + ByteCounts(w2) + ByteCounts(w3);
+  const uint64_t halves = (bytes & 0x00ff00ff00ff00ffULL) +
+                          ((bytes >> 8) & 0x00ff00ff00ff00ffULL);
+  return (halves * 0x0001000100010001ULL) >> 48;
+}
+
+// --- single-word popcount (all paths exact) -----------------------------
+
+static inline size_t PopcountWord(uint64_t x) {
+#if REVISE_SIMD_MODE == 1
+  return static_cast<size_t>((ByteCounts(x) * 0x0101010101010101ULL) >> 56);
+#else
+  return static_cast<size_t>(std::popcount(x));
+#endif
+}
+
+// --- block primitives ---------------------------------------------------
+
+#if defined(REVISE_SIMD_PATH_AVX2)
+
+static inline __m256i Popcount256(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                         _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+static inline uint64_t HorizontalSum256(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<uint64_t>(_mm_extract_epi64(sum, 0)) +
+         static_cast<uint64_t>(_mm_extract_epi64(sum, 1));
+}
+
+static inline uint64_t PopcountBlock(const uint64_t* a) {
+  const __m256i v =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  return HorizontalSum256(Popcount256(v));
+}
+
+static inline uint64_t XorPopcountBlock(const uint64_t* a, const uint64_t* b) {
+  const __m256i va =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  const __m256i vb =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  return HorizontalSum256(Popcount256(_mm256_xor_si256(va, vb)));
+}
+
+// a subseteq b on one block: (a & ~b) == 0.
+static inline bool SubsetBlock(const uint64_t* a, const uint64_t* b) {
+  const __m256i va =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  const __m256i vb =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  return _mm256_testc_si256(vb, va) != 0;  // tests (~b & a) == 0
+}
+
+// (x ^ y) & ~mask == 0 on one block: x and y agree outside `mask`.
+static inline bool DiffWithinMaskBlock(const uint64_t* x, const uint64_t* y,
+                                       const uint64_t* mask) {
+  const __m256i vx =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x));
+  const __m256i vy =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y));
+  const __m256i vm =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask));
+  return _mm256_testc_si256(vm, _mm256_xor_si256(vx, vy)) != 0;
+}
+
+#elif defined(REVISE_SIMD_PATH_NEON)
+
+static inline uint64_t Popcount128(uint8x16_t v) {
+  return vaddvq_u8(vcntq_u8(v));
+}
+
+static inline uint64_t PopcountBlock(const uint64_t* a) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(a);
+  return Popcount128(vld1q_u8(p)) + Popcount128(vld1q_u8(p + 16));
+}
+
+static inline uint64_t XorPopcountBlock(const uint64_t* a, const uint64_t* b) {
+  const uint8_t* pa = reinterpret_cast<const uint8_t*>(a);
+  const uint8_t* pb = reinterpret_cast<const uint8_t*>(b);
+  return Popcount128(veorq_u8(vld1q_u8(pa), vld1q_u8(pb))) +
+         Popcount128(veorq_u8(vld1q_u8(pa + 16), vld1q_u8(pb + 16)));
+}
+
+static inline bool SubsetBlock(const uint64_t* a, const uint64_t* b) {
+  const uint8_t* pa = reinterpret_cast<const uint8_t*>(a);
+  const uint8_t* pb = reinterpret_cast<const uint8_t*>(b);
+  const uint8x16_t stray0 = vbicq_u8(vld1q_u8(pa), vld1q_u8(pb));
+  const uint8x16_t stray1 = vbicq_u8(vld1q_u8(pa + 16), vld1q_u8(pb + 16));
+  return vmaxvq_u8(vorrq_u8(stray0, stray1)) == 0;
+}
+
+static inline bool DiffWithinMaskBlock(const uint64_t* x, const uint64_t* y,
+                                       const uint64_t* mask) {
+  const uint8_t* px = reinterpret_cast<const uint8_t*>(x);
+  const uint8_t* py = reinterpret_cast<const uint8_t*>(y);
+  const uint8_t* pm = reinterpret_cast<const uint8_t*>(mask);
+  const uint8x16_t stray0 =
+      vbicq_u8(veorq_u8(vld1q_u8(px), vld1q_u8(py)), vld1q_u8(pm));
+  const uint8x16_t stray1 = vbicq_u8(
+      veorq_u8(vld1q_u8(px + 16), vld1q_u8(py + 16)), vld1q_u8(pm + 16));
+  return vmaxvq_u8(vorrq_u8(stray0, stray1)) == 0;
+}
+
+#elif REVISE_SIMD_MODE == 0
+
+static inline uint64_t PopcountBlock(const uint64_t* a) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < kWordsPerBlock; ++i) {
+    count += static_cast<uint64_t>(std::popcount(a[i]));
+  }
+  return count;
+}
+
+static inline uint64_t XorPopcountBlock(const uint64_t* a, const uint64_t* b) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < kWordsPerBlock; ++i) {
+    count += static_cast<uint64_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return count;
+}
+
+static inline bool SubsetBlock(const uint64_t* a, const uint64_t* b) {
+  for (size_t i = 0; i < kWordsPerBlock; ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+
+static inline bool DiffWithinMaskBlock(const uint64_t* x, const uint64_t* y,
+                                       const uint64_t* mask) {
+  for (size_t i = 0; i < kWordsPerBlock; ++i) {
+    if (((x[i] ^ y[i]) & ~mask[i]) != 0) return false;
+  }
+  return true;
+}
+
+#else  // SWAR (mode 1, and native without AVX2/NEON)
+
+static inline uint64_t PopcountBlock(const uint64_t* a) {
+  return SwarPopcountBlock(a[0], a[1], a[2], a[3]);
+}
+
+static inline uint64_t XorPopcountBlock(const uint64_t* a, const uint64_t* b) {
+  return SwarPopcountBlock(a[0] ^ b[0], a[1] ^ b[1], a[2] ^ b[2],
+                           a[3] ^ b[3]);
+}
+
+static inline bool SubsetBlock(const uint64_t* a, const uint64_t* b) {
+  const uint64_t stray = (a[0] & ~b[0]) | (a[1] & ~b[1]) | (a[2] & ~b[2]) |
+                         (a[3] & ~b[3]);
+  return stray == 0;
+}
+
+static inline bool DiffWithinMaskBlock(const uint64_t* x, const uint64_t* y,
+                                       const uint64_t* mask) {
+  const uint64_t stray =
+      ((x[0] ^ y[0]) & ~mask[0]) | ((x[1] ^ y[1]) & ~mask[1]) |
+      ((x[2] ^ y[2]) & ~mask[2]) | ((x[3] ^ y[3]) & ~mask[3]);
+  return stray == 0;
+}
+
+#endif
+
+}  // namespace revise::kernel
+
+#endif  // REVISE_KERNEL_SIMD_H_

@@ -113,6 +113,15 @@ Interpretation Interpretation::Minus(const Interpretation& other) const {
   return result;
 }
 
+Interpretation Interpretation::FromWords(size_t size, const uint64_t* words) {
+  Interpretation result(size);
+  std::copy(words, words + result.words_.size(), result.words_.begin());
+  if (size % 64 != 0 && !result.words_.empty()) {
+    REVISE_DCHECK_EQ(result.words_.back() >> (size % 64), 0u);
+  }
+  return result;
+}
+
 Interpretation Interpretation::FromIndex(size_t n, uint64_t index) {
   REVISE_CHECK_LE(n, 63u);
   Interpretation result(n);

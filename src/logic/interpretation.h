@@ -101,6 +101,14 @@ class Interpretation {
   // Letters true in this but not in other.
   Interpretation Minus(const Interpretation& other) const;
 
+  // The packed 64-bit words, bit i of word i/64 being letter i; tail bits
+  // beyond size() are zero by construction.  The packed kernel layer
+  // (src/kernel/) copies these into its row-major matrices.
+  const std::vector<uint64_t>& words() const { return words_; }
+  // Builds an interpretation over `size` letters from ceil(size / 64)
+  // packed words.  Tail bits of the last word beyond `size` must be zero.
+  static Interpretation FromWords(size_t size, const uint64_t* words);
+
   // The i-th of the 2^n interpretations over n letters, bit j of `index`
   // giving the value of letter j.  Requires n <= 63.
   static Interpretation FromIndex(size_t n, uint64_t index);

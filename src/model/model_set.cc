@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "kernel/kernels.h"
 #include "util/check.h"
 
 namespace revise {
@@ -88,6 +89,12 @@ std::vector<size_t> CanonicalizeAndOrderByCardinality(
 
 std::vector<Interpretation> MinimalUnderInclusion(
     std::vector<Interpretation> sets) {
+  // The packed layer runs the same cardinality-bucket sweep over bit-matrix
+  // rows (or raw uint64 values when the width allows); the scalar sweep
+  // below is the reference it is tested against.
+  if (kernel::PackedKernelsEnabled()) {
+    return kernel::MinimalInterpretations(std::move(sets));
+  }
   std::vector<size_t> cards;
   const std::vector<size_t> order =
       CanonicalizeAndOrderByCardinality(&sets, &cards);
@@ -124,6 +131,9 @@ std::vector<Interpretation> MinimalUnderInclusion(
 
 std::vector<Interpretation> MaximalUnderInclusion(
     std::vector<Interpretation> sets) {
+  if (kernel::PackedKernelsEnabled()) {
+    return kernel::MaximalInterpretations(std::move(sets));
+  }
   std::vector<size_t> cards;
   const std::vector<size_t> order =
       CanonicalizeAndOrderByCardinality(&sets, &cards);

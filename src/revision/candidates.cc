@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "kernel/kernels.h"
 #include "logic/evaluate.h"
 #include "revision/model_based.h"
 #include "solve/services.h"
@@ -81,6 +82,15 @@ ModelSet ReviseSetByFormula(OperatorId id, const ModelSet& mt,
     case OperatorId::kWinslett: {
       for (size_t i = 0; i < mt.size(); ++i) {
         // Inclusion-minimal masks of cand[i].
+        if (kernel::PackedKernelsEnabled()) {
+          const std::vector<uint64_t> mu = kernel::MinimalMasks(cand[i]);
+          for (const uint64_t s : cand[i]) {
+            if (std::binary_search(mu.begin(), mu.end(), s)) {
+              selected.push_back(make_model(i, s));
+            }
+          }
+          continue;
+        }
         for (const uint64_t s : cand[i]) {
           bool minimal = true;
           for (const uint64_t s2 : cand[i]) {
@@ -114,8 +124,12 @@ ModelSet ReviseSetByFormula(OperatorId id, const ModelSet& mt,
       for (size_t i = 0; i < mt.size(); ++i) {
         if (cand[i].empty()) continue;
         size_t k_m = vp.size() + 1;
-        for (const uint64_t s : cand[i]) {
-          k_m = std::min<size_t>(k_m, std::popcount(s));
+        if (kernel::PackedKernelsEnabled()) {
+          k_m = kernel::MinPopcount(cand[i], k_m);
+        } else {
+          for (const uint64_t s : cand[i]) {
+            k_m = std::min<size_t>(k_m, std::popcount(s));
+          }
         }
         for (const uint64_t s : cand[i]) {
           if (static_cast<size_t>(std::popcount(s)) == k_m) {
@@ -128,6 +142,10 @@ ModelSet ReviseSetByFormula(OperatorId id, const ModelSet& mt,
     case OperatorId::kDalal: {
       size_t k = vp.size() + 1;
       for (size_t i = 0; i < mt.size(); ++i) {
+        if (kernel::PackedKernelsEnabled()) {
+          k = kernel::MinPopcount(cand[i], k);
+          continue;
+        }
         for (const uint64_t s : cand[i]) {
           k = std::min<size_t>(k, std::popcount(s));
         }
@@ -144,6 +162,36 @@ ModelSet ReviseSetByFormula(OperatorId id, const ModelSet& mt,
     case OperatorId::kSatoh:
     case OperatorId::kWeber: {
       // delta(T,P): inclusion-minimal masks across all models.
+      // MaskToDiff is injective and preserves the subset order (mask bit j
+      // maps to the fixed letter positions[j]), so minimality over the raw
+      // masks equals minimality over the materialized difference sets —
+      // the packed path never builds a per-pair Interpretation.
+      if (kernel::PackedKernelsEnabled()) {
+        std::vector<uint64_t> all_masks;
+        for (size_t i = 0; i < mt.size(); ++i) {
+          all_masks.insert(all_masks.end(), cand[i].begin(), cand[i].end());
+        }
+        const std::vector<uint64_t> delta =
+            kernel::MinimalMasks(std::move(all_masks));
+        if (id == OperatorId::kSatoh) {
+          for (size_t i = 0; i < mt.size(); ++i) {
+            for (const uint64_t s : cand[i]) {
+              if (std::binary_search(delta.begin(), delta.end(), s)) {
+                selected.push_back(make_model(i, s));
+              }
+            }
+          }
+        } else {
+          uint64_t omega = 0;
+          for (const uint64_t s : delta) omega |= s;
+          for (size_t i = 0; i < mt.size(); ++i) {
+            for (const uint64_t s : cand[i]) {
+              if ((s & ~omega) == 0) selected.push_back(make_model(i, s));
+            }
+          }
+        }
+        break;
+      }
       std::vector<Interpretation> all_diffs;
       for (size_t i = 0; i < mt.size(); ++i) {
         for (const uint64_t s : cand[i]) {

@@ -1,7 +1,10 @@
 #include "revision/model_based.h"
 
 #include <algorithm>
+#include <atomic>
 
+#include "kernel/kernels.h"
+#include "kernel/packed_matrix.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/profile.h"
@@ -71,6 +74,22 @@ std::vector<Interpretation> ParallelSelect(const ModelSet& mp,
       }));
 }
 
+// Re-lays a model set as a packed row matrix for the batch kernels.
+kernel::PackedModelMatrix Pack(const ModelSet& s) {
+  return kernel::PackedModelMatrix::FromModels(s.alphabet().size(),
+                                               s.models());
+}
+
+// Materializes a kernel index list against the original model set (the
+// packed rows are in the set's canonical order, so indices line up).
+std::vector<Interpretation> GatherModels(const ModelSet& s,
+                                         const std::vector<uint32_t>& idx) {
+  std::vector<Interpretation> out;
+  out.reserve(idx.size());
+  for (const uint32_t j : idx) out.push_back(s[j]);
+  return out;
+}
+
 }  // namespace
 
 std::vector<Interpretation> PointwiseMinimalDiffs(const Interpretation& m,
@@ -97,10 +116,13 @@ std::optional<size_t> PointwiseMinDistance(const Interpretation& m,
 std::vector<Interpretation> GlobalMinimalDiffsOfSets(const ModelSet& mt,
                                                      const ModelSet& mp) {
   if (mt.empty() || mp.empty()) return {};
-  // Shard the flattened mt x mp pair space (robust when either side is
-  // tiny, e.g. a complete theory with one model against 2^m update
-  // models).  Each shard prunes locally, which keeps the final merge
-  // small; pruning shard-local minima never loses a global minimum.
+  if (kernel::PackedKernelsEnabled()) {
+    return kernel::MinimalDiffsOfSets(Pack(mt), Pack(mp));
+  }
+  // Scalar reference: shard the flattened mt x mp pair space (robust when
+  // either side is tiny, e.g. a complete theory with one model against
+  // 2^m update models).  Each shard prunes locally, which keeps the final
+  // merge small; pruning shard-local minima never loses a global minimum.
   const size_t pairs = mt.size() * mp.size();
   std::vector<std::vector<Interpretation>> shards =
       ParallelMapRanges<std::vector<Interpretation>>(
@@ -121,18 +143,33 @@ std::optional<size_t> GlobalMinDistanceOfSets(const ModelSet& mt,
                                               const ModelSet& mp) {
   if (mt.empty() || mp.empty()) return std::nullopt;
   const size_t cap = mt.alphabet().size() + 1;
+  if (kernel::PackedKernelsEnabled()) {
+    return kernel::MinDistanceOfSets(Pack(mt), Pack(mp), cap);
+  }
+  // Scalar reference.  The best-so-far bound is a relaxed atomic shared
+  // across shards: a shard that finds a small distance shrinks every other
+  // shard's cap.  The min over a fixed pair set does not depend on who
+  // finds it first, so the result stays bit-identical at any thread count
+  // — the bound only prunes work.
   const size_t pairs = mt.size() * mp.size();
-  const std::vector<size_t> shard_best = ParallelMapRanges<size_t>(
+  std::atomic<size_t> best{cap};
+  ParallelMapRanges<size_t>(
       pairs, kPairGrain, [&](size_t begin, size_t end) {
-        size_t best = cap;
         for (size_t p = begin; p < end; ++p) {
-          if (best == 0) break;
-          best = std::min(best, mt[p / mp.size()].HammingDistanceCapped(
-                                    mp[p % mp.size()], best - 1));
+          const size_t bound = best.load(std::memory_order_relaxed);
+          if (bound == 0) break;
+          const size_t d = mt[p / mp.size()].HammingDistanceCapped(
+              mp[p % mp.size()], bound - 1);
+          if (d >= bound) continue;
+          size_t current = best.load(std::memory_order_relaxed);
+          while (d < current &&
+                 !best.compare_exchange_weak(current, d,
+                                             std::memory_order_relaxed)) {
+          }
         }
-        return best;
+        return size_t{0};
       });
-  return *std::min_element(shard_best.begin(), shard_best.end());
+  return best.load(std::memory_order_relaxed);
 }
 
 Interpretation WeberOmegaOfSets(const ModelSet& mt, const ModelSet& mp) {
@@ -157,9 +194,14 @@ ModelSet WinslettModelsImpl(const ModelSet& mt, const ModelSet& mp) {
   REVISE_CHECK(mt.alphabet() == mp.alphabet());
   ModelSet degenerate;
   if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
-  // Partition M(T) across workers; each shard selects independently and
-  // the shard hit lists are concatenated in shard order before the
-  // canonicalizing ModelSet constructor.
+  if (kernel::PackedKernelsEnabled()) {
+    return ModelSet(mp.alphabet(),
+                    GatherModels(mp, kernel::SelectPointwiseMinimalDiffs(
+                                         Pack(mt), Pack(mp))));
+  }
+  // Scalar reference: partition M(T) across workers; each shard selects
+  // independently and the shard hit lists are concatenated in shard order
+  // before the canonicalizing ModelSet constructor.
   std::vector<Interpretation> selected =
       ConcatShards(ParallelMapRanges<std::vector<Interpretation>>(
           mt.size(), kSelectionGrain, [&](size_t begin, size_t end) {
@@ -192,6 +234,11 @@ ModelSet ForbusModelsImpl(const ModelSet& mt, const ModelSet& mp) {
   REVISE_CHECK(mt.alphabet() == mp.alphabet());
   ModelSet degenerate;
   if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
+  if (kernel::PackedKernelsEnabled()) {
+    return ModelSet(mp.alphabet(),
+                    GatherModels(mp, kernel::SelectPointwiseMinDistance(
+                                         Pack(mt), Pack(mp))));
+  }
   std::vector<Interpretation> selected =
       ConcatShards(ParallelMapRanges<std::vector<Interpretation>>(
           mt.size(), kSelectionGrain, [&](size_t begin, size_t end) {
@@ -212,6 +259,16 @@ ModelSet SatohModelsImpl(const ModelSet& mt, const ModelSet& mp) {
   REVISE_CHECK(mt.alphabet() == mp.alphabet());
   ModelSet degenerate;
   if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
+  if (kernel::PackedKernelsEnabled()) {
+    const kernel::PackedModelMatrix pt = Pack(mt);
+    const kernel::PackedModelMatrix pp = Pack(mp);
+    const kernel::PackedModelMatrix delta =
+        kernel::PackedModelMatrix::FromModels(
+            mp.alphabet().size(), kernel::MinimalDiffsOfSets(pt, pp));
+    return ModelSet(mp.alphabet(),
+                    GatherModels(
+                        mp, kernel::SelectWithDiffInSorted(pp, pt, delta)));
+  }
   const std::vector<Interpretation> delta =
       GlobalMinimalDiffsOfSets(mt, mp);
   return ModelSet(mp.alphabet(),
@@ -229,6 +286,14 @@ ModelSet DalalModelsImpl(const ModelSet& mt, const ModelSet& mp) {
   REVISE_CHECK(mt.alphabet() == mp.alphabet());
   ModelSet degenerate;
   if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
+  if (kernel::PackedKernelsEnabled()) {
+    const kernel::PackedModelMatrix pt = Pack(mt);
+    const kernel::PackedModelMatrix pp = Pack(mp);
+    const size_t k =
+        kernel::MinDistanceOfSets(pt, pp, mt.alphabet().size() + 1);
+    return ModelSet(mp.alphabet(),
+                    GatherModels(mp, kernel::SelectWithinDistance(pp, pt, k)));
+  }
   const size_t k = *GlobalMinDistanceOfSets(mt, mp);
   return ModelSet(mp.alphabet(),
                   ParallelSelect(mp, [&](const Interpretation& n) {
@@ -243,6 +308,16 @@ ModelSet WeberModelsImpl(const ModelSet& mt, const ModelSet& mp) {
   REVISE_CHECK(mt.alphabet() == mp.alphabet());
   ModelSet degenerate;
   if (HandleDegenerate(mt, mp, &degenerate)) return degenerate;
+  if (kernel::PackedKernelsEnabled()) {
+    const kernel::PackedModelMatrix pt = Pack(mt);
+    const kernel::PackedModelMatrix pp = Pack(mp);
+    Interpretation omega(mt.alphabet().size());
+    for (const Interpretation& diff : kernel::MinimalDiffsOfSets(pt, pp)) {
+      omega = omega.Union(diff);
+    }
+    return ModelSet(mp.alphabet(),
+                    GatherModels(mp, kernel::SelectWithinMask(pp, pt, omega)));
+  }
   const Interpretation omega = WeberOmegaOfSets(mt, mp);
   return ModelSet(mp.alphabet(),
                   ParallelSelect(mp, [&](const Interpretation& n) {

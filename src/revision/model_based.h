@@ -28,6 +28,13 @@
 // Every merge is order-canonicalizing (MinimalUnderInclusion, min, or the
 // sorting ModelSet constructor), so results are bit-identical to the
 // sequential reference at any thread count.
+//
+// By default every operator routes its pair sweeps and selection loops
+// through the packed bit-matrix kernels (src/kernel/kernels.h), which
+// re-lay the model sets as contiguous rows and sweep cache-blocked tiles;
+// kernel::SetPackedKernelsEnabled(false) restores the scalar
+// Interpretation loops kept below as the reference oracle.  Both paths
+// produce bit-identical ModelSets.
 
 #ifndef REVISE_REVISION_MODEL_BASED_H_
 #define REVISE_REVISION_MODEL_BASED_H_

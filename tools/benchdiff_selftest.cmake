@@ -13,7 +13,11 @@
 #      histogram fail, tightening --hist-threshold or lowering
 #      --hist-noise-floor flips the healthy candidate, and a report
 #      without a histograms section (schema v1) diffs cleanly against one
-#      with it.
+#      with it;
+#  10. a hardware_threads mismatch between the manifests demotes timing
+#      exceedances to warnings (exit 0, warning printed) while
+#      exact-value regressions still fail; the same slowdown on matching
+#      hardware keeps failing (case 2).
 #
 # Invoked as:
 #   cmake -DBENCHDIFF=<binary> -DFIXTURES=<dir> -P benchdiff_selftest.cmake
@@ -113,5 +117,19 @@ run_diff(${FIXTURES}/hist_base.json ${FIXTURES}/hist_cand_v1.json)
 expect_exit(0 "v2.1 baseline vs v1 candidate")
 run_diff(${FIXTURES}/hist_cand_v1.json ${FIXTURES}/hist_base.json)
 expect_exit(0 "v1 baseline vs v2.1 candidate")
+
+# 10a. The 10x slowdown that fails case 2 is demoted to a warning when
+#      the baseline manifest records different hardware (8 threads vs the
+#      candidate's 1): exit 0, but the slow cell is still printed.
+run_diff(${FIXTURES}/mismatch_base.json ${FIXTURES}/regress_time.json)
+expect_exit(0 "hardware-mismatch slowdown demoted")
+expect_output("hardware_threads differ" "hardware mismatch note")
+expect_output("warning: kernel_scaling" "demoted timing warning")
+
+# 10b. A hardware mismatch excuses slow numbers, never wrong ones:
+#      exact-value regressions still fail.
+run_diff(${FIXTURES}/mismatch_base.json ${FIXTURES}/regress_value.json)
+expect_exit(1 "hardware-mismatch value regression")
+expect_output("dalal_size" "value regression under mismatch")
 
 message(STATUS "revise_benchdiff self-test passed")

@@ -1,0 +1,14 @@
+// Known-bad fixture: always-on checks inside the kernel layer.
+
+#include "util/check.h"
+
+namespace revise::kernel {
+
+size_t Offender(size_t rows, size_t stride) {
+  REVISE_CHECK_EQ(stride % 4, 0u);  // finding: hot-kernel (always-on)
+  REVISE_CHECK(rows > 0);           // finding: hot-kernel (always-on)
+  REVISE_DCHECK_LE(rows, stride);   // allowed: compiled out of Release
+  return rows * stride;
+}
+
+}  // namespace revise::kernel

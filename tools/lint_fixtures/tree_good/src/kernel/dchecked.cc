@@ -1,0 +1,13 @@
+// Known-good fixture: the kernel layer validates with debug-only checks.
+
+#include "util/check.h"
+
+namespace revise::kernel {
+
+size_t TileSweep(size_t rows, size_t stride) {
+  REVISE_DCHECK_EQ(stride % 4, 0u);
+  REVISE_DCHECK(rows > 0);
+  return rows * stride;
+}
+
+}  // namespace revise::kernel

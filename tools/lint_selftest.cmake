@@ -39,7 +39,7 @@ expect_exit(0 "good tree")
 run_lint(--root=${FIXTURES}/tree_bad)
 expect_exit(1 "bad tree")
 foreach(rule unlimited-enumerate raw-thread include-guard
-        check-side-effect bench-json-meta obs-name fuzz-corpus)
+        check-side-effect bench-json-meta obs-name hot-kernel fuzz-corpus)
   expect_output("[${rule}]" "bad tree rule coverage")
 endforeach()
 # The obs-name rule also covers flight-recorder event names and profile

@@ -30,7 +30,14 @@
 //     samples shift their tail quantiles by whole buckets).  A histogram
 //     present in the baseline but absent from the candidate is a
 //     regression; reports without a histograms section (schema v1) skip
-//     the comparison entirely, so old and new reports diff both ways.
+//     the comparison entirely, so old and new reports diff both ways;
+//   * timing ratios only transfer between comparable machines: when the
+//     two reports' manifests disagree on `hardware_threads` (falling
+//     back to the meta block for reports that predate the manifest),
+//     timing-column and histogram-percentile exceedances are demoted to
+//     printed warnings instead of failures.  Structural and exact-value
+//     regressions still fail — a different machine excuses slow numbers,
+//     never wrong ones.
 //
 // Exit codes: 0 no regression, 1 regression found, 2 usage or I/O error.
 //
@@ -74,12 +81,23 @@ struct Options {
 };
 
 // Collected regressions; the tool reports all of them, not just the
-// first.
+// first.  Timing exceedances route through AddTiming so a hardware
+// mismatch between the reports can demote them to warnings (printed,
+// never failing) while exact-value regressions keep failing.
 struct Findings {
   std::vector<std::string> messages;
+  std::vector<std::string> warnings;
   size_t compared = 0;
+  bool timing_as_warning = false;
 
   void Add(std::string message) { messages.push_back(std::move(message)); }
+  void AddTiming(std::string message) {
+    if (timing_as_warning) {
+      warnings.push_back(std::move(message));
+    } else {
+      messages.push_back(std::move(message));
+    }
+  }
   bool any() const { return !messages.empty(); }
 };
 
@@ -311,7 +329,7 @@ void CompareCell(const Options& options, const std::string& table,
                     "%s [%s] %s: %g ms exceeds %gx of baseline %g ms",
                     table.c_str(), row_label.c_str(), column.c_str(),
                     cand_ms, options.time_threshold, base_ms);
-      findings->Add(message);
+      findings->AddTiming(message);
     }
     return;
   }
@@ -502,10 +520,23 @@ void CompareHistograms(const Options& options, const Json& baseline,
                       "histogram %s.%s: %g exceeds %gx of baseline %g",
                       name.c_str(), percentile, cand,
                       options.hist_threshold, base);
-        findings->Add(message);
+        findings->AddTiming(message);
       }
     }
   }
+}
+
+// hardware_threads from the report's manifest, falling back to the meta
+// block for reports that predate the manifest.  Negative when neither
+// section records it.
+double HardwareThreads(const Json& report) {
+  for (const char* section : {"manifest", "meta"}) {
+    const Json* block = report.Find(section);
+    if (block == nullptr || !block->is_object()) continue;
+    const Json* value = block->Find("hardware_threads");
+    if (value != nullptr && value->is_number()) return value->AsDouble();
+  }
+  return -1.0;
 }
 
 int Run(const Options& options) {
@@ -528,6 +559,21 @@ int Run(const Options& options) {
   }
 
   Findings findings;
+
+  // Timing ratios only transfer between comparable machines.  A
+  // baseline regenerated on an 8-thread box diffed on a 1-thread CI
+  // runner would flag every parallel row as a regression; demote those
+  // to warnings instead of silently passing or loudly failing.
+  const double base_hw = HardwareThreads(baseline);
+  const double cand_hw = HardwareThreads(candidate);
+  if (base_hw >= 0.0 && cand_hw >= 0.0 && !NumbersEqual(base_hw, cand_hw)) {
+    findings.timing_as_warning = true;
+    std::fprintf(stderr,
+                 "benchdiff: note: hardware_threads differ (baseline %g, "
+                 "candidate %g); timing comparisons are demoted to "
+                 "warnings\n",
+                 base_hw, cand_hw);
+  }
 
   // Candidate tables by name.
   std::map<std::string, const Json*> cand_tables;
@@ -566,6 +612,15 @@ int Run(const Options& options) {
 
   CompareHistograms(options, baseline, candidate, &findings);
 
+  if (!findings.warnings.empty()) {
+    std::fprintf(stderr,
+                 "benchdiff: %zu timing warning(s) vs %s (hardware "
+                 "differs, not failing):\n",
+                 findings.warnings.size(), options.baseline_path.c_str());
+    for (const std::string& warning : findings.warnings) {
+      std::fprintf(stderr, "  warning: %s\n", warning.c_str());
+    }
+  }
   if (findings.any()) {
     std::fprintf(stderr, "benchdiff: %zu regression(s) vs %s:\n",
                  findings.messages.size(), options.baseline_path.c_str());

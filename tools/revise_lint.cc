@@ -38,6 +38,12 @@
 //                        silently forks a metric.  Non-literal arguments
 //                        (the macro definitions, forwarded identifiers)
 //                        are skipped.
+//   hot-kernel           REVISE_CHECK* (the always-on flavor) in a file
+//                        under src/kernel/.  The kernel layer is the
+//                        measured inner loop — its sweeps run per 32x32
+//                        tile — so release builds must pay no check cost
+//                        there; use REVISE_DCHECK*, which compiles out of
+//                        Release, and validate at the operator boundary.
 //   fuzz-corpus          a committed .corpus regression repro that the
 //                        replay job would reject: wrong header line,
 //                        unknown or duplicated key, bad expect/seed
@@ -503,6 +509,29 @@ void CheckObsName(const std::string& rel_path, const std::string& code,
   }
 }
 
+// --- rule: hot-kernel ---------------------------------------------------
+
+// Finds REVISE_CHECK / REVISE_CHECK_EQ / ... tokens under src/kernel/.
+// The token match deliberately excludes REVISE_DCHECK* ("REVISE_CHECK"
+// is not a substring of "REVISE_DCHECK") and identifiers that merely
+// embed the name (preceded by an identifier character).
+void CheckHotKernel(const std::string& rel_path, const std::string& code,
+                    std::vector<Finding>* findings) {
+  if (!StartsWith(rel_path, "src/kernel/")) return;
+  constexpr std::string_view kToken = "REVISE_CHECK";
+  size_t pos = 0;
+  while ((pos = code.find(kToken, pos)) != std::string::npos) {
+    if (pos == 0 || !IsIdentChar(code[pos - 1])) {
+      findings->push_back(
+          {rel_path, LineOfOffset(code, pos), "hot-kernel",
+           "always-on REVISE_CHECK* in the kernel layer; the tiled "
+           "sweeps must use REVISE_DCHECK* and validate at the operator "
+           "boundary"});
+    }
+    pos += kToken.size();
+  }
+}
+
 // --- rule: fuzz-corpus --------------------------------------------------
 
 // Validates a committed fuzz-regression repro without linking the fuzz
@@ -702,6 +731,7 @@ int main(int argc, char** argv) {
     CheckBenchJsonMeta(rel, code, raw, &findings);
     CheckCheckSideEffect(rel, code, &findings);
     CheckObsName(rel, code, raw, &findings);
+    CheckHotKernel(rel, code, &findings);
   }
 
   // Partition into hard findings and allowlisted ones; track which
