@@ -1,0 +1,45 @@
+// Negative compile probe for the thread-safety annotations (the
+// -Wthread-safety analogue of nodiscard_probe.cc): reading a
+// REVISE_GUARDED_BY member without holding its mutex must FAIL to
+// compile under clang with -Wthread-safety -Werror.  CMake try_compiles
+// this file with exactly those flags and aborts the configure if it
+// succeeds — that would mean the annotations in util/mutex.h /
+// util/thread_annotations.h have stopped being enforced (e.g. the
+// macros were gutted or the capability attribute fell off util::Mutex).
+//
+// Never add this file to any build target.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Probe {
+ public:
+  // Correct usage: compiles under the analysis.  Keeps the probe honest —
+  // if the whole file failed to compile for an unrelated reason (header
+  // typo, missing include path), this function would fail too and the
+  // try_compile failure would be a false negative; CMake cross-checks by
+  // also compiling this file with the violation #ifdef'd out.
+  int Guarded() {
+    revise::util::MutexLock lock(mu_);
+    return value_;
+  }
+
+#ifndef REVISE_PROBE_BASELINE
+  // The violation: value_ is read without mu_ held.  -Wthread-safety
+  // -Werror must reject this line.
+  int Unguarded() { return value_; }
+#endif
+
+ private:
+  revise::util::Mutex mu_;
+  int value_ REVISE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Probe probe;
+  return probe.Guarded();
+}

@@ -6,6 +6,7 @@
 #ifndef REVISE_CORE_LIBREVISE_H_
 #define REVISE_CORE_LIBREVISE_H_
 
+// IWYU pragma: begin_exports
 #include "bdd/bdd.h"                      // Section 7: ROBDDs with ASK
 #include "compact/bounded_revision.h"     // formulas (5)-(9), Section 4
 #include "compact/circuits.h"             // EXA and counting circuits
@@ -34,5 +35,6 @@
 #include "revision/postulates.h"          // KM postulate checker
 #include "solve/distance.h"               // k_{T,P}, delta(T,P), Omega
 #include "solve/services.h"               // SAT-backed semantic services
+// IWYU pragma: end_exports
 
 #endif  // REVISE_CORE_LIBREVISE_H_

@@ -5,10 +5,11 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
 #include "obs/json.h"
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -43,8 +44,9 @@ struct RecorderState {
   bool capacity_from_env = false;
 };
 
-std::mutex g_recorder_mu;
-RecorderState& Recorder() {
+util::Mutex g_recorder_mu;
+// All ring state; callers must hold g_recorder_mu (annotation-checked).
+RecorderState& Recorder() REVISE_REQUIRES(g_recorder_mu) {
   static RecorderState* const state = [] {
     auto* created = new RecorderState();
     if (const char* cap = std::getenv("REVISE_FLIGHT_EVENTS");
@@ -101,7 +103,7 @@ void RecordFlightEvent(std::string_view name, std::string_view detail) {
   event.tid = ThisThreadTid();
   CopyTruncated(name, event.name, sizeof(event.name));
   CopyTruncated(detail, event.detail, sizeof(event.detail));
-  std::lock_guard<std::mutex> lock(g_recorder_mu);
+  util::MutexLock lock(g_recorder_mu);
   RecorderState& state = Recorder();
   if (state.ring.size() < state.capacity) {
     state.ring.push_back(event);
@@ -113,7 +115,7 @@ void RecordFlightEvent(std::string_view name, std::string_view detail) {
 }
 
 void SetFlightRecorderCapacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(g_recorder_mu);
+  util::MutexLock lock(g_recorder_mu);
   RecorderState& state = Recorder();
   state.capacity = capacity == 0 ? 1 : capacity;
   state.ring.clear();
@@ -124,28 +126,36 @@ void SetFlightRecorderCapacity(size_t capacity) {
 }
 
 size_t FlightRecorderCapacity() {
-  std::lock_guard<std::mutex> lock(g_recorder_mu);
+  util::MutexLock lock(g_recorder_mu);
   return Recorder().capacity;
 }
 
 std::vector<FlightEvent> SnapshotFlightEvents() {
-  std::lock_guard<std::mutex> lock(g_recorder_mu);
+  return SnapshotFlightRecorder().events;
+}
+
+FlightRecorderStats SnapshotFlightRecorder() {
+  util::MutexLock lock(g_recorder_mu);
   const RecorderState& state = Recorder();
+  FlightRecorderStats stats;
+  stats.dropped = state.dropped;
   if (state.ring.size() < state.capacity || state.write_pos == 0) {
-    return state.ring;
+    stats.events = state.ring;
+    return stats;
   }
-  std::vector<FlightEvent> ordered;
-  ordered.reserve(state.ring.size());
-  ordered.insert(ordered.end(),
-                 state.ring.begin() + static_cast<ptrdiff_t>(state.write_pos),
-                 state.ring.end());
-  ordered.insert(ordered.end(), state.ring.begin(),
-                 state.ring.begin() + static_cast<ptrdiff_t>(state.write_pos));
-  return ordered;
+  stats.events.reserve(state.ring.size());
+  stats.events.insert(
+      stats.events.end(),
+      state.ring.begin() + static_cast<ptrdiff_t>(state.write_pos),
+      state.ring.end());
+  stats.events.insert(
+      stats.events.end(), state.ring.begin(),
+      state.ring.begin() + static_cast<ptrdiff_t>(state.write_pos));
+  return stats;
 }
 
 void ClearFlightEvents() {
-  std::lock_guard<std::mutex> lock(g_recorder_mu);
+  util::MutexLock lock(g_recorder_mu);
   RecorderState& state = Recorder();
   state.ring.clear();
   state.write_pos = 0;
@@ -153,13 +163,14 @@ void ClearFlightEvents() {
 }
 
 uint64_t FlightEventsDropped() {
-  std::lock_guard<std::mutex> lock(g_recorder_mu);
+  util::MutexLock lock(g_recorder_mu);
   return Recorder().dropped;
 }
 
 void DumpFlightRecorder(std::FILE* out, const char* reason) {
-  const std::vector<FlightEvent> events = SnapshotFlightEvents();
-  const uint64_t dropped = FlightEventsDropped();
+  const FlightRecorderStats stats = SnapshotFlightRecorder();
+  const std::vector<FlightEvent>& events = stats.events;
+  const uint64_t dropped = stats.dropped;
   std::fprintf(out, "=== revise flight recorder (reason: %s) ===\n",
                reason == nullptr ? "unspecified" : reason);
   for (size_t i = 0; i < events.size(); ++i) {
@@ -176,10 +187,11 @@ void DumpFlightRecorder(std::FILE* out, const char* reason) {
 std::string FlightRecorderJson(const char* reason) {
   Json recorder = Json::MakeObject();
   recorder["reason"] = reason == nullptr ? "unspecified" : reason;
+  const FlightRecorderStats stats = SnapshotFlightRecorder();
   recorder["pid"] = ProcessId();
-  recorder["dropped"] = FlightEventsDropped();
+  recorder["dropped"] = stats.dropped;
   Json events = Json::MakeArray();
-  for (const FlightEvent& event : SnapshotFlightEvents()) {
+  for (const FlightEvent& event : stats.events) {
     Json entry = Json::MakeObject();
     entry["t_ns"] = event.t_ns;
     entry["tid"] = event.tid;

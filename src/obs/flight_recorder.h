@@ -57,6 +57,16 @@ void ClearFlightEvents();
 // SetFlightRecorderCapacity.
 uint64_t FlightEventsDropped();
 
+// Events plus the overwrite count read under one lock acquisition, so
+// the pair is consistent.  The crash dump writers use this: reading the
+// ring and the counter separately can pair events with a dropped count
+// from a different instant when other threads keep recording.
+struct FlightRecorderStats {
+  std::vector<FlightEvent> events;
+  uint64_t dropped = 0;
+};
+FlightRecorderStats SnapshotFlightRecorder();
+
 // Writes the ring to `out` as human-readable lines bracketed by
 // "=== revise flight recorder" markers.
 void DumpFlightRecorder(std::FILE* out, const char* reason);

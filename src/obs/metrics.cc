@@ -8,7 +8,7 @@ Registry& Registry::Global() {
 }
 
 Counter* Registry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     std::string key(name);
@@ -19,7 +19,7 @@ Counter* Registry::GetCounter(std::string_view name) {
 }
 
 Gauge* Registry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     std::string key(name);
@@ -30,7 +30,7 @@ Gauge* Registry::GetGauge(std::string_view name) {
 }
 
 Histogram* Registry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     std::string key(name);
@@ -42,7 +42,7 @@ Histogram* Registry::GetHistogram(std::string_view name) {
 
 std::vector<std::pair<std::string, uint64_t>> Registry::SnapshotCounters()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::pair<std::string, uint64_t>> snapshot;
   snapshot.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -52,7 +52,7 @@ std::vector<std::pair<std::string, uint64_t>> Registry::SnapshotCounters()
 }
 
 std::vector<std::pair<std::string, int64_t>> Registry::SnapshotGauges() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::pair<std::string, int64_t>> snapshot;
   snapshot.reserve(gauges_.size());
   for (const auto& [name, gauge] : gauges_) {
@@ -63,7 +63,7 @@ std::vector<std::pair<std::string, int64_t>> Registry::SnapshotGauges() const {
 
 std::vector<std::pair<std::string, HistogramSnapshot>>
 Registry::SnapshotHistograms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::pair<std::string, HistogramSnapshot>> snapshot;
   snapshot.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
@@ -74,7 +74,7 @@ Registry::SnapshotHistograms() const {
 }
 
 void Registry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

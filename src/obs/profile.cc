@@ -4,11 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 #include <utility>
 
 #include "obs/memory.h"
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace revise::obs {
 
@@ -26,14 +27,16 @@ std::atomic<bool> g_profiling{false};
 // root completion): concurrent shard tasks share their parent node, and
 // profiling is an opt-in diagnosis mode where simplicity beats ns-level
 // contention tuning.
-std::mutex g_profile_mu;
+util::Mutex g_profile_mu;
 
 struct ProfileState {
   std::vector<std::unique_ptr<ProfileNode>> forest;
   size_t nodes_created = 0;  // since the last TakeProfiles()
 };
 
-ProfileState& State() {
+// Tree mutations and forest reads all go through here; callers must hold
+// g_profile_mu (checked by clang thread-safety analysis).
+ProfileState& State() REVISE_REQUIRES(g_profile_mu) {
   static ProfileState* const state = new ProfileState();
   return *state;
 }
@@ -125,7 +128,7 @@ void ProfileScope::Begin(std::string name) {
   node->parent = t_current_node;
   ProfileNode* raw = node.get();
   {
-    std::lock_guard<std::mutex> lock(g_profile_mu);
+    util::MutexLock lock(g_profile_mu);
     ProfileState& state = State();
     if (state.nodes_created >= kMaxLiveProfileNodes) {
       REVISE_OBS_COUNTER("obs.profile_nodes_dropped").Increment();
@@ -158,7 +161,7 @@ void ProfileScope::End() {
       static_cast<int64_t>(peak_rss) - static_cast<int64_t>(entry_peak_rss_);
   t_current_node = node_->parent;
   {
-    std::lock_guard<std::mutex> lock(g_profile_mu);
+    util::MutexLock lock(g_profile_mu);
     if (node_->parent != nullptr) {
       // The child's peak counts toward every enclosing operation.
       node_->parent->peak_model_set_models =
@@ -175,13 +178,13 @@ void NoteModelSetCardinality(size_t models) {
   if (!ProfilingEnabled()) return;
   ProfileNode* node = t_current_node;
   if (node == nullptr) return;
-  std::lock_guard<std::mutex> lock(g_profile_mu);
+  util::MutexLock lock(g_profile_mu);
   node->peak_model_set_models =
       std::max(node->peak_model_set_models, static_cast<uint64_t>(models));
 }
 
 std::vector<std::unique_ptr<ProfileNode>> TakeProfiles() {
-  std::lock_guard<std::mutex> lock(g_profile_mu);
+  util::MutexLock lock(g_profile_mu);
   ProfileState& state = State();
   std::vector<std::unique_ptr<ProfileNode>> taken = std::move(state.forest);
   state.forest.clear();
@@ -211,7 +214,7 @@ Json ProfileNodeToJson(const ProfileNode& node) {
 }
 
 Json ProfileForestToJson() {
-  std::lock_guard<std::mutex> lock(g_profile_mu);
+  util::MutexLock lock(g_profile_mu);
   Json forest = Json::MakeArray();
   for (const std::unique_ptr<ProfileNode>& root : State().forest) {
     forest.Append(ProfileNodeToJson(*root));

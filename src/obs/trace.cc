@@ -5,13 +5,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "util/mutex.h"
 #include "util/parallel.h"
+#include "util/thread_annotations.h"
 
 namespace revise::obs {
 
@@ -35,14 +36,16 @@ struct SpanBufferState {
   size_t write_pos = 0;
 };
 
-std::mutex g_spans_mu;
-SpanBufferState& SpanBuffer() {
+util::Mutex g_spans_mu;
+// The ring state lives behind this accessor; every caller must hold
+// g_spans_mu, which the REQUIRES annotation enforces on clang.
+SpanBufferState& SpanBuffer() REVISE_REQUIRES(g_spans_mu) {
   static SpanBufferState* const buffer = new SpanBufferState();
   return *buffer;
 }
 
-std::mutex g_chrome_mu;
-std::string& ChromePath() {
+util::Mutex g_chrome_mu;
+std::string& ChromePath() REVISE_REQUIRES(g_chrome_mu) {
   static std::string* const path = new std::string();
   return *path;
 }
@@ -164,19 +167,19 @@ uint64_t CurrentSpanId() { return t_current_span_id; }
 
 void SetChromeTracePath(std::string path) {
   {
-    std::lock_guard<std::mutex> lock(g_chrome_mu);
+    util::MutexLock lock(g_chrome_mu);
     ChromePath() = std::move(path);
   }
   RegisterChromeAtExitOnce();
 }
 
 std::string GetChromeTracePath() {
-  std::lock_guard<std::mutex> lock(g_chrome_mu);
+  util::MutexLock lock(g_chrome_mu);
   return ChromePath();
 }
 
 std::vector<SpanRecord> SnapshotSpans() {
-  std::lock_guard<std::mutex> lock(g_spans_mu);
+  util::MutexLock lock(g_spans_mu);
   const SpanBufferState& state = SpanBuffer();
   if (state.ring.size() < state.capacity || state.write_pos == 0) {
     return state.ring;
@@ -192,13 +195,13 @@ std::vector<SpanRecord> SnapshotSpans() {
 }
 
 void ClearSpans() {
-  std::lock_guard<std::mutex> lock(g_spans_mu);
+  util::MutexLock lock(g_spans_mu);
   SpanBuffer().ring.clear();
   SpanBuffer().write_pos = 0;
 }
 
 void SetSpanBufferCapacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(g_spans_mu);
+  util::MutexLock lock(g_spans_mu);
   SpanBufferState& state = SpanBuffer();
   state.capacity = capacity == 0 ? 1 : capacity;
   state.ring.clear();
@@ -207,7 +210,7 @@ void SetSpanBufferCapacity(size_t capacity) {
 }
 
 size_t SpanBufferCapacity() {
-  std::lock_guard<std::mutex> lock(g_spans_mu);
+  util::MutexLock lock(g_spans_mu);
   return SpanBuffer().capacity;
 }
 
@@ -307,7 +310,7 @@ void Span::End() {
   Registry::Global().GetHistogram(name_)->Record(
       duration_ns < 0 ? 0 : static_cast<uint64_t>(duration_ns));
   {
-    std::lock_guard<std::mutex> lock(g_spans_mu);
+    util::MutexLock lock(g_spans_mu);
     SpanBufferState& state = SpanBuffer();
     SpanRecord record{name_, id_, parent_id_, depth_, tid, start_ns_,
                       duration_ns};

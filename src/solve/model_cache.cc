@@ -76,7 +76,7 @@ ModelCache::EntryList::iterator ModelCache::FindLocked(
 
 std::optional<ModelSet> ModelCache::Lookup(const Formula& f,
                                            const Alphabet& alphabet) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (capacity_ == 0) {
     // A disabled cache answers every probe with a miss; counting it keeps
     // hits + misses equal to the number of unlimited enumerations whether
@@ -98,7 +98,7 @@ std::optional<ModelSet> ModelCache::Lookup(const Formula& f,
 
 void ModelCache::Insert(const Formula& f, const Alphabet& alphabet,
                         const ModelSet& models) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (capacity_ == 0) return;
   const uint64_t hash = KeyHash(f, alphabet);
   const auto it = FindLocked(hash, f, alphabet);
@@ -139,7 +139,7 @@ void ModelCache::EvictOverCapacityLocked() {
 }
 
 void ModelCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
   bytes_ = 0;
@@ -147,24 +147,24 @@ void ModelCache::Clear() {
 }
 
 void ModelCache::set_capacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   capacity_ = capacity;
   EvictOverCapacityLocked();
   PublishGaugesLocked();
 }
 
 size_t ModelCache::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return capacity_;
 }
 
 size_t ModelCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return lru_.size();
 }
 
 uint64_t ModelCache::approx_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return bytes_;
 }
 

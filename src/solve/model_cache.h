@@ -39,13 +39,14 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "logic/formula.h"
 #include "logic/interpretation.h"
 #include "model/model_set.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace revise {
 
@@ -99,18 +100,20 @@ class ModelCache {
 
   static uint64_t ApproxEntryBytes(const Entry& entry);
 
-  // Requires mu_ held.
-  void EvictOverCapacityLocked();
-  void PublishGaugesLocked() const;
+  void EvictOverCapacityLocked() REVISE_REQUIRES(mu_);
+  void PublishGaugesLocked() const REVISE_REQUIRES(mu_);
   EntryList::iterator FindLocked(uint64_t hash, const Formula& f,
-                                 const Alphabet& alphabet);
+                                 const Alphabet& alphabet)
+      REVISE_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  size_t capacity_;
+  mutable util::Mutex mu_;
+  size_t capacity_ REVISE_GUARDED_BY(mu_);
   const bool publish_gauges_;
-  uint64_t bytes_ = 0;  // sum of ApproxEntryBytes over lru_
-  EntryList lru_;  // front = most recently used
-  std::unordered_multimap<uint64_t, EntryList::iterator> index_;
+  // Sum of ApproxEntryBytes over lru_.
+  uint64_t bytes_ REVISE_GUARDED_BY(mu_) = 0;
+  EntryList lru_ REVISE_GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_multimap<uint64_t, EntryList::iterator> index_
+      REVISE_GUARDED_BY(mu_);
 };
 
 }  // namespace revise

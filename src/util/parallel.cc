@@ -70,12 +70,12 @@ ThreadPool& ThreadPool::Global() {
 }
 
 size_t ThreadPool::worker_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return workers_.size();
 }
 
 void ThreadPool::EnsureWorkers(size_t target) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   while (workers_.size() < target) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
@@ -84,7 +84,7 @@ void ThreadPool::EnsureWorkers(size_t target) {
 bool ThreadPool::Claim(uint64_t generation,
                        const std::function<void(size_t)>** fn,
                        size_t* index, PoolTaskContext* context) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (generation_ != generation || task_ == nullptr || next_ >= task_count_) {
     return false;
   }
@@ -95,8 +95,8 @@ bool ThreadPool::Claim(uint64_t generation,
 }
 
 void ThreadPool::FinishOne() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (++completed_ == task_count_) done_cv_.notify_all();
+  util::MutexLock lock(mu_);
+  if (++completed_ == task_count_) done_cv_.NotifyAll();
 }
 
 void ThreadPool::RunBatch(uint64_t generation) {
@@ -129,10 +129,13 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_generation = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || (generation_ != seen_generation && task_ != nullptr);
-      });
+      // Explicit wait loop (not a lambda predicate) so the guarded reads
+      // stay visible to the thread-safety analysis.
+      util::MutexLock lock(mu_);
+      while (!stop_ &&
+             (generation_ == seen_generation || task_ == nullptr)) {
+        work_cv_.Wait(mu_);
+      }
       if (stop_) return;
       seen_generation = generation_;
     }
@@ -146,7 +149,7 @@ void ThreadPool::Run(size_t count, const std::function<void(size_t)>& fn) {
     for (size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  std::lock_guard<std::mutex> batch_lock(run_mu_);
+  util::MutexLock batch_lock(run_mu_);
   EnsureWorkers(std::min(count - 1, ParallelThreads() - 1));
   PoolTaskContext context;
   if (const PoolContextCaptureFn capture =
@@ -155,7 +158,7 @@ void ThreadPool::Run(size_t count, const std::function<void(size_t)>& fn) {
   }
   uint64_t generation;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     task_ = &fn;
     task_context_ = context;
     task_count_ = count;
@@ -163,11 +166,11 @@ void ThreadPool::Run(size_t count, const std::function<void(size_t)>& fn) {
     completed_ = 0;
     generation = ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   RunBatch(generation);
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return completed_ == task_count_; });
+    util::MutexLock lock(mu_);
+    while (completed_ != task_count_) done_cv_.Wait(mu_);
     task_ = nullptr;
   }
 }

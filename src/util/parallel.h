@@ -22,13 +22,14 @@
 #define REVISE_UTIL_PARALLEL_H_
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace revise {
 
@@ -75,36 +76,39 @@ class ThreadPool {
   // thread and the pool workers.  Returns when all calls have completed.
   // Runs inline when count <= 1, ParallelThreads() == 1, or the calling
   // thread is already inside a Run (nested regions serialize).
-  void Run(size_t count, const std::function<void(size_t)>& fn);
+  void Run(size_t count, const std::function<void(size_t)>& fn)
+      REVISE_EXCLUDES(run_mu_, mu_);
 
   // Workers currently parked in the pool (grows on demand, never shrinks).
-  size_t worker_count() const;
+  size_t worker_count() const REVISE_EXCLUDES(mu_);
 
  private:
   ThreadPool() = default;
 
-  void EnsureWorkers(size_t target);
-  void WorkerLoop();
+  void EnsureWorkers(size_t target) REVISE_EXCLUDES(mu_);
+  void WorkerLoop() REVISE_EXCLUDES(mu_);
   // Claims one task of generation `generation` into *fn / *index (and the
   // batch's caller context into *context); returns false when that batch
   // is exhausted or superseded.
   bool Claim(uint64_t generation, const std::function<void(size_t)>** fn,
-             size_t* index, PoolTaskContext* context);
-  void FinishOne();
-  void RunBatch(uint64_t generation);
+             size_t* index, PoolTaskContext* context) REVISE_EXCLUDES(mu_);
+  void FinishOne() REVISE_EXCLUDES(mu_);
+  void RunBatch(uint64_t generation) REVISE_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::mutex run_mu_;  // serializes whole batches
-  std::vector<std::thread> workers_;
-  const std::function<void(size_t)>* task_ = nullptr;
-  PoolTaskContext task_context_;
-  size_t task_count_ = 0;
-  size_t next_ = 0;
-  size_t completed_ = 0;
-  uint64_t generation_ = 0;
-  bool stop_ = false;
+  // run_mu_ serializes whole batches and is always taken before the
+  // state mutex; mu_ guards every piece of batch state below.
+  mutable util::Mutex mu_;
+  util::CondVar work_cv_;
+  util::CondVar done_cv_;
+  util::Mutex run_mu_ REVISE_ACQUIRED_BEFORE(mu_);
+  std::vector<std::thread> workers_ REVISE_GUARDED_BY(mu_);
+  const std::function<void(size_t)>* task_ REVISE_GUARDED_BY(mu_) = nullptr;
+  PoolTaskContext task_context_ REVISE_GUARDED_BY(mu_);
+  size_t task_count_ REVISE_GUARDED_BY(mu_) = 0;
+  size_t next_ REVISE_GUARDED_BY(mu_) = 0;
+  size_t completed_ REVISE_GUARDED_BY(mu_) = 0;
+  uint64_t generation_ REVISE_GUARDED_BY(mu_) = 0;
+  bool stop_ REVISE_GUARDED_BY(mu_) = false;
 };
 
 // A contiguous index shard [begin, end).

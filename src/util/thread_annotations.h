@@ -1,0 +1,72 @@
+// Clang Thread Safety Analysis annotations (no-ops everywhere else).
+//
+// These macros let the locking discipline be machine-checked at compile
+// time: a member declared REVISE_GUARDED_BY(mu_) can only be touched
+// while mu_ is held, a function declared REVISE_REQUIRES(mu_) can only
+// be called with mu_ held, and clang's -Wthread-safety (a CI job, see
+// .github/workflows/ci.yml) turns every violation into a build error.
+// GCC and MSVC do not implement the analysis; there the macros expand to
+// nothing and the annotated code compiles unchanged.
+//
+// Use them through util/mutex.h (`util::Mutex` / `util::MutexLock`),
+// which is the only place raw std::mutex is allowed (the raw-mutex lint
+// rule enforces this).  Conventions:
+//
+//   * every mutex-protected member:  T x_ REVISE_GUARDED_BY(mu_);
+//   * every *Locked() helper:        void FooLocked() REVISE_REQUIRES(mu_);
+//   * pointer whose pointee is protected: REVISE_PT_GUARDED_BY(mu_)
+//   * a function that must NOT hold the lock: REVISE_EXCLUDES(mu_)
+//   * escape hatch (rare, justify in a comment):
+//     REVISE_NO_THREAD_SAFETY_ANALYSIS
+//
+// The negative-compile probe cmake/thread_safety_probe.cc proves the
+// analysis stays armed: an unguarded access must fail to build on clang.
+
+#ifndef REVISE_UTIL_THREAD_ANNOTATIONS_H_
+#define REVISE_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define REVISE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define REVISE_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+// A type that represents a lock (util::Mutex).
+#define REVISE_CAPABILITY(x) REVISE_THREAD_ANNOTATION(capability(x))
+
+// A RAII type that acquires in its constructor and releases in its
+// destructor (util::MutexLock).
+#define REVISE_SCOPED_CAPABILITY REVISE_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members protected by a mutex (directly, or through a pointer).
+#define REVISE_GUARDED_BY(x) REVISE_THREAD_ANNOTATION(guarded_by(x))
+#define REVISE_PT_GUARDED_BY(x) REVISE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Functions that require / acquire / release / must-not-hold a mutex.
+#define REVISE_REQUIRES(...) \
+  REVISE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REVISE_ACQUIRE(...) \
+  REVISE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define REVISE_RELEASE(...) \
+  REVISE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define REVISE_TRY_ACQUIRE(...) \
+  REVISE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define REVISE_EXCLUDES(...) \
+  REVISE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Lock-ordering declarations.
+#define REVISE_ACQUIRED_BEFORE(...) \
+  REVISE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define REVISE_ACQUIRED_AFTER(...) \
+  REVISE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Function return values that carry the capability.
+#define REVISE_RETURN_CAPABILITY(x) \
+  REVISE_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function.  Every use needs
+// a comment explaining why the discipline cannot be expressed.
+#define REVISE_NO_THREAD_SAFETY_ANALYSIS \
+  REVISE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // REVISE_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,133 @@
+// End-to-end tests for tools/revise_deps: each fixture tree under
+// tools/deps_fixtures/ encodes exactly one architecture defect (or none),
+// and the checker's exit status, finding text, and graph dumps are the
+// contract under test.  The binary and fixture paths are injected by
+// tests/CMakeLists.txt as REVISE_DEPS_BINARY / REVISE_DEPS_FIXTURES.
+//
+// The companion configure-time check is the thread-safety negative
+// compile probe (cmake/thread_safety_probe.cc): under clang an unguarded
+// access to a REVISE_GUARDED_BY member must fail the build, which CMake
+// enforces before any test runs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout and stderr interleaved
+};
+
+RunResult RunDeps(const std::string& args) {
+  const std::string command =
+      std::string(REVISE_DEPS_BINARY) + " " + args + " 2>&1";
+  RunResult result;
+  std::FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string Fixture(const std::string& tree) {
+  return std::string(REVISE_DEPS_FIXTURES) + "/" + tree;
+}
+
+std::string TreeArgs(const std::string& tree, const std::string& layers) {
+  return "--root=" + Fixture(tree) + " --layers=" + Fixture(tree) + "/" +
+         layers;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ReviseDepsTest, GoodTreeIsClean) {
+  const RunResult result = RunDeps(TreeArgs("tree_good", "layers.txt"));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("0 findings"), std::string::npos)
+      << result.output;
+}
+
+TEST(ReviseDepsTest, CycleIsReportedWithFullPath) {
+  const RunResult result = RunDeps(TreeArgs("tree_cycle", "layers.txt"));
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find(
+                "include cycle: src/core/a.h -> src/core/b.h -> "
+                "src/core/a.h"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(ReviseDepsTest, EdgeOutsideManifestIsForbidden) {
+  const RunResult result = RunDeps(TreeArgs("tree_forbidden", "layers.txt"));
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("forbidden edge util -> core"),
+            std::string::npos)
+      << result.output;
+  // The report names the offending include site.
+  EXPECT_NE(result.output.find("src/util/helper.h:"), std::string::npos)
+      << result.output;
+}
+
+TEST(ReviseDepsTest, UnreferencedIncludeIsFlagged) {
+  const RunResult result = RunDeps(TreeArgs("tree_unused", "layers.txt"));
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find(
+                "src/core/engine.cc:3: unused include \"src/util/bits.h\""),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(ReviseDepsTest, StaleManifestEdgeFailsCleanTree) {
+  const RunResult result =
+      RunDeps(TreeArgs("tree_good", "layers_stale.txt"));
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("stale layer edge obs -> util"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(ReviseDepsTest, DotAndJsonDumpTheModuleGraph) {
+  const std::string dot = testing::TempDir() + "/revise_deps_test.dot";
+  const std::string json = testing::TempDir() + "/revise_deps_test.json";
+  const RunResult result = RunDeps(TreeArgs("tree_good", "layers.txt") +
+                                   " --dot=" + dot + " --json=" + json);
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+
+  const std::string dot_text = ReadFileOrEmpty(dot);
+  EXPECT_NE(dot_text.find("digraph revise_deps"), std::string::npos)
+      << dot_text;
+  EXPECT_NE(dot_text.find("\"core\" -> \"util\""), std::string::npos)
+      << dot_text;
+
+  const std::string json_text = ReadFileOrEmpty(json);
+  EXPECT_NE(json_text.find("\"from\": \"core\", \"to\": \"util\""),
+            std::string::npos)
+      << json_text;
+  EXPECT_NE(json_text.find("\"modules\": [\"core\", \"util\"]"),
+            std::string::npos)
+      << json_text;
+  std::remove(dot.c_str());
+  std::remove(json.c_str());
+}
+
+TEST(ReviseDepsTest, MissingRootIsUsageError) {
+  const RunResult result = RunDeps("--root=" + Fixture("no_such_tree"));
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+}
+
+}  // namespace

@@ -53,6 +53,27 @@ TEST_F(FlightRecorderTest, RingOverwritesOldestFirstAndCountsDrops) {
   EXPECT_EQ(FlightEventsDropped(), 0u);
 }
 
+// Regression: the crash dump writers used to read the events and the
+// dropped counter under two separate lock acquisitions, so a concurrent
+// recorder could pair a ring snapshot with a dropped count from a
+// different instant.  SnapshotFlightRecorder returns both under one
+// acquisition; this pins the pair's consistency on a single thread.
+TEST_F(FlightRecorderTest, SnapshotReturnsEventsAndDropsFromOneInstant) {
+  SetFlightRecorderCapacity(4);
+  for (int i = 0; i < 6; ++i) {
+    RecordFlightEvent("test.snap_" + std::to_string(i), "detail");
+  }
+  const FlightRecorderStats stats = SnapshotFlightRecorder();
+  ASSERT_EQ(stats.events.size(), 4u);
+  EXPECT_EQ(stats.dropped, 2u);
+  EXPECT_STREQ(stats.events.front().name, "test.snap_2");
+  EXPECT_STREQ(stats.events.back().name, "test.snap_5");
+  // The pair matches what the separate accessors report once recording
+  // has stopped.
+  EXPECT_EQ(stats.events.size(), SnapshotFlightEvents().size());
+  EXPECT_EQ(stats.dropped, FlightEventsDropped());
+}
+
 TEST_F(FlightRecorderTest, LongNamesAndDetailsTruncateSafely) {
   const std::string long_name(200, 'n');
   const std::string long_detail(400, 'd');

@@ -1,0 +1,9 @@
+// Fixture: half of an include cycle (a.h -> b.h -> a.h).
+#ifndef REVISE_DEPS_FIXTURE_TREE_CYCLE_CORE_A_H_
+#define REVISE_DEPS_FIXTURE_TREE_CYCLE_CORE_A_H_
+
+#include "core/b.h"
+
+inline int FixtureAlpha(int x) { return FixtureBeta(x) + 1; }
+
+#endif  // REVISE_DEPS_FIXTURE_TREE_CYCLE_CORE_A_H_

@@ -1,0 +1,9 @@
+// Fixture: the other half of the include cycle (b.h -> a.h).
+#ifndef REVISE_DEPS_FIXTURE_TREE_CYCLE_CORE_B_H_
+#define REVISE_DEPS_FIXTURE_TREE_CYCLE_CORE_B_H_
+
+#include "core/a.h"
+
+inline int FixtureBeta(int x) { return x == 0 ? 0 : FixtureAlpha(x - 1); }
+
+#endif  // REVISE_DEPS_FIXTURE_TREE_CYCLE_CORE_B_H_

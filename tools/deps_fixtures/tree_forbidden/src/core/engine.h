@@ -1,0 +1,7 @@
+// Fixture: a core header the util layer must not reach down into.
+#ifndef REVISE_DEPS_FIXTURE_TREE_FORBIDDEN_CORE_ENGINE_H_
+#define REVISE_DEPS_FIXTURE_TREE_FORBIDDEN_CORE_ENGINE_H_
+
+inline int FixtureEngineTicks() { return 42; }
+
+#endif  // REVISE_DEPS_FIXTURE_TREE_FORBIDDEN_CORE_ENGINE_H_

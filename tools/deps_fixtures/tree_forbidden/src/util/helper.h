@@ -1,0 +1,10 @@
+// Fixture: util includes core — an edge the manifest does not allow, so
+// revise_deps must report `forbidden edge util -> core`.
+#ifndef REVISE_DEPS_FIXTURE_TREE_FORBIDDEN_UTIL_HELPER_H_
+#define REVISE_DEPS_FIXTURE_TREE_FORBIDDEN_UTIL_HELPER_H_
+
+#include "core/engine.h"
+
+inline int FixtureHelperTicks() { return FixtureEngineTicks() + 1; }
+
+#endif  // REVISE_DEPS_FIXTURE_TREE_FORBIDDEN_UTIL_HELPER_H_

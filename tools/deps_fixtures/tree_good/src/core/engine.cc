@@ -1,0 +1,5 @@
+// Fixture: engine.h is this file's primary header, so the unused-include
+// check must not fire even though no symbol is referenced here.
+#include "core/engine.h"
+
+int FixtureEngineMain() { return FixtureEngineWeight(7); }

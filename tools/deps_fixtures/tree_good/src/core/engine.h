@@ -1,0 +1,9 @@
+// Fixture: core depends on util — an edge the layers manifest allows.
+#ifndef REVISE_DEPS_FIXTURE_TREE_GOOD_CORE_ENGINE_H_
+#define REVISE_DEPS_FIXTURE_TREE_GOOD_CORE_ENGINE_H_
+
+#include "util/bits.h"
+
+inline int FixtureEngineWeight(int mask) { return FixtureBitCount(mask); }
+
+#endif  // REVISE_DEPS_FIXTURE_TREE_GOOD_CORE_ENGINE_H_

@@ -1,0 +1,14 @@
+// Fixture: a leaf utility header (module util).
+#ifndef REVISE_DEPS_FIXTURE_TREE_GOOD_UTIL_BITS_H_
+#define REVISE_DEPS_FIXTURE_TREE_GOOD_UTIL_BITS_H_
+
+inline int FixtureBitCount(int x) {
+  int n = 0;
+  while (x != 0) {
+    x &= x - 1;
+    ++n;
+  }
+  return n;
+}
+
+#endif  // REVISE_DEPS_FIXTURE_TREE_GOOD_UTIL_BITS_H_

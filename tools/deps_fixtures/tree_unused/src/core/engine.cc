@@ -1,0 +1,5 @@
+// Fixture: includes util/bits.h without using FixtureParity — the
+// unused-include (IWYU-lite) check must flag line 3.
+#include "util/bits.h"
+
+int FixtureUnusedEngineMain() { return 7; }

@@ -1,0 +1,7 @@
+// Fixture: a header whose symbols the includer never references.
+#ifndef REVISE_DEPS_FIXTURE_TREE_UNUSED_UTIL_BITS_H_
+#define REVISE_DEPS_FIXTURE_TREE_UNUSED_UTIL_BITS_H_
+
+inline int FixtureParity(int x) { return x & 1; }
+
+#endif  // REVISE_DEPS_FIXTURE_TREE_UNUSED_UTIL_BITS_H_

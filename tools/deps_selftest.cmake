@@ -1,0 +1,84 @@
+# Self-test for revise_deps, run as a ctest (see tools/CMakeLists.txt):
+#   1. the known-good fixture tree is clean and dumps a sane graph;
+#   2. an include cycle is reported with its full path;
+#   3. an edge missing from the layers manifest is forbidden;
+#   4. an include whose symbols are never referenced is flagged;
+#   5. a manifest edge no include uses (stale) fails a clean tree.
+#
+# Invoked as:
+#   cmake -DDEPS=<binary> -DFIXTURES=<dir> -DOUT=<scratch-dir>
+#         -P deps_selftest.cmake
+
+function(expect_exit code description)
+  if(NOT RUN_RESULT EQUAL ${code})
+    message(FATAL_ERROR
+            "${description}: expected exit ${code}, got ${RUN_RESULT}\n"
+            "output:\n${RUN_OUTPUT}")
+  endif()
+endfunction()
+
+function(expect_output needle description)
+  string(FIND "${RUN_OUTPUT}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR
+            "${description}: expected output to mention '${needle}'\n"
+            "output:\n${RUN_OUTPUT}")
+  endif()
+endfunction()
+
+macro(run_deps)
+  execute_process(COMMAND ${DEPS} ${ARGN}
+                  RESULT_VARIABLE RUN_RESULT
+                  OUTPUT_VARIABLE RUN_OUTPUT
+                  ERROR_VARIABLE RUN_OUTPUT)
+endmacro()
+
+file(MAKE_DIRECTORY ${OUT})
+
+# 1. Good tree is clean; the graph dumps contain the one edge.
+run_deps(--root=${FIXTURES}/tree_good
+         --layers=${FIXTURES}/tree_good/layers.txt
+         --dot=${OUT}/good.dot --json=${OUT}/good.json)
+expect_exit(0 "good tree")
+file(READ ${OUT}/good.dot DOT_TEXT)
+string(FIND "${DOT_TEXT}" "\"core\" -> \"util\"" DOT_EDGE)
+if(DOT_EDGE EQUAL -1)
+  message(FATAL_ERROR "good tree: dot dump missing core -> util edge:\n"
+          "${DOT_TEXT}")
+endif()
+file(READ ${OUT}/good.json JSON_TEXT)
+string(FIND "${JSON_TEXT}" "\"from\": \"core\", \"to\": \"util\"" JSON_EDGE)
+if(JSON_EDGE EQUAL -1)
+  message(FATAL_ERROR "good tree: json dump missing core -> util edge:\n"
+          "${JSON_TEXT}")
+endif()
+
+# 2. Include cycle, reported with the full path.
+run_deps(--root=${FIXTURES}/tree_cycle
+         --layers=${FIXTURES}/tree_cycle/layers.txt)
+expect_exit(1 "cycle tree")
+expect_output("include cycle" "cycle finding")
+expect_output(
+    "src/core/a.h -> src/core/b.h -> src/core/a.h" "cycle path")
+
+# 3. Edge absent from the manifest is forbidden, with an example site.
+run_deps(--root=${FIXTURES}/tree_forbidden
+         --layers=${FIXTURES}/tree_forbidden/layers.txt)
+expect_exit(1 "forbidden tree")
+expect_output("forbidden edge util -> core" "forbidden finding")
+expect_output("src/util/helper.h:" "forbidden example site")
+
+# 4. Unused include (IWYU-lite).
+run_deps(--root=${FIXTURES}/tree_unused
+         --layers=${FIXTURES}/tree_unused/layers.txt)
+expect_exit(1 "unused tree")
+expect_output("unused include \"src/util/bits.h\"" "unused finding")
+expect_output("src/core/engine.cc:3" "unused include site")
+
+# 5. Stale manifest edge on a clean tree fails the run.
+run_deps(--root=${FIXTURES}/tree_good
+         --layers=${FIXTURES}/tree_good/layers_stale.txt)
+expect_exit(1 "stale manifest")
+expect_output("stale layer edge obs -> util" "stale finding")
+
+message(STATUS "revise_deps self-test passed")

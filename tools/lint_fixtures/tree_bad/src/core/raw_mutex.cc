@@ -1,0 +1,17 @@
+// Fixture for the raw-mutex rule: locking outside src/util/mutex.h must
+// go through util::Mutex / util::MutexLock, never the std vocabulary.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mu;
+std::condition_variable g_cv;
+int g_value = 0;
+
+int Bump() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return ++g_value;
+}
+
+}  // namespace fixture

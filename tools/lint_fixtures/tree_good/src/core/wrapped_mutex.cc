@@ -1,0 +1,14 @@
+// Fixture: locking through the util::Mutex wrapper is raw-mutex clean.
+#include "util/mutex.h"
+
+namespace fixture {
+
+revise::util::Mutex g_mu;
+int g_value = 0;
+
+int Bump() {
+  revise::util::MutexLock lock(g_mu);
+  return ++g_value;
+}
+
+}  // namespace fixture

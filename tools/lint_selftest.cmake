@@ -2,7 +2,8 @@
 #   1. the known-good fixture tree lints clean;
 #   2. the known-bad tree fails and reports every rule id;
 #   3. the bad tree passes under an allowlist covering all findings;
-#   4. a stale allowlist entry fails a clean tree.
+#   4. a stale allowlist entry fails a clean tree, and an entry naming a
+#      file that no longer exists gets the sharper missing-file message.
 #
 # Invoked as:
 #   cmake -DLINT=<binary> -DFIXTURES=<dir> -P lint_selftest.cmake
@@ -38,7 +39,7 @@ expect_exit(0 "good tree")
 # 2. Bad tree fails and every rule fires.
 run_lint(--root=${FIXTURES}/tree_bad)
 expect_exit(1 "bad tree")
-foreach(rule unlimited-enumerate raw-thread include-guard
+foreach(rule unlimited-enumerate raw-thread raw-mutex include-guard
         check-side-effect bench-json-meta obs-name hot-kernel fuzz-corpus)
   expect_output("[${rule}]" "bad tree rule coverage")
 endforeach()
@@ -52,10 +53,12 @@ run_lint(--root=${FIXTURES}/tree_bad
          --allowlist=${FIXTURES}/tree_bad_allowlist.txt)
 expect_exit(0 "allowlisted bad tree")
 
-# 4. A stale allowlist entry on a clean tree fails the run.
+# 4. A stale allowlist entry on a clean tree fails the run; an entry for
+#    a file that does not exist is called out as missing, not just stale.
 run_lint(--root=${FIXTURES}/tree_good
-         --allowlist=${FIXTURES}/tree_bad_allowlist.txt)
+         --allowlist=${FIXTURES}/tree_good_stale_allowlist.txt)
 expect_exit(1 "stale allowlist")
 expect_output("stale allowlist entry" "stale allowlist message")
+expect_output("references a missing file" "missing-file allowlist message")
 
 message(STATUS "revise_lint self-test passed")

@@ -1,0 +1,780 @@
+// revise_deps: include-graph architecture checks for the revise tree.
+//
+// Parses every `#include "..."` edge under src/, bench/, tests/, tools/
+// and examples/, resolves the quoted path against the project include
+// roots, and enforces four invariants:
+//
+//   include-cycle    the file-level include graph must be acyclic; a
+//                    violation is reported with the full cycle path.
+//   forbidden-edge   every directory-level edge (module of includer ->
+//                    module of includee) must appear in the committed
+//                    allowed-edges manifest (tools/revise_deps_layers.txt).
+//                    Modules are src/<dir> (named <dir>) plus the
+//                    top-level bench/tests/tools/examples trees.
+//   stale-edge       a manifest edge no observed include uses fails the
+//                    run, so the manifest only shrinks (same policy as
+//                    the revise_lint allowlist); the manifest itself must
+//                    also be a DAG.
+//   unused-include   IWYU-lite: a quoted include none of whose declared
+//                    symbols (types, functions, macros, aliases) appear
+//                    in the including file.  A file's primary header
+//                    (foo.cc -> foo.h) is exempt, and `// keep` or an
+//                    IWYU pragma on the include line suppresses the
+//                    check for deliberate re-exports (umbrella headers).
+//
+// System includes (<...>) are outside the graph.  The symbol scan
+// over-approximates on purpose: it only has to prove an include *can* be
+// load-bearing, so a false "used" is cheap while a false "unused" would
+// make the checker unusable.
+//
+// Usage:
+//   revise_deps --root=DIR [--layers=FILE] [--dot=PATH] [--json=PATH]
+//
+// --dot / --json dump the directory-level graph (Graphviz / JSON) for
+// docs; the committed rendering lives at tools/revise_deps_graph.dot.
+// Exit status: 0 clean, 1 findings, 2 bad usage.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Include {
+  std::string target;  // the quoted path as written
+  size_t line = 0;
+  bool keep = false;  // `// keep` / IWYU pragma on the line
+};
+
+struct File {
+  std::string rel;  // '/'-separated path relative to the root
+  std::string module;
+  std::vector<Include> includes;
+  std::vector<size_t> resolved;       // indices into the file table
+  std::vector<size_t> resolved_line;  // line of the matching include
+  std::vector<bool> resolved_keep;
+  std::set<std::string> identifiers;  // every identifier token
+  std::set<std::string> symbols;      // declared / defined names
+};
+
+struct Finding {
+  std::string message;
+};
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+// Replaces comments and string/character literals with spaces, preserving
+// newlines (the same scanner revise_lint uses; kept independent so the
+// two tools stay link-free).
+std::string StripCommentsAndLiterals(const std::string& text) {
+  std::string out(text.size(), ' ');
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delimiter;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') out[i] = '\n';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !IsIdentChar(text[i - 1]))) {
+          size_t open = text.find('(', i + 2);
+          if (open == std::string::npos) break;
+          raw_delimiter = ")" + text.substr(i + 2, open - (i + 2)) + "\"";
+          state = State::kRawString;
+          i = open;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'' && !(i > 0 && IsIdentChar(text[i - 1]))) {
+          state = State::kChar;
+        } else {
+          out[i] = c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') state = State::kCode;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+          if (next == '\n') out[i] = '\n';
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_delimiter.size(), raw_delimiter) == 0) {
+          i += raw_delimiter.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// --- include extraction -------------------------------------------------
+
+std::vector<Include> ParseIncludes(const std::string& raw) {
+  std::vector<Include> includes;
+  std::istringstream in(raw);
+  std::string line;
+  size_t line_number = 0;
+  bool export_block = false;  // between IWYU begin_exports / end_exports
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.find("IWYU pragma: begin_exports") != std::string::npos) {
+      export_block = true;
+      continue;
+    }
+    if (line.find("IWYU pragma: end_exports") != std::string::npos) {
+      export_block = false;
+      continue;
+    }
+    size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] != '#') continue;
+    ++i;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (line.compare(i, 7, "include") != 0) continue;
+    i += 7;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] != '"') continue;  // <...> is external
+    const size_t close = line.find('"', i + 1);
+    if (close == std::string::npos) continue;
+    Include include;
+    include.target = line.substr(i + 1, close - i - 1);
+    include.line = line_number;
+    include.keep = export_block ||
+                   line.find("keep", close) != std::string::npos ||
+                   line.find("IWYU", close) != std::string::npos;
+    includes.push_back(std::move(include));
+  }
+  return includes;
+}
+
+// --- symbol extraction --------------------------------------------------
+
+// Declared names of a header: #define names, class/struct/enum/union
+// names, using/typedef aliases, every identifier directly followed by
+// '(' (function declarations; also calls, which only widens the set) and
+// every identifier directly followed by '=' (constants).
+void ExtractSymbols(const std::string& code, std::set<std::string>* out) {
+  const size_t n = code.size();
+  size_t i = 0;
+  std::string prev_token;
+  while (i < n) {
+    const char c = code[i];
+    if (c == '#') {
+      // Only #define exports a name; other directives declare nothing.
+      size_t j = i + 1;
+      while (j < n && std::isspace(static_cast<unsigned char>(code[j])) &&
+             code[j] != '\n') {
+        ++j;
+      }
+      if (code.compare(j, 6, "define") == 0) {
+        j += 6;
+        while (j < n && std::isspace(static_cast<unsigned char>(code[j])) &&
+               code[j] != '\n') {
+          ++j;
+        }
+        size_t end = j;
+        while (end < n && IsIdentChar(code[end])) ++end;
+        if (end > j) out->insert(code.substr(j, end - j));
+        i = end;
+      } else {
+        while (i < n && code[i] != '\n') ++i;
+      }
+      continue;
+    }
+    if (!IsIdentChar(c)) {
+      ++i;
+      continue;
+    }
+    size_t end = i;
+    while (end < n && IsIdentChar(code[end])) ++end;
+    const std::string token = code.substr(i, end - i);
+    size_t after = end;
+    while (after < n &&
+           std::isspace(static_cast<unsigned char>(code[after]))) {
+      ++after;
+    }
+    const char next = after < n ? code[after] : '\0';
+    const char next2 = after + 1 < n ? code[after + 1] : '\0';
+    if (token == "class" || token == "struct" || token == "enum" ||
+        token == "union") {
+      // Take the last identifier before '{', ';' or a single ':' — that
+      // skips `enum class`, attribute macros between keyword and name,
+      // and base-class lists.  `template <class T>` is excluded by the
+      // '<'/',' look-behind.
+      size_t back = i;
+      while (back > 0 &&
+             std::isspace(static_cast<unsigned char>(code[back - 1]))) {
+        --back;
+      }
+      const char before = back > 0 ? code[back - 1] : '\0';
+      if (before != '<' && before != ',') {
+        std::string last;
+        size_t j = end;
+        while (j < n) {
+          const char d = code[j];
+          if (d == '{' || d == ';') break;
+          if (d == ':' && (j + 1 >= n || code[j + 1] != ':') &&
+              (j == 0 || code[j - 1] != ':')) {
+            break;
+          }
+          if (IsIdentChar(d)) {
+            size_t k = j;
+            while (k < n && IsIdentChar(code[k])) ++k;
+            last = code.substr(j, k - j);
+            j = k;
+          } else {
+            ++j;
+          }
+        }
+        if (!last.empty()) out->insert(last);
+      }
+    } else if (token == "using") {
+      // `using X = ...` exports X; `using namespace` / `using ns::X`
+      // re-export nothing new worth tracking.
+      size_t j = after;
+      size_t k = j;
+      while (k < n && IsIdentChar(code[k])) ++k;
+      if (k > j) {
+        size_t eq = k;
+        while (eq < n &&
+               std::isspace(static_cast<unsigned char>(code[eq]))) {
+          ++eq;
+        }
+        if (eq < n && code[eq] == '=') out->insert(code.substr(j, k - j));
+      }
+    } else if (token == "typedef") {
+      std::string last;
+      size_t j = end;
+      while (j < n && code[j] != ';') {
+        if (IsIdentChar(code[j])) {
+          size_t k = j;
+          while (k < n && IsIdentChar(code[k])) ++k;
+          last = code.substr(j, k - j);
+          j = k;
+        } else {
+          ++j;
+        }
+      }
+      if (!last.empty()) out->insert(last);
+    } else if (next == '(' ||
+               (next == '=' && next2 != '=') ||
+               (next == '{' && prev_token != "return")) {
+      out->insert(token);
+    }
+    prev_token = token;
+    i = end;
+  }
+}
+
+void ExtractIdentifiers(const std::string& code, std::set<std::string>* out) {
+  size_t i = 0;
+  while (i < code.size()) {
+    if (!IsIdentChar(code[i])) {
+      ++i;
+      continue;
+    }
+    size_t end = i;
+    while (end < code.size() && IsIdentChar(code[end])) ++end;
+    out->insert(code.substr(i, end - i));
+    i = end;
+  }
+}
+
+// --- file collection ----------------------------------------------------
+
+bool ShouldScan(const fs::path& path) {
+  const fs::path ext = path.extension();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+void CollectFiles(const fs::path& root, std::vector<fs::path>* files) {
+  constexpr std::string_view kTopDirs[] = {"src", "bench", "tests", "tools",
+                                           "examples"};
+  for (const std::string_view top : kTopDirs) {
+    const fs::path dir = root / top;
+    if (!fs::is_directory(dir)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      const std::string name = it->path().filename().string();
+      if (it->is_directory() &&
+          ((name.size() > 9 &&
+            name.compare(name.size() - 9, 9, "_fixtures") == 0) ||
+           name.rfind("build", 0) == 0 ||
+           (!name.empty() && name[0] == '.'))) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && ShouldScan(it->path())) {
+        files->push_back(it->path());
+      }
+    }
+  }
+  std::sort(files->begin(), files->end());
+}
+
+std::string ModuleOf(const std::string& rel) {
+  std::string_view path = rel;
+  if (StartsWith(path, "src/")) {
+    path.remove_prefix(4);
+    const size_t slash = path.find('/');
+    return std::string(slash == std::string_view::npos
+                           ? path
+                           : path.substr(0, slash));
+  }
+  const size_t slash = path.find('/');
+  return std::string(slash == std::string_view::npos ? path
+                                                     : path.substr(0, slash));
+}
+
+// foo.cc / foo.cpp pairs with foo.h in the same directory.
+bool IsPrimaryHeader(const std::string& source_rel,
+                     const std::string& header_rel) {
+  const fs::path source(source_rel);
+  const fs::path header(header_rel);
+  return source.parent_path() == header.parent_path() &&
+         source.stem() == header.stem() && header.extension() == ".h";
+}
+
+// --- cycle detection ----------------------------------------------------
+
+void FindCycles(const std::vector<File>& files,
+                std::vector<Finding>* findings) {
+  // Iterative three-color DFS; reports the first back edge per start
+  // node with the full cycle path.
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(files.size(), Color::kWhite);
+  std::vector<size_t> stack;
+  std::set<std::string> reported;
+
+  // Recursive lambda via explicit stack of (node, next-edge) frames.
+  struct Frame {
+    size_t node;
+    size_t edge = 0;
+  };
+  for (size_t start = 0; start < files.size(); ++start) {
+    if (color[start] != Color::kWhite) continue;
+    std::vector<Frame> frames{{start}};
+    color[start] = Color::kGray;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.edge < files[frame.node].resolved.size()) {
+        const size_t next = files[frame.node].resolved[frame.edge++];
+        if (color[next] == Color::kWhite) {
+          color[next] = Color::kGray;
+          stack.push_back(next);
+          frames.push_back({next});
+        } else if (color[next] == Color::kGray) {
+          std::string path;
+          bool in_cycle = false;
+          for (const size_t node : stack) {
+            if (node == next) in_cycle = true;
+            if (!in_cycle) continue;
+            path += files[node].rel;
+            path += " -> ";
+          }
+          path += files[next].rel;
+          if (reported.insert(path).second) {
+            findings->push_back({"include cycle: " + path});
+          }
+        }
+      } else {
+        color[frame.node] = Color::kBlack;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+}
+
+// --- manifest -----------------------------------------------------------
+
+struct Manifest {
+  std::set<std::pair<std::string, std::string>> edges;
+  bool ok = false;
+};
+
+Manifest LoadManifest(const fs::path& path) {
+  Manifest manifest;
+  std::ifstream in(path);
+  if (!in) return manifest;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string from, arrow, to;
+    if (!(tokens >> from)) continue;
+    if (!(tokens >> arrow >> to) || arrow != "->") {
+      manifest.ok = false;
+      manifest.edges.clear();
+      return manifest;
+    }
+    manifest.edges.insert({from, to});
+  }
+  manifest.ok = true;
+  return manifest;
+}
+
+void CheckManifestAcyclic(const Manifest& manifest,
+                          std::vector<Finding>* findings) {
+  std::set<std::string> nodes;
+  for (const auto& [from, to] : manifest.edges) {
+    nodes.insert(from);
+    nodes.insert(to);
+  }
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  // DFS with an explicit path stack; one report is enough (a manifest
+  // cycle is a manifest bug, not a per-edge finding).
+  std::function<bool(const std::string&)> visit =
+      [&](const std::string& node) -> bool {
+    color[node] = 1;
+    stack.push_back(node);
+    for (const auto& [from, to] : manifest.edges) {
+      if (from != node) continue;
+      if (color[to] == 1) {
+        std::string path;
+        bool in_cycle = false;
+        for (const std::string& n : stack) {
+          if (n == to) in_cycle = true;
+          if (in_cycle) {
+            path += n;
+            path += " -> ";
+          }
+        }
+        path += to;
+        findings->push_back({"layer manifest cycle: " + path});
+        return true;
+      }
+      if (color[to] == 0 && visit(to)) return true;
+    }
+    stack.pop_back();
+    color[node] = 2;
+    return false;
+  };
+  for (const std::string& node : nodes) {
+    if (color[node] == 0 && visit(node)) return;
+  }
+}
+
+// --- output dumps -------------------------------------------------------
+
+struct ModuleEdge {
+  std::string from;
+  std::string to;
+  size_t count = 0;
+};
+
+std::string DotDump(const std::vector<std::string>& modules,
+                    const std::vector<ModuleEdge>& edges) {
+  std::string out = "// Generated by tools/revise_deps --dot; the layer\n";
+  out += "// DAG of the revise tree (modules are src/ subdirectories\n";
+  out += "// plus the bench/tests/tools/examples trees).\n";
+  out += "digraph revise_deps {\n  rankdir=BT;\n  node [shape=box];\n";
+  for (const std::string& module : modules) {
+    out += "  \"" + module + "\";\n";
+  }
+  for (const ModuleEdge& edge : edges) {
+    out += "  \"" + edge.from + "\" -> \"" + edge.to + "\" [label=\"" +
+           std::to_string(edge.count) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string JsonDump(const std::vector<std::string>& modules,
+                     const std::vector<ModuleEdge>& edges, size_t files,
+                     size_t includes) {
+  std::string out = "{\n  \"files\": " + std::to_string(files) +
+                    ",\n  \"internal_includes\": " +
+                    std::to_string(includes) + ",\n  \"modules\": [";
+  for (size_t i = 0; i < modules.size(); ++i) {
+    out += i == 0 ? "" : ", ";
+    out += "\"" + modules[i] + "\"";
+  }
+  out += "],\n  \"edges\": [\n";
+  for (size_t i = 0; i < edges.size(); ++i) {
+    out += "    {\"from\": \"" + edges[i].from + "\", \"to\": \"" +
+           edges[i].to + "\", \"count\": " + std::to_string(edges[i].count) +
+           "}";
+    out += i + 1 < edges.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool WriteFile(const fs::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+int Fail(const char* message) {
+  std::fprintf(stderr, "revise_deps: %s\n", message);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root;
+  fs::path layers;
+  fs::path dot_path;
+  fs::path json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (StartsWith(arg, "--root=")) {
+      root = std::string(arg.substr(7));
+    } else if (StartsWith(arg, "--layers=")) {
+      layers = std::string(arg.substr(9));
+    } else if (StartsWith(arg, "--dot=")) {
+      dot_path = std::string(arg.substr(6));
+    } else if (StartsWith(arg, "--json=")) {
+      json_path = std::string(arg.substr(7));
+    } else if (arg == "--help") {
+      std::printf(
+          "usage: revise_deps --root=DIR [--layers=FILE] [--dot=PATH] "
+          "[--json=PATH]\n");
+      return 0;
+    } else {
+      return Fail("unknown argument (see --help)");
+    }
+  }
+  if (root.empty()) return Fail("--root=DIR is required");
+  if (!fs::is_directory(root)) return Fail("--root is not a directory");
+
+  std::vector<fs::path> paths;
+  CollectFiles(root, &paths);
+  std::vector<File> files(paths.size());
+  std::map<std::string, size_t> by_rel;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    files[i].rel = fs::relative(fs::absolute(paths[i]), fs::absolute(root))
+                       .generic_string();
+    files[i].module = ModuleOf(files[i].rel);
+    by_rel[files[i].rel] = i;
+  }
+
+  for (size_t i = 0; i < paths.size(); ++i) {
+    std::ifstream in(paths[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "revise_deps: cannot read %s\n",
+                   paths[i].string().c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string raw = buffer.str();
+    const std::string code = StripCommentsAndLiterals(raw);
+    files[i].includes = ParseIncludes(raw);
+    ExtractIdentifiers(code, &files[i].identifiers);
+    ExtractSymbols(code, &files[i].symbols);
+
+    // Resolution order mirrors the build's -I flags: src/ (the project
+    // include root), then the including file's directory, then the
+    // repository root (tests/ includes "tests/test_util.h").
+    const fs::path parent = fs::path(files[i].rel).parent_path();
+    for (const Include& include : files[i].includes) {
+      const std::string candidates[] = {
+          (fs::path("src") / include.target).lexically_normal()
+              .generic_string(),
+          (parent / include.target).lexically_normal().generic_string(),
+          fs::path(include.target).lexically_normal().generic_string(),
+      };
+      for (const std::string& candidate : candidates) {
+        const auto it = by_rel.find(candidate);
+        if (it != by_rel.end()) {
+          files[i].resolved.push_back(it->second);
+          files[i].resolved_line.push_back(include.line);
+          files[i].resolved_keep.push_back(include.keep);
+          break;
+        }
+      }
+    }
+  }
+
+  // A `// keep` include is a re-export: the includer offers the target's
+  // symbols to its own includers (the umbrella-header case —
+  // core/librevise.h exists so consumers can include one file).  Fold
+  // the keep-closure into each file's exported symbol set, memoized;
+  // the in-progress mark makes a keep cycle terminate (it is still
+  // reported by the cycle check).
+  std::vector<int> export_state(files.size(), 0);  // 0 new, 1 busy, 2 done
+  std::function<void(size_t)> fold_exports = [&](size_t i) {
+    if (export_state[i] != 0) return;
+    export_state[i] = 1;
+    for (size_t e = 0; e < files[i].resolved.size(); ++e) {
+      if (!files[i].resolved_keep[e]) continue;
+      const size_t target = files[i].resolved[e];
+      if (export_state[target] == 0) fold_exports(target);
+      if (export_state[target] != 1) {
+        files[i].symbols.insert(files[target].symbols.begin(),
+                                files[target].symbols.end());
+      }
+    }
+    export_state[i] = 2;
+  };
+  for (size_t i = 0; i < files.size(); ++i) fold_exports(i);
+
+  std::vector<Finding> findings;
+
+  // 1. File-level include cycles.
+  FindCycles(files, &findings);
+
+  // 2. Directory-level edges vs the manifest.
+  std::map<std::pair<std::string, std::string>, std::pair<std::string, size_t>>
+      observed;  // edge -> first example (file, line)
+  size_t internal_includes = 0;
+  for (const File& file : files) {
+    for (size_t e = 0; e < file.resolved.size(); ++e) {
+      ++internal_includes;
+      const File& target = files[file.resolved[e]];
+      if (target.module == file.module) continue;
+      observed.emplace(std::make_pair(file.module, target.module),
+                       std::make_pair(file.rel, file.resolved_line[e]));
+    }
+  }
+  if (!layers.empty()) {
+    const Manifest manifest = LoadManifest(layers);
+    if (!manifest.ok) return Fail("cannot parse layers manifest");
+    CheckManifestAcyclic(manifest, &findings);
+    for (const auto& [edge, example] : observed) {
+      if (manifest.edges.count(edge) == 0) {
+        findings.push_back(
+            {"forbidden edge " + edge.first + " -> " + edge.second + " (" +
+             example.first + ":" + std::to_string(example.second) +
+             "); allowed edges are committed in the layers manifest"});
+      }
+    }
+    for (const auto& edge : manifest.edges) {
+      if (observed.count(edge) == 0) {
+        findings.push_back({"stale layer edge " + edge.first + " -> " +
+                            edge.second +
+                            " (no include uses it; remove it from the "
+                            "manifest)"});
+      }
+    }
+  }
+
+  // 3. IWYU-lite: includes none of whose declared symbols appear.
+  for (const File& file : files) {
+    for (size_t e = 0; e < file.resolved.size(); ++e) {
+      const File& target = files[file.resolved[e]];
+      if (file.resolved_keep[e]) continue;
+      if (IsPrimaryHeader(file.rel, target.rel)) continue;
+      if (target.symbols.empty()) continue;
+      bool used = false;
+      for (const std::string& symbol : target.symbols) {
+        if (file.identifiers.count(symbol) != 0) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) {
+        findings.push_back(
+            {file.rel + ":" + std::to_string(file.resolved_line[e]) +
+             ": unused include \"" + target.rel +
+             "\" (none of its declared symbols appear; delete it or mark "
+             "the line // keep)"});
+      }
+    }
+  }
+
+  // 4. Graph dumps.
+  std::map<std::pair<std::string, std::string>, size_t> edge_counts;
+  std::set<std::string> module_set;
+  for (const File& file : files) {
+    module_set.insert(file.module);
+    for (const size_t target : file.resolved) {
+      if (files[target].module == file.module) continue;
+      ++edge_counts[{file.module, files[target].module}];
+    }
+  }
+  std::vector<std::string> modules(module_set.begin(), module_set.end());
+  std::vector<ModuleEdge> edges;
+  for (const auto& [edge, count] : edge_counts) {
+    edges.push_back({edge.first, edge.second, count});
+  }
+  if (!dot_path.empty() && !WriteFile(dot_path, DotDump(modules, edges))) {
+    return Fail("cannot write --dot output");
+  }
+  if (!json_path.empty() &&
+      !WriteFile(json_path,
+                 JsonDump(modules, edges, files.size(), internal_includes))) {
+    return Fail("cannot write --json output");
+  }
+
+  for (const Finding& finding : findings) {
+    std::fprintf(stderr, "revise_deps: %s\n", finding.message.c_str());
+  }
+  if (findings.empty()) {
+    std::printf(
+        "revise_deps: %zu files, %zu internal includes, %zu modules, "
+        "%zu cross-module edges, 0 findings\n",
+        files.size(), internal_includes, modules.size(), edges.size());
+    return 0;
+  }
+  std::fprintf(stderr, "revise_deps: %zu findings\n", findings.size());
+  return 1;
+}

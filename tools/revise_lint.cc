@@ -15,6 +15,13 @@
 //                        bit-identical across thread counts.  (Qualified
 //                        uses like std::thread::hardware_concurrency are
 //                        allowed.)
+//   raw-mutex            std::mutex / std::lock_guard / std::unique_lock /
+//                        std::condition_variable and friends anywhere in
+//                        the tree.  All locking goes through the
+//                        annotated util::Mutex / util::MutexLock wrappers
+//                        (src/util/mutex.h) so clang -Wthread-safety sees
+//                        every acquisition; the wrapper itself is the one
+//                        allowlisted exception.
 //   bench-json-meta      a bench file that emits a JSON report without the
 //                        shared JsonReporter, which stamps the
 //                        threads/hardware/model-cache metadata making
@@ -271,6 +278,47 @@ void CheckRawThread(const std::string& rel_path, const std::string& code,
            "ParallelMapRanges) so results stay deterministic"});
     }
     pos = after;
+  }
+}
+
+// --- rule: raw-mutex ----------------------------------------------------
+
+// Any mention of the std locking vocabulary is a finding; there is no
+// legitimate qualified use (unlike std::thread::hardware_concurrency),
+// so no qualified-access carve-out.  The prefix overlap between
+// condition_variable and condition_variable_any is resolved by the
+// own-token check.
+void CheckRawMutex(const std::string& rel_path, const std::string& code,
+                   std::vector<Finding>* findings) {
+  constexpr std::string_view kTokens[] = {
+      "std::mutex",
+      "std::recursive_mutex",
+      "std::timed_mutex",
+      "std::shared_mutex",
+      "std::lock_guard",
+      "std::unique_lock",
+      "std::scoped_lock",
+      "std::shared_lock",
+      "std::condition_variable",
+      "std::condition_variable_any",
+  };
+  for (const std::string_view token : kTokens) {
+    size_t pos = 0;
+    while ((pos = code.find(token, pos)) != std::string::npos) {
+      const size_t after = pos + token.size();
+      const bool own_token =
+          (pos == 0 || !IsIdentChar(code[pos - 1])) &&
+          (after >= code.size() || !IsIdentChar(code[after]));
+      if (own_token) {
+        findings->push_back(
+            {rel_path, LineOfOffset(code, pos), "raw-mutex",
+             "raw " + std::string(token) +
+                 "; use util::Mutex / util::MutexLock / util::CondVar "
+                 "(src/util/mutex.h) so -Wthread-safety sees the "
+                 "acquisition"});
+      }
+      pos = after;
+    }
   }
 }
 
@@ -640,7 +688,9 @@ void CollectFiles(const fs::path& root, std::vector<fs::path>* files) {
          it != fs::recursive_directory_iterator(); ++it) {
       const std::string name = it->path().filename().string();
       if (it->is_directory() &&
-          (name == "lint_fixtures" || name.rfind("build", 0) == 0 ||
+          ((name.size() > 9 &&
+            name.compare(name.size() - 9, 9, "_fixtures") == 0) ||
+           name.rfind("build", 0) == 0 ||
            (!name.empty() && name[0] == '.'))) {
         it.disable_recursion_pending();
         continue;
@@ -727,6 +777,7 @@ int main(int argc, char** argv) {
 
     if (HasExtension(file, ".h")) CheckIncludeGuard(rel, code, &findings);
     CheckRawThread(rel, code, &findings);
+    CheckRawMutex(rel, code, &findings);
     CheckUnlimitedEnumerate(rel, code, &findings);
     CheckBenchJsonMeta(rel, code, raw, &findings);
     CheckCheckSideEffect(rel, code, &findings);
@@ -747,15 +798,24 @@ int main(int argc, char** argv) {
                  is_allowed ? " (allowed)" : "", finding.message.c_str());
     if (!is_allowed) ++hard;
   }
+  // An unfired entry is stale; an entry whose file is gone entirely gets
+  // the sharper message (the usual cause: the file was deleted or moved
+  // and the allowlist was not updated with it).
   size_t stale = 0;
   for (const auto& entry : allowed) {
-    if (used.count(entry) == 0) {
+    if (used.count(entry) != 0) continue;
+    if (!fs::exists(options.root / entry.second)) {
+      std::fprintf(stderr,
+                   "revise_lint: allowlist entry %s %s references a "
+                   "missing file (remove it)\n",
+                   entry.first.c_str(), entry.second.c_str());
+    } else {
       std::fprintf(stderr,
                    "revise_lint: stale allowlist entry: %s %s (no such "
                    "finding; remove it)\n",
                    entry.first.c_str(), entry.second.c_str());
-      ++stale;
     }
+    ++stale;
   }
 
   if (hard == 0 && stale == 0) {
