@@ -18,6 +18,10 @@
 //                        cost attribution and print the EXPLAIN tree
 //                        (formulas with spaces: separate phi and mu
 //                        with ';')
+//   :statsz [port]       start the live introspection HTTP server
+//                        (obs/statsz.h) — no port binds an ephemeral
+//                        one, announced on stderr; also started
+//                        automatically when REVISE_STATSZ is set
 //   reset                clear everything
 //   help, quit
 //
@@ -29,6 +33,7 @@
 // Run scripted:  printf 'assert g|b\nrevise !g\nask b\n' | revise_repl
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -37,7 +42,9 @@
 #include "core/librevise.h"
 #include "obs/memory.h"
 #include "obs/metrics.h"
+#include "obs/statsz.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 
 namespace {
 
@@ -78,7 +85,8 @@ class Repl {
       std::printf(
           "operator <name> | strategy <delayed|explicit|compact> |\n"
           "assert <f> | revise <f> | ask <f> | models | size | :stats | "
-          ":trace <path> | :explain <op> <phi> <mu> | reset | quit\n");
+          ":trace <path> | :explain <op> <phi> <mu> | :statsz [port] | "
+          "reset | quit\n");
       return true;
     }
     if (command == "operator") {
@@ -262,6 +270,29 @@ class Repl {
       std::printf("%s", RenderExplanation(explanation).c_str());
       return true;
     }
+    if (command == ":statsz") {
+      if (obs::GlobalStatsz() != nullptr) {
+        std::printf("statsz already running on 127.0.0.1:%u\n",
+                    static_cast<unsigned>(obs::GlobalStatsz()->port()));
+        return true;
+      }
+      obs::StatszOptions options;
+      if (!rest.empty()) {
+        options.port =
+            static_cast<uint16_t>(std::strtoul(rest.c_str(), nullptr, 10));
+      }
+      const Status status = obs::StartGlobalStatsz(options);
+      if (!status.ok()) {
+        std::printf("statsz failed to start: %s\n",
+                    status.ToString().c_str());
+        return true;
+      }
+      std::printf("statsz listening on 127.0.0.1:%u — try "
+                  "curl http://127.0.0.1:%u/metrics\n",
+                  static_cast<unsigned>(obs::GlobalStatsz()->port()),
+                  static_cast<unsigned>(obs::GlobalStatsz()->port()));
+      return true;
+    }
     if (command == "size") {
       EnsureKb();
       std::printf("stored size: %llu variable occurrences\n",
@@ -302,6 +333,11 @@ int main() {
   if (!revise::obs::TracingEnabled()) {
     revise::obs::SetTraceSink(revise::obs::TraceSink::kSilent);
   }
+  // Honor the live-introspection activation variables (REVISE_STATSZ,
+  // REVISE_METRICS_DUMP, REVISE_WATCHDOG_S) like the benches do.
+  revise::obs::StartStatszFromEnv();
+  revise::obs::StartMetricsDumperFromEnv();
+  revise::obs::StartStallWatchdogFromEnv();
   Repl repl;
   repl.Run();
   return 0;

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -77,6 +78,21 @@ int ProcessId() {
   return 0;
 #endif
 }
+
+// The in-flight operation table: a flat vector ordered by entry time.
+// Registration is off the hot path (one FlightOpScope per revision
+// operation, not per kernel call), so a mutex-guarded vector is plenty.
+util::Mutex g_inflight_mu;
+std::vector<InFlightOp>& InFlightTable() REVISE_REQUIRES(g_inflight_mu) {
+  static std::vector<InFlightOp>* const table = [] {
+    auto* created = new std::vector<InFlightOp>();
+    created->reserve(kMaxTrackedInFlightOps);
+    return created;
+  }();
+  return *table;
+}
+
+std::atomic<uint64_t> g_next_op_id{1};
 
 void CrashHook(const char* message) {
   DumpFlightRecorder(stderr, message);
@@ -184,12 +200,29 @@ void DumpFlightRecorder(std::FILE* out, const char* reason) {
                events.size(), static_cast<unsigned long long>(dropped));
 }
 
+std::vector<InFlightOp> SnapshotInFlightOps() {
+  util::MutexLock lock(g_inflight_mu);
+  return InFlightTable();
+}
+
 std::string FlightRecorderJson(const char* reason) {
   Json recorder = Json::MakeObject();
   recorder["reason"] = reason == nullptr ? "unspecified" : reason;
   const FlightRecorderStats stats = SnapshotFlightRecorder();
   recorder["pid"] = ProcessId();
   recorder["dropped"] = stats.dropped;
+  const int64_t now_ns = NowNanos();
+  Json in_flight = Json::MakeArray();
+  for (const InFlightOp& op : SnapshotInFlightOps()) {
+    Json entry = Json::MakeObject();
+    entry["id"] = op.id;
+    entry["t_ns"] = op.start_ns;
+    entry["age_ns"] = now_ns - op.start_ns;
+    entry["tid"] = op.tid;
+    entry["name"] = op.name;
+    in_flight.Append(std::move(entry));
+  }
+  recorder["in_flight"] = std::move(in_flight);
   Json events = Json::MakeArray();
   for (const FlightEvent& event : stats.events) {
     Json entry = Json::MakeObject();
@@ -205,15 +238,15 @@ std::string FlightRecorderJson(const char* reason) {
   return doc.Dump(/*indent=*/1);
 }
 
-std::string WriteCrashDump(const char* reason) {
+std::string WriteFlightDump(const char* reason, const char* file_prefix) {
   std::string path;
   if (const char* dir = std::getenv("REVISE_CRASH_DIR");
       dir != nullptr && *dir != '\0') {
     path.assign(dir);
     if (path.back() != '/') path.push_back('/');
   }
-  char name[48];
-  std::snprintf(name, sizeof(name), "crash_%d.json", ProcessId());
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s_%d.json", file_prefix, ProcessId());
   path += name;
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) return {};
@@ -225,12 +258,42 @@ std::string WriteCrashDump(const char* reason) {
   return path;
 }
 
+std::string WriteCrashDump(const char* reason) {
+  return WriteFlightDump(reason, "crash");
+}
+
 FlightOpScope::FlightOpScope(std::string_view op_name) {
   CopyTruncated(op_name, op_name_, sizeof(op_name_));
   REVISE_FLIGHT_EVENT("revise.op_begin", op_name_);
+  InFlightOp op;
+  op.start_ns = NowNanos();
+  op.tid = ThisThreadTid();
+  CopyTruncated(op_name, op.name, sizeof(op.name));
+  {
+    util::MutexLock lock(g_inflight_mu);
+    std::vector<InFlightOp>& table = InFlightTable();
+    if (table.size() < kMaxTrackedInFlightOps) {
+      op.id = g_next_op_id.fetch_add(1, std::memory_order_relaxed);
+      id_ = op.id;
+      table.push_back(op);
+    }
+  }
+  if (id_ == 0) {
+    REVISE_OBS_COUNTER("obs.inflight_ops_dropped").Increment();
+  }
 }
 
 FlightOpScope::~FlightOpScope() {
+  if (id_ != 0) {
+    util::MutexLock lock(g_inflight_mu);
+    std::vector<InFlightOp>& table = InFlightTable();
+    for (size_t i = 0; i < table.size(); ++i) {
+      if (table[i].id == id_) {
+        table.erase(table.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
   REVISE_FLIGHT_EVENT("revise.op_end", op_name_);
 }
 

@@ -72,18 +72,45 @@ FlightRecorderStats SnapshotFlightRecorder();
 void DumpFlightRecorder(std::FILE* out, const char* reason);
 
 // {"flight_recorder": {"reason": ..., "pid": ..., "dropped": ...,
+//  "in_flight": [{"id":..., "t_ns":..., "age_ns":..., "tid":...,
+//                 "name":...}, ...],
 //  "events": [{"t_ns":..., "tid":..., "name":..., "detail":...}, ...]}}
 std::string FlightRecorderJson(const char* reason);
 
-// Writes FlightRecorderJson to crash_<pid>.json in REVISE_CRASH_DIR (or
-// the working directory) and returns the path; empty on I/O failure.
+// Writes FlightRecorderJson to <prefix>_<pid>.json in REVISE_CRASH_DIR
+// (or the working directory) and returns the path; empty on I/O
+// failure.  The crash hook uses prefix "crash"; the stall watchdog
+// (obs/watchdog.h) uses "stall" — same writer, same shape, so tooling
+// that reads one reads both.
+std::string WriteFlightDump(const char* reason, const char* file_prefix);
+
+// WriteFlightDump(reason, "crash") — the util/check.h failure path.
 std::string WriteCrashDump(const char* reason);
 
 // Installs the util/check.h crash hook (idempotent; RecordFlightEvent
 // does this automatically).
 void InstallFlightRecorderCrashHook();
 
-// RAII begin/end event pair around one revision operation.
+// One operation currently inside a FlightOpScope — the heartbeat the
+// stall watchdog samples.  `id` is process-unique per scope instance,
+// so the watchdog reports each wedged operation once rather than every
+// poll.
+struct InFlightOp {
+  uint64_t id = 0;
+  int64_t start_ns = 0;  // steady-clock timestamp at scope entry
+  int tid = 0;
+  char name[48] = {};
+};
+
+// Open FlightOpScopes, oldest first.  Bounded: past
+// kMaxTrackedInFlightOps concurrently open scopes, new scopes record
+// their begin/end events but are invisible here (counted in
+// obs.inflight_ops_dropped).
+inline constexpr size_t kMaxTrackedInFlightOps = 256;
+std::vector<InFlightOp> SnapshotInFlightOps();
+
+// RAII begin/end event pair around one revision operation; registers
+// the operation in the in-flight table for the stall watchdog.
 class FlightOpScope {
  public:
   explicit FlightOpScope(std::string_view op_name);
@@ -94,6 +121,7 @@ class FlightOpScope {
 
  private:
   char op_name_[48] = {};
+  uint64_t id_ = 0;  // 0 when the in-flight table was full
 };
 
 }  // namespace revise::obs

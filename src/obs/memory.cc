@@ -1,10 +1,13 @@
 #include "obs/memory.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace revise::obs {
 
@@ -14,37 +17,87 @@ namespace {
 // procfs is unavailable or resets across reads.
 std::atomic<uint64_t> g_observed_peak{0};
 
-// Returns the "<field>: N kB" value from /proc/self/status in bytes, or
-// 0 when the file or field is missing (non-Linux platforms).
-uint64_t ReadProcStatusBytes(const char* field) {
-  uint64_t bytes = 0;
+// Peak and current RSS captured by one pass over /proc/self/status, so
+// the pair is consistent.
+struct ProcStatusSample {
+  uint64_t peak_bytes = 0;     // VmHWM
+  uint64_t current_bytes = 0;  // VmRSS
+};
+
+// Parses VmHWM and VmRSS ("<field>: N kB") in a single pass; both 0
+// when the file or fields are missing (non-Linux platforms).
+ProcStatusSample ReadProcStatus() {
+  ProcStatusSample sample;
+  REVISE_OBS_COUNTER("mem.statm_reads").Increment();
 #if defined(__linux__)
   std::FILE* file = std::fopen("/proc/self/status", "r");
-  if (file == nullptr) return 0;
-  const size_t field_len = std::strlen(field);
+  if (file == nullptr) return sample;
+  int remaining = 2;
   char line[256];
-  while (std::fgets(line, sizeof(line), file) != nullptr) {
-    if (std::strncmp(line, field, field_len) != 0 ||
-        line[field_len] != ':') {
+  while (remaining > 0 && std::fgets(line, sizeof(line), file) != nullptr) {
+    uint64_t* target = nullptr;
+    size_t skip = 0;
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      target = &sample.peak_bytes;
+      skip = 6;
+    } else if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      target = &sample.current_bytes;
+      skip = 6;
+    } else {
       continue;
     }
     unsigned long long kib = 0;
-    if (std::sscanf(line + field_len + 1, "%llu", &kib) == 1) {
-      bytes = static_cast<uint64_t>(kib) * 1024;
+    if (std::sscanf(line + skip, "%llu", &kib) == 1) {
+      *target = static_cast<uint64_t>(kib) * 1024;
     }
-    break;
+    --remaining;
   }
   std::fclose(file);
-#else
-  (void)field;
 #endif
-  return bytes;
+  return sample;
+}
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr int64_t kDefaultCacheTtlNanos = 100'000'000;  // 100ms
+
+std::atomic<int64_t> g_cache_ttl_ns{kDefaultCacheTtlNanos};
+
+struct SampleCache {
+  ProcStatusSample sample;
+  int64_t stamp_ns = 0;
+  bool valid = false;
+};
+
+util::Mutex g_cache_mu;
+SampleCache& Cache() REVISE_REQUIRES(g_cache_mu) {
+  static SampleCache* const cache = new SampleCache();
+  return *cache;
+}
+
+// The cached pair, refreshed when older than the TTL.  Within one TTL
+// window every caller (peak, current, ToJson) sees the same sample.
+ProcStatusSample CachedSample() {
+  const int64_t ttl_ns = g_cache_ttl_ns.load(std::memory_order_relaxed);
+  const int64_t now_ns = NowNanos();
+  util::MutexLock lock(g_cache_mu);
+  SampleCache& cache = Cache();
+  if (!cache.valid || now_ns - cache.stamp_ns >= ttl_ns) {
+    cache.sample = ReadProcStatus();
+    cache.stamp_ns = now_ns;
+    cache.valid = true;
+  }
+  return cache.sample;
 }
 
 }  // namespace
 
 uint64_t MemoryStats::PeakRssBytes() {
-  const uint64_t read = ReadProcStatusBytes("VmHWM");
+  const uint64_t read = CachedSample().peak_bytes;
   uint64_t seen = g_observed_peak.load(std::memory_order_relaxed);
   while (read > seen && !g_observed_peak.compare_exchange_weak(
                             seen, read, std::memory_order_relaxed)) {
@@ -53,7 +106,7 @@ uint64_t MemoryStats::PeakRssBytes() {
 }
 
 uint64_t MemoryStats::CurrentRssBytes() {
-  return ReadProcStatusBytes("VmRSS");
+  return CachedSample().current_bytes;
 }
 
 Json MemoryStats::ToJson() {
@@ -68,6 +121,16 @@ Json MemoryStats::ToJson() {
     if (name.rfind("mem.", 0) == 0) doc[name] = value;
   }
   return doc;
+}
+
+void MemoryStats::SetCacheTtlNanosForTesting(int64_t ttl_ns) {
+  g_cache_ttl_ns.store(ttl_ns < 0 ? kDefaultCacheTtlNanos : ttl_ns,
+                       std::memory_order_relaxed);
+}
+
+void MemoryStats::InvalidateCacheForTesting() {
+  util::MutexLock lock(g_cache_mu);
+  Cache().valid = false;
 }
 
 }  // namespace revise::obs

@@ -1,4 +1,4 @@
-// Process memory accounting for bench reports and the REPL.
+// Process memory accounting for bench reports, the REPL, and /statusz.
 //
 // Two sources are combined:
 //   * the OS view — peak and current resident set size read from
@@ -11,8 +11,16 @@
 //     unique tables, interned vocabulary names), which attribute the RSS
 //     to owners.
 //
-// MemoryStats::ToJson() snapshots both into one object; report.h embeds
-// it in every schema-v2 report.
+// procfs reads are cached: one pass parses VmHWM and VmRSS together and
+// the pair is served from a short-TTL cache (default 100ms), so callers
+// that snapshot repeatedly — the statsz /metrics endpoint, the periodic
+// metrics dumper, per-row bench reporting — cost one file parse per TTL
+// window instead of one per call (and always see a peak/current pair
+// from the same instant).  Actual parses are counted in
+// `mem.statm_reads`.
+//
+// MemoryStats::ToJson() snapshots both sources into one object; report.h
+// embeds it in every schema-v2 report.
 
 #ifndef REVISE_OBS_MEMORY_H_
 #define REVISE_OBS_MEMORY_H_
@@ -34,6 +42,12 @@ class MemoryStats {
   //  "mem.model_cache_bytes": ..., ...} — the RSS figures plus every
   //  registered `mem.*` gauge.
   static Json ToJson();
+
+  // Test hooks for the procfs cache.  TTL 0 re-reads on every call;
+  // negative restores the default.  Invalidate forces the next call to
+  // re-read regardless of TTL.
+  static void SetCacheTtlNanosForTesting(int64_t ttl_ns);
+  static void InvalidateCacheForTesting();
 };
 
 }  // namespace revise::obs

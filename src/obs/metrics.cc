@@ -1,6 +1,35 @@
 #include "obs/metrics.h"
 
+#include <chrono>
+
 namespace revise::obs {
+
+namespace {
+
+int64_t NowSteadyNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Captured at load time (dynamic initialization), before main and any
+// instrumented work, so uptime measures the whole process lifetime.
+const int64_t g_process_start_ns = NowSteadyNanos();
+
+}  // namespace
+
+int64_t ProcessStartNanos() { return g_process_start_ns; }
+
+double ProcessUptimeSeconds() {
+  return static_cast<double>(NowSteadyNanos() - g_process_start_ns) * 1e-9;
+}
+
+int64_t TouchUptimeGauge() {
+  const int64_t seconds =
+      (NowSteadyNanos() - g_process_start_ns) / 1000000000;
+  REVISE_OBS_GAUGE("obs.uptime_seconds").Set(seconds);
+  return seconds;
+}
 
 Registry& Registry::Global() {
   static Registry* const registry = new Registry();  // leaked, never destroyed

@@ -102,6 +102,18 @@ class Registry {
       REVISE_GUARDED_BY(mu_);
 };
 
+// Steady-clock nanoseconds captured during static initialization — the
+// monotonic process-start anchor shared by the report manifest
+// (schema v2.2), /statusz, and the `obs.uptime_seconds` gauge, so live
+// and offline views of uptime agree.
+int64_t ProcessStartNanos();
+double ProcessUptimeSeconds();
+
+// Refreshes `obs.uptime_seconds` from ProcessStartNanos (gauges are
+// last-value-wins, so the gauge is only as fresh as the last snapshot
+// that touched it) and returns the whole-second value it was set to.
+int64_t TouchUptimeGauge();
+
 }  // namespace revise::obs
 
 // Returns a reference to the named global counter, resolving the registry

@@ -1,0 +1,478 @@
+#include "obs/openmetrics.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "obs/memory.h"
+#include "obs/report.h"
+
+namespace revise::obs {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStart(c) || (c >= '0' && c <= '9');
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  *out += buffer;
+}
+
+void AppendI64(std::string* out, int64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
+  *out += buffer;
+}
+
+// `le` label values are canonical floats per the spec; bucket bounds
+// are integers, so append ".0" rather than round-tripping through
+// double (which would lose precision past 2^53).
+void AppendLe(std::string* out, uint64_t bound) {
+  AppendU64(out, bound);
+  *out += ".0";
+}
+
+void AppendHistogram(std::string* out, const std::string& family,
+                     const HistogramSnapshot& snapshot) {
+  *out += "# TYPE " + family + " histogram\n";
+  uint64_t cumulative = 0;
+  for (const auto& [bound, cell_count] : snapshot.buckets) {
+    cumulative += cell_count;
+    *out += family + "_bucket{le=\"";
+    AppendLe(out, bound);
+    *out += "\"} ";
+    AppendU64(out, cumulative);
+    *out += "\n";
+  }
+  // The spec requires the +Inf bucket and requires it to equal _count;
+  // both use the cell total so the invariant holds even when count_
+  // leads the cells under concurrent writers (histogram.h).
+  *out += family + "_bucket{le=\"+Inf\"} ";
+  AppendU64(out, snapshot.bucket_total);
+  *out += "\n" + family + "_count ";
+  AppendU64(out, snapshot.bucket_total);
+  *out += "\n" + family + "_sum ";
+  AppendU64(out, snapshot.sum);
+  *out += "\n";
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string sanitized;
+  sanitized.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool ok = i == 0 ? IsNameStart(c) : IsNameChar(c);
+    sanitized.push_back(ok ? c : '_');
+  }
+  return sanitized;
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      default:
+        escaped.push_back(c);
+    }
+  }
+  return escaped;
+}
+
+std::string RenderOpenMetricsFrom(const Registry& registry,
+                                  const OpenMetricsOptions& options) {
+  std::string out;
+  if (options.include_process) {
+    TouchUptimeGauge();
+    const Json manifest = BuildManifest();
+    out += "# TYPE revise_build info\n";
+    out += "revise_build_info{git_sha=\"";
+    out += EscapeLabelValue(manifest.Find("git_sha")->AsString());
+    out += "\",compiler=\"";
+    out += EscapeLabelValue(manifest.Find("compiler")->AsString());
+    out += "\",build_type=\"";
+    out += EscapeLabelValue(manifest.Find("build_type")->AsString());
+    out += "\"} 1\n";
+    // The RSS figures live outside the registry (obs/memory.h); expose
+    // them as gauges so a scrape sees the same numbers as the report's
+    // memory section.
+    const Json memory = MemoryStats::ToJson();
+    out += "# TYPE mem_peak_rss_bytes gauge\nmem_peak_rss_bytes ";
+    AppendU64(&out, memory.Find("peak_rss_bytes")->AsUint());
+    out += "\n# TYPE mem_current_rss_bytes gauge\nmem_current_rss_bytes ";
+    AppendU64(&out, memory.Find("current_rss_bytes")->AsUint());
+    out += "\n";
+  }
+  for (const auto& [name, value] : registry.SnapshotCounters()) {
+    const std::string family = SanitizeMetricName(name);
+    out += "# TYPE " + family + " counter\n" + family + "_total ";
+    AppendU64(&out, value);
+    out += "\n";
+  }
+  for (const auto& [name, value] : registry.SnapshotGauges()) {
+    const std::string family = SanitizeMetricName(name);
+    out += "# TYPE " + family + " gauge\n" + family + " ";
+    AppendI64(&out, value);
+    out += "\n";
+  }
+  for (const auto& [name, snapshot] : registry.SnapshotHistograms()) {
+    AppendHistogram(&out, SanitizeMetricName(name), snapshot);
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+std::string RenderOpenMetrics(const OpenMetricsOptions& options) {
+  return RenderOpenMetricsFrom(Registry::Global(), options);
+}
+
+Json MetricsSnapshotJson() {
+  Json doc = Json::MakeObject();
+  doc["schema_version"] = kSchemaVersion;
+  doc["schema_minor"] = kSchemaMinor;
+  doc["uptime_seconds"] = ProcessUptimeSeconds();
+  TouchUptimeGauge();
+  Json counters = Json::MakeObject();
+  for (const auto& [name, value] : Registry::Global().SnapshotCounters()) {
+    counters[name] = value;
+  }
+  doc["counters"] = std::move(counters);
+  Json gauges = Json::MakeObject();
+  for (const auto& [name, value] : Registry::Global().SnapshotGauges()) {
+    gauges[name] = value;
+  }
+  doc["gauges"] = std::move(gauges);
+  Json histograms = Json::MakeObject();
+  for (const auto& [name, snapshot] :
+       Registry::Global().SnapshotHistograms()) {
+    Json entry = Json::MakeObject();
+    entry["count"] = snapshot.count;
+    entry["sum"] = snapshot.sum;
+    entry["min"] = snapshot.min;
+    entry["max"] = snapshot.max;
+    entry["mean"] = snapshot.Mean();
+    entry["p50"] = snapshot.p50;
+    entry["p90"] = snapshot.p90;
+    entry["p99"] = snapshot.p99;
+    histograms[name] = std::move(entry);
+  }
+  doc["histograms"] = std::move(histograms);
+  doc["memory"] = MemoryStats::ToJson();
+  return doc;
+}
+
+// --- parser ------------------------------------------------------------
+
+namespace {
+
+Status ParseError(size_t line, const std::string& message) {
+  return InvalidArgumentError("openmetrics line " + std::to_string(line) +
+                              ": " + message);
+}
+
+// Splits a `key="value"` label list (the text between the braces) into
+// a map, undoing the exposition escapes.
+StatusOr<std::map<std::string, std::string>> ParseLabels(
+    std::string_view text, size_t line) {
+  std::map<std::string, std::string> labels;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eq = text.find('=', pos);
+    if (eq == std::string_view::npos) {
+      return ParseError(line, "label without '='");
+    }
+    const std::string key(text.substr(pos, eq - pos));
+    if (key.empty() || !IsNameStart(key[0])) {
+      return ParseError(line, "bad label name '" + key + "'");
+    }
+    if (eq + 1 >= text.size() || text[eq + 1] != '"') {
+      return ParseError(line, "label value must be quoted");
+    }
+    std::string value;
+    size_t i = eq + 2;
+    bool closed = false;
+    for (; i < text.size(); ++i) {
+      const char c = text[i];
+      if (c == '\\') {
+        if (i + 1 >= text.size()) {
+          return ParseError(line, "dangling escape in label value");
+        }
+        const char next = text[++i];
+        if (next == 'n') {
+          value.push_back('\n');
+        } else if (next == '\\' || next == '"') {
+          value.push_back(next);
+        } else {
+          return ParseError(line, "unknown escape in label value");
+        }
+      } else if (c == '"') {
+        closed = true;
+        ++i;
+        break;
+      } else {
+        value.push_back(c);
+      }
+    }
+    if (!closed) return ParseError(line, "unterminated label value");
+    labels.emplace(key, std::move(value));
+    if (i < text.size()) {
+      if (text[i] != ',') {
+        return ParseError(line, "expected ',' between labels");
+      }
+      ++i;
+    }
+    pos = i;
+  }
+  return labels;
+}
+
+enum class FamilyType { kNone, kCounter, kGauge, kHistogram, kInfo };
+
+Status ValidateHistogram(const std::string& family,
+                         const ParsedHistogram& histogram, size_t line) {
+  uint64_t previous = 0;
+  double previous_le = -std::numeric_limits<double>::infinity();
+  bool saw_inf = false;
+  uint64_t inf_count = 0;
+  for (const auto& [le, cumulative] : histogram.cumulative_buckets) {
+    if (le <= previous_le) {
+      return ParseError(line, family + ": bucket le values not increasing");
+    }
+    if (cumulative < previous) {
+      return ParseError(line,
+                        family + ": cumulative bucket counts decreased");
+    }
+    previous = cumulative;
+    previous_le = le;
+    if (le == std::numeric_limits<double>::infinity()) {
+      saw_inf = true;
+      inf_count = cumulative;
+    }
+  }
+  if (!histogram.cumulative_buckets.empty() && !saw_inf) {
+    return ParseError(line, family + ": missing +Inf bucket");
+  }
+  if (saw_inf && histogram.has_count && inf_count != histogram.count) {
+    return ParseError(line, family + ": +Inf bucket != _count");
+  }
+  return Status::Ok();
+}
+
+StatusOr<uint64_t> ParseU64(std::string_view text, size_t line) {
+  if (text.empty()) return ParseError(line, "missing value");
+  char* end = nullptr;
+  const std::string copy(text);
+  errno = 0;
+  const unsigned long long value = std::strtoull(copy.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    return ParseError(line, "bad unsigned value '" + copy + "'");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+StatusOr<int64_t> ParseI64(std::string_view text, size_t line) {
+  if (text.empty()) return ParseError(line, "missing value");
+  char* end = nullptr;
+  const std::string copy(text);
+  errno = 0;
+  const long long value = std::strtoll(copy.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    return ParseError(line, "bad integer value '" + copy + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+}  // namespace
+
+StatusOr<ParsedMetrics> ParseOpenMetrics(std::string_view text) {
+  ParsedMetrics parsed;
+  std::string family;
+  FamilyType type = FamilyType::kNone;
+  size_t family_line = 0;
+  size_t line_number = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_number;
+    if (line.empty()) continue;
+    if (parsed.saw_eof) {
+      return ParseError(line_number, "content after # EOF");
+    }
+    if (line[0] == '#') {
+      if (line == "# EOF") {
+        parsed.saw_eof = true;
+        continue;
+      }
+      if (line.rfind("# TYPE ", 0) == 0) {
+        // Close out the previous histogram family before switching.
+        if (type == FamilyType::kHistogram) {
+          if (const Status status = ValidateHistogram(
+                  family, parsed.histograms[family], line_number);
+              !status.ok()) {
+            return status;
+          }
+        }
+        const std::string_view rest = line.substr(7);
+        const size_t space = rest.find(' ');
+        if (space == std::string_view::npos) {
+          return ParseError(line_number, "malformed TYPE line");
+        }
+        family = std::string(rest.substr(0, space));
+        const std::string_view kind = rest.substr(space + 1);
+        if (kind == "counter") {
+          type = FamilyType::kCounter;
+        } else if (kind == "gauge") {
+          type = FamilyType::kGauge;
+        } else if (kind == "histogram") {
+          type = FamilyType::kHistogram;
+        } else if (kind == "info") {
+          type = FamilyType::kInfo;
+        } else {
+          return ParseError(line_number,
+                            "unsupported type '" + std::string(kind) + "'");
+        }
+        family_line = line_number;
+        continue;
+      }
+      continue;  // # HELP / # UNIT: tolerated, unused
+    }
+    // A sample line: name[{labels}] value
+    size_t name_end = 0;
+    while (name_end < line.size() && IsNameChar(line[name_end])) ++name_end;
+    if (name_end == 0) return ParseError(line_number, "missing sample name");
+    const std::string_view sample_name = line.substr(0, name_end);
+    std::map<std::string, std::string> labels;
+    size_t value_start = name_end;
+    if (value_start < line.size() && line[value_start] == '{') {
+      const size_t close = line.find('}', value_start);
+      if (close == std::string_view::npos) {
+        return ParseError(line_number, "unterminated label set");
+      }
+      StatusOr<std::map<std::string, std::string>> parsed_labels =
+          ParseLabels(line.substr(value_start + 1, close - value_start - 1),
+                      line_number);
+      if (!parsed_labels.ok()) return parsed_labels.status();
+      labels = std::move(parsed_labels).value();
+      value_start = close + 1;
+    }
+    while (value_start < line.size() && line[value_start] == ' ') {
+      ++value_start;
+    }
+    const std::string_view value_text = line.substr(value_start);
+    if (type == FamilyType::kNone) {
+      return ParseError(line_number, "sample before any # TYPE");
+    }
+    if (sample_name.substr(0, family.size()) != family) {
+      return ParseError(line_number, "sample '" + std::string(sample_name) +
+                                         "' outside family '" + family +
+                                         "'");
+    }
+    const std::string_view suffix = sample_name.substr(family.size());
+    switch (type) {
+      case FamilyType::kCounter: {
+        if (suffix != "_total") {
+          return ParseError(line_number,
+                            "counter sample must end in _total");
+        }
+        StatusOr<uint64_t> value = ParseU64(value_text, line_number);
+        if (!value.ok()) return value.status();
+        parsed.counters[family] = *value;
+        break;
+      }
+      case FamilyType::kGauge: {
+        if (!suffix.empty()) {
+          return ParseError(line_number, "gauge sample must be bare");
+        }
+        StatusOr<int64_t> value = ParseI64(value_text, line_number);
+        if (!value.ok()) return value.status();
+        parsed.gauges[family] = *value;
+        break;
+      }
+      case FamilyType::kHistogram: {
+        ParsedHistogram& histogram = parsed.histograms[family];
+        if (suffix == "_bucket") {
+          const auto le = labels.find("le");
+          if (le == labels.end()) {
+            return ParseError(line_number, "bucket without le label");
+          }
+          double bound = 0;
+          if (le->second == "+Inf") {
+            bound = std::numeric_limits<double>::infinity();
+          } else {
+            char* end = nullptr;
+            bound = std::strtod(le->second.c_str(), &end);
+            if (end == nullptr || *end != '\0') {
+              return ParseError(line_number,
+                                "bad le value '" + le->second + "'");
+            }
+          }
+          StatusOr<uint64_t> value = ParseU64(value_text, line_number);
+          if (!value.ok()) return value.status();
+          histogram.cumulative_buckets.emplace_back(bound, *value);
+        } else if (suffix == "_count") {
+          StatusOr<uint64_t> value = ParseU64(value_text, line_number);
+          if (!value.ok()) return value.status();
+          histogram.count = *value;
+          histogram.has_count = true;
+        } else if (suffix == "_sum") {
+          StatusOr<uint64_t> value = ParseU64(value_text, line_number);
+          if (!value.ok()) return value.status();
+          histogram.sum = *value;
+          histogram.has_sum = true;
+        } else {
+          return ParseError(line_number, "unknown histogram sample suffix");
+        }
+        break;
+      }
+      case FamilyType::kInfo: {
+        if (suffix != "_info") {
+          return ParseError(line_number, "info sample must end in _info");
+        }
+        if (value_text != "1") {
+          return ParseError(line_number, "info sample value must be 1");
+        }
+        parsed.infos[family] = std::move(labels);
+        break;
+      }
+      case FamilyType::kNone:
+        break;  // unreachable; handled above
+    }
+  }
+  if (type == FamilyType::kHistogram) {
+    if (const Status status = ValidateHistogram(
+            family, parsed.histograms[family], family_line);
+        !status.ok()) {
+      return status;
+    }
+  }
+  if (!parsed.saw_eof) {
+    return InvalidArgumentError("openmetrics: missing # EOF terminator");
+  }
+  return parsed;
+}
+
+}  // namespace revise::obs

@@ -1,0 +1,121 @@
+// OpenMetrics exposition of the instrument registry, plus the matching
+// round-trip parser.
+//
+// RenderOpenMetrics turns the live Registry (counters, gauges,
+// log-bucketed histograms) into spec-compliant OpenMetrics text:
+//
+//   # TYPE revise_build info
+//   revise_build_info{git_sha="...",compiler="...",build_type="..."} 1
+//   # TYPE obs_uptime_seconds gauge
+//   obs_uptime_seconds 42
+//   # TYPE sat_conflicts counter
+//   sat_conflicts_total 123
+//   # TYPE revise_dalal histogram
+//   revise_dalal_bucket{le="4.0"} 2
+//   revise_dalal_bucket{le="+Inf"} 9
+//   revise_dalal_count 9
+//   revise_dalal_sum 55
+//   # EOF
+//
+// Counters expose the mandatory `_total` sample, histograms expose
+// cumulative `le` buckets (only the octave cells that actually hold
+// samples, so the 496-bucket layout stays compact on the wire) plus
+// `_count`/`_sum`, and a `revise_build` info metric carries the build
+// provenance as labels.  Instrument names are `subsystem.metric`
+// (enforced by tools/revise_lint); SanitizeMetricName maps them onto
+// the OpenMetrics grammar ('.' -> '_'), and the lint obs-name rule
+// rejects names that would not survive the mapping (leading digit or
+// underscore).  Label values are escaped per the spec (backslash,
+// double quote, newline).
+//
+// ParseOpenMetrics reads the exposition back into typed maps and
+// validates the structural invariants (TYPE before samples, cumulative
+// bucket monotonicity, +Inf bucket equal to _count) — tests round-trip
+// every metric kind through it, and the statsz CI smoke job validates a
+// live /metrics scrape with the same code (tools/revise_om_check.cc).
+//
+// MetricsSnapshotJson is the JSON twin of the exposition, reusing the
+// schema-v2 section shapes from obs/report.h so a /metrics.json poll
+// and an offline report diff cleanly.
+
+#ifndef REVISE_OBS_OPENMETRICS_H_
+#define REVISE_OBS_OPENMETRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace revise::obs {
+
+// Maps `subsystem.metric` onto the OpenMetrics name grammar
+// [a-zA-Z_][a-zA-Z0-9_]*: '.' becomes '_', any other out-of-grammar
+// byte becomes '_' too.  The obs-name lint rule guarantees registered
+// names start with a lowercase letter, so the mapping never needs a
+// prefix and is injective over lint-clean names that do not mix '_'
+// and '.' at the same positions.
+std::string SanitizeMetricName(std::string_view name);
+
+// Escapes a label value per the OpenMetrics ABNF: backslash, double
+// quote, and newline become \\, \" and \n.  No surrounding quotes.
+std::string EscapeLabelValue(std::string_view value);
+
+struct OpenMetricsOptions {
+  // Include the process-level block: the revise_build info metric, a
+  // refreshed obs.uptime_seconds gauge, and the mem_peak_rss_bytes /
+  // mem_current_rss_bytes gauges.  Tests rendering a local Registry
+  // turn this off to stay deterministic.
+  bool include_process = true;
+};
+
+// Renders `registry` as OpenMetrics text, terminated by "# EOF\n".
+std::string RenderOpenMetricsFrom(const Registry& registry,
+                                  const OpenMetricsOptions& options = {});
+
+// The process-wide registry (what /metrics and the periodic dump serve).
+std::string RenderOpenMetrics(const OpenMetricsOptions& options = {});
+
+// The JSON snapshot twin: {"schema_version": 2, "schema_minor": ...,
+// "uptime_seconds": ..., "counters": {...}, "gauges": {...},
+// "histograms": {...}, "memory": {...}} with the same section shapes as
+// a schema-v2 report.
+Json MetricsSnapshotJson();
+
+// --- round-trip parser -------------------------------------------------
+
+struct ParsedHistogram {
+  // (le, cumulative count) in declaration order; the +Inf bucket is
+  // recorded with le = infinity.
+  std::vector<std::pair<double, uint64_t>> cumulative_buckets;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  bool has_count = false;
+  bool has_sum = false;
+};
+
+struct ParsedMetrics {
+  std::map<std::string, uint64_t> counters;          // by exposition name
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, ParsedHistogram> histograms;
+  // info metrics: name -> label map.
+  std::map<std::string, std::map<std::string, std::string>> infos;
+  bool saw_eof = false;
+};
+
+// Parses an OpenMetrics exposition produced by RenderOpenMetrics (one
+// metric point per family, no timestamps).  Returns kInvalidArgument
+// with a line number on: samples without a preceding TYPE, unknown
+// sample suffixes for the declared type, malformed label syntax,
+// non-monotone cumulative buckets, a +Inf bucket disagreeing with
+// _count, or a missing "# EOF" terminator.
+StatusOr<ParsedMetrics> ParseOpenMetrics(std::string_view text);
+
+}  // namespace revise::obs
+
+#endif  // REVISE_OBS_OPENMETRICS_H_

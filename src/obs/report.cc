@@ -39,6 +39,9 @@ Json BuildManifest() {
   manifest["threads"] = static_cast<uint64_t>(ParallelThreads());
   manifest["hardware_threads"] =
       static_cast<uint64_t>(std::thread::hardware_concurrency());
+  manifest["process_start_ns"] = ProcessStartNanos();
+  manifest["uptime_seconds"] = ProcessUptimeSeconds();
+  TouchUptimeGauge();
   Json env = Json::MakeObject();
 #if defined(__unix__) || defined(__APPLE__)
   for (char** entry = environ; entry != nullptr && *entry != nullptr;

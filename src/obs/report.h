@@ -8,10 +8,11 @@
 //
 //   {
 //     "schema_version": 2,
-//     "schema_minor": 1,
+//     "schema_minor": 2,
 //     "name": "<bench name>",
 //     "manifest": { "git_sha": ..., "compiler": ..., "build_type": ...,
 //                   "threads": ..., "hardware_threads": ...,
+//                   "process_start_ns": ..., "uptime_seconds": ...,
 //                   "env": { "REVISE_THREADS": "8", ... } },
 //     "meta": { ... },
 //     "tables": [ {"name": ..., "columns": [...], "rows": [[...], ...]} ],
@@ -39,7 +40,10 @@
 // Schema history: v1 had no manifest/histograms/memory blocks and no
 // span thread ids; v2.1 added span ids/parent ids and the profiles
 // section (additive, so `schema_version` stays 2 and v2 readers parse
-// v2.1 reports); v2 readers (tools/revise_benchdiff.cc) accept all.
+// v2.1 reports); v2.2 added the manifest's process_start_ns (the
+// steady-clock anchor shared with /statusz and `obs.uptime_seconds`)
+// and uptime_seconds fields; v2 readers (tools/revise_benchdiff.cc)
+// accept all.
 
 #ifndef REVISE_OBS_REPORT_H_
 #define REVISE_OBS_REPORT_H_
@@ -54,7 +58,7 @@
 namespace revise::obs {
 
 inline constexpr int kSchemaVersion = 2;
-inline constexpr int kSchemaMinor = 1;
+inline constexpr int kSchemaMinor = 2;
 
 // The build/run provenance block embedded in every report: git sha and
 // compiler baked in at build time, thread configuration and the REVISE_*

@@ -1,0 +1,331 @@
+#include "obs/statsz.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/memory.h"
+#include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "obs/profile.h"
+#include "obs/report.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace revise::obs {
+
+namespace {
+
+constexpr int kAcceptPollMs = 100;
+
+const char* ReasonPhrase(int code) {
+  switch (code) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Bad Request";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.0 ";
+  out += std::to_string(response.code);
+  out += " ";
+  out += ReasonPhrase(response.code);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+int ProcessId() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<int>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+Json StatuszJson() {
+  Json doc = Json::MakeObject();
+  doc["manifest"] = BuildManifest();
+  doc["pid"] = ProcessId();
+  doc["uptime_seconds"] = ProcessUptimeSeconds();
+  Json threads = Json::MakeObject();
+  threads["configured"] = static_cast<uint64_t>(ParallelThreads());
+  threads["pool_workers"] =
+      static_cast<uint64_t>(ThreadPool::Global().worker_count());
+  doc["threads"] = std::move(threads);
+  doc["memory"] = MemoryStats::ToJson();
+  Json statsz = Json::MakeObject();
+  statsz["port"] = REVISE_OBS_GAUGE("statsz.port").Value();
+  statsz["requests"] = REVISE_OBS_COUNTER("statsz.requests").Value();
+  statsz["rejected"] = REVISE_OBS_COUNTER("statsz.rejected").Value();
+  statsz["bad_requests"] =
+      REVISE_OBS_COUNTER("statsz.bad_requests").Value();
+  doc["statsz"] = std::move(statsz);
+  return doc;
+}
+
+}  // namespace
+
+HttpResponse HandleStatszPath(std::string_view path) {
+  // Ignore any query string: the endpoints take no parameters.
+  if (const size_t query = path.find('?'); query != std::string_view::npos) {
+    path = path.substr(0, query);
+  }
+  HttpResponse response;
+  if (path == "/metrics") {
+    response.content_type =
+        "application/openmetrics-text; version=1.0.0; charset=utf-8";
+    response.body = RenderOpenMetrics();
+    return response;
+  }
+  if (path == "/metrics.json") {
+    response.content_type = "application/json";
+    response.body = MetricsSnapshotJson().Dump(/*indent=*/1);
+    response.body += "\n";
+    return response;
+  }
+  if (path == "/statusz") {
+    response.content_type = "application/json";
+    response.body = StatuszJson().Dump(/*indent=*/1);
+    response.body += "\n";
+    return response;
+  }
+  if (path == "/profilez") {
+    Json doc = Json::MakeObject();
+    doc["schema_version"] = kSchemaVersion;
+    doc["schema_minor"] = kSchemaMinor;
+    doc["profiling_enabled"] = ProfilingEnabled();
+    doc["profiles"] = ProfileForestToJson();
+    response.content_type = "application/json";
+    response.body = doc.Dump(/*indent=*/1);
+    response.body += "\n";
+    return response;
+  }
+  if (path == "/tracez") {
+    response.content_type = "application/json";
+    response.body = FlightRecorderJson("tracez");
+    response.body += "\n";
+    return response;
+  }
+  if (path == "/healthz" || path == "/") {
+    response.body = "ok\n";
+    return response;
+  }
+  response.code = 404;
+  response.body = "not found\n";
+  return response;
+}
+
+StatusOr<std::unique_ptr<StatszServer>> StatszServer::Start(
+    const StatszOptions& options) {
+  StatusOr<util::TcpListener> listener =
+      util::ListenTcpLoopback(options.port);
+  if (!listener.ok()) return listener.status();
+  std::unique_ptr<StatszServer> server(new StatszServer(options));
+  server->listener_ = *listener;
+  REVISE_OBS_GAUGE("statsz.port").Set(server->listener_.port);
+  if (options.announce) {
+    std::fprintf(stderr, "revise: statsz listening on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(server->listener_.port));
+  }
+  const size_t workers = options.workers == 0 ? 1 : options.workers;
+  server->worker_threads_.reserve(workers);
+  StatszServer* raw = server.get();
+  for (size_t i = 0; i < workers; ++i) {
+    server->worker_threads_.emplace_back([raw] { raw->WorkerLoop(); });
+  }
+  server->accept_thread_ =
+      BackgroundThread([raw] { raw->AcceptLoop(); });
+  return server;
+}
+
+StatszServer::~StatszServer() { Stop(); }
+
+void StatszServer::Stop() {
+  {
+    util::MutexLock lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    queue_cv_.NotifyAll();
+  }
+  accept_thread_.Join();
+  for (BackgroundThread& worker : worker_threads_) worker.Join();
+  util::CloseSocket(listener_.fd);
+  listener_.fd = -1;
+}
+
+void StatszServer::AcceptLoop() {
+  for (;;) {
+    {
+      util::MutexLock lock(mu_);
+      if (stopping_) return;
+    }
+    StatusOr<int> accepted =
+        util::AcceptConnection(listener_.fd, kAcceptPollMs);
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kDeadlineExceeded) {
+        continue;  // idle poll; re-check the stop flag
+      }
+      // Listener failed (closed fd, resource exhaustion): the server
+      // degrades to not serving rather than spinning.
+      REVISE_OBS_COUNTER("statsz.accept_errors").Increment();
+      return;
+    }
+    const int fd = *accepted;
+    bool enqueued = false;
+    {
+      util::MutexLock lock(mu_);
+      if (!stopping_ && queue_.size() < options_.queue_limit) {
+        queue_.push_back(fd);
+        enqueued = true;
+        queue_cv_.NotifyOne();
+      }
+    }
+    if (!enqueued) {
+      // Shed load inline: a full queue answers 503 from the accept
+      // thread so the workers (and the process under observation)
+      // never accumulate unbounded backlog.
+      REVISE_OBS_COUNTER("statsz.rejected").Increment();
+      HttpResponse response;
+      response.code = 503;
+      response.body = "statsz overloaded\n";
+      (void)util::SendAll(fd, SerializeResponse(response));
+      util::CloseSocket(fd);
+    }
+  }
+}
+
+void StatszServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      util::MutexLock lock(mu_);
+      while (queue_.empty() && !stopping_) queue_cv_.Wait(mu_);
+      if (queue_.empty() && stopping_) return;
+      fd = queue_.front();
+      queue_.pop_front();
+    }
+    ServeConnection(fd);
+  }
+}
+
+void StatszServer::ServeConnection(int fd) {
+  // The scope makes a wedged handler visible to the stall watchdog and
+  // /tracez — the server monitors itself like any other operation.
+  FlightOpScope scope("statsz.request");
+  StatusOr<std::string> head = util::ReadHttpRequestHead(fd);
+  if (!head.ok()) {
+    REVISE_OBS_COUNTER("statsz.bad_requests").Increment();
+    util::CloseSocket(fd);
+    return;
+  }
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::string_view text = *head;
+  const size_t line_end = text.find('\n');
+  const std::string_view request_line =
+      text.substr(0, line_end == std::string_view::npos ? text.size()
+                                                        : line_end);
+  const size_t method_end = request_line.find(' ');
+  HttpResponse response;
+  if (method_end == std::string_view::npos) {
+    REVISE_OBS_COUNTER("statsz.bad_requests").Increment();
+    response.code = 405;
+    response.body = "malformed request\n";
+  } else if (request_line.substr(0, method_end) != "GET") {
+    REVISE_OBS_COUNTER("statsz.bad_requests").Increment();
+    response.code = 405;
+    response.body = "only GET is supported\n";
+  } else {
+    const size_t path_start = method_end + 1;
+    size_t path_end = request_line.find(' ', path_start);
+    if (path_end == std::string_view::npos) path_end = request_line.size();
+    REVISE_OBS_COUNTER("statsz.requests").Increment();
+    response = HandleStatszPath(
+        request_line.substr(path_start, path_end - path_start));
+  }
+  (void)util::SendAll(fd, SerializeResponse(response));
+  util::CloseSocket(fd);
+}
+
+// --- process-wide instance ---------------------------------------------
+
+namespace {
+
+util::Mutex g_statsz_mu;
+StatszServer*& GlobalStatszSlot() REVISE_REQUIRES(g_statsz_mu) {
+  static StatszServer* server = nullptr;
+  return server;
+}
+
+}  // namespace
+
+StatszServer* StartStatszFromEnv() {
+  const char* env = std::getenv("REVISE_STATSZ");
+  if (env == nullptr || *env == '\0') return GlobalStatsz();
+  {
+    util::MutexLock lock(g_statsz_mu);
+    if (GlobalStatszSlot() != nullptr) return GlobalStatszSlot();
+  }
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(env, &end, 10);
+  if (end == nullptr || *end != '\0' || parsed > 65535) {
+    std::fprintf(stderr, "revise: bad REVISE_STATSZ value '%s' (want a "
+                         "port number; 0 = ephemeral)\n",
+                 env);
+    return nullptr;
+  }
+  StatszOptions options;
+  options.port = static_cast<uint16_t>(parsed);
+  const Status status = StartGlobalStatsz(options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "revise: statsz failed to start: %s\n",
+                 status.ToString().c_str());
+    return nullptr;
+  }
+  return GlobalStatsz();
+}
+
+Status StartGlobalStatsz(const StatszOptions& options) {
+  util::MutexLock lock(g_statsz_mu);
+  if (GlobalStatszSlot() != nullptr) {
+    return FailedPreconditionError("statsz server already running");
+  }
+  StatusOr<std::unique_ptr<StatszServer>> server =
+      StatszServer::Start(options);
+  if (!server.ok()) return server.status();
+  GlobalStatszSlot() = server->release();
+  return Status::Ok();
+}
+
+StatszServer* GlobalStatsz() {
+  util::MutexLock lock(g_statsz_mu);
+  return GlobalStatszSlot();
+}
+
+void StopGlobalStatsz() {
+  StatszServer* server = nullptr;
+  {
+    util::MutexLock lock(g_statsz_mu);
+    server = GlobalStatszSlot();
+    GlobalStatszSlot() = nullptr;
+  }
+  delete server;  // ~StatszServer stops and joins
+}
+
+}  // namespace revise::obs

@@ -1,0 +1,130 @@
+// The in-process statsz server: live introspection over HTTP/1.0.
+//
+// Obs v1-v3 built rich in-process state — counters, histograms, causal
+// traces, EXPLAIN profiles, a crash flight recorder — reachable only at
+// exit or crash.  StatszServer makes it reachable from a *running*
+// process: a dependency-free POSIX-socket listener (util/net.h) bound
+// to 127.0.0.1 serving
+//
+//   /metrics       OpenMetrics exposition (obs/openmetrics.h)
+//   /metrics.json  the JSON snapshot twin (schema-v2 section shapes)
+//   /statusz       run manifest: git sha, build flags, uptime, threads,
+//                  RSS, statsz request counters
+//   /profilez      the completed EXPLAIN profile forest as JSON
+//                  (obs/profile.h; empty array unless profiling is on)
+//   /tracez        the crash flight recorder ring + in-flight ops as
+//                  JSON (obs/flight_recorder.h)
+//   /healthz       "ok\n" — liveness for scripts and load balancers
+//
+// Architecture: one accept thread polls the listener and hands each
+// connection to a bounded queue drained by worker threads
+// (BackgroundThread; all locks on the annotated util::Mutex so
+// the -Wthread-safety CI job covers the server).  When the queue is
+// full the accept thread answers 503 inline — introspection load must
+// degrade by dropping scrapes, never by queueing unboundedly inside
+// the process it observes.  Each served request runs under a
+// FlightOpScope, so a wedged handler is itself visible to the stall
+// watchdog and /tracez.
+//
+// Activation: REVISE_STATSZ=<port> (StartStatszFromEnv, called by the
+// benches' JsonReporter, the REPL, and revise_fuzz), the bench
+// --statsz=<port> flag, or the REPL :statsz command.  Port 0 binds an
+// ephemeral port; the bound port is exposed through the `statsz.port`
+// gauge and announced once on stderr as
+//   revise: statsz listening on 127.0.0.1:<port>
+// so headless harnesses (the CI smoke job) can discover it.
+//
+// This listener is the deliberate skeleton of the `revised` front-end
+// (ROADMAP item 2): the accept/bounded-handoff shape, the health and
+// introspection endpoints, and the port-0 discovery protocol carry
+// over unchanged.
+
+#ifndef REVISE_OBS_STATSZ_H_
+#define REVISE_OBS_STATSZ_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/net.h"
+#include "util/parallel.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace revise::obs {
+
+struct StatszOptions {
+  uint16_t port = 0;       // 0 = ephemeral
+  size_t workers = 1;      // request-serving threads
+  size_t queue_limit = 16; // pending connections before 503
+  bool announce = true;    // print the stderr discovery line
+};
+
+// One rendered HTTP response, before serialization.
+struct HttpResponse {
+  int code = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+// The endpoint dispatch, exposed for tests that want to exercise
+// handlers without sockets.  Unknown paths return 404.
+HttpResponse HandleStatszPath(std::string_view path);
+
+class StatszServer {
+ public:
+  // Binds, starts the accept and worker threads, sets the
+  // `statsz.port` gauge, and (per options) announces the port.
+  static StatusOr<std::unique_ptr<StatszServer>> Start(
+      const StatszOptions& options);
+
+  ~StatszServer();
+
+  // Stops accepting, drains the queue, joins all threads.  Idempotent.
+  void Stop();
+
+  uint16_t port() const { return listener_.port; }
+
+ private:
+  explicit StatszServer(const StatszOptions& options)
+      : options_(options) {}
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+
+  StatszOptions options_;
+  util::TcpListener listener_;
+
+  util::Mutex mu_;
+  util::CondVar queue_cv_;
+  std::deque<int> queue_ REVISE_GUARDED_BY(mu_);
+  bool stopping_ REVISE_GUARDED_BY(mu_) = false;
+
+  BackgroundThread accept_thread_;
+  std::vector<BackgroundThread> worker_threads_;
+};
+
+// Starts the process-wide server from REVISE_STATSZ=<port> exactly once
+// (subsequent calls return the running server).  Returns nullptr when
+// the variable is unset/empty or the bind failed (failure is reported
+// on stderr — a bad port must not kill the workload it observes).
+StatszServer* StartStatszFromEnv();
+
+// Starts the process-wide server explicitly (bench --statsz, REPL
+// :statsz).  Fails with kFailedPrecondition if one is already running.
+Status StartGlobalStatsz(const StatszOptions& options);
+
+// The running process-wide server, if any.
+StatszServer* GlobalStatsz();
+
+// Stops and destroys the process-wide server (tests).
+void StopGlobalStatsz();
+
+}  // namespace revise::obs
+
+#endif  // REVISE_OBS_STATSZ_H_

@@ -1,0 +1,286 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/openmetrics.h"
+
+namespace revise::obs {
+
+namespace {
+
+// Same clock (and epoch) as the in-flight table's start_ns stamps.
+int64_t NowSteadyNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t ClampedWaitMs(double seconds) {
+  const double ms = seconds * 1000.0;
+  if (ms < 1.0) return 1;
+  if (ms > 3600.0 * 1000.0) return 3600 * 1000;
+  return static_cast<int64_t>(ms);
+}
+
+}  // namespace
+
+// --- MetricsDumper -----------------------------------------------------
+
+StatusOr<std::unique_ptr<MetricsDumper>> MetricsDumper::Start(
+    const MetricsDumperOptions& options) {
+  if (options.path.empty()) {
+    return InvalidArgumentError("metrics dump path is empty");
+  }
+  if (!(options.interval_s > 0.0)) {
+    return InvalidArgumentError("metrics dump interval must be positive");
+  }
+  std::unique_ptr<MetricsDumper> dumper(new MetricsDumper(options));
+  REVISE_RETURN_IF_ERROR(dumper->WriteDump());
+  MetricsDumper* raw = dumper.get();
+  dumper->thread_ = BackgroundThread([raw] { raw->Loop(); });
+  return dumper;
+}
+
+MetricsDumper::~MetricsDumper() { Stop(); }
+
+void MetricsDumper::Stop() {
+  {
+    util::MutexLock lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    stop_cv_.NotifyAll();
+  }
+  thread_.Join();
+  // A final rotation so the artifact reflects the end of the run.
+  (void)WriteDump().ok();
+}
+
+void MetricsDumper::Loop() {
+  const int64_t wait_ms = ClampedWaitMs(options_.interval_s);
+  for (;;) {
+    {
+      util::MutexLock lock(mu_);
+      while (!stopping_) {
+        if (!stop_cv_.WaitFor(mu_, wait_ms)) break;  // interval elapsed
+      }
+      if (stopping_) return;
+    }
+    if (!WriteDump().ok()) {
+      REVISE_OBS_COUNTER("obs.metrics_dump_errors").Increment();
+    }
+  }
+}
+
+Status MetricsDumper::WriteDump() {
+  const std::string text = RenderOpenMetrics();
+  const std::string tmp = options_.path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "w");
+  if (file == nullptr) {
+    return InternalError("cannot open metrics dump file " + tmp);
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool close_ok = std::fclose(file) == 0;
+  if (written != text.size() || !close_ok) {
+    std::remove(tmp.c_str());
+    return InternalError("short write to metrics dump file " + tmp);
+  }
+  if (std::rename(tmp.c_str(), options_.path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return InternalError("cannot rotate metrics dump into " + options_.path);
+  }
+  REVISE_OBS_COUNTER("obs.metrics_dumps").Increment();
+  return Status::Ok();
+}
+
+// --- StallWatchdog -----------------------------------------------------
+
+StatusOr<std::unique_ptr<StallWatchdog>> StallWatchdog::Start(
+    const StallWatchdogOptions& options) {
+  if (!(options.threshold_s > 0.0)) {
+    return InvalidArgumentError("watchdog threshold must be positive");
+  }
+  StallWatchdogOptions resolved = options;
+  if (!(resolved.poll_interval_s > 0.0)) {
+    resolved.poll_interval_s =
+        std::clamp(resolved.threshold_s / 4.0, 0.010, 1.0);
+  }
+  std::unique_ptr<StallWatchdog> watchdog(new StallWatchdog(resolved));
+  StallWatchdog* raw = watchdog.get();
+  watchdog->thread_ = BackgroundThread([raw] { raw->Loop(); });
+  return watchdog;
+}
+
+StallWatchdog::~StallWatchdog() { Stop(); }
+
+void StallWatchdog::Stop() {
+  {
+    util::MutexLock lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    stop_cv_.NotifyAll();
+  }
+  thread_.Join();
+}
+
+void StallWatchdog::Loop() {
+  const int64_t wait_ms = ClampedWaitMs(options_.poll_interval_s);
+  const int64_t threshold_ns =
+      static_cast<int64_t>(options_.threshold_s * 1e9);
+  // Scope ids already reported as stalled; pruned to the live table each
+  // poll so the set stays bounded by kMaxTrackedInFlightOps.
+  std::set<uint64_t> reported;
+  for (;;) {
+    {
+      util::MutexLock lock(mu_);
+      if (stopping_) return;
+      (void)stop_cv_.WaitFor(mu_, wait_ms);
+      if (stopping_) return;
+    }
+    const std::vector<InFlightOp> ops = SnapshotInFlightOps();
+    const int64_t now_ns = NowSteadyNanos();
+    std::set<uint64_t> live;
+    bool new_stall = false;
+    for (const InFlightOp& op : ops) {
+      live.insert(op.id);
+      if (now_ns - op.start_ns < threshold_ns) continue;
+      if (reported.count(op.id) != 0) continue;
+      reported.insert(op.id);
+      new_stall = true;
+      char detail[80];
+      std::snprintf(detail, sizeof(detail), "%s stalled %.1fs", op.name,
+                    static_cast<double>(now_ns - op.start_ns) * 1e-9);
+      REVISE_FLIGHT_EVENT("obs.watchdog_stall", detail);
+      REVISE_OBS_COUNTER("obs.watchdog_stalls").Increment();
+    }
+    // Forget finished scopes: their ids never recur (monotone counter).
+    for (auto it = reported.begin(); it != reported.end();) {
+      if (live.count(*it) == 0) {
+        it = reported.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (new_stall && options_.write_dump) {
+      const std::string path = WriteFlightDump("stall watchdog", "stall");
+      if (!path.empty()) {
+        std::fprintf(stderr, "revise: watchdog stall dump written to %s\n",
+                     path.c_str());
+      }
+    }
+  }
+}
+
+// --- process-wide instances --------------------------------------------
+
+namespace {
+
+util::Mutex g_watchdog_mu;
+MetricsDumper*& GlobalDumperSlot() REVISE_REQUIRES(g_watchdog_mu) {
+  static MetricsDumper* dumper = nullptr;
+  return dumper;
+}
+StallWatchdog*& GlobalWatchdogSlot() REVISE_REQUIRES(g_watchdog_mu) {
+  static StallWatchdog* watchdog = nullptr;
+  return watchdog;
+}
+
+}  // namespace
+
+MetricsDumper* StartMetricsDumperFromEnv() {
+  const char* env = std::getenv("REVISE_METRICS_DUMP");
+  {
+    util::MutexLock lock(g_watchdog_mu);
+    if (GlobalDumperSlot() != nullptr) return GlobalDumperSlot();
+  }
+  if (env == nullptr || *env == '\0') return nullptr;
+  const std::string spec(env);
+  const size_t colon = spec.rfind(':');
+  MetricsDumperOptions options;
+  if (colon == std::string::npos || colon == 0) {
+    std::fprintf(stderr, "revise: bad REVISE_METRICS_DUMP value '%s' "
+                         "(want <path>:<interval_s>)\n",
+                 env);
+    return nullptr;
+  }
+  options.path = spec.substr(0, colon);
+  char* end = nullptr;
+  options.interval_s = std::strtod(spec.c_str() + colon + 1, &end);
+  if (end == nullptr || *end != '\0' || !(options.interval_s > 0.0)) {
+    std::fprintf(stderr, "revise: bad REVISE_METRICS_DUMP interval in "
+                         "'%s' (want a positive number of seconds)\n",
+                 env);
+    return nullptr;
+  }
+  StatusOr<std::unique_ptr<MetricsDumper>> dumper =
+      MetricsDumper::Start(options);
+  if (!dumper.ok()) {
+    std::fprintf(stderr, "revise: metrics dumper failed to start: %s\n",
+                 dumper.status().ToString().c_str());
+    return nullptr;
+  }
+  util::MutexLock lock(g_watchdog_mu);
+  if (GlobalDumperSlot() == nullptr) {
+    GlobalDumperSlot() = dumper->release();
+  }
+  return GlobalDumperSlot();
+}
+
+StallWatchdog* StartStallWatchdogFromEnv() {
+  const char* env = std::getenv("REVISE_WATCHDOG_S");
+  {
+    util::MutexLock lock(g_watchdog_mu);
+    if (GlobalWatchdogSlot() != nullptr) return GlobalWatchdogSlot();
+  }
+  if (env == nullptr || *env == '\0') return nullptr;
+  char* end = nullptr;
+  StallWatchdogOptions options;
+  options.threshold_s = std::strtod(env, &end);
+  if (end == nullptr || *end != '\0' || !(options.threshold_s > 0.0)) {
+    std::fprintf(stderr, "revise: bad REVISE_WATCHDOG_S value '%s' "
+                         "(want a positive number of seconds)\n",
+                 env);
+    return nullptr;
+  }
+  StatusOr<std::unique_ptr<StallWatchdog>> watchdog =
+      StallWatchdog::Start(options);
+  if (!watchdog.ok()) {
+    std::fprintf(stderr, "revise: stall watchdog failed to start: %s\n",
+                 watchdog.status().ToString().c_str());
+    return nullptr;
+  }
+  util::MutexLock lock(g_watchdog_mu);
+  if (GlobalWatchdogSlot() == nullptr) {
+    GlobalWatchdogSlot() = watchdog->release();
+  }
+  return GlobalWatchdogSlot();
+}
+
+void StopGlobalMetricsDumper() {
+  MetricsDumper* dumper = nullptr;
+  {
+    util::MutexLock lock(g_watchdog_mu);
+    dumper = GlobalDumperSlot();
+    GlobalDumperSlot() = nullptr;
+  }
+  delete dumper;
+}
+
+void StopGlobalStallWatchdog() {
+  StallWatchdog* watchdog = nullptr;
+  {
+    util::MutexLock lock(g_watchdog_mu);
+    watchdog = GlobalWatchdogSlot();
+    GlobalWatchdogSlot() = nullptr;
+  }
+  delete watchdog;
+}
+
+}  // namespace revise::obs

@@ -1,0 +1,122 @@
+// Background observability services: the periodic metrics dumper and
+// the stall watchdog.
+//
+// Both are opt-in monitor threads (BackgroundThread) that ride on
+// the v1-v4 observability surfaces rather than adding new ones:
+//
+//   * MetricsDumper renders the OpenMetrics exposition
+//     (obs/openmetrics.h) to a file every interval, writing to
+//     `<path>.tmp` and renaming over `<path>` so readers always see a
+//     complete document — tail -f style collectors and post-mortem
+//     inspection get the same bytes a /metrics scrape would return.
+//     Activation: REVISE_METRICS_DUMP=<path>:<interval_s> (the interval
+//     may be fractional; the last ':' splits, so paths with colons
+//     work).  Each rotation bumps `obs.metrics_dumps`.
+//
+//   * StallWatchdog samples the in-flight operation table
+//     (obs/flight_recorder.h) and, when an operation has been open
+//     longer than the threshold, records an `obs.watchdog_stall` flight
+//     event, bumps `obs.watchdog_stalls`, and writes a stall_<pid>.json
+//     dump through the same writer as the crash path — a wedged
+//     process leaves the same self-describing artifact a crashed one
+//     does.  Each FlightOpScope instance is reported at most once (the
+//     table's per-scope ids), so a genuinely stuck operation produces
+//     one dump, not one per poll.  Activation: REVISE_WATCHDOG_S=<s>
+//     (fractional allowed).
+//
+// Failure to start (bad value, unwritable path) is reported on stderr
+// and otherwise ignored: monitoring must never take down the workload
+// it monitors.
+
+#ifndef REVISE_OBS_WATCHDOG_H_
+#define REVISE_OBS_WATCHDOG_H_
+
+#include <memory>
+#include <string>
+
+#include "util/mutex.h"
+#include "util/parallel.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace revise::obs {
+
+struct MetricsDumperOptions {
+  std::string path;          // final dump path (rotated atomically)
+  double interval_s = 10.0;  // time between rotations
+};
+
+class MetricsDumper {
+ public:
+  // Writes one dump immediately (so a short-lived process still leaves
+  // an artifact, and a bad path fails at start, not minutes later),
+  // then starts the rotation thread.
+  static StatusOr<std::unique_ptr<MetricsDumper>> Start(
+      const MetricsDumperOptions& options);
+
+  ~MetricsDumper();
+
+  // Writes a final dump and stops the thread.  Idempotent.
+  void Stop();
+
+ private:
+  explicit MetricsDumper(const MetricsDumperOptions& options)
+      : options_(options) {}
+
+  void Loop();
+  Status WriteDump();
+
+  MetricsDumperOptions options_;
+  util::Mutex mu_;
+  util::CondVar stop_cv_;
+  bool stopping_ REVISE_GUARDED_BY(mu_) = false;
+  BackgroundThread thread_;
+};
+
+struct StallWatchdogOptions {
+  double threshold_s = 60.0;  // in-flight age that counts as a stall
+  // Time between samples; 0 derives threshold_s / 4, clamped to
+  // [10ms, 1s].
+  double poll_interval_s = 0.0;
+  bool write_dump = true;  // write stall_<pid>.json on first detection
+};
+
+class StallWatchdog {
+ public:
+  static StatusOr<std::unique_ptr<StallWatchdog>> Start(
+      const StallWatchdogOptions& options);
+
+  ~StallWatchdog();
+
+  void Stop();  // idempotent
+
+ private:
+  explicit StallWatchdog(const StallWatchdogOptions& options)
+      : options_(options) {}
+
+  void Loop();
+
+  StallWatchdogOptions options_;
+  util::Mutex mu_;
+  util::CondVar stop_cv_;
+  bool stopping_ REVISE_GUARDED_BY(mu_) = false;
+  BackgroundThread thread_;
+};
+
+// Start the process-wide dumper from REVISE_METRICS_DUMP=<path>:<interval_s>
+// exactly once.  Returns nullptr when unset or malformed (reported on
+// stderr).
+MetricsDumper* StartMetricsDumperFromEnv();
+
+// Start the process-wide watchdog from REVISE_WATCHDOG_S=<seconds>
+// exactly once.  Returns nullptr when unset or malformed (reported on
+// stderr).
+StallWatchdog* StartStallWatchdogFromEnv();
+
+// Stop and destroy the process-wide instances (tests).
+void StopGlobalMetricsDumper();
+void StopGlobalStallWatchdog();
+
+}  // namespace revise::obs
+
+#endif  // REVISE_OBS_WATCHDOG_H_

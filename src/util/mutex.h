@@ -24,7 +24,9 @@
 #ifndef REVISE_UTIL_MUTEX_H_
 #define REVISE_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "util/thread_annotations.h"
@@ -72,6 +74,15 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void Wait(Mutex& mu) REVISE_REQUIRES(mu) { cv_.wait(mu.mu_); }
+
+  // Timed wait for the service loops (statsz accept queue, the metrics
+  // dumper, the stall watchdog): returns false on timeout, true when
+  // notified (or woken spuriously — callers re-test their predicate in
+  // a `while` loop either way, exactly as with Wait).
+  bool WaitFor(Mutex& mu, int64_t timeout_ms) REVISE_REQUIRES(mu) {
+    return cv_.wait_for(mu.mu_, std::chrono::milliseconds(timeout_ms)) ==
+           std::cv_status::no_timeout;
+  }
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

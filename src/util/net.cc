@@ -1,0 +1,193 @@
+#include "util/net.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define REVISE_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace revise::util {
+
+#if defined(REVISE_HAVE_SOCKETS)
+
+namespace {
+
+Status ErrnoError(const char* what) {
+  return InternalError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+StatusOr<TcpListener> ListenTcpLoopback(uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoError("socket");
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = ErrnoError("bind");
+    CloseSocket(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status status = ErrnoError("listen");
+    CloseSocket(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const Status status = ErrnoError("getsockname");
+    CloseSocket(fd);
+    return status;
+  }
+  TcpListener listener;
+  listener.fd = fd;
+  listener.port = ntohs(bound.sin_port);
+  return listener;
+}
+
+StatusOr<int> AcceptConnection(int listen_fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = listen_fd;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready == 0) return DeadlineExceededError("accept timeout");
+  if (ready < 0) {
+    if (errno == EINTR) return DeadlineExceededError("accept interrupted");
+    return ErrnoError("poll");
+  }
+  if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+    return InternalError("listener closed");
+  }
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) return ErrnoError("accept");
+  return fd;
+}
+
+Status SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#if defined(MSG_NOSIGNAL)
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadHttpRequestHead(int fd, size_t max_bytes) {
+  std::string head;
+  char buffer[512];
+  while (head.size() < max_bytes) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("recv");
+    }
+    if (n == 0) break;  // EOF: whatever arrived is the head
+    head.append(buffer, static_cast<size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos) {
+      return head;
+    }
+  }
+  if (head.size() >= max_bytes) {
+    return ResourceExhaustedError("http request head exceeds limit");
+  }
+  return head;
+}
+
+void CloseSocket(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+StatusOr<std::string> HttpGet(uint16_t port, std::string_view path,
+                              int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoError("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status = ErrnoError("connect");
+    CloseSocket(fd);
+    return status;
+  }
+  std::string request = "GET ";
+  request += path;
+  request += " HTTP/1.0\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  if (const Status status = SendAll(fd, request); !status.ok()) {
+    CloseSocket(fd);
+    return status;
+  }
+  std::string response;
+  char buffer[4096];
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) {
+      CloseSocket(fd);
+      if (ready == 0) return DeadlineExceededError("http response timeout");
+      if (errno == EINTR) continue;
+      return ErrnoError("poll");
+    }
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = ErrnoError("recv");
+      CloseSocket(fd);
+      return status;
+    }
+    if (n == 0) break;
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  CloseSocket(fd);
+  return response;
+}
+
+#else  // !defined(REVISE_HAVE_SOCKETS)
+
+StatusOr<TcpListener> ListenTcpLoopback(uint16_t, int) {
+  return UnimplementedError("sockets unavailable on this platform");
+}
+StatusOr<int> AcceptConnection(int, int) {
+  return UnimplementedError("sockets unavailable on this platform");
+}
+Status SendAll(int, std::string_view) {
+  return UnimplementedError("sockets unavailable on this platform");
+}
+StatusOr<std::string> ReadHttpRequestHead(int, size_t) {
+  return UnimplementedError("sockets unavailable on this platform");
+}
+void CloseSocket(int) {}
+StatusOr<std::string> HttpGet(uint16_t, std::string_view, int) {
+  return UnimplementedError("sockets unavailable on this platform");
+}
+
+#endif  // REVISE_HAVE_SOCKETS
+
+}  // namespace revise::util

@@ -1,0 +1,63 @@
+// Dependency-free POSIX TCP helpers for the in-process statsz listener
+// (obs/statsz.h) and its tests.
+//
+// Scope is deliberately tiny: loopback-only listeners, a poll-based
+// accept with timeout (so service loops can re-check a stop flag without
+// platform-specific socket shutdown races), full-buffer send, and a
+// bounded read of an HTTP request head.  Everything returns Status; on
+// platforms without BSD sockets every call reports kUnimplemented and
+// the statsz server simply never starts.
+//
+// None of this is a general networking layer — it exists so the
+// observability endpoints (and, later, the `revised` front-end skeleton)
+// need no third-party HTTP dependency.
+
+#ifndef REVISE_UTIL_NET_H_
+#define REVISE_UTIL_NET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace revise::util {
+
+// A bound, listening TCP socket on 127.0.0.1.  `port` is the actual
+// bound port — pass 0 to ListenTcpLoopback for an ephemeral one.
+struct TcpListener {
+  int fd = -1;
+  uint16_t port = 0;
+};
+
+// Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral
+// port, reported back in the result).  The socket is SO_REUSEADDR.
+StatusOr<TcpListener> ListenTcpLoopback(uint16_t port, int backlog = 16);
+
+// Waits up to `timeout_ms` for a connection on `listen_fd` and accepts
+// it.  Returns the connected fd; kDeadlineExceeded on timeout (the
+// normal idle path — callers re-check their stop flag and poll again);
+// kInternal on a closed or failed listener.
+StatusOr<int> AcceptConnection(int listen_fd, int timeout_ms);
+
+// Writes all of `data`, looping over short writes.
+Status SendAll(int fd, std::string_view data);
+
+// Reads until a blank line ("\r\n\r\n" or "\n\n") terminates the HTTP
+// request head, EOF, or `max_bytes`.  Returns the raw head (request
+// line + headers); kResourceExhausted when the head exceeds the bound.
+StatusOr<std::string> ReadHttpRequestHead(int fd, size_t max_bytes = 8192);
+
+// Closes a socket fd (no-op for fd < 0).
+void CloseSocket(int fd);
+
+// A minimal blocking HTTP/1.0 client: connects to 127.0.0.1:`port`,
+// sends `GET <path>`, and returns the full response (status line,
+// headers, body).  Used by tests and the statsz CI smoke tooling; not a
+// general client.
+StatusOr<std::string> HttpGet(uint16_t port, std::string_view path,
+                              int timeout_ms = 5000);
+
+}  // namespace revise::util
+
+#endif  // REVISE_UTIL_NET_H_

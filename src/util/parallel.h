@@ -111,6 +111,39 @@ class ThreadPool {
   bool stop_ REVISE_GUARDED_BY(mu_) = false;
 };
 
+// A named, joinable thread for long-lived service loops — the statsz
+// accept/worker threads, the periodic metrics dumper, the stall
+// watchdog.  The deterministic ThreadPool above is for bounded compute
+// batches that a caller blocks on; BackgroundThread is the sanctioned
+// home for work that outlives a call (the raw-thread lint rule forbids
+// std::thread anywhere else).  Join() blocks until the function
+// returns; the destructor joins too, so the owner's teardown must first
+// make the loop exit (close a socket, set a stop flag).
+class BackgroundThread {
+ public:
+  BackgroundThread() = default;
+  explicit BackgroundThread(std::function<void()> fn)
+      : thread_(std::move(fn)) {}
+  ~BackgroundThread() { Join(); }
+
+  BackgroundThread(BackgroundThread&&) = default;
+  BackgroundThread& operator=(BackgroundThread&& other) {
+    Join();
+    thread_ = std::move(other.thread_);
+    return *this;
+  }
+  BackgroundThread(const BackgroundThread&) = delete;
+  BackgroundThread& operator=(const BackgroundThread&) = delete;
+
+  bool joinable() const { return thread_.joinable(); }
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  std::thread thread_;
+};
+
 // A contiguous index shard [begin, end).
 struct ShardRange {
   size_t begin = 0;

@@ -636,6 +636,11 @@ TEST(ReportTest, ToJsonMatchesSchema) {
   EXPECT_TRUE(manifest.Has("build_type"));
   EXPECT_TRUE(manifest.Has("threads"));
   EXPECT_TRUE(manifest.Has("hardware_threads"));
+  // v2.2: the process-start anchor and derived uptime.
+  EXPECT_GT(manifest.Find("process_start_ns")->AsInt(), 0);
+  EXPECT_EQ(manifest.Find("process_start_ns")->AsInt(),
+            obs::ProcessStartNanos());
+  EXPECT_GE(manifest.Find("uptime_seconds")->AsDouble(), 0.0);
   EXPECT_TRUE(manifest.Find("env")->is_object());
 
   const Json& tables = *j.Find("tables");

@@ -1,0 +1,336 @@
+// Tests for the OpenMetrics exposition and its round-trip parser
+// (obs/openmetrics.h): a golden-file rendering covering every metric
+// kind, cumulative-bucket invariants, name sanitization and label
+// escaping edge cases (including UTF-8), the process-level block, the
+// JSON snapshot twin, and the parser's structural error checks.
+
+#include "obs/openmetrics.h"
+
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace revise::obs {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return {};
+  std::string text;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(file);
+  return text;
+}
+
+// One instrument of every kind, with values chosen so each exposition
+// feature shows up: a negative gauge, exact low histogram buckets
+// (values below kSubBuckets are exact) and one log-bucketed value
+// (100 lands in the bucket with upper bound 103).
+void PopulateKindsRegistry(Registry* registry) {
+  registry->GetCounter("revise.queries")->Increment(7);
+  registry->GetCounter("sat.conflicts")->Increment(123);
+  registry->GetGauge("bdd.nodes")->Set(-7);
+  registry->GetGauge("obs.queue_depth")->Set(42);
+  Histogram* histogram = registry->GetHistogram("revise.dalal_size");
+  histogram->Record(1);
+  histogram->Record(1);
+  histogram->Record(3);
+  histogram->Record(100);
+}
+
+// --- rendering ---------------------------------------------------------
+
+TEST(OpenMetricsRenderTest, MatchesGoldenExposition) {
+  Registry registry;
+  PopulateKindsRegistry(&registry);
+  const std::string rendered =
+      RenderOpenMetricsFrom(registry, {.include_process = false});
+  const std::string golden_path =
+      std::string(REVISE_OM_GOLDEN_DIR) + "/metrics_kinds.om";
+  const std::string golden = ReadFileOrEmpty(golden_path);
+  ASSERT_FALSE(golden.empty()) << "cannot read " << golden_path;
+  EXPECT_EQ(rendered, golden);
+}
+
+TEST(OpenMetricsRenderTest, EveryKindRoundTrips) {
+  Registry registry;
+  PopulateKindsRegistry(&registry);
+  const std::string text =
+      RenderOpenMetricsFrom(registry, {.include_process = false});
+  StatusOr<ParsedMetrics> parsed = ParseOpenMetrics(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->saw_eof);
+
+  EXPECT_EQ(parsed->counters.at("revise_queries"), 7u);
+  EXPECT_EQ(parsed->counters.at("sat_conflicts"), 123u);
+  EXPECT_EQ(parsed->gauges.at("bdd_nodes"), -7);
+  EXPECT_EQ(parsed->gauges.at("obs_queue_depth"), 42);
+
+  ASSERT_EQ(parsed->histograms.count("revise_dalal_size"), 1u);
+  const ParsedHistogram& histogram =
+      parsed->histograms.at("revise_dalal_size");
+  EXPECT_TRUE(histogram.has_count);
+  EXPECT_TRUE(histogram.has_sum);
+  EXPECT_EQ(histogram.count, 4u);
+  EXPECT_EQ(histogram.sum, 105u);
+  ASSERT_EQ(histogram.cumulative_buckets.size(), 4u);
+  EXPECT_EQ(histogram.cumulative_buckets[0],
+            (std::pair<double, uint64_t>{1.0, 2}));
+  EXPECT_EQ(histogram.cumulative_buckets[1],
+            (std::pair<double, uint64_t>{3.0, 3}));
+  EXPECT_EQ(histogram.cumulative_buckets[2],
+            (std::pair<double, uint64_t>{103.0, 4}));
+  EXPECT_EQ(histogram.cumulative_buckets[3],
+            (std::pair<double, uint64_t>{kInf, 4}));
+}
+
+TEST(OpenMetricsRenderTest, EmptyRegistryIsJustEof) {
+  const Registry registry;
+  const std::string text =
+      RenderOpenMetricsFrom(registry, {.include_process = false});
+  EXPECT_EQ(text, "# EOF\n");
+  StatusOr<ParsedMetrics> parsed = ParseOpenMetrics(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->saw_eof);
+  EXPECT_TRUE(parsed->counters.empty());
+  EXPECT_TRUE(parsed->gauges.empty());
+  EXPECT_TRUE(parsed->histograms.empty());
+}
+
+TEST(OpenMetricsRenderTest, WideHistogramKeepsCumulativeInvariants) {
+  Registry registry;
+  Histogram* histogram = registry.GetHistogram("revise.spread");
+  for (uint64_t i = 0; i < 100; ++i) histogram->Record(i * i);
+  histogram->Record(uint64_t{1000000007});
+  const std::string text =
+      RenderOpenMetricsFrom(registry, {.include_process = false});
+  StatusOr<ParsedMetrics> parsed = ParseOpenMetrics(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ParsedHistogram& spread = parsed->histograms.at("revise_spread");
+  EXPECT_EQ(spread.count, 101u);
+  ASSERT_FALSE(spread.cumulative_buckets.empty());
+  double previous_le = -kInf;
+  uint64_t previous_count = 0;
+  for (const auto& [le, cumulative] : spread.cumulative_buckets) {
+    EXPECT_GT(le, previous_le);
+    EXPECT_GE(cumulative, previous_count);
+    previous_le = le;
+    previous_count = cumulative;
+  }
+  EXPECT_EQ(spread.cumulative_buckets.back().first, kInf);
+  EXPECT_EQ(spread.cumulative_buckets.back().second, spread.count);
+}
+
+// --- name sanitization and label escaping ------------------------------
+
+TEST(OpenMetricsNameTest, SanitizeMapsDotsToUnderscores) {
+  EXPECT_EQ(SanitizeMetricName("sat.conflicts"), "sat_conflicts");
+  EXPECT_EQ(SanitizeMetricName("obs.uptime_seconds"), "obs_uptime_seconds");
+  EXPECT_EQ(SanitizeMetricName("already_fine"), "already_fine");
+}
+
+TEST(OpenMetricsNameTest, SanitizeReplacesOutOfGrammarBytes) {
+  EXPECT_EQ(SanitizeMetricName("sat-conflicts"), "sat_conflicts");
+  // A leading digit is not a valid name start (the obs-name lint rule
+  // rejects such instrument names before they reach the exposition).
+  EXPECT_EQ(SanitizeMetricName("9lives.retries"), "_lives_retries");
+  // UTF-8 is out of grammar for metric *names*: each byte of the
+  // two-byte 'é' becomes '_'.
+  EXPECT_EQ(SanitizeMetricName("h\xc3\xa9llo"), "h__llo");
+}
+
+TEST(OpenMetricsLabelTest, EscapeCoversSpecTriples) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(EscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeLabelValue("line\nbreak"), "line\\nbreak");
+}
+
+TEST(OpenMetricsLabelTest, Utf8PassesThroughUnescaped) {
+  const std::string greek = "\xce\xb1\xce\xb2\xce\xb3";  // αβγ
+  EXPECT_EQ(EscapeLabelValue(greek), greek);
+}
+
+TEST(OpenMetricsLabelTest, EscapedLabelsRoundTripThroughParser) {
+  const std::string raw_sha = "ab\\cd \"tag\"\n\xce\xb1";
+  const std::string text = "# TYPE revise_build info\n"
+                           "revise_build_info{git_sha=\"" +
+                           EscapeLabelValue(raw_sha) +
+                           "\",compiler=\"g++\"} 1\n# EOF\n";
+  StatusOr<ParsedMetrics> parsed = ParseOpenMetrics(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->infos.count("revise_build"), 1u);
+  EXPECT_EQ(parsed->infos.at("revise_build").at("git_sha"), raw_sha);
+  EXPECT_EQ(parsed->infos.at("revise_build").at("compiler"), "g++");
+}
+
+// --- the process-level block and the JSON twin -------------------------
+
+TEST(OpenMetricsGlobalTest, ProcessBlockParsesAndCarriesBuildInfo) {
+  Registry::Global().GetCounter("obs.openmetrics_test_events")->Increment(3);
+  const std::string text = RenderOpenMetrics();
+  StatusOr<ParsedMetrics> parsed = ParseOpenMetrics(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->infos.count("revise_build"), 1u);
+  const std::map<std::string, std::string>& build =
+      parsed->infos.at("revise_build");
+  EXPECT_EQ(build.count("git_sha"), 1u);
+  EXPECT_EQ(build.count("compiler"), 1u);
+  EXPECT_EQ(build.count("build_type"), 1u);
+  EXPECT_EQ(parsed->gauges.count("mem_peak_rss_bytes"), 1u);
+  EXPECT_EQ(parsed->gauges.count("mem_current_rss_bytes"), 1u);
+  EXPECT_EQ(parsed->gauges.count("obs_uptime_seconds"), 1u);
+  EXPECT_GE(parsed->counters.at("obs_openmetrics_test_events"), 3u);
+}
+
+TEST(OpenMetricsJsonTest, SnapshotSharesSchemaShapes) {
+  Registry::Global().GetCounter("obs.openmetrics_test_events")->Increment();
+  const Json doc = MetricsSnapshotJson();
+  ASSERT_TRUE(doc.Has("schema_version"));
+  EXPECT_EQ(doc.Find("schema_version")->AsInt(), kSchemaVersion);
+  EXPECT_EQ(doc.Find("schema_minor")->AsInt(), kSchemaMinor);
+  EXPECT_GE(doc.Find("uptime_seconds")->AsDouble(), 0.0);
+  ASSERT_TRUE(doc.Has("counters"));
+  ASSERT_TRUE(doc.Has("gauges"));
+  ASSERT_TRUE(doc.Has("histograms"));
+  ASSERT_TRUE(doc.Has("memory"));
+  EXPECT_TRUE(doc.Find("memory")->Has("peak_rss_bytes"));
+}
+
+TEST(OpenMetricsJsonTest, ExpositionAndJsonAgreeOnValues) {
+  Registry::Global().GetGauge("obs.openmetrics_roundtrip")->Set(9126);
+  StatusOr<ParsedMetrics> parsed = ParseOpenMetrics(RenderOpenMetrics());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json doc = MetricsSnapshotJson();
+  const Json* gauge = doc.Find("gauges")->Find("obs.openmetrics_roundtrip");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->AsInt(), 9126);
+  EXPECT_EQ(parsed->gauges.at("obs_openmetrics_roundtrip"), 9126);
+}
+
+// --- parser error cases ------------------------------------------------
+
+std::string ParseFailure(std::string_view text) {
+  StatusOr<ParsedMetrics> parsed = ParseOpenMetrics(text);
+  EXPECT_FALSE(parsed.ok()) << "unexpectedly parsed:\n" << text;
+  return parsed.ok() ? std::string() : parsed.status().ToString();
+}
+
+TEST(OpenMetricsParseErrorTest, MissingEofTerminator) {
+  EXPECT_NE(ParseFailure("# TYPE a counter\na_total 1\n")
+                .find("missing # EOF"),
+            std::string::npos);
+}
+
+TEST(OpenMetricsParseErrorTest, ContentAfterEof) {
+  EXPECT_NE(ParseFailure("# EOF\n# TYPE a counter\n")
+                .find("content after # EOF"),
+            std::string::npos);
+}
+
+TEST(OpenMetricsParseErrorTest, SampleBeforeType) {
+  EXPECT_NE(ParseFailure("orphan 1\n# EOF\n")
+                .find("sample before any # TYPE"),
+            std::string::npos);
+}
+
+TEST(OpenMetricsParseErrorTest, CounterMissingTotalSuffix) {
+  EXPECT_NE(ParseFailure("# TYPE a counter\na 1\n# EOF\n")
+                .find("must end in _total"),
+            std::string::npos);
+}
+
+TEST(OpenMetricsParseErrorTest, GaugeWithSuffix) {
+  EXPECT_NE(ParseFailure("# TYPE g gauge\ng_total 1\n# EOF\n")
+                .find("gauge sample must be bare"),
+            std::string::npos);
+}
+
+TEST(OpenMetricsParseErrorTest, SampleOutsideFamily) {
+  EXPECT_NE(ParseFailure("# TYPE a counter\nb_total 1\n# EOF\n")
+                .find("outside family"),
+            std::string::npos);
+}
+
+TEST(OpenMetricsParseErrorTest, UnsupportedType) {
+  EXPECT_NE(ParseFailure("# TYPE x summary\n# EOF\n")
+                .find("unsupported type"),
+            std::string::npos);
+}
+
+TEST(OpenMetricsParseErrorTest, BadCounterValue) {
+  EXPECT_NE(ParseFailure("# TYPE a counter\na_total 12x\n# EOF\n")
+                .find("bad unsigned value"),
+            std::string::npos);
+}
+
+TEST(OpenMetricsParseErrorTest, CumulativeCountsDecreasing) {
+  EXPECT_NE(ParseFailure("# TYPE h histogram\n"
+                         "h_bucket{le=\"1.0\"} 5\n"
+                         "h_bucket{le=\"2.0\"} 3\n"
+                         "h_bucket{le=\"+Inf\"} 5\n"
+                         "h_count 5\nh_sum 9\n# EOF\n")
+                .find("cumulative bucket counts decreased"),
+            std::string::npos);
+}
+
+TEST(OpenMetricsParseErrorTest, BucketBoundsNotIncreasing) {
+  EXPECT_NE(ParseFailure("# TYPE h histogram\n"
+                         "h_bucket{le=\"2.0\"} 1\n"
+                         "h_bucket{le=\"1.0\"} 2\n"
+                         "h_bucket{le=\"+Inf\"} 2\n"
+                         "h_count 2\nh_sum 3\n# EOF\n")
+                .find("le values not increasing"),
+            std::string::npos);
+}
+
+TEST(OpenMetricsParseErrorTest, InfBucketDisagreesWithCount) {
+  EXPECT_NE(ParseFailure("# TYPE h histogram\n"
+                         "h_bucket{le=\"1.0\"} 2\n"
+                         "h_bucket{le=\"+Inf\"} 3\n"
+                         "h_count 4\nh_sum 5\n# EOF\n")
+                .find("+Inf bucket != _count"),
+            std::string::npos);
+}
+
+TEST(OpenMetricsParseErrorTest, MissingInfBucket) {
+  EXPECT_NE(ParseFailure("# TYPE h histogram\n"
+                         "h_bucket{le=\"1.0\"} 2\n"
+                         "h_count 2\nh_sum 2\n# EOF\n")
+                .find("missing +Inf bucket"),
+            std::string::npos);
+}
+
+TEST(OpenMetricsParseErrorTest, UnterminatedLabelSet) {
+  EXPECT_NE(ParseFailure("# TYPE h histogram\n"
+                         "h_bucket{le=\"1.0\" 2\n# EOF\n")
+                .find("unterminated label set"),
+            std::string::npos);
+}
+
+TEST(OpenMetricsParseErrorTest, UnknownLabelEscape) {
+  EXPECT_NE(ParseFailure("# TYPE b info\n"
+                         "b_info{tag=\"bad\\q\"} 1\n# EOF\n")
+                .find("unknown escape"),
+            std::string::npos);
+}
+
+TEST(OpenMetricsParseErrorTest, InfoValueMustBeOne) {
+  EXPECT_NE(ParseFailure("# TYPE b info\nb_info{tag=\"x\"} 2\n# EOF\n")
+                .find("info sample value must be 1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace revise::obs

@@ -1,0 +1,221 @@
+// Tests for the background observability services (obs/watchdog.h):
+// the periodic metrics dumper's atomic rotation and the stall
+// watchdog's detection, dedup, and stall_<pid>.json artifact.  Each
+// test runs in its own process (gtest_discover_tests), so setenv and
+// the process-wide registry counters do not leak across tests.
+
+#include "obs/watchdog.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "gtest/gtest.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "util/status.h"
+
+namespace revise::obs {
+namespace {
+
+void SleepSeconds(double seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return {};
+  std::string text;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(file);
+  return text;
+}
+
+uint64_t DumpCount() {
+  return Registry::Global().GetCounter("obs.metrics_dumps")->Value();
+}
+
+uint64_t StallCount() {
+  return Registry::Global().GetCounter("obs.watchdog_stalls")->Value();
+}
+
+// --- MetricsDumper -----------------------------------------------------
+
+TEST(MetricsDumperTest, WritesParseableDumpImmediately) {
+  const std::string path = testing::TempDir() + "revise_dump_test.om";
+  std::remove(path.c_str());
+  const uint64_t dumps_before = DumpCount();
+
+  MetricsDumperOptions options;
+  options.path = path;
+  options.interval_s = 60.0;  // only the start-up dump fires in-test
+  StatusOr<std::unique_ptr<MetricsDumper>> dumper =
+      MetricsDumper::Start(options);
+  ASSERT_TRUE(dumper.ok()) << dumper.status().ToString();
+  EXPECT_GE(DumpCount(), dumps_before + 1);
+
+  const std::string text = ReadFileOrEmpty(path);
+  ASSERT_FALSE(text.empty());
+  StatusOr<ParsedMetrics> parsed = ParseOpenMetrics(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->saw_eof);
+  EXPECT_EQ(parsed->infos.count("revise_build"), 1u);
+  // The rotation leaves no torn temp file behind.
+  EXPECT_TRUE(ReadFileOrEmpty(path + ".tmp").empty());
+}
+
+TEST(MetricsDumperTest, RotatesOnIntervalAndOnStop) {
+  const std::string path = testing::TempDir() + "revise_rotate_test.om";
+  MetricsDumperOptions options;
+  options.path = path;
+  options.interval_s = 0.02;
+  StatusOr<std::unique_ptr<MetricsDumper>> dumper =
+      MetricsDumper::Start(options);
+  ASSERT_TRUE(dumper.ok()) << dumper.status().ToString();
+  const uint64_t dumps_after_start = DumpCount();
+  SleepSeconds(0.2);
+  EXPECT_GT(DumpCount(), dumps_after_start) << "no interval rotation fired";
+
+  // Stop writes a final rotation, and the latest file still parses.
+  Registry::Global().GetCounter("watchdog.test_marker")->Increment();
+  (*dumper)->Stop();
+  const uint64_t dumps_after_stop = DumpCount();
+  StatusOr<ParsedMetrics> parsed = ParseOpenMetrics(ReadFileOrEmpty(path));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_GE(parsed->counters.at("watchdog_test_marker"), 1u);
+  // Idempotent: a second Stop neither rotates nor deadlocks.
+  (*dumper)->Stop();
+  EXPECT_EQ(DumpCount(), dumps_after_stop);
+}
+
+TEST(MetricsDumperTest, UnwritablePathFailsAtStart) {
+  MetricsDumperOptions options;
+  options.path = "/nonexistent_revise_dir/metrics.om";
+  StatusOr<std::unique_ptr<MetricsDumper>> dumper =
+      MetricsDumper::Start(options);
+  EXPECT_FALSE(dumper.ok());
+}
+
+TEST(MetricsDumperTest, RejectsNonPositiveInterval) {
+  MetricsDumperOptions options;
+  options.path = testing::TempDir() + "revise_interval_test.om";
+  options.interval_s = 0.0;
+  EXPECT_FALSE(MetricsDumper::Start(options).ok());
+}
+
+TEST(MetricsDumperTest, EnvActivationParsesPathAndInterval) {
+  const std::string path = testing::TempDir() + "revise_env_dump.om";
+  const std::string spec = path + ":0.5";
+  ASSERT_EQ(setenv("REVISE_METRICS_DUMP", spec.c_str(), 1), 0);
+  MetricsDumper* dumper = StartMetricsDumperFromEnv();
+  ASSERT_NE(dumper, nullptr);
+  // Start-once: a second call returns the running instance.
+  EXPECT_EQ(StartMetricsDumperFromEnv(), dumper);
+  EXPECT_FALSE(ReadFileOrEmpty(path).empty());
+  StopGlobalMetricsDumper();
+}
+
+TEST(MetricsDumperTest, EnvActivationRejectsMalformedSpecs) {
+  ASSERT_EQ(setenv("REVISE_METRICS_DUMP", "no-interval", 1), 0);
+  EXPECT_EQ(StartMetricsDumperFromEnv(), nullptr);
+  ASSERT_EQ(setenv("REVISE_METRICS_DUMP", "/tmp/x.om:zero", 1), 0);
+  EXPECT_EQ(StartMetricsDumperFromEnv(), nullptr);
+  ASSERT_EQ(setenv("REVISE_METRICS_DUMP", "/tmp/x.om:-1", 1), 0);
+  EXPECT_EQ(StartMetricsDumperFromEnv(), nullptr);
+}
+
+// --- StallWatchdog -----------------------------------------------------
+
+TEST(StallWatchdogTest, DetectsStallOnceAndWritesDump) {
+  ASSERT_EQ(setenv("REVISE_CRASH_DIR", testing::TempDir().c_str(), 1), 0);
+  const std::string dump_path =
+      testing::TempDir() + "stall_" + std::to_string(getpid()) + ".json";
+  std::remove(dump_path.c_str());
+
+  const uint64_t stalls_before = StallCount();
+  StallWatchdogOptions options;
+  options.threshold_s = 0.05;
+  options.poll_interval_s = 0.01;
+  StatusOr<std::unique_ptr<StallWatchdog>> watchdog =
+      StallWatchdog::Start(options);
+  ASSERT_TRUE(watchdog.ok()) << watchdog.status().ToString();
+
+  {
+    FlightOpScope stalled("watchdog.test_op");
+    SleepSeconds(0.25);
+    EXPECT_EQ(StallCount(), stalls_before + 1);
+    // Dedup: the same scope instance is never reported twice.
+    SleepSeconds(0.2);
+    EXPECT_EQ(StallCount(), stalls_before + 1);
+
+    const std::string dump = ReadFileOrEmpty(dump_path);
+    ASSERT_FALSE(dump.empty()) << "expected stall dump at " << dump_path;
+    EXPECT_NE(dump.find("watchdog.test_op"), std::string::npos);
+    EXPECT_NE(dump.find("stall watchdog"), std::string::npos);
+    EXPECT_NE(dump.find("obs.watchdog_stall"), std::string::npos);
+    EXPECT_NE(dump.find("in_flight"), std::string::npos);
+  }
+  // A fresh scope past the threshold is a fresh stall.
+  {
+    FlightOpScope stalled_again("watchdog.test_op");
+    SleepSeconds(0.25);
+    EXPECT_EQ(StallCount(), stalls_before + 2);
+  }
+  (*watchdog)->Stop();
+}
+
+TEST(StallWatchdogTest, FastOperationsAreNotReported) {
+  const uint64_t stalls_before = StallCount();
+  StallWatchdogOptions options;
+  options.threshold_s = 10.0;
+  options.poll_interval_s = 0.01;
+  options.write_dump = false;
+  StatusOr<std::unique_ptr<StallWatchdog>> watchdog =
+      StallWatchdog::Start(options);
+  ASSERT_TRUE(watchdog.ok()) << watchdog.status().ToString();
+  for (int i = 0; i < 10; ++i) {
+    FlightOpScope fast("watchdog.fast_op");
+    SleepSeconds(0.005);
+  }
+  SleepSeconds(0.05);
+  EXPECT_EQ(StallCount(), stalls_before);
+  (*watchdog)->Stop();
+  (*watchdog)->Stop();  // idempotent
+}
+
+TEST(StallWatchdogTest, RejectsNonPositiveThreshold) {
+  StallWatchdogOptions options;
+  options.threshold_s = 0.0;
+  EXPECT_FALSE(StallWatchdog::Start(options).ok());
+}
+
+TEST(StallWatchdogTest, EnvActivationParsesThreshold) {
+  ASSERT_EQ(setenv("REVISE_WATCHDOG_S", "30", 1), 0);
+  StallWatchdog* watchdog = StartStallWatchdogFromEnv();
+  ASSERT_NE(watchdog, nullptr);
+  EXPECT_EQ(StartStallWatchdogFromEnv(), watchdog);
+  StopGlobalStallWatchdog();
+}
+
+TEST(StallWatchdogTest, EnvActivationRejectsMalformedValues) {
+  ASSERT_EQ(setenv("REVISE_WATCHDOG_S", "soon", 1), 0);
+  EXPECT_EQ(StartStallWatchdogFromEnv(), nullptr);
+  ASSERT_EQ(setenv("REVISE_WATCHDOG_S", "-3", 1), 0);
+  EXPECT_EQ(StartStallWatchdogFromEnv(), nullptr);
+  ASSERT_EQ(setenv("REVISE_WATCHDOG_S", "", 1), 0);
+  EXPECT_EQ(StartStallWatchdogFromEnv(), nullptr);
+}
+
+}  // namespace
+}  // namespace revise::obs

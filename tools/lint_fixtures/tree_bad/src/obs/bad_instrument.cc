@@ -19,6 +19,8 @@ void DummyEvent(const char*, const char*);
 void Offenders() {
   REVISE_OBS_COUNTER("SatConflicts").Increment();    // finding: no dot
   REVISE_OBS_COUNTER("sat.Conflicts").Increment();   // finding: uppercase
+  REVISE_OBS_COUNTER("9lives.retries").Increment();  // finding: leading digit
+  REVISE_OBS_COUNTER("_sat.solves").Increment();     // finding: leading '_'
   REVISE_OBS_HISTOGRAM("sat..decisions").Record(1);  // finding: empty segment
   REVISE_FLIGHT_EVENT("CacheEvict", "x");            // finding: no dot
   REVISE_FLIGHT_EVENT("solve.Deadline", "x");        // finding: uppercase

@@ -42,7 +42,10 @@
 //                        names key the JSON reports, profile counter keys
 //                        key the EXPLAIN trees, and flight-recorder event
 //                        names key the crash dumps; a stray spelling
-//                        silently forks a metric.  Non-literal arguments
+//                        silently forks a metric.  Names must also start
+//                        with a lowercase letter so the OpenMetrics
+//                        exporter's '.'-to-'_' sanitization yields a
+//                        spec-valid family name.  Non-literal arguments
 //                        (the macro definitions, forwarded identifiers)
 //                        are skipped.
 //   hot-kernel           REVISE_CHECK* (the always-on flavor) in a file
@@ -551,6 +554,16 @@ void CheckObsName(const std::string& rel_path, const std::string& code,
              "instrument name \"" + std::string(name) +
                  "\" violates the subsystem.metric convention (lowercase "
                  "[a-z0-9_] segments joined by '.')"});
+      } else if ((name[0] >= '0' && name[0] <= '9') || name[0] == '_') {
+        // The OpenMetrics exporter (obs/openmetrics.h) maps '.' to '_';
+        // the result must match [a-zA-Z_][a-zA-Z0-9_]* and we reserve
+        // leading underscores for the spec's own suffix machinery, so a
+        // sanitized family must start with a letter.
+        findings->push_back(
+            {rel_path, LineOfOffset(code, pos), "obs-name",
+             "instrument name \"" + std::string(name) +
+                 "\" would not survive OpenMetrics sanitization (the "
+                 "first character must be a lowercase letter)"});
       }
       pos = end;
     }

@@ -1,0 +1,99 @@
+// revise_om_check: validate an OpenMetrics exposition produced by the
+// statsz /metrics endpoint or the periodic metrics dumper.
+//
+// Reads the exposition from a file (or stdin with "-"), runs it through
+// the strict round-trip parser (obs/openmetrics.h — cumulative-bucket
+// monotonicity, +Inf == _count, single trailing # EOF), and optionally
+// asserts that specific metrics are present.  The CI statsz smoke job
+// scrapes a live bench and pipes the body through this tool, so a
+// malformed exposition fails the build, not the Prometheus deployment
+// that first ingests it.
+//
+// Usage:
+//   revise_om_check <file|-> [--require=<metric-name>]...
+//
+// Exit status: 0 when the document parses and every required metric is
+// present; 1 otherwise (details on stderr).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/openmetrics.h"
+
+namespace {
+
+std::string ReadAll(std::FILE* file) {
+  std::string text;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* input = nullptr;
+  std::vector<std::string> required;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--require=", 10) == 0) {
+      required.emplace_back(argv[i] + 10);
+    } else if (input == nullptr) {
+      input = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: revise_om_check <file|-> [--require=<name>]...\n");
+      return 1;
+    }
+  }
+  if (input == nullptr) {
+    std::fprintf(stderr,
+                 "usage: revise_om_check <file|-> [--require=<name>]...\n");
+    return 1;
+  }
+
+  std::string text;
+  if (std::strcmp(input, "-") == 0) {
+    text = ReadAll(stdin);
+  } else {
+    std::FILE* file = std::fopen(input, "r");
+    if (file == nullptr) {
+      std::fprintf(stderr, "revise_om_check: cannot open %s\n", input);
+      return 1;
+    }
+    text = ReadAll(file);
+    std::fclose(file);
+  }
+
+  const revise::StatusOr<revise::obs::ParsedMetrics> parsed =
+      revise::obs::ParseOpenMetrics(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "revise_om_check: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+
+  int missing = 0;
+  for (const std::string& name : required) {
+    const bool found = parsed->counters.count(name) != 0 ||
+                       parsed->gauges.count(name) != 0 ||
+                       parsed->histograms.count(name) != 0 ||
+                       parsed->infos.count(name) != 0;
+    if (!found) {
+      std::fprintf(stderr, "revise_om_check: required metric '%s' missing\n",
+                   name.c_str());
+      ++missing;
+    }
+  }
+  if (missing > 0) return 1;
+
+  std::printf("revise_om_check: OK — %zu counters, %zu gauges, "
+              "%zu histograms, %zu info families\n",
+              parsed->counters.size(), parsed->gauges.size(),
+              parsed->histograms.size(), parsed->infos.size());
+  return 0;
+}
