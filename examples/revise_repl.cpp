@@ -22,6 +22,10 @@
 //                        (obs/statsz.h) — no port binds an ephemeral
 //                        one, announced on stderr; also started
 //                        automatically when REVISE_STATSZ is set
+//   :save <path>         compile the current knowledge base into a
+//                        checksummed .rkb artifact (core/kb_artifact.h)
+//   :load <path>         replace the session with a knowledge base
+//                        loaded from a .rkb artifact
 //   reset                clear everything
 //   help, quit
 //
@@ -39,6 +43,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/kb_artifact.h"
 #include "core/librevise.h"
 #include "obs/memory.h"
 #include "obs/metrics.h"
@@ -86,7 +91,7 @@ class Repl {
           "operator <name> | strategy <delayed|explicit|compact> |\n"
           "assert <f> | revise <f> | ask <f> | models | size | :stats | "
           ":trace <path> | :explain <op> <phi> <mu> | :statsz [port] | "
-          "reset | quit\n");
+          ":save <path> | :load <path> | reset | quit\n");
       return true;
     }
     if (command == "operator") {
@@ -291,6 +296,42 @@ class Repl {
                   "curl http://127.0.0.1:%u/metrics\n",
                   static_cast<unsigned>(obs::GlobalStatsz()->port()),
                   static_cast<unsigned>(obs::GlobalStatsz()->port()));
+      return true;
+    }
+    if (command == ":save") {
+      if (rest.empty()) {
+        std::printf("usage: :save <path>\n");
+        return true;
+      }
+      EnsureKb();
+      const Status status = SaveKnowledgeBaseArtifact(*kb_, rest);
+      if (status.ok()) {
+        std::printf("artifact written to %s\n", rest.c_str());
+      } else {
+        std::printf("save failed: %s\n", status.ToString().c_str());
+      }
+      return true;
+    }
+    if (command == ":load") {
+      if (rest.empty()) {
+        std::printf("usage: :load <path>\n");
+        return true;
+      }
+      StatusOr<KnowledgeBase> loaded =
+          LoadKnowledgeBaseArtifact(rest, &vocabulary_);
+      if (!loaded.ok()) {
+        std::printf("load failed: %s\n",
+                    loaded.status().ToString().c_str());
+        return true;
+      }
+      kb_ = std::make_unique<KnowledgeBase>(std::move(loaded).value());
+      // Sync the session so assert/reset rebuild from the loaded state.
+      theory_ = kb_->initial();
+      op_ = &kb_->op();
+      strategy_ = kb_->strategy();
+      std::printf("loaded %s: operator=%s, %zu revision(s), %zu model(s)\n",
+                  rest.c_str(), std::string(op_->name()).c_str(),
+                  kb_->num_revisions(), kb_->Models().size());
       return true;
     }
     if (command == "size") {

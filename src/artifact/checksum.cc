@@ -1,0 +1,43 @@
+#include "artifact/checksum.h"
+
+#include <array>
+
+namespace revise::artifact {
+namespace {
+
+// Reflected ECMA-182 polynomial (CRC-64/XZ).
+constexpr uint64_t kPoly = 0xc96c5795d7870f42ull;
+
+constexpr std::array<uint64_t, 256> MakeTable() {
+  std::array<uint64_t, 256> table{};
+  for (uint64_t i = 0; i < 256; ++i) {
+    uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint64_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint64_t Crc64Init() { return ~0ull; }
+
+uint64_t Crc64Update(uint64_t state, const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    state = kTable[(state ^ bytes[i]) & 0xff] ^ (state >> 8);
+  }
+  return state;
+}
+
+uint64_t Crc64Final(uint64_t state) { return ~state; }
+
+uint64_t Crc64(const void* data, size_t size) {
+  return Crc64Final(Crc64Update(Crc64Init(), data, size));
+}
+
+}  // namespace revise::artifact

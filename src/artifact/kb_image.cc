@@ -1,0 +1,755 @@
+#include "artifact/kb_image.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "artifact/checksum.h"
+#include "bdd/bdd.h"
+#include "kernel/packed_matrix.h"
+#include "kernel/simd.h"
+#include "obs/metrics.h"
+
+namespace revise::artifact {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedMs(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+// --- formula node table ------------------------------------------------
+//
+// Nodes are emitted children-first, so every child reference is a smaller
+// index.  Two maps deduplicate: by node identity (cheap, catches shared
+// DAG nodes) and by structure (catches equal subtrees allocated apart),
+// so the table is a true structural DAG regardless of how the formulas
+// were built.
+
+class FormulaEncoder {
+ public:
+  uint32_t Add(const Formula& f) {
+    auto by_id = by_id_.find(f.id());
+    if (by_id != by_id_.end()) {
+      return by_id->second;
+    }
+    std::vector<uint64_t> key;
+    key.push_back(static_cast<uint64_t>(f.kind()));
+    switch (f.kind()) {
+      case Connective::kConst:
+        key.push_back(f.const_value() ? 1 : 0);
+        break;
+      case Connective::kVar:
+        key.push_back(f.var());
+        break;
+      default:
+        for (const Formula& child : f.children()) {
+          key.push_back(Add(child));
+        }
+        break;
+    }
+    auto [it, inserted] = by_structure_.try_emplace(key, count_);
+    if (inserted) {
+      EmitNode(f, key);
+      ++count_;
+    }
+    by_id_.emplace(f.id(), it->second);
+    return it->second;
+  }
+
+  uint32_t count() const { return count_; }
+
+  std::vector<uint8_t> Finish() && {
+    ByteWriter payload;
+    payload.U32(count_);
+    std::vector<uint8_t> body = std::move(body_).Take();
+    payload.Bytes(body.data(), body.size());
+    return std::move(payload).Take();
+  }
+
+ private:
+  void EmitNode(const Formula& f, const std::vector<uint64_t>& key) {
+    body_.U8(static_cast<uint8_t>(f.kind()));
+    switch (f.kind()) {
+      case Connective::kConst:
+        body_.U8(f.const_value() ? 1 : 0);
+        break;
+      case Connective::kVar:
+        body_.U32(f.var());
+        break;
+      default:
+        body_.U32(static_cast<uint32_t>(key.size() - 1));
+        for (size_t i = 1; i < key.size(); ++i) {
+          body_.U32(static_cast<uint32_t>(key[i]));
+        }
+        break;
+    }
+  }
+
+  ByteWriter body_;
+  uint32_t count_ = 0;
+  std::unordered_map<const void*, uint32_t> by_id_;
+  std::map<std::vector<uint64_t>, uint32_t> by_structure_;
+};
+
+// Decodes the node table, rebuilding each node through the public
+// factories with variables remapped.  Stored nodes are factory-normal
+// (flattened, constant-folded), and the factories are idempotent on
+// normal forms, so the rebuilt formulas are structurally identical to
+// what was saved.
+Status DecodeFormulas(ByteReader reader, const std::vector<Var>& remap,
+                      std::vector<Formula>* nodes) {
+  uint32_t count = reader.U32();
+  if (!reader.ok() || count > reader.remaining()) {
+    return InvalidArgumentError("artifact formula table header corrupt");
+  }
+  nodes->clear();
+  nodes->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t kind = reader.U8();
+    switch (static_cast<Connective>(kind)) {
+      case Connective::kConst:
+        nodes->push_back(Formula::Constant(reader.U8() != 0));
+        break;
+      case Connective::kVar: {
+        uint32_t var = reader.U32();
+        if (!reader.ok() || var >= remap.size()) {
+          return InvalidArgumentError("artifact formula variable id " +
+                                      std::to_string(var) + " out of range");
+        }
+        nodes->push_back(Formula::Variable(remap[var]));
+        break;
+      }
+      case Connective::kNot:
+      case Connective::kAnd:
+      case Connective::kOr:
+      case Connective::kImplies:
+      case Connective::kIff:
+      case Connective::kXor: {
+        uint32_t arity = reader.U32();
+        if (!reader.ok() || arity > reader.remaining() / 4 + 1) {
+          return InvalidArgumentError("artifact formula arity corrupt");
+        }
+        std::vector<Formula> children;
+        children.reserve(arity);
+        for (uint32_t c = 0; c < arity; ++c) {
+          uint32_t child = reader.U32();
+          if (!reader.ok() || child >= i) {
+            return InvalidArgumentError(
+                "artifact formula child reference out of order");
+          }
+          children.push_back((*nodes)[child]);
+        }
+        switch (static_cast<Connective>(kind)) {
+          case Connective::kNot:
+            if (arity != 1) {
+              return InvalidArgumentError("artifact NOT node arity != 1");
+            }
+            nodes->push_back(Formula::Not(children[0]));
+            break;
+          case Connective::kAnd:
+            nodes->push_back(Formula::And(children));
+            break;
+          case Connective::kOr:
+            nodes->push_back(Formula::Or(children));
+            break;
+          default:
+            if (arity != 2) {
+              return InvalidArgumentError(
+                  "artifact binary connective arity != 2");
+            }
+            if (static_cast<Connective>(kind) == Connective::kImplies) {
+              nodes->push_back(Formula::Implies(children[0], children[1]));
+            } else if (static_cast<Connective>(kind) == Connective::kIff) {
+              nodes->push_back(Formula::Iff(children[0], children[1]));
+            } else {
+              nodes->push_back(Formula::Xor(children[0], children[1]));
+            }
+            break;
+        }
+        break;
+      }
+      default:
+        return InvalidArgumentError("artifact formula kind " +
+                                    std::to_string(kind) + " unknown");
+    }
+  }
+  if (!reader.AtEnd()) {
+    return InvalidArgumentError("artifact formula table has trailing bytes");
+  }
+  return Status::Ok();
+}
+
+// The canonical ROBDD of the model set in sorted-alphabet order, built
+// one minterm cube at a time (bottom-up, so each ITE is a cheap top
+// insertion) and exported as a renumbered children-first node table.
+BddImage BuildBddImage(const ModelSet& models) {
+  const Alphabet& alphabet = models.alphabet();
+  BddManager manager(alphabet.vars());
+  BddManager::NodeRef root = BddManager::kFalse;
+  for (const Interpretation& m : models) {
+    BddManager::NodeRef cube = BddManager::kTrue;
+    for (size_t i = alphabet.size(); i-- > 0;) {
+      BddManager::NodeRef v = manager.VarNode(alphabet.var(i));
+      cube = m.Get(i) ? manager.Ite(v, cube, BddManager::kFalse)
+                      : manager.Ite(v, BddManager::kFalse, cube);
+    }
+    root = manager.Or(root, cube);
+  }
+
+  BddImage image;
+  image.order = manager.order();
+  std::unordered_map<BddManager::NodeRef, uint32_t> renumber = {
+      {BddManager::kFalse, 0}, {BddManager::kTrue, 1}};
+  // Children-first DFS; depth is bounded by the variable count.
+  auto Export = [&](auto&& self, BddManager::NodeRef f) -> uint32_t {
+    auto found = renumber.find(f);
+    if (found != renumber.end()) {
+      return found->second;
+    }
+    uint32_t low = self(self, manager.NodeLow(f));
+    uint32_t high = self(self, manager.NodeHigh(f));
+    image.nodes.push_back({manager.NodeLevel(f), low, high});
+    uint32_t ref = static_cast<uint32_t>(image.nodes.size()) + 1;
+    renumber.emplace(f, ref);
+    return ref;
+  };
+  image.root = Export(Export, root);
+  return image;
+}
+
+}  // namespace
+
+std::string_view StrategyName(uint32_t strategy) {
+  switch (strategy) {
+    case kStrategyDelayed:
+      return "delayed";
+    case kStrategyExplicit:
+      return "explicit";
+    case kStrategyCompact:
+      return "compact";
+    default:
+      return "unknown";
+  }
+}
+
+bool BddImage::Evaluate(const Interpretation& m,
+                        const Alphabet& alphabet) const {
+  uint32_t ref = root;
+  while (ref > 1) {
+    const Node& node = nodes[ref - 2];
+    bool bit = false;
+    if (std::optional<size_t> pos = alphabet.IndexOf(order[node.level])) {
+      bit = m.Get(*pos);
+    }
+    ref = bit ? node.high : node.low;
+  }
+  return ref == 1;
+}
+
+Status WriteKbArtifact(const KbImage& image, const Vocabulary& vocabulary,
+                       const std::string& path) {
+  Clock::time_point start = Clock::now();
+  ArtifactWriter writer;
+
+  // VOCAB: every interned name in id order, so load can rebuild the
+  // old-id -> new-id remap (and Fresh() keeps skipping taken names).
+  {
+    ByteWriter payload;
+    payload.U32(static_cast<uint32_t>(vocabulary.size()));
+    for (Var var = 0; var < vocabulary.size(); ++var) {
+      payload.String(vocabulary.Name(var));
+    }
+    writer.AddSection(SectionId::kVocabulary, std::move(payload).Take());
+  }
+
+  // FORMULAS + the root indices for KBMETA.
+  FormulaEncoder formulas;
+  std::vector<uint32_t> initial_roots;
+  for (const Formula& f : image.initial) {
+    initial_roots.push_back(formulas.Add(f));
+  }
+  std::vector<uint32_t> update_roots;
+  for (const Formula& f : image.updates) {
+    update_roots.push_back(formulas.Add(f));
+  }
+  uint32_t folded_root = formulas.Add(image.folded);
+  std::vector<uint32_t> folded_theory_roots;
+  for (const Formula& f : image.folded_theory) {
+    folded_theory_roots.push_back(formulas.Add(f));
+  }
+  writer.AddSection(SectionId::kFormulas, std::move(formulas).Finish());
+
+  // MODELMETA + MODELROWS: the canonical model set in PackedModelMatrix
+  // row layout, 64-byte aligned in the file for in-place reads.
+  const Alphabet& alphabet = image.models.alphabet();
+  kernel::PackedModelMatrix matrix = kernel::PackedModelMatrix::FromModels(
+      alphabet.size(), image.models.models());
+  {
+    ByteWriter payload;
+    payload.U32(static_cast<uint32_t>(alphabet.size()));
+    for (Var var : alphabet.vars()) {
+      payload.U32(var);
+    }
+    payload.U64(matrix.rows());
+    payload.U64(matrix.row_stride());
+    writer.AddSection(SectionId::kModelMeta, std::move(payload).Take());
+  }
+  {
+    ByteWriter payload;
+    for (size_t r = 0; r < matrix.rows(); ++r) {
+      const uint64_t* row = matrix.row(r);
+      for (size_t w = 0; w < matrix.row_stride(); ++w) {
+        payload.U64(row[w]);
+      }
+    }
+    writer.AddSection(SectionId::kModelRows, std::move(payload).Take());
+  }
+
+  // BDD: order, root, children-first node table.
+  BddImage bdd = BuildBddImage(image.models);
+  {
+    ByteWriter payload;
+    payload.U32(static_cast<uint32_t>(bdd.order.size()));
+    for (Var var : bdd.order) {
+      payload.U32(var);
+    }
+    payload.U32(static_cast<uint32_t>(bdd.nodes.size()));
+    payload.U32(bdd.root);
+    for (const BddImage::Node& node : bdd.nodes) {
+      payload.U32(node.level);
+      payload.U32(node.low);
+      payload.U32(node.high);
+    }
+    writer.AddSection(SectionId::kBdd, std::move(payload).Take());
+  }
+
+  // KBMETA: operator, strategy, and the formula roots.
+  {
+    ByteWriter payload;
+    payload.U32(static_cast<uint32_t>(image.operator_id));
+    payload.U32(image.strategy);
+    payload.U32(0);  // flags, reserved
+    payload.U64(matrix.rows());
+    payload.U32(static_cast<uint32_t>(initial_roots.size()));
+    for (uint32_t root : initial_roots) {
+      payload.U32(root);
+    }
+    payload.U32(static_cast<uint32_t>(update_roots.size()));
+    for (uint32_t root : update_roots) {
+      payload.U32(root);
+    }
+    payload.U32(folded_root);
+    payload.U32(static_cast<uint32_t>(folded_theory_roots.size()));
+    for (uint32_t root : folded_theory_roots) {
+      payload.U32(root);
+    }
+    writer.AddSection(SectionId::kKbMeta, std::move(payload).Take());
+  }
+
+  Status written = writer.WriteToFile(path);
+  if (!written.ok()) {
+    return written;
+  }
+  REVISE_OBS_COUNTER("artifact.compiles").Increment();
+  REVISE_OBS_HISTOGRAM("artifact.compile_ms").Record(ElapsedMs(start));
+  return Status::Ok();
+}
+
+StatusOr<KbArtifact> KbArtifact::Open(const std::string& path) {
+  StatusOr<ArtifactFile> file = ArtifactFile::Open(path);
+  if (!file.ok()) {
+    return file.status();
+  }
+  KbArtifact artifact;
+  artifact.file_ = std::move(*file);
+  Status decoded = artifact.DecodeMeta();
+  if (!decoded.ok()) {
+    return decoded;
+  }
+  return artifact;
+}
+
+Status KbArtifact::DecodeMeta() {
+  for (const ArtifactFile::Section& section : file_.sections()) {
+    info_.sections.push_back({std::string(SectionIdName(section.id)),
+                              section.offset, section.size, section.crc});
+  }
+  info_.format_version = file_.format_version();
+  info_.file_size = file_.file_size();
+  info_.file_crc = file_.file_crc();
+  info_.mapped = file_.mapped();
+
+  const ArtifactFile::Section* vocab = file_.Find(SectionId::kVocabulary);
+  const ArtifactFile::Section* formulas = file_.Find(SectionId::kFormulas);
+  const ArtifactFile::Section* model_meta = file_.Find(SectionId::kModelMeta);
+  const ArtifactFile::Section* model_rows = file_.Find(SectionId::kModelRows);
+  const ArtifactFile::Section* bdd = file_.Find(SectionId::kBdd);
+  const ArtifactFile::Section* kb_meta = file_.Find(SectionId::kKbMeta);
+  if (vocab == nullptr || formulas == nullptr || model_meta == nullptr ||
+      model_rows == nullptr || bdd == nullptr || kb_meta == nullptr) {
+    return InvalidArgumentError(
+        "artifact is missing a required section (not a compiled KB?)");
+  }
+
+  // VOCAB.
+  {
+    ByteReader reader(file_.SectionData(*vocab), vocab->size);
+    uint32_t count = reader.U32();
+    if (!reader.ok() || count > reader.remaining()) {
+      return InvalidArgumentError("artifact vocabulary header corrupt");
+    }
+    names_.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string name;
+      if (!reader.String(&name)) {
+        return InvalidArgumentError("artifact vocabulary truncated");
+      }
+      names_.push_back(std::move(name));
+    }
+    if (!reader.AtEnd()) {
+      return InvalidArgumentError("artifact vocabulary has trailing bytes");
+    }
+  }
+  info_.vocabulary_size = names_.size();
+
+  // FORMULAS header only; the body is decoded in Materialize.
+  uint32_t formula_count = 0;
+  {
+    ByteReader reader(file_.SectionData(*formulas), formulas->size);
+    formula_count = reader.U32();
+    if (!reader.ok()) {
+      return InvalidArgumentError("artifact formula table truncated");
+    }
+  }
+  info_.formula_nodes = formula_count;
+
+  // MODELMETA.
+  {
+    ByteReader reader(file_.SectionData(*model_meta), model_meta->size);
+    uint32_t bits = reader.U32();
+    if (!reader.ok() || bits > reader.remaining() / 4) {
+      return InvalidArgumentError("artifact model alphabet corrupt");
+    }
+    alphabet_.reserve(bits);
+    for (uint32_t i = 0; i < bits; ++i) {
+      uint32_t var = reader.U32();
+      if (var >= names_.size() ||
+          (!alphabet_.empty() && var <= alphabet_.back())) {
+        return InvalidArgumentError(
+            "artifact model alphabet not strictly ascending / out of range");
+      }
+      alphabet_.push_back(var);
+    }
+    rows_ = reader.U64();
+    stride_words_ = reader.U64();
+    if (!reader.ok() || !reader.AtEnd()) {
+      return InvalidArgumentError("artifact model metadata corrupt");
+    }
+    // The stride is the writer's PackedModelMatrix row stride: the used
+    // words rounded up to whole SIMD blocks, at least one block — also
+    // for rows == 0, where the rows section itself is empty.
+    const size_t words_used = (alphabet_.size() + 63) / 64;
+    const size_t expected_stride =
+        std::max<size_t>(1, (words_used + kernel::kWordsPerBlock - 1) /
+                                kernel::kWordsPerBlock) *
+        kernel::kWordsPerBlock;
+    if (stride_words_ != expected_stride) {
+      return InvalidArgumentError("artifact model row stride corrupt");
+    }
+    if (rows_ * stride_words_ * 8 != model_rows->size) {
+      return InvalidArgumentError(
+          "artifact model rows section size does not match its metadata");
+    }
+    row_bytes_ = file_.SectionData(*model_rows);
+  }
+  info_.alphabet_size = alphabet_.size();
+  info_.model_count = rows_;
+
+  // Canonicity + padding: rows strictly increasing, tail bits zero.  This
+  // means ModelRow can hand words straight to Interpretation::FromWords.
+  {
+    const size_t bits = alphabet_.size();
+    const size_t words_used = (bits + 63) / 64;
+    for (size_t r = 0; r < rows_; ++r) {
+      for (size_t w = words_used; w < stride_words_; ++w) {
+        if (RowWord(r, w) != 0) {
+          return InvalidArgumentError("artifact model row padding not zero");
+        }
+      }
+      if (bits % 64 != 0 && words_used > 0 &&
+          (RowWord(r, words_used - 1) >> (bits % 64)) != 0) {
+        return InvalidArgumentError("artifact model row tail bits not zero");
+      }
+      if (r > 0 && !(ModelRow(r - 1) < ModelRow(r))) {
+        return InvalidArgumentError(
+            "artifact model rows not in canonical order");
+      }
+    }
+  }
+
+  // BDD.
+  {
+    ByteReader reader(file_.SectionData(*bdd), bdd->size);
+    uint32_t order_len = reader.U32();
+    if (!reader.ok() || order_len > reader.remaining() / 4) {
+      return InvalidArgumentError("artifact bdd order corrupt");
+    }
+    bdd_order_.reserve(order_len);
+    bdd_level_to_bit_.reserve(order_len);
+    for (uint32_t i = 0; i < order_len; ++i) {
+      uint32_t var = reader.U32();
+      auto at = std::lower_bound(alphabet_.begin(), alphabet_.end(), var);
+      if (at == alphabet_.end() || *at != var) {
+        return InvalidArgumentError(
+            "artifact bdd order variable outside the model alphabet");
+      }
+      bdd_order_.push_back(var);
+      bdd_level_to_bit_.push_back(
+          static_cast<size_t>(at - alphabet_.begin()));
+    }
+    bdd_node_count_ = reader.U32();
+    bdd_root_ = reader.U32();
+    if (!reader.ok() || bdd_node_count_ != reader.remaining() / 12 ||
+        reader.remaining() % 12 != 0) {
+      return InvalidArgumentError("artifact bdd node table size corrupt");
+    }
+    if (bdd_root_ >= bdd_node_count_ + 2) {
+      return InvalidArgumentError("artifact bdd root out of range");
+    }
+    bdd_node_bytes_ = reader.Here();
+    // Structural sanity: children precede parents, levels strictly
+    // increase toward the terminals, no redundant nodes.
+    for (size_t i = 0; i < bdd_node_count_; ++i) {
+      uint32_t level = reader.U32();
+      uint32_t low = reader.U32();
+      uint32_t high = reader.U32();
+      if (level >= bdd_order_.size() || low == high ||
+          low >= i + 2 || high >= i + 2) {
+        return InvalidArgumentError("artifact bdd node " +
+                                    std::to_string(i) + " malformed");
+      }
+      for (uint32_t child : {low, high}) {
+        if (child >= 2) {
+          ByteReader peek(bdd_node_bytes_ + (child - 2) * 12, 4);
+          if (peek.U32() <= level) {
+            return InvalidArgumentError(
+                "artifact bdd levels not strictly increasing");
+          }
+        }
+      }
+    }
+  }
+  info_.bdd_nodes = bdd_node_count_;
+
+  // KBMETA.
+  {
+    ByteReader reader(file_.SectionData(*kb_meta), kb_meta->size);
+    operator_id_ = reader.U32();
+    strategy_ = reader.U32();
+    reader.U32();  // flags, reserved
+    uint64_t model_count = reader.U64();
+    if (!reader.ok() || model_count != rows_) {
+      return InvalidArgumentError(
+          "artifact kb metadata model count mismatch");
+    }
+    if (operator_id_ > static_cast<uint32_t>(OperatorId::kWeber)) {
+      return InvalidArgumentError("artifact operator id " +
+                                  std::to_string(operator_id_) +
+                                  " unknown");
+    }
+    if (StrategyName(strategy_) == "unknown") {
+      return InvalidArgumentError("artifact strategy " +
+                                  std::to_string(strategy_) + " unknown");
+    }
+    auto ReadRoots = [&](std::vector<uint32_t>* roots) -> bool {
+      uint32_t count = reader.U32();
+      if (!reader.ok() || count > reader.remaining() / 4) {
+        return false;
+      }
+      roots->reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        uint32_t root = reader.U32();
+        if (root >= formula_count) {
+          return false;
+        }
+        roots->push_back(root);
+      }
+      return reader.ok();
+    };
+    if (!ReadRoots(&initial_roots_) || !ReadRoots(&update_roots_)) {
+      return InvalidArgumentError("artifact kb metadata roots corrupt");
+    }
+    folded_root_ = reader.U32();
+    if (!reader.ok() || folded_root_ >= formula_count) {
+      return InvalidArgumentError("artifact folded root out of range");
+    }
+    if (!ReadRoots(&folded_theory_roots_) || !reader.AtEnd()) {
+      return InvalidArgumentError("artifact kb metadata roots corrupt");
+    }
+  }
+  info_.update_count = update_roots_.size();
+  info_.operator_name = std::string(
+      OperatorById(static_cast<OperatorId>(operator_id_))->name());
+  info_.strategy_name = std::string(StrategyName(strategy_));
+  return Status::Ok();
+}
+
+uint64_t KbArtifact::RowWord(size_t row, size_t word) const {
+  const uint8_t* at = row_bytes_ + (row * stride_words_ + word) * 8;
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(at[i]) << (8 * i);
+  }
+  return value;
+}
+
+bool KbArtifact::RowBit(size_t row, size_t bit) const {
+  // Bytewise in-place peek: independent of host endianness and section
+  // alignment (little-endian words make byte b hold bits 8b..8b+7).
+  const uint8_t byte = row_bytes_[row * stride_words_ * 8 + bit / 8];
+  return (byte >> (bit % 8)) & 1;
+}
+
+Interpretation KbArtifact::ModelRow(size_t row) const {
+  const size_t bits = alphabet_.size();
+  const uint8_t* at = row_bytes_ + row * stride_words_ * 8;
+  if constexpr (std::endian::native == std::endian::little) {
+    if (reinterpret_cast<uintptr_t>(at) % alignof(uint64_t) == 0) {
+      // Zero-parse fast path: the packed words are the file bytes.
+      REVISE_OBS_COUNTER("artifact.rows_inplace").Increment();
+      return Interpretation::FromWords(
+          bits, reinterpret_cast<const uint64_t*>(at));
+    }
+  }
+  REVISE_OBS_COUNTER("artifact.rows_streamed").Increment();
+  const size_t words_used = (bits + 63) / 64;
+  std::vector<uint64_t> words(words_used);
+  for (size_t w = 0; w < words_used; ++w) {
+    words[w] = RowWord(row, w);
+  }
+  return Interpretation::FromWords(bits, words.data());
+}
+
+bool KbArtifact::AskPackedRow(size_t row) const {
+  uint32_t ref = bdd_root_;
+  while (ref > 1) {
+    const uint8_t* node = bdd_node_bytes_ + (ref - 2) * 12;
+    ByteReader reader(node, 12);
+    uint32_t level = reader.U32();
+    uint32_t low = reader.U32();
+    uint32_t high = reader.U32();
+    ref = RowBit(row, bdd_level_to_bit_[level]) ? high : low;
+  }
+  return ref == 1;
+}
+
+Status KbArtifact::VerifyPackedSections() const {
+  // DecodeMeta already enforced canonical row order, zero padding and BDD
+  // shape; here the two representations are played against each other:
+  // every stored model must satisfy the stored BDD (Definition 7.1's ASK
+  // run directly on the mapped bytes).
+  for (size_t r = 0; r < rows_; ++r) {
+    if (!AskPackedRow(r)) {
+      return InvalidArgumentError(
+          "artifact model row " + std::to_string(r) +
+          " is rejected by the stored BDD");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<KbImage> KbArtifact::Materialize(Vocabulary* vocabulary) const {
+  Clock::time_point start = Clock::now();
+  std::vector<Var> remap;
+  remap.reserve(names_.size());
+  for (const std::string& name : names_) {
+    remap.push_back(vocabulary->Intern(name));
+  }
+
+  const ArtifactFile::Section* formulas = file_.Find(SectionId::kFormulas);
+  std::vector<Formula> nodes;
+  Status decoded = DecodeFormulas(
+      ByteReader(file_.SectionData(*formulas), formulas->size), remap,
+      &nodes);
+  if (!decoded.ok()) {
+    return decoded;
+  }
+
+  KbImage image;
+  image.operator_id = static_cast<OperatorId>(operator_id_);
+  image.strategy = strategy_;
+  std::vector<Formula> initial;
+  for (uint32_t root : initial_roots_) {
+    initial.push_back(nodes[root]);
+  }
+  image.initial = Theory(std::move(initial));
+  for (uint32_t root : update_roots_) {
+    image.updates.push_back(nodes[root]);
+  }
+  image.folded = nodes[folded_root_];
+  std::vector<Formula> folded_theory;
+  for (uint32_t root : folded_theory_roots_) {
+    folded_theory.push_back(nodes[root]);
+  }
+  image.folded_theory = Theory(std::move(folded_theory));
+
+  // Models: remap the alphabet; when the remap preserves the stored
+  // order (always when loading into a fresh vocabulary) rows transfer
+  // words-at-a-time, otherwise bits are permuted one by one.
+  std::vector<Var> new_vars;
+  new_vars.reserve(alphabet_.size());
+  bool order_preserved = true;
+  for (size_t i = 0; i < alphabet_.size(); ++i) {
+    new_vars.push_back(remap[alphabet_[i]]);
+    if (i > 0 && new_vars[i] <= new_vars[i - 1]) {
+      order_preserved = false;
+    }
+  }
+  Alphabet alphabet(new_vars);
+  std::vector<Interpretation> models;
+  models.reserve(rows_);
+  if (order_preserved) {
+    for (size_t r = 0; r < rows_; ++r) {
+      models.push_back(ModelRow(r));
+    }
+  } else {
+    for (size_t r = 0; r < rows_; ++r) {
+      Interpretation m(alphabet.size());
+      for (size_t bit = 0; bit < alphabet_.size(); ++bit) {
+        if (RowBit(r, bit)) {
+          m.Set(*alphabet.IndexOf(new_vars[bit]), true);
+        }
+      }
+      models.push_back(std::move(m));
+    }
+  }
+  image.models = ModelSet(alphabet, std::move(models));
+
+  image.bdd.order.reserve(bdd_order_.size());
+  for (Var var : bdd_order_) {
+    image.bdd.order.push_back(remap[var]);
+  }
+  image.bdd.nodes.reserve(bdd_node_count_);
+  for (size_t i = 0; i < bdd_node_count_; ++i) {
+    ByteReader reader(bdd_node_bytes_ + i * 12, 12);
+    uint32_t level = reader.U32();
+    uint32_t low = reader.U32();
+    uint32_t high = reader.U32();
+    image.bdd.nodes.push_back({level, low, high});
+  }
+  image.bdd.root = bdd_root_;
+
+  REVISE_OBS_HISTOGRAM("artifact.materialize_ms").Record(ElapsedMs(start));
+  return image;
+}
+
+}  // namespace revise::artifact

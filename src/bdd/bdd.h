@@ -77,6 +77,14 @@ class BddManager {
   const std::vector<Var>& order() const { return order_; }
   size_t num_vars() const { return order_.size(); }
 
+  // Raw node-table access for serialization (the artifact layer persists
+  // the reachable subgraph as Definition 7.1's data structure D).  `f`
+  // must be an internal node: 2 <= f < num_nodes().
+  size_t num_nodes() const { return nodes_.size(); }
+  uint32_t NodeLevel(NodeRef f) const { return nodes_[f].level; }
+  NodeRef NodeLow(NodeRef f) const { return nodes_[f].low; }
+  NodeRef NodeHigh(NodeRef f) const { return nodes_[f].high; }
+
  private:
   struct Node {
     uint32_t level;

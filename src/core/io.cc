@@ -65,7 +65,18 @@ Status SaveTheoryToFile(const Theory& theory, const Vocabulary& vocabulary,
     return InternalError("cannot write " + path);
   }
   out << "# librevise theory file\n" << TheoryToText(theory, vocabulary);
-  return out.good() ? Status::Ok() : InternalError("write failed");
+  // An ofstream buffers: without an explicit flush the data may still be
+  // in memory here, and a short write (e.g. a full disk) would only
+  // surface at destruction — after Ok was already returned.
+  out.flush();
+  if (!out.good()) {
+    return InternalError("short write to " + path);
+  }
+  out.close();
+  if (out.fail()) {
+    return InternalError("close of " + path + " failed");
+  }
+  return Status::Ok();
 }
 
 }  // namespace revise

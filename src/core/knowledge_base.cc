@@ -38,8 +38,24 @@ StatusOr<KnowledgeBase> KnowledgeBase::Create(Theory initial,
   return KnowledgeBase(std::move(initial), op, strategy, vocabulary);
 }
 
+StatusOr<KnowledgeBase> KnowledgeBase::FromSnapshot(
+    Theory initial, std::vector<Formula> updates, Formula folded,
+    Theory folded_theory, std::optional<ModelSet> models,
+    const RevisionOperator* op, RevisionStrategy strategy,
+    Vocabulary* vocabulary) {
+  StatusOr<KnowledgeBase> kb =
+      Create(std::move(initial), op, strategy, vocabulary);
+  if (!kb.ok()) return kb;
+  kb->updates_ = std::move(updates);
+  kb->folded_ = std::move(folded);
+  kb->folded_theory_ = std::move(folded_theory);
+  kb->models_memo_ = std::move(models);
+  return kb;
+}
+
 void KnowledgeBase::Revise(const Formula& p) {
   updates_.push_back(p);
+  models_memo_.reset();
   switch (strategy_) {
     case RevisionStrategy::kDelayed:
       return;  // nothing to fold
@@ -97,6 +113,13 @@ Alphabet KnowledgeBase::CurrentAlphabet() const {
 }
 
 ModelSet KnowledgeBase::Models() const {
+  if (!models_memo_.has_value()) {
+    models_memo_ = ComputeModels();
+  }
+  return *models_memo_;
+}
+
+ModelSet KnowledgeBase::ComputeModels() const {
   const Alphabet alphabet = CurrentAlphabet();
   if (strategy_ == RevisionStrategy::kDelayed) {
     return IteratedReviseModels(*op_, initial_, updates_, alphabet);

@@ -22,11 +22,13 @@
 #ifndef REVISE_CORE_KNOWLEDGE_BASE_H_
 #define REVISE_CORE_KNOWLEDGE_BASE_H_
 
+#include <optional>
 #include <vector>
 
 #include "logic/formula.h"
 #include "logic/theory.h"
 #include "logic/vocabulary.h"
+#include "model/model_set.h"
 #include "revision/operator.h"
 #include "util/status.h"
 
@@ -49,8 +51,19 @@ class KnowledgeBase {
                                         RevisionStrategy strategy,
                                         Vocabulary* vocabulary);
 
+  // Resumes from a saved snapshot (core/kb_artifact.h): the stored state
+  // is adopted verbatim and `models`, when present, seeds the Models()
+  // memo so the first query after a cold start skips enumeration.
+  // Rejects the same operator/strategy combinations as Create.
+  static StatusOr<KnowledgeBase> FromSnapshot(
+      Theory initial, std::vector<Formula> updates, Formula folded,
+      Theory folded_theory, std::optional<ModelSet> models,
+      const RevisionOperator* op, RevisionStrategy strategy,
+      Vocabulary* vocabulary);
+
   const RevisionOperator& op() const { return *op_; }
   RevisionStrategy strategy() const { return strategy_; }
+  const Vocabulary& vocabulary() const { return *vocabulary_; }
 
   // Incorporates the new information P.
   void Revise(const Formula& p);
@@ -78,7 +91,15 @@ class KnowledgeBase {
 
   size_t num_revisions() const { return updates_.size(); }
 
+  // Stored state, exposed for serialization (core/kb_artifact.h).
+  const Theory& initial() const { return initial_; }
+  const std::vector<Formula>& updates() const { return updates_; }
+  const Formula& folded() const { return folded_; }
+  const Theory& folded_theory() const { return folded_theory_; }
+
  private:
+  ModelSet ComputeModels() const;
+
   const RevisionOperator* op_;
   RevisionStrategy strategy_;
   Vocabulary* vocabulary_;
@@ -90,6 +111,12 @@ class KnowledgeBase {
   Formula folded_;
   // WIDTIO folds theories, not formulas.
   Theory folded_theory_;
+
+  // Memo for Models(): filled on first computation (or seeded from a
+  // loaded artifact), invalidated by Revise.  KnowledgeBase is a
+  // single-threaded object, as before — concurrent const access is not
+  // synchronized.
+  mutable std::optional<ModelSet> models_memo_;
 };
 
 }  // namespace revise

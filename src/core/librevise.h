@@ -15,6 +15,7 @@
 #include "compact/single_revision.h"      // Theorems 3.4 / 3.5
 #include "core/advice_oracle.h"           // Theorems 2.2/2.3, runnable
 #include "core/io.h"                      // theory file I/O
+#include "core/kb_artifact.h"             // compiled .rkb save / load
 #include "core/knowledge_base.h"          // KnowledgeBase facade
 #include "logic/cnf_transform.h"
 #include "logic/evaluate.h"

@@ -1,13 +1,24 @@
 #include "fuzz/oracles.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "artifact/artifact.h"
 #include "bdd/bdd.h"
 #include "compact/query.h"
 #include "compact/single_revision.h"
+#include "core/kb_artifact.h"
+#include "core/knowledge_base.h"
 #include "kernel/kernels.h"
 #include "logic/evaluate.h"
 #include "logic/parser.h"
@@ -26,6 +37,15 @@ namespace revise::fuzz {
 namespace {
 
 // ---- shared scaffolding --------------------------------------------------
+
+// Distinguishes temp files of concurrently fuzzing processes.
+uint64_t ProcessTag() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<uint64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
 
 std::string SetSizes(const ModelSet& got, const ModelSet& want) {
   return "got " + std::to_string(got.size()) + " models, expected " +
@@ -560,6 +580,108 @@ std::optional<std::string> ParserRoundtripOracle(const Scenario& s) {
   return std::nullopt;
 }
 
+// compile -> save -> load -> query must be indistinguishable from direct
+// evaluation, and any single corrupted byte must be a load error, never a
+// silently different knowledge base (src/artifact/).
+std::optional<std::string> ArtifactRoundtripOracle(const Scenario& s) {
+  const Alphabet x = RevisionAlphabet(s.t, s.p);
+  if (x.size() > kMaxOracleAlphabet) return std::nullopt;
+  const struct {
+    OperatorId op;
+    RevisionStrategy strategy;
+    const char* label;
+  } configs[] = {
+      {OperatorId::kDalal, RevisionStrategy::kDelayed, "Dalal/delayed"},
+      {OperatorId::kWinslett, RevisionStrategy::kExplicit,
+       "Winslett/explicit"},
+  };
+  static std::atomic<uint64_t> counter{0};
+  for (const auto& config : configs) {
+    const std::string name = std::string("artifact ") + config.label;
+    StatusOr<KnowledgeBase> kb =
+        KnowledgeBase::Create(s.t, OperatorById(config.op), config.strategy,
+                              s.vocabulary.get());
+    if (!kb.ok()) {
+      return name + ": Create failed: " + kb.status().ToString();
+    }
+    kb->Revise(s.p);
+    const ModelSet direct = kb->Models();
+    const bool direct_ask = kb->Ask(s.q);
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("revise_fuzz_" + std::to_string(ProcessTag()) + "_" +
+          std::to_string(s.seed) + "_" +
+          std::to_string(counter.fetch_add(1)) + ".rkb"))
+            .string();
+    if (const Status saved = SaveKnowledgeBaseArtifact(*kb, path);
+        !saved.ok()) {
+      return name + ": save failed: " + saved.ToString();
+    }
+    std::vector<uint8_t> bytes;
+    {
+      std::ifstream in(path, std::ios::binary);
+      bytes.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+    }
+    std::filesystem::remove(path);
+    if (bytes.empty()) {
+      return name + ": artifact file came back empty";
+    }
+
+    // Round trip: the loaded knowledge base answers exactly like the one
+    // that was saved.  Loading into the shared vocabulary keeps s.q's
+    // letters meaningful on the loaded side.
+    {
+      const std::string reload = path + ".copy";
+      {
+        std::ofstream out(reload, std::ios::binary);
+        out.write(reinterpret_cast<const char*>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+      }
+      StatusOr<KnowledgeBase> loaded =
+          LoadKnowledgeBaseArtifact(reload, s.vocabulary.get());
+      std::filesystem::remove(reload);
+      if (!loaded.ok()) {
+        return name + ": load failed: " + loaded.status().ToString();
+      }
+      if (!(loaded->Models() == direct)) {
+        return name + ": loaded models differ from direct evaluation (" +
+               SetSizes(loaded->Models(), direct) + ")";
+      }
+      if (loaded->Ask(s.q) != direct_ask) {
+        return name + ": loaded Ask(Q) differs from direct evaluation";
+      }
+    }
+
+    // A corrupted byte (position and flipped bit both scenario-derived)
+    // must be rejected by the checksum layer.
+    {
+      std::vector<uint8_t> corrupt = bytes;
+      const size_t position = s.seed % corrupt.size();
+      corrupt[position] ^= static_cast<uint8_t>(1u << (s.seed / 7 % 8));
+      StatusOr<artifact::ArtifactFile> opened =
+          artifact::ArtifactFile::FromBytes(std::move(corrupt));
+      if (opened.ok()) {
+        return name + ": a flipped bit at offset " +
+               std::to_string(position) + " loaded without error";
+      }
+    }
+
+    // Truncation (text-mode transports, partial writes) must be rejected.
+    {
+      std::vector<uint8_t> truncated(bytes.begin(),
+                                     bytes.end() - 1);
+      StatusOr<artifact::ArtifactFile> opened =
+          artifact::ArtifactFile::FromBytes(std::move(truncated));
+      if (opened.ok()) {
+        return name + ": a truncated artifact loaded without error";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 const std::vector<Oracle> kOracles = {
     {"brute-force-models",
      "AllSAT enumeration vs a truth-table sweep of Evaluate",
@@ -586,6 +708,10 @@ const std::vector<Oracle> kOracles = {
      Figure1ContainmentOracle},
     {"parser-roundtrip", "print -> parse structural round-trip",
      ParserRoundtripOracle},
+    {"artifact-roundtrip",
+     "compile -> save -> load -> query vs direct, plus corrupted-byte "
+     "rejection",
+     ArtifactRoundtripOracle},
 };
 
 }  // namespace

@@ -21,6 +21,9 @@ namespace revise::obs {
 namespace {
 
 constexpr int kAcceptPollMs = 100;
+// Bounds on one request head: size and overall read deadline.
+constexpr size_t kMaxRequestHeadBytes = 8192;
+constexpr int kRequestHeadTimeoutMs = 5000;
 
 const char* ReasonPhrase(int code) {
   switch (code) {
@@ -229,9 +232,17 @@ void StatszServer::ServeConnection(int fd) {
   // The scope makes a wedged handler visible to the stall watchdog and
   // /tracez — the server monitors itself like any other operation.
   FlightOpScope scope("statsz.request");
-  StatusOr<std::string> head = util::ReadHttpRequestHead(fd);
+  // Bounded head read: a client that connects and then stalls costs this
+  // worker at most the deadline, not forever.
+  StatusOr<std::string> head =
+      util::ReadHttpRequestHead(fd, kMaxRequestHeadBytes,
+                                kRequestHeadTimeoutMs);
   if (!head.ok()) {
-    REVISE_OBS_COUNTER("statsz.bad_requests").Increment();
+    if (head.status().code() == StatusCode::kDeadlineExceeded) {
+      REVISE_OBS_COUNTER("statsz.request_timeouts").Increment();
+    } else {
+      REVISE_OBS_COUNTER("statsz.bad_requests").Increment();
+    }
     util::CloseSocket(fd);
     return;
   }

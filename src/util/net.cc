@@ -4,6 +4,7 @@
 #define REVISE_HAVE_SOCKETS 1
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -20,6 +21,18 @@ namespace {
 
 Status ErrnoError(const char* what) {
   return InternalError(std::string(what) + ": " + std::strerror(errno));
+}
+
+// Milliseconds left until `deadline`, clamped at 0; -1 for "no deadline"
+// (the poll(2) convention).  Computing the remainder from a fixed
+// deadline — instead of re-arming the full timeout on every poll — is
+// what makes the read bounds below *overall* bounds.
+int RemainingMs(bool has_deadline,
+                std::chrono::steady_clock::time_point deadline) {
+  if (!has_deadline) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  return left.count() <= 0 ? 0 : static_cast<int>(left.count());
 }
 
 }  // namespace
@@ -95,10 +108,29 @@ Status SendAll(int fd, std::string_view data) {
   return Status::Ok();
 }
 
-StatusOr<std::string> ReadHttpRequestHead(int fd, size_t max_bytes) {
+StatusOr<std::string> ReadHttpRequestHead(int fd, size_t max_bytes,
+                                          int timeout_ms) {
+  const bool has_deadline = timeout_ms >= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(has_deadline ? timeout_ms
+                                                               : 0);
   std::string head;
   char buffer[512];
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
   while (head.size() < max_bytes) {
+    // Wait for readability under the overall deadline: a client that
+    // connects and then goes silent (or drips one byte per poll) gets
+    // kDeadlineExceeded instead of pinning this worker forever.
+    const int ready = ::poll(&pfd, 1, RemainingMs(has_deadline, deadline));
+    if (ready == 0) {
+      return DeadlineExceededError("http request head timeout");
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("poll");
+    }
     const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -147,8 +179,15 @@ StatusOr<std::string> HttpGet(uint16_t port, std::string_view path,
   pollfd pfd{};
   pfd.fd = fd;
   pfd.events = POLLIN;
+  // One overall deadline for the whole response: re-arming `timeout_ms`
+  // per poll would let a responder that drips a byte every few hundred
+  // milliseconds extend the call indefinitely.
+  const bool has_deadline = timeout_ms >= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(has_deadline ? timeout_ms
+                                                               : 0);
   for (;;) {
-    const int ready = ::poll(&pfd, 1, timeout_ms);
+    const int ready = ::poll(&pfd, 1, RemainingMs(has_deadline, deadline));
     if (ready <= 0) {
       CloseSocket(fd);
       if (ready == 0) return DeadlineExceededError("http response timeout");
@@ -180,7 +219,7 @@ StatusOr<int> AcceptConnection(int, int) {
 Status SendAll(int, std::string_view) {
   return UnimplementedError("sockets unavailable on this platform");
 }
-StatusOr<std::string> ReadHttpRequestHead(int, size_t) {
+StatusOr<std::string> ReadHttpRequestHead(int, size_t, int) {
   return UnimplementedError("sockets unavailable on this platform");
 }
 void CloseSocket(int) {}

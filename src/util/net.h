@@ -45,15 +45,21 @@ Status SendAll(int fd, std::string_view data);
 
 // Reads until a blank line ("\r\n\r\n" or "\n\n") terminates the HTTP
 // request head, EOF, or `max_bytes`.  Returns the raw head (request
-// line + headers); kResourceExhausted when the head exceeds the bound.
-StatusOr<std::string> ReadHttpRequestHead(int fd, size_t max_bytes = 8192);
+// line + headers); kResourceExhausted when the head exceeds the bound;
+// kDeadlineExceeded when the whole head has not arrived within
+// `timeout_ms` (an overall deadline, so an idle or drip-feeding client
+// cannot pin the calling worker; timeout_ms < 0 waits forever).
+StatusOr<std::string> ReadHttpRequestHead(int fd, size_t max_bytes = 8192,
+                                          int timeout_ms = 5000);
 
 // Closes a socket fd (no-op for fd < 0).
 void CloseSocket(int fd);
 
 // A minimal blocking HTTP/1.0 client: connects to 127.0.0.1:`port`,
 // sends `GET <path>`, and returns the full response (status line,
-// headers, body).  Used by tests and the statsz CI smoke tooling; not a
+// headers, body).  `timeout_ms` bounds the whole response read, not each
+// chunk — a slow-drip responder cannot stretch the call past the
+// deadline.  Used by tests and the statsz CI smoke tooling; not a
 // general client.
 StatusOr<std::string> HttpGet(uint16_t port, std::string_view path,
                               int timeout_ms = 5000);

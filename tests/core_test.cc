@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "core/advice_oracle.h"
 #include "core/knowledge_base.h"
 #include "core/io.h"
@@ -227,6 +229,22 @@ TEST(TheoryIoTest, FileRoundTrip) {
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(t.size(), loaded->size());
   EXPECT_FALSE(LoadTheoryFromFile("/nonexistent/x.thy", &vocabulary).ok());
+}
+
+TEST(TheoryIoTest, SaveReportsFullDiskInsteadOfOk) {
+  // Regression: SaveTheoryToFile once checked out.good() *before*
+  // flushing, so a failing flush (ENOSPC) still returned Ok and the
+  // caller believed its theory was durable.  /dev/full fails every
+  // flush, which is exactly the constrained path.
+  if (!std::filesystem::exists("/dev/full")) {
+    GTEST_SKIP() << "/dev/full not available on this platform";
+  }
+  Vocabulary vocabulary;
+  const Theory t = Theory::ParseOrDie("p -> q; !q", &vocabulary);
+  const Status status = SaveTheoryToFile(t, vocabulary, "/dev/full");
+  ASSERT_FALSE(status.ok()) << "a write to a full disk reported success";
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("short write"), std::string::npos);
 }
 
 TEST(AdviceOracleTest, DecidesSampled3SatInstancesCorrectly) {

@@ -9,7 +9,9 @@
 #include "obs/statsz.h"
 
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,6 +22,12 @@
 #include "obs/openmetrics.h"
 #include "util/net.h"
 #include "util/parallel.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#endif
 
 namespace revise::obs {
 namespace {
@@ -233,6 +241,85 @@ void ScrapeConcurrently(size_t client_threads) {
 TEST(StatszConcurrencyTest, OneClientThread) { ScrapeConcurrently(1); }
 TEST(StatszConcurrencyTest, TwoClientThreads) { ScrapeConcurrently(2); }
 TEST(StatszConcurrencyTest, EightClientThreads) { ScrapeConcurrently(8); }
+
+#if defined(__unix__) || defined(__APPLE__)
+
+// Deadline behavior of the util/net.h read paths: a client that connects
+// and then goes silent, and a responder that drips bytes forever, must
+// both cost the caller one bounded deadline — not a worker pinned for
+// the life of the peer.
+
+TEST(NetDeadlineTest, SilentClientTimesOutQuickly) {
+  StatusOr<util::TcpListener> listener = util::ListenTcpLoopback(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+
+  // A raw client that connects and never writes a byte.
+  const int client = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(client, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(listener->port);
+  ASSERT_EQ(::connect(client, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  StatusOr<int> accepted = util::AcceptConnection(listener->fd, 1000);
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+
+  const auto start = std::chrono::steady_clock::now();
+  StatusOr<std::string> head =
+      util::ReadHttpRequestHead(*accepted, 8192, /*timeout_ms=*/300);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(head.ok());
+  EXPECT_EQ(head.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(elapsed_ms, 250);
+  EXPECT_LT(elapsed_ms, 2000) << "deadline did not bound the read";
+
+  util::CloseSocket(*accepted);
+  util::CloseSocket(client);
+  util::CloseSocket(listener->fd);
+}
+
+TEST(NetDeadlineTest, SlowDripResponderHitsOverallDeadline) {
+  StatusOr<util::TcpListener> listener = util::ListenTcpLoopback(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const int listen_fd = listener->fd;
+
+  // A responder that answers one byte every 50 ms: each individual poll
+  // sees progress, so only an *overall* deadline can stop the call.
+  BackgroundThread responder([listen_fd] {
+    StatusOr<int> accepted = util::AcceptConnection(listen_fd, 5000);
+    if (!accepted.ok()) return;
+    (void)util::ReadHttpRequestHead(*accepted, 8192, 1000);
+    for (int i = 0; i < 80; ++i) {
+      if (!util::SendAll(*accepted, "x").ok()) break;  // client hung up
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    util::CloseSocket(*accepted);
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  StatusOr<std::string> response =
+      util::HttpGet(listener->port, "/", /*timeout_ms=*/300);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(elapsed_ms, 250);
+  EXPECT_LT(elapsed_ms, 2000)
+      << "per-poll re-arming let the drip stretch the deadline";
+
+  responder.Join();
+  util::CloseSocket(listen_fd);
+}
+
+#endif  // sockets
 
 }  // namespace
 }  // namespace revise::obs
